@@ -1,0 +1,93 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Each benchmark regenerates one table or figure of the paper at reduced
+scale: same systems, same workloads, same metrics — smaller request counts
+so the whole suite runs in minutes.  Absolute numbers come from the
+simulated substrate; the asserted properties are the paper's *shapes*
+(who wins, by roughly what factor, where crossovers fall).
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    ChunkedPrefillServer,
+    LoongServeServer,
+    NanoFlowServer,
+    SGLangPDServer,
+)
+from repro.core import MuxWiseServer
+from repro.gpu import Device
+from repro.models import CostModel, PrefillItem, phase_latency
+from repro.serving import ServingConfig
+from repro.sim import Simulator
+
+#: Candidate SARATHI token budgets (offline tuning grid).
+BUDGET_GRID = (64, 96, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048, 3072, 4096)
+
+
+def tuned_token_budget(
+    cfg: ServingConfig,
+    decode_batch: int = 32,
+    decode_context: int = 1024,
+    chunk_reused: int | None = None,
+) -> int:
+    """SARATHI-Serve's offline budget tuning: the largest token budget whose
+    fused (chunk + decode) iteration stays within the TBT SLO.
+
+    ``chunk_reused`` is the reused/previously-chunked context the prefill
+    chunk must re-attend to — the workload-specific knob the paper tunes
+    "offline under specific TBT targets for each model" (multi-turn traces
+    force much smaller budgets than single-turn ones, per Fig. 6b).
+    """
+    if chunk_reused is None:
+        chunk_reused = decode_context
+    cost_model = CostModel(cfg.model, cfg.n_gpus, cfg.spec.nvlink_bandwidth)
+    device = Device(Simulator(), cfg.spec, cfg.n_gpus)
+    decode_cost = cost_model.decode_iter([decode_context] * decode_batch)
+    best = BUDGET_GRID[0]
+    for budget in BUDGET_GRID:
+        chunk = max(1, budget - decode_batch)
+        fused = decode_cost + cost_model.prefill_layers(
+            [PrefillItem(new=chunk, reused=chunk_reused)], cfg.model.num_layers
+        )
+        latency = phase_latency(fused, device, device.total_sms)
+        latency += cfg.launch.full_prefill_launch(cfg.model.num_layers)
+        if latency <= cfg.slo.tbt:
+            best = budget
+    return best
+
+
+#: Mean reused context each workload's prefill chunks re-attend to, used
+#: when tuning the chunked-prefill token budget per workload (Table 1).
+WORKLOAD_CHUNK_REUSE = {
+    "ShareGPT": 0,
+    "LooGLE": 15000,
+    "OpenThoughts": 243,
+    # Multi-turn traces: tune against tail reuse (Table 1 maxima reach
+    # 120K; the tail is what breaks the P99 TBT, per Fig. 6b).
+    "Conversation": 20000,
+    "Tool&Agent": 20000,
+}
+
+
+def system_factories(
+    cfg: ServingConfig,
+    include_loongserve: bool = True,
+    chunk_reused: int | None = None,
+) -> dict:
+    """The paper's five systems as runner factories (with tuned budgets)."""
+    budget = tuned_token_budget(cfg, chunk_reused=chunk_reused)
+    factories = {
+        "MuxWise": lambda sim, c: MuxWiseServer(sim, c),
+        "Chunked": lambda sim, c, b=budget: ChunkedPrefillServer(sim, c, token_budget=b),
+        "NanoFlow": lambda sim, c, b=budget: NanoFlowServer(sim, c, token_budget=b),
+        "SGLang-PD": lambda sim, c: SGLangPDServer(sim, c),
+    }
+    if include_loongserve and cfg.n_gpus >= 2 and not cfg.model.is_moe:
+        factories["LoongServe"] = lambda sim, c: LoongServeServer(sim, c)
+    return factories
+
+
+def once(benchmark, fn):
+    """Run a whole experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

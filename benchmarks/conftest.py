@@ -1,0 +1,44 @@
+"""Fixtures for the figure/table benchmarks."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.gpu import A100, H100, H200
+from repro.models import LLAMA_8B, LLAMA_70B, QWEN3_235B
+from repro.serving import ServingConfig
+
+
+@pytest.fixture
+def cfg_70b() -> ServingConfig:
+    return ServingConfig(model=LLAMA_70B, spec=A100, n_gpus=8)
+
+
+@pytest.fixture
+def cfg_8b() -> ServingConfig:
+    return ServingConfig(model=LLAMA_8B, spec=A100, n_gpus=8)
+
+
+@pytest.fixture
+def cfg_8b_single() -> ServingConfig:
+    return ServingConfig(model=LLAMA_8B, spec=A100, n_gpus=1)
+
+
+@pytest.fixture
+def cfg_70b_h100() -> ServingConfig:
+    return ServingConfig(model=LLAMA_70B, spec=H100, n_gpus=8)
+
+
+@pytest.fixture
+def cfg_8b_h100() -> ServingConfig:
+    return ServingConfig(model=LLAMA_8B, spec=H100, n_gpus=8)
+
+
+@pytest.fixture
+def cfg_qwen_h200() -> ServingConfig:
+    return ServingConfig(model=QWEN3_235B, spec=H200, n_gpus=8)

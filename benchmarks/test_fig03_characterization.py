@@ -1,0 +1,72 @@
+"""Fig. 3 — compute & memory demands vs reused length under SLO constraints.
+
+(a) For prefill (batch 1, 2K new tokens, TTFT 400 ms) and decode (batch 32,
+TBT 100 ms), find the smallest GPU fraction meeting the SLO at each reused
+length; report GPU_num = ratio * 8.
+(b) Report the KV-cache bytes the same phases need.
+
+Paper shapes asserted: prefill compute demand grows with reused length and
+approaches the full server; decode demand is far less sensitive; KV
+footprints reach tens-to-hundreds of GB.
+"""
+
+import pytest
+
+from _helpers import once
+from repro.bench import series
+from repro.gpu import A100, Device
+from repro.models import LLAMA_70B, CostModel, PrefillItem, phase_latency
+from repro.sim import Simulator
+
+REUSED_LENGTHS = (0, 2048, 8192, 32768, 65536)
+TTFT_TARGET = 0.400
+TBT_TARGET = 0.100
+PREFILL_NEW = 2048
+DECODE_BATCH = 32
+
+
+def min_gpus_for(cost, device, target: float) -> float:
+    """Smallest GPU count (fractional, out of 8) whose SM share meets the
+    latency target; 8.0+ means even the full server misses it."""
+    for sm_fraction in [i / 32 for i in range(1, 33)]:
+        sms = max(1.0, device.total_sms * sm_fraction)
+        if phase_latency(cost, device, sms) <= target:
+            return sm_fraction * 8
+    return 9.0
+
+
+def characterize():
+    device = Device(Simulator(), A100, n_gpus=8)
+    cost_model = CostModel(LLAMA_70B, 8, A100.nvlink_bandwidth)
+    prefill_gpus, decode_gpus, prefill_kv, decode_kv = [], [], [], []
+    for reused in REUSED_LENGTHS:
+        p_cost = cost_model.prefill_full([PrefillItem(new=PREFILL_NEW, reused=reused)])
+        d_cost = cost_model.decode_iter([reused + 1] * DECODE_BATCH)
+        prefill_gpus.append(min_gpus_for(p_cost, device, TTFT_TARGET))
+        decode_gpus.append(min_gpus_for(d_cost, device, TBT_TARGET))
+        prefill_kv.append((reused + PREFILL_NEW) * LLAMA_70B.kv_bytes_per_token)
+        decode_kv.append(DECODE_BATCH * (reused + 1) * LLAMA_70B.kv_bytes_per_token)
+    return prefill_gpus, decode_gpus, prefill_kv, decode_kv
+
+
+def test_fig03_characterization(benchmark):
+    prefill_gpus, decode_gpus, prefill_kv, decode_kv = once(benchmark, characterize)
+    xs = [float(r) for r in REUSED_LENGTHS]
+    print()
+    print(series("Fig3a prefill", xs, prefill_gpus, "reused", "GPUs needed"))
+    print(series("Fig3a decode", xs, decode_gpus, "reused", "GPUs needed"))
+    print(series("Fig3b prefill KV (GB)", xs, [b / 1e9 for b in prefill_kv], "reused", "GB"))
+    print(series("Fig3b decode KV (GB)", xs, [b / 1e9 for b in decode_kv], "reused", "GB"))
+
+    # Prefill compute demand grows with reuse until it saturates the server.
+    assert prefill_gpus == sorted(prefill_gpus)
+    assert prefill_gpus[-1] >= 8.0
+    assert prefill_gpus[0] <= 6.0
+    # Decode demand is much less sensitive (paper: "less sensitivity").
+    assert decode_gpus[-1] <= 2.0
+    spread_decode = decode_gpus[-1] - decode_gpus[0]
+    spread_prefill = prefill_gpus[-1] - prefill_gpus[0]
+    assert spread_decode < spread_prefill
+    # KV footprints reach tens-to-hundreds of GB (Fig. 3b).
+    assert decode_kv[-1] > 100e9
+    assert prefill_kv[-1] > 10e9

@@ -1,0 +1,71 @@
+"""Fig. 6 — chunked-prefill's dilemma between SLO compliance and utilisation.
+
+(a) Fused-iteration latency vs token budget (decode bs=32, 1K reuse each,
+    Llama-70B on 8xA100).  Paper: sub-linear until ~4K, ~505 ms at 4K, and
+    the SLO-compliant budget (~256) is ~8x below saturation.
+(b) Fused TBT vs the prefill chunk's reused context (budget 512).  Paper:
+    TBT rises noticeably beyond 4K reuse, breaking the 100 ms SLO at the
+    reuse lengths common in multi-turn traces.
+"""
+
+from _helpers import once
+from repro.bench import series
+from repro.gpu import A100, Device
+from repro.models import LLAMA_70B, CostModel, PrefillItem, phase_latency
+from repro.sim import Simulator
+
+BUDGETS = (64, 128, 256, 512, 1024, 2048, 4096, 8192)
+REUSED = (0, 1024, 4096, 16384, 65536, 131072)
+DECODE_BATCH = 32
+DECODE_CONTEXT = 1024
+TBT_SLO = 0.100
+
+
+def fused_latency(chunk_new: int, chunk_reused: int) -> float:
+    device = Device(Simulator(), A100, n_gpus=8)
+    cost_model = CostModel(LLAMA_70B, 8, A100.nvlink_bandwidth)
+    decode = cost_model.decode_iter([DECODE_CONTEXT] * DECODE_BATCH)
+    chunk = cost_model.prefill_layers(
+        [PrefillItem(new=chunk_new, reused=chunk_reused)], LLAMA_70B.num_layers
+    )
+    return phase_latency(decode + chunk, device, device.total_sms)
+
+
+def sweep_budget():
+    return [fused_latency(budget - DECODE_BATCH, DECODE_CONTEXT) for budget in BUDGETS]
+
+
+def sweep_reuse():
+    return [fused_latency(512, reused) for reused in REUSED]
+
+
+def test_fig06a_token_budget_sweet_spot(benchmark):
+    latencies = once(benchmark, sweep_budget)
+    print()
+    print(series("Fig6a", [float(b) for b in BUDGETS], [t * 1e3 for t in latencies], "budget", "TBT ms"))
+
+    by_budget = dict(zip(BUDGETS, latencies))
+    # The 4K budget needed to saturate costs ~0.5 s, far beyond the SLO.
+    assert 0.35 <= by_budget[4096] <= 0.70
+    # A ~256 budget is SLO compliant: the compliant budget is ~8-16x below
+    # the saturating one (the dilemma).
+    assert by_budget[256] <= TBT_SLO
+    assert by_budget[1024] > TBT_SLO
+    # Sub-linear start: 16x more tokens costs well under 16x the latency.
+    assert by_budget[4096] / by_budget[256] < 10.0
+    # Asymptotically linear: doubling 4096 -> 8192 costs nearly 2x.
+    assert by_budget[8192] / by_budget[4096] > 1.7
+
+
+def test_fig06b_reused_context_inflates_tbt(benchmark):
+    latencies = once(benchmark, sweep_reuse)
+    print()
+    print(series("Fig6b", [float(r) for r in REUSED], [t * 1e3 for t in latencies], "reused", "TBT ms"))
+
+    by_reuse = dict(zip(REUSED, latencies))
+    # Mild below 4K reuse...
+    assert by_reuse[4096] < by_reuse[0] * 1.25
+    # ...then a noticeable rise that breaks the SLO at multi-turn lengths.
+    assert by_reuse[65536] > by_reuse[4096] * 1.5
+    assert by_reuse[65536] > TBT_SLO
+    assert by_reuse[131072] > by_reuse[65536]

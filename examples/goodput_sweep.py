@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Find each system's goodput: peak request rate under the TBT SLO.
+
+Mini version of the paper's Fig. 15 methodology (§4.2.3): Tool&Agent
+requests with Poisson arrivals at increasing rates; goodput is the highest
+rate at which the system stays stable with P99 TBT within the SLO.
+
+Usage:
+    python examples/goodput_sweep.py [model]   # model: 8b (default) | 70b
+"""
+
+import sys
+
+from repro import (
+    A100,
+    ChunkedPrefillServer,
+    LLAMA_8B,
+    LLAMA_70B,
+    MuxWiseServer,
+    SGLangPDServer,
+    ServingConfig,
+    goodput_sweep,
+    toolagent_workload,
+)
+
+
+def main() -> None:
+    model_arg = sys.argv[1] if len(sys.argv) > 1 else "8b"
+    if model_arg == "70b":
+        cfg = ServingConfig(model=LLAMA_70B, spec=A100, n_gpus=8)
+        rates = [0.5, 1.0, 1.5, 2.25, 3.25]
+    else:
+        cfg = ServingConfig(model=LLAMA_8B, spec=A100, n_gpus=8)
+        rates = [2.0, 4.0, 7.0, 11.0, 16.0, 22.0]
+    print(f"Model: {cfg.model.name}, SLO: {cfg.slo.tbt * 1e3:.0f} ms TBT")
+
+    systems = {
+        "MuxWise": lambda sim, c: MuxWiseServer(sim, c),
+        "Chunked": lambda sim, c: ChunkedPrefillServer(sim, c, token_budget=256),
+        "SGLang-PD": lambda sim, c: SGLangPDServer(sim, c),
+    }
+
+    sweeps = {}
+    for name, factory in systems.items():
+        print(f"\nsweeping {name} ...")
+        sweeps[name] = goodput_sweep(
+            name,
+            factory,
+            cfg,
+            lambda rate: toolagent_workload(80, request_rate=rate, seed=11),
+            rates=rates,
+        )
+        for point in sweeps[name].points:
+            summary = point.result.summary
+            flag = "ok " if point.meets_slo else "FAIL"
+            print(
+                f"  rate {point.rate:5.2f} req/s  [{flag}]  "
+                f"P99 TBT {summary.tbt_p99 * 1e3:7.1f} ms  "
+                f"P99 TTFT {summary.ttft_p99:7.2f} s"
+            )
+
+    print("\n=== Goodput (peak SLO-compliant rate) ===")
+    mux = sweeps["MuxWise"].goodput
+    for name, sweep in sweeps.items():
+        ratio = f"  ({mux / sweep.goodput:.2f}x below MuxWise)" if sweep.goodput and name != "MuxWise" else ""
+        print(f"{name:<12} {sweep.goodput:5.2f} req/s{ratio}")
+
+
+if __name__ == "__main__":
+    main()

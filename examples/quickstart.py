@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: serve a multi-turn trace with MuxWise and read the metrics.
+
+Runs Llama-70B on a simulated 8xA100 server against a Tool&Agent-style
+multi-turn workload, then prints the latency/throughput summary — the same
+metrics the paper reports (TTFT, TBT, TPOT, E2E, goodput criteria).
+
+Usage:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    A100,
+    LLAMA_70B,
+    MuxWiseServer,
+    ServingConfig,
+    Simulator,
+    toolagent_workload,
+)
+
+
+def main() -> None:
+    # 1. Describe the deployment: model, GPU type, tensor-parallel width.
+    cfg = ServingConfig(model=LLAMA_70B, spec=A100, n_gpus=8)
+    print(f"Serving {cfg.model.name} on {cfg.n_gpus}x{cfg.spec.name}")
+    print(f"TBT SLO: {cfg.slo.tbt * 1e3:.0f} ms (P{cfg.slo.attainment_percentile:.0f})")
+
+    # 2. Build the server. The first construction profiles the solo-run
+    #    predictor for this (model, machine) pair; later ones reuse it.
+    sim = Simulator()
+    server = MuxWiseServer(sim, cfg)
+
+    # 3. Generate a workload: 100 multi-turn sessions at ~1 request/s.
+    workload = toolagent_workload(num_sessions=100, request_rate=1.0, seed=42)
+    print(f"Workload: {len(workload)} requests, "
+          f"mean input {workload.mean_stats()['input']:.0f} tokens, "
+          f"mean reused {workload.mean_stats()['reused']:.0f} tokens")
+
+    # 4. Run the simulation to completion.
+    server.submit(workload)
+    server.run()
+
+    # 5. Inspect the results.
+    summary = server.metrics.summarize()
+    print()
+    print(f"finished        : {summary.requests_finished}/{summary.requests_total}")
+    print(f"P99 TTFT        : {summary.ttft_p99:.2f} s")
+    print(f"P99 TBT         : {summary.tbt_p99 * 1e3:.1f} ms")
+    print(f"avg TPOT        : {summary.tpot_avg * 1e3:.1f} ms")
+    print(f"token throughput: {summary.token_throughput:.0f} tok/s")
+    print(f"TBT SLO met     : {summary.slo_met}")
+    print(f"KV cache hits   : {server.instance.cache.stats.hit_rate * 100:.1f}%")
+    print(f"partition moves : {len(server.partition_log)}")
+
+
+if __name__ == "__main__":
+    main()

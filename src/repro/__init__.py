@@ -1,0 +1,116 @@
+"""MuxWise reproduction: high-goodput LLM serving with PD multiplexing.
+
+A full reimplementation of the ASPLOS'26 paper "Towards High-Goodput LLM
+Serving with Prefill-decode Multiplexing" on a discrete-event GPU
+simulator.  Public entry points:
+
+* :class:`repro.core.MuxWiseServer` -- the paper's system.
+* :mod:`repro.baselines` -- chunked-prefill, NanoFlow, LoongServe, SGLang-PD.
+* :mod:`repro.workloads` -- the five evaluation traces of Table 1.
+* :mod:`repro.bench` -- runners and goodput sweeps reproducing the figures.
+
+Quickstart::
+
+    from repro import (A100, LLAMA_70B, MuxWiseServer, ServingConfig,
+                       Simulator, toolagent_workload)
+
+    sim = Simulator()
+    cfg = ServingConfig(model=LLAMA_70B, spec=A100, n_gpus=8)
+    server = MuxWiseServer(sim, cfg)
+    server.submit(toolagent_workload(100, request_rate=1.0))
+    server.run()
+    print(server.metrics.summarize())
+"""
+
+from repro.baselines import (
+    ChunkedPrefillServer,
+    LoongServeServer,
+    NanoFlowServer,
+    SGLangPDServer,
+)
+from repro.bench import GoodputResult, RunResult, goodput_sweep, run_system
+from repro.core import (
+    ContentionGuard,
+    ContentionTolerantEstimator,
+    MultiplexEngine,
+    MuxWiseServer,
+    SoloRunPredictor,
+    calibrated_estimator,
+)
+from repro.gpu import A100, H100, H200, Device, GPUSpec, decode_partition_options
+from repro.kvcache import KVCachePool, RadixCache, Segment, new_segment
+from repro.models import (
+    CODELLAMA_34B,
+    LLAMA_8B,
+    LLAMA_70B,
+    QWEN3_235B,
+    CostModel,
+    ModelConfig,
+    PrefillItem,
+    phase_latency,
+)
+from repro.serving import SLO, ServingConfig, Summary, default_slo
+from repro.sim import Simulator
+from repro.workloads import (
+    Request,
+    Workload,
+    conversation_workload,
+    loogle_workload,
+    mixed_workload,
+    openthoughts_workload,
+    realworld_trace,
+    sharegpt_workload,
+    toolagent_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "A100",
+    "CODELLAMA_34B",
+    "ChunkedPrefillServer",
+    "ContentionGuard",
+    "ContentionTolerantEstimator",
+    "CostModel",
+    "Device",
+    "GPUSpec",
+    "GoodputResult",
+    "H100",
+    "H200",
+    "KVCachePool",
+    "LLAMA_70B",
+    "LLAMA_8B",
+    "LoongServeServer",
+    "ModelConfig",
+    "MultiplexEngine",
+    "MuxWiseServer",
+    "NanoFlowServer",
+    "PrefillItem",
+    "QWEN3_235B",
+    "RadixCache",
+    "Request",
+    "RunResult",
+    "SGLangPDServer",
+    "SLO",
+    "Segment",
+    "ServingConfig",
+    "Simulator",
+    "SoloRunPredictor",
+    "Summary",
+    "Workload",
+    "calibrated_estimator",
+    "conversation_workload",
+    "decode_partition_options",
+    "default_slo",
+    "goodput_sweep",
+    "loogle_workload",
+    "mixed_workload",
+    "new_segment",
+    "openthoughts_workload",
+    "phase_latency",
+    "realworld_trace",
+    "run_system",
+    "sharegpt_workload",
+    "toolagent_workload",
+    "__version__",
+]

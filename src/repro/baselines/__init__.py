@@ -1,0 +1,16 @@
+"""Baseline serving systems re-implemented on the simulated substrate."""
+
+from repro.baselines.chunked_prefill import ChunkedPrefillServer
+from repro.baselines.loongserve import LoongServeServer
+from repro.baselines.nanoflow import NanoFlowServer
+from repro.baselines.sglang_pd import SGLangPDServer
+from repro.baselines.variants import TemporalMuxServer, WindServeServer
+
+__all__ = [
+    "ChunkedPrefillServer",
+    "LoongServeServer",
+    "NanoFlowServer",
+    "SGLangPDServer",
+    "TemporalMuxServer",
+    "WindServeServer",
+]

@@ -1,0 +1,89 @@
+"""NanoFlow-style serving: chunked prefill + operator-level overlap.
+
+NanoFlow splits every fused iteration into (two) nano-batches so that
+compute-bound, memory-bound and communication kernels overlap.  The paper's
+analysis (§4.2.1) of why this backfires under tight SLOs:
+
+* overlap hides part of the communication/auxiliary time (the win), but
+* each nano-batch re-reads the model weights — "duplicating loading for
+  each decode iteration" — which is brutal for large models, and
+* halving the tokens per nano-batch lowers GEMM efficiency, so the design
+  only pays off with a large token budget (>= 1024), which tight TBT SLOs
+  forbid.
+
+All three effects are modelled by adjusting the per-iteration cost.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.chunked_prefill import ChunkedPrefillServer
+from repro.models.costs import PhaseCost, PrefillItem
+from repro.serving.base import RequestState
+
+
+#: Nano-batches per iteration (NanoFlow's default).
+NANO_BATCHES = 2
+#: Fraction of serialized (comm + per-layer overhead) time hidden by overlap.
+OVERLAP_DISCOUNT = 0.6
+
+
+class NanoFlowServer(ChunkedPrefillServer):
+    """Chunked prefill with nano-batch operator overlap."""
+
+    name = "NanoFlow"
+
+    def _iteration_cost(
+        self,
+        decode_batch: list[RequestState],
+        prefill_state: RequestState | None,
+        chunk_tokens: int,
+    ) -> tuple[PhaseCost, bool]:
+        model = self.instance.cost_model
+        cfg_model = self.cfg.model
+        cost = PhaseCost(0.0, 0.0, 0.0, 0.0)
+        completes_prefill = False
+
+        if decode_batch:
+            lens = self.decode_context_lens(decode_batch)
+            decode_cost = model.decode_iter(lens)
+            # Each nano-batch re-streams the weights it touches.
+            duplicate_load = (NANO_BATCHES - 1) * float(
+                cfg_model.num_layers * model._layer_weight_bytes_touched(len(lens))
+            )
+            decode_cost = PhaseCost(
+                flops=decode_cost.flops,
+                raw_flops=decode_cost.raw_flops,
+                bytes=decode_cost.bytes + duplicate_load,
+                comm_time=decode_cost.comm_time,
+            )
+            cost = cost + decode_cost
+
+        if prefill_state is not None and chunk_tokens > 0:
+            # The chunk is split across nano-batches: same total work, but
+            # GEMM efficiency is that of half-size token groups.
+            per_nano = max(1, chunk_tokens // NANO_BATCHES)
+            reused = prefill_state.reused_tokens + prefill_state.chunk_tokens_done
+            nano_cost = model.prefill_layers(
+                [PrefillItem(new=per_nano, reused=reused)], cfg_model.num_layers
+            )
+            remainder = chunk_tokens - per_nano * (NANO_BATCHES - 1)
+            tail_cost = model.prefill_layers(
+                [PrefillItem(new=remainder, reused=reused)], cfg_model.num_layers
+            )
+            chunk_cost = nano_cost.scaled(NANO_BATCHES - 1) + tail_cost
+            cost = cost + chunk_cost
+            remaining = prefill_state.prefill_tokens - prefill_state.chunk_tokens_done
+            completes_prefill = chunk_tokens >= remaining
+            if completes_prefill:
+                cost = cost + model.prefill_head(1)
+
+        # Operator-level overlap hides part of the serialized tail.
+        return (
+            PhaseCost(
+                flops=cost.flops,
+                raw_flops=cost.raw_flops,
+                bytes=cost.bytes,
+                comm_time=cost.comm_time * OVERLAP_DISCOUNT,
+            ),
+            completes_prefill,
+        )

@@ -1,0 +1,23 @@
+"""Experiment harness: runners, goodput sweeps, report formatting."""
+
+from repro.bench.ascii import bar_chart, cdf_chart, line_chart
+from repro.bench.goodput import GoodputResult, RatePoint, goodput_ratio, goodput_sweep
+from repro.bench.runner import MAX_EVENTS, RunResult, run_system
+from repro.bench.report import latency_table, series, tail_latency_table, throughput_table
+
+__all__ = [
+    "GoodputResult",
+    "MAX_EVENTS",
+    "RatePoint",
+    "RunResult",
+    "bar_chart",
+    "cdf_chart",
+    "line_chart",
+    "goodput_ratio",
+    "goodput_sweep",
+    "latency_table",
+    "run_system",
+    "series",
+    "tail_latency_table",
+    "throughput_table",
+]

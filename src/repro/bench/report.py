@@ -1,0 +1,77 @@
+"""Table/series formatting for experiment outputs.
+
+Prints the same row shapes the paper reports: Tables 3/4 (avg/P50 of TTFT,
+TBT, E2E, TPOT), Table 5 (throughput and GPU utilisation), and generic
+labelled series for the figures.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.runner import RunResult
+from repro.serving.metrics import Summary
+
+
+def _fmt(value: float, scale: float = 1.0, digits: int = 1) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    return f"{value * scale:.{digits}f}"
+
+
+def latency_table(rows: dict[str, Summary]) -> str:
+    """Tables 3/4: TTFT (s), TBT (ms), E2E (s), TPOT (ms) — Avg. and P50."""
+    header = (
+        f"{'System':<12} {'TTFT avg':>9} {'TTFT p50':>9} {'TBT avg':>8} {'TBT p50':>8} "
+        f"{'E2E avg':>8} {'E2E p50':>8} {'TPOT avg':>9} {'TPOT p50':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, s in rows.items():
+        lines.append(
+            f"{name:<12} {_fmt(s.ttft_avg):>9} {_fmt(s.ttft_p50):>9} "
+            f"{_fmt(s.tbt_avg, 1e3):>8} {_fmt(s.tbt_p50, 1e3):>8} "
+            f"{_fmt(s.e2e_avg):>8} {_fmt(s.e2e_p50):>8} "
+            f"{_fmt(s.tpot_avg, 1e3):>9} {_fmt(s.tpot_p50, 1e3):>9}"
+        )
+    return "\n".join(lines)
+
+
+def tail_latency_table(rows: dict[str, Summary]) -> str:
+    """Fig. 14/16/17 rows: P99 TTFT (s) and P99 TBT (ms) per system."""
+    header = f"{'System':<12} {'TTFT p99 (s)':>13} {'TBT p99 (ms)':>13} {'SLO met':>8}"
+    lines = [header, "-" * len(header)]
+    for name, s in rows.items():
+        lines.append(
+            f"{name:<12} {_fmt(s.ttft_p99, 1.0, 2):>13} {_fmt(s.tbt_p99, 1e3):>13} "
+            f"{'yes' if s.slo_met else 'no':>8}"
+        )
+    return "\n".join(lines)
+
+
+def throughput_table(rows: dict[str, RunResult]) -> str:
+    """Table 5: token throughput and GPU utilisation at goodput.
+
+    "Useful Token/s" counts each request's input once plus its outputs;
+    "Computed Token/s" additionally counts recomputation (LoongServe's
+    cross-request recompute inflates the latter, not the former).
+    """
+    header = (
+        f"{'System':<12} {'Useful Tok/s':>13} {'Computed Tok/s':>15} "
+        f"{'GPU util %':>11} {'Cache hit %':>12}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, r in rows.items():
+        lines.append(
+            f"{name:<12} {_fmt(r.summary.useful_throughput, 1.0, 0):>13} "
+            f"{_fmt(r.summary.token_throughput, 1.0, 0):>15} "
+            f"{_fmt(r.sm_utilization, 100.0):>11} {_fmt(r.cache_hit_rate, 100.0):>12}"
+        )
+    return "\n".join(lines)
+
+
+def series(label: str, xs: list[float], ys: list[float], x_name: str = "x", y_name: str = "y") -> str:
+    """A labelled (x, y) series, one row per point (figure data)."""
+    lines = [f"# {label}: {x_name} -> {y_name}"]
+    for x, y in zip(xs, ys):
+        lines.append(f"{x:>12.4g} {y:>12.4g}")
+    return "\n".join(lines)

@@ -1,0 +1,264 @@
+"""Command-line interface: run serving experiments from a shell.
+
+Subcommands::
+
+    python -m repro run        --system muxwise --workload toolagent --rate 1.0
+    python -m repro compare    --workload sharegpt --rate 4.0
+    python -m repro goodput    --system muxwise --workload toolagent --rates 0.5,1,2
+    python -m repro table1     # Table-1 statistics of the generated traces
+    python -m repro specs      # supported models and GPUs
+
+Every command accepts ``--model``, ``--gpu`` and ``--gpus`` to pick the
+deployment (defaults: Llama-70B on 8xA100, the paper's main testbed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines import (
+    ChunkedPrefillServer,
+    LoongServeServer,
+    NanoFlowServer,
+    SGLangPDServer,
+    TemporalMuxServer,
+    WindServeServer,
+)
+from repro.bench import goodput_sweep, latency_table, run_system, tail_latency_table, throughput_table
+from repro.core import HybridPDServer, MuxWiseServer
+from repro.gpu.specs import SPECS_BY_NAME
+from repro.models.config import MODELS_BY_NAME
+from repro.serving.config import ServingConfig
+from repro.workloads import (
+    conversation_workload,
+    loogle_workload,
+    mixed_workload,
+    openthoughts_workload,
+    realworld_trace,
+    sharegpt_workload,
+    toolagent_workload,
+)
+from repro.workloads.request import Workload
+from repro.workloads.serialization import save_records
+from repro.workloads.stats import table1
+
+SYSTEMS = {
+    "muxwise": MuxWiseServer,
+    "chunked": ChunkedPrefillServer,
+    "nanoflow": NanoFlowServer,
+    "sglang-pd": SGLangPDServer,
+    "loongserve": LoongServeServer,
+    "windserve": WindServeServer,
+    "temporal": TemporalMuxServer,
+    "hybrid-pd": HybridPDServer,
+}
+
+MODEL_ALIASES = {
+    "8b": "Llama-8B",
+    "70b": "Llama-70B",
+    "qwen": "Qwen3-235B-A22B",
+    "34b": "CodeLlama-34B",
+}
+
+GPU_ALIASES = {
+    "a100": "A100-80GB",
+    "h100": "H100-SXM5-80GB",
+    "h200": "H200-SXM5-141GB",
+}
+
+
+def build_config(args: argparse.Namespace) -> ServingConfig:
+    """ServingConfig from the common CLI options."""
+    model_name = MODEL_ALIASES.get(args.model.lower(), args.model)
+    gpu_name = GPU_ALIASES.get(args.gpu.lower(), args.gpu)
+    try:
+        model = MODELS_BY_NAME[model_name]
+    except KeyError:
+        raise SystemExit(f"unknown model {args.model!r}; see `python -m repro specs`")
+    try:
+        spec = SPECS_BY_NAME[gpu_name]
+    except KeyError:
+        raise SystemExit(f"unknown GPU {args.gpu!r}; see `python -m repro specs`")
+    return ServingConfig(model=model, spec=spec, n_gpus=args.gpus)
+
+
+def build_workload(args: argparse.Namespace, rate: float | None = None) -> Workload:
+    """Workload from the common CLI options."""
+    rate = rate if rate is not None else args.rate
+    n = args.requests
+    seed = args.seed
+    kind = args.workload.lower()
+    if kind == "sharegpt":
+        return sharegpt_workload(n, rate=rate, seed=seed)
+    if kind == "loogle":
+        return loogle_workload(n, rate=rate, seed=seed)
+    if kind == "openthoughts":
+        return openthoughts_workload(n, rate=rate, seed=seed)
+    if kind == "conversation":
+        return conversation_workload(n, request_rate=rate, seed=seed)
+    if kind == "toolagent":
+        return toolagent_workload(n, request_rate=rate, seed=seed)
+    if kind == "mixed":
+        return mixed_workload(n, rate=rate, seed=seed)
+    if kind in ("conversation-trace", "toolagent-trace"):
+        name = "Conversation" if kind.startswith("conversation") else "Tool&Agent"
+        return realworld_trace(name, duration=float(n), base_request_rate=rate, seed=seed)
+    raise SystemExit(f"unknown workload {args.workload!r}")
+
+
+def make_factory(name: str, token_budget: int):
+    """System factory by CLI name."""
+    try:
+        cls = SYSTEMS[name.lower()]
+    except KeyError:
+        raise SystemExit(f"unknown system {name!r}; choose from {sorted(SYSTEMS)}")
+    if cls in (ChunkedPrefillServer, NanoFlowServer):
+        return lambda sim, cfg: cls(sim, cfg, token_budget=token_budget)
+    return lambda sim, cfg: cls(sim, cfg)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    cfg = build_config(args)
+    workload = build_workload(args)
+    factory = make_factory(args.system, args.token_budget)
+    result = run_system(factory, cfg, workload)
+    print(tail_latency_table({args.system: result.summary}))
+    print()
+    print(latency_table({args.system: result.summary}))
+    print()
+    print(throughput_table({args.system: result}))
+    if args.output:
+        # Re-run is avoided: run_system does not expose records, so reuse
+        # the summary path only when dumping is requested.
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        system = factory(sim, cfg)
+        system.submit(workload)
+        sim.run(max_events=20_000_000)
+        save_records(system.metrics.records.values(), args.output)
+        print(f"\nper-request records written to {args.output}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    cfg = build_config(args)
+    workload = build_workload(args)
+    names = args.systems.split(",") if args.systems else ["muxwise", "chunked", "sglang-pd"]
+    results = {}
+    for name in names:
+        factory = make_factory(name.strip(), args.token_budget)
+        results[name.strip()] = run_system(factory, cfg, workload)
+    print(tail_latency_table({n: r.summary for n, r in results.items()}))
+    print()
+    print(throughput_table(results))
+    return 0
+
+
+def cmd_goodput(args: argparse.Namespace) -> int:
+    cfg = build_config(args)
+    rates = [float(r) for r in args.rates.split(",")]
+    factory = make_factory(args.system, args.token_budget)
+    sweep = goodput_sweep(
+        args.system,
+        factory,
+        cfg,
+        lambda rate: build_workload(args, rate=rate),
+        rates=rates,
+    )
+    for point in sweep.points:
+        summary = point.result.summary
+        flag = "ok" if point.meets_slo else "FAIL"
+        print(
+            f"rate {point.rate:6.2f} [{flag:>4}]  P99 TBT {summary.tbt_p99 * 1e3:7.1f} ms  "
+            f"P99 TTFT {summary.ttft_p99:7.2f} s"
+        )
+    print(f"goodput: {sweep.goodput:.2f} req/s")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    seed = args.seed
+    workloads = [
+        sharegpt_workload(500, rate=2.0, seed=seed),
+        loogle_workload(300, rate=0.5, seed=seed),
+        openthoughts_workload(300, rate=1.0, seed=seed),
+        conversation_workload(300, request_rate=2.0, seed=seed),
+        toolagent_workload(300, request_rate=2.0, seed=seed),
+    ]
+    print(table1(workloads))
+    return 0
+
+
+def cmd_specs(_args: argparse.Namespace) -> int:
+    print("Models:")
+    for name, model in MODELS_BY_NAME.items():
+        kind = "MoE" if model.is_moe else "dense"
+        print(
+            f"  {name:<18} {model.total_params / 1e9:6.1f}B {kind:<6} "
+            f"{model.num_layers} layers, KV {model.kv_bytes_per_token / 1024:.0f} KiB/token"
+        )
+    print("GPUs:")
+    for name, spec in SPECS_BY_NAME.items():
+        print(
+            f"  {name:<18} {spec.sms} SMs, {spec.peak_flops / 1e12:.0f} TFLOPS, "
+            f"{spec.mem_bandwidth / 1e9:.0f} GB/s, {spec.mem_bytes / 2**30:.0f} GiB"
+        )
+    print(f"Systems: {', '.join(sorted(SYSTEMS))}")
+    return 0
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="70b", help="model (8b|70b|qwen|34b or full name)")
+    parser.add_argument("--gpu", default="a100", help="GPU (a100|h100|h200 or full name)")
+    parser.add_argument("--gpus", type=int, default=8, help="GPUs in the server")
+    parser.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    parser.add_argument("--requests", type=int, default=100, help="requests/sessions to generate")
+    parser.add_argument("--token-budget", type=int, default=256, help="chunked-prefill token budget")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one system on one workload")
+    _add_common(run_p)
+    run_p.add_argument("--system", default="muxwise")
+    run_p.add_argument("--workload", default="toolagent")
+    run_p.add_argument("--rate", type=float, default=1.0)
+    run_p.add_argument("--output", default=None, help="write per-request JSONL here")
+    run_p.set_defaults(func=cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="run several systems on one workload")
+    _add_common(cmp_p)
+    cmp_p.add_argument("--systems", default=None, help="comma-separated system names")
+    cmp_p.add_argument("--workload", default="toolagent")
+    cmp_p.add_argument("--rate", type=float, default=1.0)
+    cmp_p.set_defaults(func=cmd_compare)
+
+    good_p = sub.add_parser("goodput", help="rate sweep under the TBT SLO")
+    _add_common(good_p)
+    good_p.add_argument("--system", default="muxwise")
+    good_p.add_argument("--workload", default="toolagent")
+    good_p.add_argument("--rates", default="0.5,1.0,2.0", help="comma-separated req/s")
+    good_p.set_defaults(func=cmd_goodput)
+
+    t1_p = sub.add_parser("table1", help="print Table-1 stats of the traces")
+    t1_p.add_argument("--seed", type=int, default=0)
+    t1_p.set_defaults(func=cmd_table1)
+
+    specs_p = sub.add_parser("specs", help="list models, GPUs, systems")
+    specs_p.set_defaults(func=cmd_specs)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Simulated GPU substrate: specs, devices, streams, launch overheads."""
+
+from repro.gpu.device import Device, ExecTask, OutOfMemoryError, waterfill
+from repro.gpu.host import HostThread
+from repro.gpu.launch import GraphMemoryModel, LaunchModel
+from repro.gpu.specs import (
+    A100,
+    GB,
+    GiB,
+    H100,
+    H200,
+    H200_NVL,
+    SPECS_BY_NAME,
+    TFLOPS,
+    GPUSpec,
+    decode_partition_options,
+)
+from repro.gpu.stream import OpHandle, Stream, Work
+from repro.gpu.timeline import Span, Timeline, attach_timeline
+
+__all__ = [
+    "A100",
+    "Device",
+    "ExecTask",
+    "GB",
+    "GiB",
+    "GPUSpec",
+    "GraphMemoryModel",
+    "H100",
+    "H200",
+    "H200_NVL",
+    "HostThread",
+    "LaunchModel",
+    "OpHandle",
+    "OutOfMemoryError",
+    "SPECS_BY_NAME",
+    "Span",
+    "Stream",
+    "Timeline",
+    "TFLOPS",
+    "Work",
+    "attach_timeline",
+    "decode_partition_options",
+    "waterfill",
+]

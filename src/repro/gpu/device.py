@@ -1,0 +1,375 @@
+"""The simulated GPU (or tensor-parallel GPU group) with contention.
+
+The device executes :class:`ExecTask` items.  Each task carries a compute
+demand (FLOPs, executed on a dedicated SM partition) and a memory demand
+(bytes of HBM traffic, drawn from the *shared* bandwidth).  This mirrors the
+paper's observation (§3.3.1) that green contexts give precise SM control but
+leave memory bandwidth unmanaged: co-running prefill and decode contend for
+bandwidth, slowing decode by up to 20-30 %.
+
+Contention model — fluid-flow max-min fairness with demand caps:
+
+* Compute progresses at a fixed rate proportional to the task's SM share
+  (SMs are spatially partitioned, so no compute contention unless streams
+  oversubscribe SMs, in which case rates scale down proportionally — this is
+  how plain-stream multiplexing a la WindServe is modelled).
+* Memory bandwidth is shared.  A compute-bound task only *demands* the
+  bandwidth it can absorb (remaining bytes / remaining compute time);
+  memory-bound tasks demand everything.  The device performs max-min fair
+  water-filling over demands at every task arrival/phase-change event.
+
+A task completes when both its FLOPs and bytes are done, plus an optional
+``fixed_time`` tail modelling serialized work such as tensor-parallel
+all-reduce that neither SMs nor HBM bandwidth can hide.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.gpu.specs import GPUSpec
+from repro.sim import Event, Simulator
+
+_EPS = 1e-9
+_task_ids = itertools.count()
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when a device memory allocation exceeds capacity."""
+
+
+def _config_ripple(own_sms: float, other_sms: float) -> float:
+    """Deterministic irregular multiplier in [0.6, 1.4] per partition pair.
+
+    Real contention varies jaggedly across SM configurations (Fig. 11); a
+    hash-mixed ripple keyed on the two partition sizes reproduces that
+    irregularity while staying fully reproducible.
+    """
+    a = int(round(own_sms)) & 0xFFFFFFFF
+    b = int(round(other_sms)) & 0xFFFFFFFF
+    mixed = (a * 2654435761 + b * 40503 + 12345) & 0xFFFFFFFF
+    mixed ^= mixed >> 13
+    mixed = (mixed * 1274126177) & 0xFFFFFFFF
+    unit = (mixed % 10007) / 10006.0
+    return 0.6 + 0.8 * unit
+
+
+@dataclass
+class ExecTask:
+    """One unit of GPU work (e.g. a prefill layer or a decode iteration).
+
+    Attributes:
+        flops: Total floating-point work.
+        bytes: Total HBM traffic (weights + KV cache + activations).
+        sm_count: SMs granted to this task (its green-context size).  May be
+            fractional when a task runs on a subset of the GPUs of a logical
+            tensor-parallel group (k of g GPUs => sm_count = sms * k / g).
+        fixed_time: Serialized tail time (e.g. NVLink all-reduce) appended
+            after compute and memory complete.
+        max_bandwidth: Upper bound on the HBM bandwidth this task may draw.
+            ``inf`` for intra-GPU green-context tasks (which may use the whole
+            device's bandwidth); ``aggregate * k/g`` for tasks pinned to a
+            k-GPU subset of a g-GPU group, since a job physically cannot read
+            from HBM stacks it does not occupy.
+        tag: Free-form label ("prefill"/"decode"/...), used by profiling.
+        on_complete: Called with the completion timestamp.
+    """
+
+    flops: float
+    bytes: float
+    sm_count: float
+    fixed_time: float = 0.0
+    max_bandwidth: float = math.inf
+    tag: str = ""
+    on_complete: Callable[[float], None] | None = None
+
+    # Runtime state, managed by the device.
+    task_id: int = field(default_factory=lambda: next(_task_ids))
+    rem_flops: float = field(init=False, default=0.0)
+    rem_bytes: float = field(init=False, default=0.0)
+    bw_rate: float = field(init=False, default=0.0)
+    compute_rate: float = field(init=False, default=0.0)
+    start_time: float = field(init=False, default=math.nan)
+    finish_time: float = field(init=False, default=math.nan)
+
+    def __post_init__(self) -> None:
+        self.rem_flops = float(self.flops)
+        self.rem_bytes = float(self.bytes)
+        # Relative thresholds below which a dimension counts as finished;
+        # guards against float round-off residue stalling the fluid loop.
+        self._flops_floor = max(_EPS, 1e-9 * float(self.flops))
+        self._bytes_floor = max(_EPS, 1e-9 * float(self.bytes))
+
+    @property
+    def flops_done(self) -> bool:
+        """True when the compute dimension has finished."""
+        return self.rem_flops <= self._flops_floor
+
+    @property
+    def bytes_done(self) -> bool:
+        """True when the memory dimension has finished."""
+        return self.rem_bytes <= self._bytes_floor
+
+    def solo_time(self, device: "Device") -> float:
+        """Contention-free duration of this task on ``device``."""
+        compute = self.flops / device.compute_rate(self.sm_count)
+        bandwidth = min(device.effective_bandwidth, self.max_bandwidth)
+        memory = self.bytes / bandwidth
+        return max(compute, memory) + self.fixed_time
+
+    def bandwidth_demand(self, base_compute_rate: float) -> float:
+        """Bandwidth this task can usefully absorb right now (bytes/s)."""
+        if self.bytes_done:
+            return 0.0
+        if self.flops_done:
+            return self.max_bandwidth
+        remaining_compute_time = self.rem_flops / base_compute_rate
+        return min(self.rem_bytes / remaining_compute_time, self.max_bandwidth)
+
+
+def waterfill(demands: list[float], capacity: float) -> list[float]:
+    """Max-min fair allocation of ``capacity`` across ``demands``.
+
+    Demands may be ``math.inf`` (task wants as much as possible).  Returns
+    one allocation per demand; allocations never exceed the demand and sum
+    to at most ``capacity``.
+    """
+    n = len(demands)
+    alloc = [0.0] * n
+    unsatisfied = [i for i in range(n) if demands[i] > _EPS]
+    remaining = capacity
+    while unsatisfied and remaining > _EPS:
+        share = remaining / len(unsatisfied)
+        capped = [i for i in unsatisfied if demands[i] <= share + _EPS]
+        if not capped:
+            for i in unsatisfied:
+                alloc[i] = share
+            return alloc
+        for i in capped:
+            alloc[i] = demands[i]
+            remaining -= demands[i]
+        unsatisfied = [i for i in unsatisfied if i not in set(capped)]
+    return alloc
+
+
+class Device:
+    """A simulated GPU or tensor-parallel group of identical GPUs.
+
+    A TP group is modelled as one logical device with ``n_gpus`` times the
+    FLOPs, bandwidth and memory of a single GPU.  SM partitioning is
+    expressed in *per-GPU* SM counts and mirrored across the group, matching
+    how MuxWise configures the same green-context split on every GPU.
+    """
+
+    def __init__(self, sim: Simulator, spec: GPUSpec, n_gpus: int = 1, name: str = "gpu") -> None:
+        if n_gpus < 1:
+            raise ValueError("n_gpus must be >= 1")
+        self.sim = sim
+        self.spec = spec
+        self.n_gpus = n_gpus
+        self.name = name
+        self.total_sms = spec.sms
+        self.effective_bandwidth = spec.effective_bandwidth * n_gpus
+        self._flops_per_sm = spec.effective_flops * n_gpus / spec.sms
+
+        self._active: list[ExecTask] = []
+        self._last_advance = sim.now
+        self._update_event: Event | None = None
+
+        # Memory accounting (one shared space across the group).
+        self.mem_capacity = spec.mem_bytes * n_gpus
+        self.mem_allocated = 0.0
+
+        # Utilisation accounting.
+        self._sm_seconds = 0.0
+        self._bw_bytes_served = 0.0
+        self._accounting_start = sim.now
+
+    # ------------------------------------------------------------------ #
+    # Rates
+    # ------------------------------------------------------------------ #
+
+    def compute_rate(self, sm_count: float) -> float:
+        """FLOP/s delivered by ``sm_count`` per-GPU SMs across the group."""
+        if not 0 < sm_count <= self.total_sms:
+            raise ValueError(f"sm_count {sm_count} out of range (1..{self.total_sms})")
+        return self._flops_per_sm * sm_count
+
+    # ------------------------------------------------------------------ #
+    # Memory
+    # ------------------------------------------------------------------ #
+
+    def alloc_memory(self, n_bytes: float) -> None:
+        """Reserve HBM; raises :class:`OutOfMemoryError` when over capacity."""
+        if n_bytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if self.mem_allocated + n_bytes > self.mem_capacity + _EPS:
+            raise OutOfMemoryError(
+                f"{self.name}: requested {n_bytes / 2**30:.2f} GiB, "
+                f"free {(self.mem_capacity - self.mem_allocated) / 2**30:.2f} GiB"
+            )
+        self.mem_allocated += n_bytes
+
+    def free_memory(self, n_bytes: float) -> None:
+        """Release previously reserved HBM."""
+        if n_bytes < 0:
+            raise ValueError("free size must be non-negative")
+        self.mem_allocated = max(0.0, self.mem_allocated - n_bytes)
+
+    @property
+    def mem_free(self) -> float:
+        """Unreserved HBM bytes."""
+        return self.mem_capacity - self.mem_allocated
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def submit(self, task: ExecTask) -> ExecTask:
+        """Begin executing ``task`` now; its callback fires on completion."""
+        self._advance_to_now()
+        task.start_time = self.sim.now
+        if task.flops <= _EPS and task.bytes <= _EPS:
+            self._finish_task(task)
+            return task
+        self._active.append(task)
+        self._reschedule()
+        return task
+
+    @property
+    def active_tasks(self) -> tuple[ExecTask, ...]:
+        """Tasks currently consuming device resources."""
+        return tuple(self._active)
+
+    def _compute_scale(self) -> float:
+        """Scale-down factor when streams oversubscribe SMs (plain streams)."""
+        demanded = sum(t.sm_count for t in self._active)
+        if demanded <= self.total_sms:
+            return 1.0
+        return self.total_sms / demanded
+
+    def _interference_factor(self, task: ExecTask) -> float:
+        """Fraction of allocated bandwidth ``task`` actually achieves.
+
+        Spatial co-runners pollute the shared memory system (L2, DRAM row
+        buffers) in ways SM partitioning cannot control — the paper's §3.3.1
+        observation that contention is irregular across partition
+        configurations.  The loss grows with the co-runners' SM footprint and
+        carries a deterministic per-configuration ripple so that profiling it
+        (Fig. 11) yields the paper's jagged, hard-to-model surface.
+        """
+        others = [t for t in self._active if t is not task]
+        if not others:
+            return 1.0
+        kappa = self.spec.contention_kappa
+        loss = 0.0
+        for other in others:
+            frac = min(1.0, other.sm_count / self.total_sms)
+            loss += kappa * frac * _config_ripple(task.sm_count, other.sm_count)
+        return max(0.3, 1.0 - loss)
+
+    def _reallocate(self) -> None:
+        scale = self._compute_scale()
+        for task in self._active:
+            task.compute_rate = self.compute_rate(task.sm_count) * scale
+        factors = [self._interference_factor(t) for t in self._active]
+        demands = []
+        for task, factor in zip(self._active, factors):
+            demand = task.bandwidth_demand(task.compute_rate)
+            if math.isfinite(demand) and factor > 0:
+                # Compute-bound tasks over-request to absorb interference.
+                demand = min(demand / factor, task.max_bandwidth)
+            demands.append(demand)
+        allocs = waterfill(demands, self.effective_bandwidth)
+        for task, alloc, factor in zip(self._active, allocs, factors):
+            task.bw_rate = alloc * factor
+
+    def _next_phase_change(self) -> float:
+        """Seconds until any active task finishes a dimension."""
+        horizon = math.inf
+        for task in self._active:
+            if not task.flops_done and task.compute_rate > _EPS:
+                horizon = min(horizon, task.rem_flops / task.compute_rate)
+            if not task.bytes_done and task.bw_rate > _EPS:
+                horizon = min(horizon, task.rem_bytes / task.bw_rate)
+        return horizon
+
+    def _advance_to_now(self) -> None:
+        dt = self.sim.now - self._last_advance
+        if dt <= 0:
+            self._last_advance = self.sim.now
+            return
+        for task in self._active:
+            done_flops = min(task.rem_flops, task.compute_rate * dt)
+            done_bytes = min(task.rem_bytes, task.bw_rate * dt)
+            task.rem_flops -= done_flops
+            task.rem_bytes -= done_bytes
+            if task.flops_done:
+                task.rem_flops = 0.0
+            if task.bytes_done:
+                task.rem_bytes = 0.0
+            self._bw_bytes_served += done_bytes
+            self._sm_seconds += task.sm_count * dt * self._compute_scale()
+        self._last_advance = self.sim.now
+
+    def _reschedule(self) -> None:
+        if self._update_event is not None:
+            self._update_event.cancel()
+            self._update_event = None
+        # Retire tasks whose dimensions are both complete.
+        finished = [t for t in self._active if t.flops_done and t.bytes_done]
+        for task in finished:
+            self._active.remove(task)
+            self._finish_task(task)
+        if not self._active:
+            return
+        self._reallocate()
+        horizon = self._next_phase_change()
+        if math.isfinite(horizon):
+            self._update_event = self.sim.schedule(horizon, self._on_update)
+
+    def _on_update(self) -> None:
+        self._update_event = None
+        self._advance_to_now()
+        self._reschedule()
+
+    def _finish_task(self, task: ExecTask) -> None:
+        def complete() -> None:
+            task.finish_time = self.sim.now
+            if task.on_complete is not None:
+                task.on_complete(self.sim.now)
+
+        if task.fixed_time > 0:
+            self.sim.schedule(task.fixed_time, complete)
+        else:
+            self.sim.schedule(0.0, complete)
+
+    # ------------------------------------------------------------------ #
+    # Utilisation metrics
+    # ------------------------------------------------------------------ #
+
+    def reset_accounting(self) -> None:
+        """Restart the utilisation integrals from the current time."""
+        self._advance_to_now()
+        self._sm_seconds = 0.0
+        self._bw_bytes_served = 0.0
+        self._accounting_start = self.sim.now
+
+    def sm_utilization(self) -> float:
+        """Time-averaged fraction of SMs occupied since the last reset."""
+        self._advance_to_now()
+        elapsed = self.sim.now - self._accounting_start
+        if elapsed <= 0:
+            return 0.0
+        return self._sm_seconds / (self.total_sms * elapsed)
+
+    def bandwidth_utilization(self) -> float:
+        """Time-averaged fraction of HBM bandwidth used since last reset."""
+        self._advance_to_now()
+        elapsed = self.sim.now - self._accounting_start
+        if elapsed <= 0:
+            return 0.0
+        return self._bw_bytes_served / (self.effective_bandwidth * elapsed)

@@ -1,0 +1,68 @@
+"""The host-side CPU thread that launches GPU work.
+
+Kernel launches are *host* work: while the serving process is launching the
+tens of kernels of a prefill phase, it cannot launch the next decode
+iteration.  This serialization is the root cause of the first bubble type in
+the paper's Figure 9 ("prefill launch time exceeds the execution time of a
+decode iteration"), so the simulator models the host explicitly as a single
+serial queue of timed launch operations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.sim import Simulator
+
+
+class HostThread:
+    """A single serial CPU thread issuing launches to the device.
+
+    ``enqueue(duration, action)`` models a host operation that occupies the
+    thread for ``duration`` seconds and then runs ``action`` (typically a
+    stream submission, which is instantaneous once launched).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "host") -> None:
+        self.sim = sim
+        self.name = name
+        self._queue: deque[tuple[float, Callable[[], None]]] = deque()
+        self._busy = False
+        self._busy_seconds = 0.0
+
+    @property
+    def busy(self) -> bool:
+        """True while a launch operation is in flight."""
+        return self._busy
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (not yet started) launch operations."""
+        return len(self._queue)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Cumulative host time spent launching."""
+        return self._busy_seconds
+
+    def enqueue(self, duration: float, action: Callable[[], None]) -> None:
+        """Queue a host operation of ``duration`` seconds ending in ``action``."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        self._queue.append((duration, action))
+        self._pump()
+
+    def _pump(self) -> None:
+        if self._busy or not self._queue:
+            return
+        duration, action = self._queue.popleft()
+        self._busy = True
+        self._busy_seconds += duration
+
+        def finish() -> None:
+            self._busy = False
+            action()
+            self._pump()
+
+        self.sim.schedule(duration, finish)

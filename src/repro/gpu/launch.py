@@ -1,0 +1,78 @@
+"""Launch-overhead model: raw kernels, CUDA graphs, piecewise layer graphs.
+
+The paper's bubble analysis (§3.2.2) rests on three host-side launch costs:
+
+* a decode iteration launched as a single captured CUDA graph: ~0.5 ms;
+* a full prefill phase launched kernel-by-kernel: tens of milliseconds
+  (batch size and input length vary too much to capture one graph);
+* piecewise per-layer CUDA graphs for prefill: ~10 ms total for Llama-70B,
+  i.e. ~0.125 ms per layer.
+
+CUDA graphs also cost GPU memory: the serving system records one graph per
+(decode batch size, partition configuration) pair, which is the ~6.2 %
+memory overhead reported in §4.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Host kernels issued per transformer layer (QKV, attention, out-proj,
+#: norms, FFN matmuls, activation, residual adds, ...).
+KERNELS_PER_LAYER = 18
+#: Extra kernels outside the layer stack (embedding, final norm, LM head).
+KERNELS_FIXED = 6
+
+
+@dataclass(frozen=True)
+class LaunchModel:
+    """Host launch costs for one model deployment.
+
+    Attributes:
+        kernel_launch_time: Host time per raw kernel launch (seconds).
+        layer_graph_launch_time: Host time to launch one per-layer piecewise
+            CUDA graph (seconds).
+        decode_graph_launch_time: Host time to launch a whole decode
+            iteration as a single captured graph (seconds).
+    """
+
+    kernel_launch_time: float = 8e-6
+    layer_graph_launch_time: float = 125e-6
+    decode_graph_launch_time: float = 0.45e-3
+
+    def full_prefill_launch(self, num_layers: int) -> float:
+        """Host time to launch a full prefill phase kernel-by-kernel."""
+        return (num_layers * KERNELS_PER_LAYER + KERNELS_FIXED) * self.kernel_launch_time
+
+    def layerwise_prefill_launch(self, num_layers: int) -> float:
+        """Host time to launch a prefill as per-layer piecewise graphs."""
+        return num_layers * self.layer_graph_launch_time
+
+    def prefill_layers_launch(self, count: int) -> float:
+        """Host time to launch ``count`` prefill layers as piecewise graphs."""
+        return count * self.layer_graph_launch_time
+
+    def decode_launch(self) -> float:
+        """Host time to launch one decode iteration (captured graph)."""
+        return self.decode_graph_launch_time
+
+
+@dataclass(frozen=True)
+class GraphMemoryModel:
+    """GPU memory consumed by captured CUDA graphs.
+
+    Each captured decode graph stores the kernel-launch parameters and
+    workspace for one batch size; with green contexts each partition
+    configuration needs its own capture (§4.5).
+    """
+
+    bytes_per_graph: float = 96 * 2**20  # ~96 MiB per captured decode batch
+    greenctx_pool_bytes: float = 4 * 2**20  # "only 4 MB" per context group
+
+    def decode_graphs_bytes(self, n_batch_sizes: int, n_partition_configs: int) -> float:
+        """Memory for decode graphs across all partition configurations."""
+        return self.bytes_per_graph * n_batch_sizes * n_partition_configs
+
+    def baseline_graphs_bytes(self, n_batch_sizes: int) -> float:
+        """Memory for decode graphs without multiplexing (one config)."""
+        return self.bytes_per_graph * n_batch_sizes

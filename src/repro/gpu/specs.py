@@ -1,0 +1,131 @@
+"""Hardware specifications for the simulated GPUs.
+
+Numbers come from public NVIDIA datasheets.  The reproduction does not try to
+match absolute silicon latencies — it needs the *ratios* that drive the
+paper's evaluation: compute-to-bandwidth ratio (prefill is compute-bound,
+decode memory-bound), SM counts (partition granularity), memory capacity
+(KV-cache pool sizing), and interconnect bandwidth (tensor-parallel
+all-reduce cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+GiB = 1024**3
+GB = 1000**3
+TFLOPS = 1e12
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU model.
+
+    Attributes:
+        name: Marketing name, e.g. ``"A100-80GB"``.
+        sms: Number of streaming multiprocessors.
+        peak_flops: Peak dense FP16/BF16 tensor-core throughput (FLOP/s).
+        mem_bandwidth: Peak HBM bandwidth (bytes/s).
+        mem_bytes: HBM capacity (bytes).
+        nvlink_bandwidth: Per-GPU NVLink bandwidth (bytes/s, one direction).
+        compute_efficiency: Achievable fraction of peak FLOPs for large GEMMs
+            (model-flop-utilisation ceiling observed in serving practice).
+        bandwidth_efficiency: Achievable fraction of peak HBM bandwidth.
+        kernel_launch_time: Host time to launch one raw kernel (seconds).
+        graph_launch_time: Host time to launch one captured CUDA graph.
+        greenctx_reconfig_time: Cost of re-binding a stream to a different SM
+            set (a stream synchronisation, order of microseconds).
+        sm_granularity: Smallest SM allocation unit (16 on Hopper due to
+            thread-block clusters; the paper uses 16 everywhere).
+        contention_kappa: Strength of cross-partition memory-system
+            interference (L2 pollution, DRAM row conflicts): a task loses up
+            to ``kappa * other_sm_fraction`` of its achieved bandwidth when
+            co-running.  Calibrated so peak decode slowdown is ~20 % on A100
+            and ~30 % on H100 (paper Fig. 11 / §3.3.2).
+    """
+
+    name: str
+    sms: int
+    peak_flops: float
+    mem_bandwidth: float
+    mem_bytes: float
+    nvlink_bandwidth: float
+    compute_efficiency: float = 0.55
+    bandwidth_efficiency: float = 0.85
+    kernel_launch_time: float = 8e-6
+    graph_launch_time: float = 130e-6
+    greenctx_reconfig_time: float = 5e-6
+    sm_granularity: int = 16
+    contention_kappa: float = 0.16
+
+    @property
+    def effective_flops(self) -> float:
+        """Peak FLOP/s discounted by achievable efficiency."""
+        return self.peak_flops * self.compute_efficiency
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Peak HBM bytes/s discounted by achievable efficiency."""
+        return self.mem_bandwidth * self.bandwidth_efficiency
+
+    def with_overrides(self, **kwargs) -> "GPUSpec":
+        """Return a copy with some fields replaced (for what-if studies)."""
+        return replace(self, **kwargs)
+
+
+#: NVIDIA A100-SXM4-80GB: 108 SMs, 312 TFLOPS BF16 dense, 2.04 TB/s HBM2e.
+A100 = GPUSpec(
+    name="A100-80GB",
+    sms=108,
+    peak_flops=312 * TFLOPS,
+    mem_bandwidth=2039 * GB,
+    mem_bytes=80 * GiB,
+    nvlink_bandwidth=300 * GB,
+)
+
+#: NVIDIA H100-SXM5-80GB: 132 SMs, 989 TFLOPS BF16 dense, 3.35 TB/s HBM3.
+H100 = GPUSpec(
+    name="H100-SXM5-80GB",
+    sms=132,
+    peak_flops=989 * TFLOPS,
+    mem_bandwidth=3350 * GB,
+    mem_bytes=80 * GiB,
+    nvlink_bandwidth=450 * GB,
+    contention_kappa=0.20,
+)
+
+#: NVIDIA H200-SXM5-141GB: H100 compute with 4.8 TB/s HBM3e and 141 GB.
+H200 = GPUSpec(
+    name="H200-SXM5-141GB",
+    sms=132,
+    peak_flops=989 * TFLOPS,
+    mem_bandwidth=4800 * GB,
+    mem_bytes=141 * GiB,
+    nvlink_bandwidth=450 * GB,
+    contention_kappa=0.20,
+)
+
+#: NVIDIA H200 NVL (artifact appendix testbed): 132 SMs, 140 GB.
+H200_NVL = GPUSpec(
+    name="H200-NVL-140GB",
+    sms=132,
+    peak_flops=835 * TFLOPS,
+    mem_bandwidth=4800 * GB,
+    mem_bytes=140 * GiB,
+    nvlink_bandwidth=300 * GB,
+    contention_kappa=0.20,
+)
+
+SPECS_BY_NAME = {spec.name: spec for spec in (A100, H100, H200, H200_NVL)}
+
+
+def decode_partition_options(spec: GPUSpec) -> list[int]:
+    """SM counts that may be reserved for the decode phase on one GPU.
+
+    The paper partitions at 16-SM granularity, "yielding 6 configurations for
+    A100 and 7 for H100": every multiple of 16 that still leaves at least half
+    a granule of SMs for the prefill partition (A100: 16..96 -> 6 options;
+    H100/H200: 16..112 -> 7 options).
+    """
+    step = spec.sm_granularity
+    return [n for n in range(step, spec.sms, step) if spec.sms - n >= step // 2]

@@ -1,0 +1,192 @@
+"""CUDA-stream and green-context abstractions on the simulated device.
+
+A :class:`Stream` executes submitted work items serially, like a CUDA stream.
+Binding a stream to an SM subset makes it a *green context* (the intra-process
+spatial-sharing primitive MuxWise builds on): work items run on exactly
+``sm_count`` SMs, and :meth:`Stream.resize` re-binds the stream to a different
+SM set at the cost of one stream synchronisation (microseconds), matching the
+paper's description of GreenContext reconfiguration.
+
+Work completion is exposed through :class:`OpHandle`, which behaves like a
+CUDA event: it can be queried (polled) without blocking, which is what
+MuxWise's query-based synchronisation (§3.2.3) does.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.gpu.device import Device, ExecTask
+
+
+@dataclass
+class Work:
+    """A work item described in resource terms (resolved to an ExecTask)."""
+
+    flops: float
+    bytes: float
+    fixed_time: float = 0.0
+    max_bandwidth: float = float("inf")
+    tag: str = ""
+
+
+class OpHandle:
+    """Completion handle for one submitted work item (CUDA-event-like)."""
+
+    def __init__(self, tag: str = "") -> None:
+        self.tag = tag
+        self.done = False
+        self.start_time: float | None = None
+        self.completion_time: float | None = None
+        self._callbacks: list[Callable[[float], None]] = []
+
+    def query(self) -> bool:
+        """Non-blocking completion check."""
+        return self.done
+
+    def on_complete(self, callback: Callable[[float], None]) -> None:
+        """Register a callback; fires immediately if already complete."""
+        if self.done:
+            callback(self.completion_time or 0.0)
+        else:
+            self._callbacks.append(callback)
+
+    def _mark_done(self, time: float) -> None:
+        self.done = True
+        self.completion_time = time
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(time)
+
+
+class Stream:
+    """A serial execution queue bound to an SM partition of a device."""
+
+    def __init__(self, device: Device, sm_count: int, name: str = "stream") -> None:
+        if not 0 < sm_count <= device.total_sms:
+            raise ValueError(f"sm_count {sm_count} out of range for {device.name}")
+        self.device = device
+        self.name = name
+        self._sm_count = sm_count
+        self._queue: deque[tuple[str, object, OpHandle]] = deque()
+        self._running: OpHandle | None = None
+        # Busy-time accounting for the bubble-ratio metric (§4.4.2).
+        self._busy_seconds = 0.0
+        self._window_start = device.sim.now
+        self._current_op_start: float | None = None
+
+    @property
+    def sm_count(self) -> int:
+        """SMs currently bound to this stream (its green-context size)."""
+        return self._sm_count
+
+    @property
+    def idle(self) -> bool:
+        """True when no work is running or queued."""
+        return self._running is None and not self._queue
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of queued (not yet running) work items."""
+        return len(self._queue)
+
+    def submit(self, work: Work) -> OpHandle:
+        """Enqueue a work item; runs after everything already queued."""
+        handle = OpHandle(tag=work.tag)
+        self._queue.append(("work", work, handle))
+        self._pump()
+        return handle
+
+    def resize(self, sm_count: int) -> OpHandle:
+        """Re-bind the stream to ``sm_count`` SMs (green-context resize).
+
+        Takes effect after currently queued work drains, and costs one
+        stream synchronisation (``spec.greenctx_reconfig_time``).
+        """
+        if not 0 < sm_count <= self.device.total_sms:
+            raise ValueError(f"sm_count {sm_count} out of range for {self.device.name}")
+        handle = OpHandle(tag="resize")
+        self._queue.append(("resize", sm_count, handle))
+        self._pump()
+        return handle
+
+    def barrier(self) -> OpHandle:
+        """Handle that completes once all previously submitted work is done."""
+        handle = OpHandle(tag="barrier")
+        if self.idle:
+            handle._mark_done(self.device.sim.now)
+        else:
+            self._queue.append(("barrier", None, handle))
+            self._pump()
+        return handle
+
+    # ------------------------------------------------------------------ #
+    # Bubble accounting
+    # ------------------------------------------------------------------ #
+
+    def reset_accounting(self) -> None:
+        """Restart the busy-time window used for the bubble ratio."""
+        self._busy_seconds = 0.0
+        self._window_start = self.device.sim.now
+        if self._current_op_start is not None:
+            self._current_op_start = self.device.sim.now
+
+    def bubble_ratio(self) -> float:
+        """Fraction of the window in which the stream ran no kernel."""
+        now = self.device.sim.now
+        span = now - self._window_start
+        if span <= 0:
+            return 0.0
+        busy = self._busy_seconds
+        if self._current_op_start is not None:
+            busy += now - self._current_op_start
+        return max(0.0, 1.0 - busy / span)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _pump(self) -> None:
+        if self._running is not None or not self._queue:
+            return
+        kind, payload, handle = self._queue.popleft()
+        now = self.device.sim.now
+        if kind == "barrier":
+            handle._mark_done(now)
+            self._pump()
+            return
+        self._running = handle
+        if kind == "resize":
+            new_sms: int = payload  # type: ignore[assignment]
+            delay = self.device.spec.greenctx_reconfig_time
+
+            def finish_resize() -> None:
+                self._sm_count = new_sms
+                self._op_done(handle)
+
+            self.device.sim.schedule(delay, finish_resize)
+            return
+        work: Work = payload  # type: ignore[assignment]
+        handle.start_time = now
+        self._current_op_start = now
+        task = ExecTask(
+            flops=work.flops,
+            bytes=work.bytes,
+            sm_count=self._sm_count,
+            fixed_time=work.fixed_time,
+            max_bandwidth=work.max_bandwidth,
+            tag=work.tag or self.name,
+            on_complete=lambda _t, h=handle: self._op_done(h),
+        )
+        self.device.submit(task)
+
+    def _op_done(self, handle: OpHandle) -> None:
+        now = self.device.sim.now
+        if self._current_op_start is not None:
+            self._busy_seconds += now - self._current_op_start
+            self._current_op_start = None
+        self._running = None
+        handle._mark_done(now)
+        self._pump()

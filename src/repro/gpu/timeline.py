@@ -1,0 +1,151 @@
+"""Execution timeline tracing (Nsight-Systems-like span capture).
+
+The paper quantifies bubbles by profiling CUDA streams with Nsight and
+measuring unoccupied intervals (§4.4.2).  :class:`Timeline` provides the
+same capability for the simulator: streams report kernel spans, and the
+analysis computes per-stream busy time, bubble intervals and a renderable
+span list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Span:
+    """One executed kernel/work item on a stream."""
+
+    stream: str
+    tag: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("span ends before it starts")
+
+
+@dataclass
+class Timeline:
+    """Collects spans and computes bubble statistics per stream."""
+
+    spans: list[Span] = field(default_factory=list)
+
+    def record(self, stream: str, tag: str, start: float, end: float) -> None:
+        """Append one span."""
+        self.spans.append(Span(stream=stream, tag=tag, start=start, end=end))
+
+    def streams(self) -> list[str]:
+        """Stream names seen, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.stream, None)
+        return list(seen)
+
+    def stream_spans(self, stream: str) -> list[Span]:
+        """Spans of one stream, sorted by start time."""
+        return sorted((s for s in self.spans if s.stream == stream), key=lambda s: s.start)
+
+    def busy_time(self, stream: str) -> float:
+        """Total occupied time of a stream (overlaps merged)."""
+        merged = self._merged(stream)
+        return sum(end - start for start, end in merged)
+
+    def bubbles(self, stream: str, window_start: float, window_end: float) -> list[tuple[float, float]]:
+        """Unoccupied intervals of a stream within a window (Nsight's
+        definition of a bubble: no kernel on the stream)."""
+        if window_end < window_start:
+            raise ValueError("window ends before it starts")
+        merged = [
+            (max(start, window_start), min(end, window_end))
+            for start, end in self._merged(stream)
+            if end > window_start and start < window_end
+        ]
+        gaps = []
+        cursor = window_start
+        for start, end in merged:
+            if start > cursor:
+                gaps.append((cursor, start))
+            cursor = max(cursor, end)
+        if cursor < window_end:
+            gaps.append((cursor, window_end))
+        return gaps
+
+    def bubble_ratio(self, stream: str, window_start: float, window_end: float) -> float:
+        """Fraction of the window the stream sat idle."""
+        span = window_end - window_start
+        if span <= 0:
+            return 0.0
+        idle = sum(end - start for start, end in self.bubbles(stream, window_start, window_end))
+        return idle / span
+
+    def mean_bubble_ratio(self, window_start: float, window_end: float) -> float:
+        """Average bubble ratio across all streams (the paper's §4.4.2
+        metric for MuxWise's two concurrent streams)."""
+        names = self.streams()
+        if not names:
+            return 0.0
+        ratios = [self.bubble_ratio(name, window_start, window_end) for name in names]
+        return sum(ratios) / len(ratios)
+
+    def render(self, width: int = 72) -> str:
+        """ASCII swim-lane view of the captured spans."""
+        if not self.spans:
+            return "(empty timeline)"
+        start = min(s.start for s in self.spans)
+        end = max(s.end for s in self.spans)
+        scale = (end - start) or 1.0
+        lines = []
+        for stream in self.streams():
+            lane = [" "] * width
+            for span in self.stream_spans(stream):
+                a = int((span.start - start) / scale * (width - 1))
+                b = max(a, int((span.end - start) / scale * (width - 1)))
+                for i in range(a, b + 1):
+                    lane[i] = "#" if lane[i] == " " else "+"
+            lines.append(f"{stream:<14} |{''.join(lane)}|")
+        lines.append(f"{'':<14}  {start:.3f}s{'':>{max(1, width - 18)}}{end:.3f}s")
+        return "\n".join(lines)
+
+    def _merged(self, stream: str) -> list[tuple[float, float]]:
+        intervals = [(s.start, s.end) for s in self.stream_spans(stream)]
+        merged: list[tuple[float, float]] = []
+        for start, end in intervals:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        return merged
+
+
+def attach_timeline(*streams) -> Timeline:
+    """Wire a :class:`Timeline` into existing streams.
+
+    Wraps each stream's ``_op_done`` bookkeeping by polling its handles:
+    the simpler, supported integration is to pass ``timeline.record``
+    explicitly, so this helper instead subscribes to completions by
+    monkey-free delegation — each stream gets a ``timeline`` attribute and
+    its submitted handles are tracked via ``on_complete``.
+    """
+    timeline = Timeline()
+    for stream in streams:
+        stream.timeline = timeline
+        original_submit = stream.submit
+
+        def traced_submit(work, _stream=stream, _orig=original_submit):
+            handle = _orig(work)
+
+            def log(end_time: float, handle=handle, _stream=_stream):
+                start = handle.start_time if handle.start_time is not None else end_time
+                timeline.record(_stream.name, handle.tag, start, end_time)
+
+            handle.on_complete(log)
+            return handle
+
+        stream.submit = traced_submit
+    return timeline

@@ -1,0 +1,14 @@
+"""KV-cache substrate: paged pool and radix-tree prefix cache."""
+
+from repro.kvcache.pool import KVCachePool, PoolExhaustedError
+from repro.kvcache.radix import CacheStats, Lease, RadixCache, Segment, new_segment
+
+__all__ = [
+    "CacheStats",
+    "KVCachePool",
+    "Lease",
+    "PoolExhaustedError",
+    "RadixCache",
+    "Segment",
+    "new_segment",
+]

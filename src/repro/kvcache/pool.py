@@ -1,0 +1,102 @@
+"""Paged KV-cache memory pool (PagedAttention-style).
+
+The pool tracks token-granular KV storage in fixed-size pages, the way
+vLLM/SGLang manage GPU memory.  Serving systems size one pool per serving
+instance: aggregated systems get one big pool; disaggregated systems get one
+per instance — the capacity halving that causes the paper's Fig. 5 hit-rate
+cliff.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class PoolExhaustedError(RuntimeError):
+    """Raised when an allocation cannot be satisfied even after eviction."""
+
+
+class KVCachePool:
+    """Token-granular paged allocator for KV cache.
+
+    Args:
+        capacity_bytes: HBM bytes dedicated to KV cache.
+        kv_bytes_per_token: Per-token KV footprint of the served model
+            (across all layers).
+        page_tokens: Tokens per page; allocations round up to whole pages.
+    """
+
+    def __init__(self, capacity_bytes: float, kv_bytes_per_token: float, page_tokens: int = 16) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+        if kv_bytes_per_token <= 0:
+            raise ValueError("kv_bytes_per_token must be positive")
+        if page_tokens < 1:
+            raise ValueError("page_tokens must be >= 1")
+        self.kv_bytes_per_token = kv_bytes_per_token
+        self.page_tokens = page_tokens
+        self.capacity_pages = int(capacity_bytes // (kv_bytes_per_token * page_tokens))
+        self._used_pages = 0
+
+    # ------------------------------------------------------------------ #
+    # Capacity
+    # ------------------------------------------------------------------ #
+
+    @property
+    def capacity_tokens(self) -> int:
+        """Maximum tokens the pool can hold."""
+        return self.capacity_pages * self.page_tokens
+
+    @property
+    def used_pages(self) -> int:
+        """Pages currently allocated."""
+        return self._used_pages
+
+    @property
+    def free_pages(self) -> int:
+        """Pages currently free."""
+        return self.capacity_pages - self._used_pages
+
+    @property
+    def free_tokens(self) -> int:
+        """Token capacity currently free."""
+        return self.free_pages * self.page_tokens
+
+    def pages_for(self, tokens: int) -> int:
+        """Pages needed to store ``tokens`` tokens."""
+        return math.ceil(tokens / self.page_tokens)
+
+    def can_allocate(self, tokens: int) -> bool:
+        """True when ``tokens`` tokens fit in the free space."""
+        return self.pages_for(tokens) <= self.free_pages
+
+    # ------------------------------------------------------------------ #
+    # Allocation
+    # ------------------------------------------------------------------ #
+
+    def allocate(self, tokens: int) -> int:
+        """Reserve pages for ``tokens`` tokens; returns pages reserved."""
+        if tokens < 0:
+            raise ValueError("tokens must be non-negative")
+        pages = self.pages_for(tokens)
+        if pages > self.free_pages:
+            raise PoolExhaustedError(
+                f"need {pages} pages, only {self.free_pages} free "
+                f"of {self.capacity_pages}"
+            )
+        self._used_pages += pages
+        return pages
+
+    def release_pages(self, pages: int) -> None:
+        """Return ``pages`` previously allocated pages to the free list."""
+        if pages < 0:
+            raise ValueError("pages must be non-negative")
+        if pages > self._used_pages:
+            raise ValueError("releasing more pages than allocated")
+        self._used_pages -= pages
+
+    def utilization(self) -> float:
+        """Fraction of pool capacity in use."""
+        if self.capacity_pages == 0:
+            return 0.0
+        return self._used_pages / self.capacity_pages

@@ -1,0 +1,293 @@
+"""Radix-tree prefix cache over the paged KV pool (SGLang-style).
+
+Contexts are sequences of :class:`Segment` objects — a segment is a
+contiguous run of tokens with a stable identity (a user message, a model
+reply, a shared system prompt).  Multi-turn sessions grow linear chains of
+segments; workloads with a shared system prompt branch below a common node.
+
+The cache supports:
+
+* ``match`` / ``acquire`` — longest-prefix lookup, pinning matched nodes
+  against eviction (the reused context of the paper's Table 1);
+* ``insert`` — append newly computed segments, allocating pool pages;
+* ``extend`` — grow the tail segment as decode generates tokens;
+* LRU eviction of unpinned subtrees when the pool runs out of pages.
+
+Hit statistics feed the paper's Fig. 5 (hit rate vs. pool capacity).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.kvcache.pool import KVCachePool, PoolExhaustedError
+
+_segment_uids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A contiguous, identity-carrying run of context tokens."""
+
+    uid: int
+    tokens: int
+
+    def __post_init__(self) -> None:
+        if self.tokens < 0:
+            raise ValueError("segment token count must be non-negative")
+
+
+def new_segment(tokens: int) -> Segment:
+    """Create a segment with a fresh globally unique identity."""
+    return Segment(uid=next(_segment_uids), tokens=tokens)
+
+
+class _Node:
+    """One cached segment in the radix tree."""
+
+    __slots__ = ("segment_uid", "tokens", "pages", "parent", "children", "ref_count", "last_access")
+
+    def __init__(self, segment_uid: int, tokens: int, pages: int, parent: "_Node | None") -> None:
+        self.segment_uid = segment_uid
+        self.tokens = tokens
+        self.pages = pages
+        self.parent = parent
+        self.children: dict[int, _Node] = {}
+        self.ref_count = 0
+        self.last_access = 0.0
+
+
+class Lease:
+    """A pinned path in the radix tree held by one in-flight request.
+
+    While a lease holds nodes, they cannot be evicted.  The lease also owns
+    the request's growing output segment.
+    """
+
+    def __init__(self, cache: "RadixCache", nodes: list[_Node]) -> None:
+        self._cache = cache
+        self._nodes = nodes
+        self.released = False
+
+    @property
+    def cached_tokens(self) -> int:
+        """Tokens covered by the pinned path (the reused context length)."""
+        return sum(node.tokens for node in self._nodes)
+
+    @property
+    def depth(self) -> int:
+        """Number of pinned segments."""
+        return len(self._nodes)
+
+
+@dataclass
+class CacheStats:
+    """Aggregate hit statistics for Fig. 5."""
+
+    lookups: int = 0
+    tokens_requested: int = 0
+    tokens_hit: int = 0
+    evicted_tokens: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Token-weighted cache hit rate."""
+        if self.tokens_requested == 0:
+            return 0.0
+        return self.tokens_hit / self.tokens_requested
+
+
+class RadixCache:
+    """Prefix cache mapping segment paths onto pooled KV pages."""
+
+    def __init__(self, pool: KVCachePool, enable_prefix_sharing: bool = True) -> None:
+        self.pool = pool
+        self.enable_prefix_sharing = enable_prefix_sharing
+        self._root = _Node(segment_uid=-1, tokens=0, pages=0, parent=None)
+        self._clock = 0.0
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def touch(self, time: float) -> None:
+        """Advance the LRU clock (call with the simulation time)."""
+        self._clock = max(self._clock, time)
+
+    def match(self, segments: list[Segment]) -> int:
+        """Tokens of ``segments`` covered by the cached prefix (no pinning)."""
+        if not self.enable_prefix_sharing:
+            return 0
+        node = self._root
+        covered = 0
+        for segment in segments:
+            child = node.children.get(segment.uid)
+            if child is None:
+                break
+            covered += child.tokens
+            node = child
+        return covered
+
+    def acquire(self, segments: list[Segment]) -> Lease:
+        """Pin the longest cached prefix of ``segments`` and record stats."""
+        requested = sum(s.tokens for s in segments)
+        nodes: list[_Node] = []
+        if self.enable_prefix_sharing:
+            node = self._root
+            for segment in segments:
+                child = node.children.get(segment.uid)
+                if child is None:
+                    break
+                nodes.append(child)
+                node = child
+        for node in nodes:
+            node.ref_count += 1
+            node.last_access = self._clock
+        lease = Lease(self, nodes)
+        self.stats.lookups += 1
+        self.stats.tokens_requested += requested
+        self.stats.tokens_hit += lease.cached_tokens
+        return lease
+
+    # ------------------------------------------------------------------ #
+    # Growth
+    # ------------------------------------------------------------------ #
+
+    def insert(self, lease: Lease, segments: list[Segment]) -> None:
+        """Append ``segments`` below the lease's pinned path.
+
+        Allocates pool pages for every token, evicting LRU subtrees when
+        necessary; raises :class:`PoolExhaustedError` if pinned data leaves
+        no room.
+        """
+        if lease.released:
+            raise ValueError("lease already released")
+        parent = lease._nodes[-1] if lease._nodes else self._root
+        for segment in segments:
+            existing = parent.children.get(segment.uid)
+            if existing is not None:
+                existing.ref_count += 1
+                existing.last_access = self._clock
+                lease._nodes.append(existing)
+                parent = existing
+                continue
+            pages = self.pool.pages_for(segment.tokens)
+            self._ensure_free_pages(pages)
+            self.pool.allocate(segment.tokens)
+            node = _Node(segment.uid, segment.tokens, pages, parent)
+            node.ref_count = 1
+            node.last_access = self._clock
+            parent.children[segment.uid] = node
+            lease._nodes.append(node)
+            parent = node
+
+    def extend(self, lease: Lease, tokens: int) -> None:
+        """Grow the lease's tail segment by ``tokens`` decode outputs."""
+        if lease.released:
+            raise ValueError("lease already released")
+        if not lease._nodes:
+            raise ValueError("cannot extend an empty lease; insert first")
+        if tokens < 0:
+            raise ValueError("tokens must be non-negative")
+        tail = lease._nodes[-1]
+        new_total = tail.tokens + tokens
+        extra_pages = self.pool.pages_for(new_total) - tail.pages
+        if extra_pages > 0:
+            self._ensure_free_pages(extra_pages)
+            self.pool.allocate(extra_pages * self.pool.page_tokens)
+            tail.pages += extra_pages
+        tail.tokens = new_total
+        tail.last_access = self._clock
+
+    def release(self, lease: Lease, keep_cached: bool = True) -> None:
+        """Unpin the lease's path.
+
+        With ``keep_cached=False`` (LoongServe-style, no cross-request
+        reuse) the unpinned tail segments are freed immediately.
+        """
+        if lease.released:
+            return
+        lease.released = True
+        for node in lease._nodes:
+            node.ref_count -= 1
+            node.last_access = self._clock
+        if not keep_cached:
+            for node in reversed(lease._nodes):
+                if node.ref_count == 0 and not node.children:
+                    self._drop(node)
+
+    # ------------------------------------------------------------------ #
+    # Eviction
+    # ------------------------------------------------------------------ #
+
+    def evictable_pages(self) -> int:
+        """Pages reclaimable by eviction (whole subtrees with no pins)."""
+        return self._evictable_leaf_pages()
+
+    def can_fit(self, tokens: int) -> bool:
+        """True if ``tokens`` can be stored, evicting unpinned data if needed."""
+        needed = self.pool.pages_for(tokens)
+        return needed <= self.pool.free_pages + self._evictable_leaf_pages()
+
+    def _ensure_free_pages(self, pages: int) -> None:
+        while self.pool.free_pages < pages:
+            victim = self._pick_victim()
+            if victim is None:
+                raise PoolExhaustedError(
+                    f"need {pages} pages, {self.pool.free_pages} free and "
+                    "nothing evictable"
+                )
+            self._drop(victim)
+            self.stats.evictions += 1
+            self.stats.evicted_tokens += victim.tokens
+
+    def _pick_victim(self) -> _Node | None:
+        best: _Node | None = None
+        for node in self._iter_nodes():
+            if node.ref_count > 0 or node.children:
+                continue
+            if best is None or node.last_access < best.last_access:
+                best = node
+        return best
+
+    def _drop(self, node: _Node) -> None:
+        if node.parent is not None:
+            node.parent.children.pop(node.segment_uid, None)
+        self.pool.release_pages(node.pages)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def cached_tokens(self) -> int:
+        """Total tokens resident in the cache (pinned and unpinned)."""
+        return sum(node.tokens for node in self._iter_nodes())
+
+    def _iter_nodes(self):
+        stack = list(self._root.children.values())
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def _evictable_leaf_pages(self) -> int:
+        """Pages in subtrees containing no pinned node (freeable leaf-first)."""
+        total = 0
+
+        def walk(node: _Node) -> bool:
+            nonlocal total
+            fully_unpinned = node.ref_count == 0
+            subtree_pages = node.pages
+            for child in node.children.values():
+                child_unpinned = walk(child)
+                fully_unpinned = fully_unpinned and child_unpinned
+            if fully_unpinned:
+                total += subtree_pages
+            return fully_unpinned
+
+        for child in self._root.children.values():
+            walk(child)
+        return total

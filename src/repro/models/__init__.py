@@ -1,0 +1,35 @@
+"""LLM architecture descriptions and the analytical phase cost model."""
+
+from repro.models.config import (
+    CODELLAMA_34B,
+    LLAMA_8B,
+    LLAMA_70B,
+    MODELS_BY_NAME,
+    QWEN3_235B,
+    ModelConfig,
+)
+from repro.models.costs import (
+    ATTENTION_EFFICIENCY,
+    FLASH_QUERY_BLOCK,
+    SAT_TOKENS_PER_GPU,
+    CostModel,
+    PhaseCost,
+    PrefillItem,
+    phase_latency,
+)
+
+__all__ = [
+    "ATTENTION_EFFICIENCY",
+    "CODELLAMA_34B",
+    "CostModel",
+    "FLASH_QUERY_BLOCK",
+    "LLAMA_70B",
+    "LLAMA_8B",
+    "MODELS_BY_NAME",
+    "ModelConfig",
+    "PhaseCost",
+    "PrefillItem",
+    "QWEN3_235B",
+    "SAT_TOKENS_PER_GPU",
+    "phase_latency",
+]

@@ -1,0 +1,188 @@
+"""Transformer architecture descriptions for the evaluated models.
+
+The paper evaluates Llama-3-8B, Llama-3-70B, a Qwen3-235B-A22B MoE, and (in
+the artifact appendix) CodeLlama-34B.  Only the architectural parameters that
+drive serving cost matter here: layer count, hidden sizes, grouped-query
+attention head counts, FFN width (per-expert width and expert counts for
+MoE), vocabulary, and dtype width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture of one served LLM.
+
+    Attributes:
+        name: Human-readable identifier.
+        num_layers: Transformer layer count.
+        hidden_dim: Model (residual stream) width ``d``.
+        num_heads: Query attention heads.
+        num_kv_heads: Key/value heads (grouped-query attention).
+        head_dim: Per-head dimension.
+        ffn_dim: FFN intermediate width (per expert for MoE).
+        vocab_size: Vocabulary size (embedding + LM head).
+        num_experts: Total experts per MoE layer; 0 for dense models.
+        active_experts: Experts routed per token (MoE only).
+        dtype_bytes: Bytes per weight/activation element (2 for FP16/BF16).
+        max_context: Maximum supported context window in tokens.
+    """
+
+    name: str
+    num_layers: int
+    hidden_dim: int
+    num_heads: int
+    num_kv_heads: int
+    head_dim: int
+    ffn_dim: int
+    vocab_size: int
+    num_experts: int = 0
+    active_experts: int = 0
+    dtype_bytes: int = 2
+    max_context: int = 131072
+
+    def __post_init__(self) -> None:
+        if self.num_heads % max(self.num_kv_heads, 1) != 0:
+            raise ValueError("num_heads must be a multiple of num_kv_heads")
+        if self.num_experts and not self.active_experts:
+            raise ValueError("MoE models must set active_experts")
+
+    # ------------------------------------------------------------------ #
+    # Derived sizes
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_moe(self) -> bool:
+        """True for mixture-of-experts models."""
+        return self.num_experts > 0
+
+    @property
+    def q_dim(self) -> int:
+        """Total query projection width (num_heads * head_dim)."""
+        return self.num_heads * self.head_dim
+
+    @property
+    def kv_dim(self) -> int:
+        """Total key (= value) projection width."""
+        return self.num_kv_heads * self.head_dim
+
+    @property
+    def attn_params_per_layer(self) -> int:
+        """Attention weights per layer: Q, K, V and output projections."""
+        d = self.hidden_dim
+        return d * self.q_dim + 2 * d * self.kv_dim + self.q_dim * d
+
+    @property
+    def expert_params(self) -> int:
+        """Parameters of one FFN expert (gate, up, down projections)."""
+        return 3 * self.hidden_dim * self.ffn_dim
+
+    @property
+    def ffn_params_per_layer(self) -> int:
+        """Total FFN parameters per layer (all experts for MoE)."""
+        experts = self.num_experts if self.is_moe else 1
+        router = self.hidden_dim * self.num_experts if self.is_moe else 0
+        return experts * self.expert_params + router
+
+    @property
+    def active_ffn_params_per_layer(self) -> int:
+        """FFN parameters touched by one token (routed experts for MoE)."""
+        experts = self.active_experts if self.is_moe else 1
+        router = self.hidden_dim * self.num_experts if self.is_moe else 0
+        return experts * self.expert_params + router
+
+    @property
+    def layer_params(self) -> int:
+        """Total parameters of one transformer layer."""
+        return self.attn_params_per_layer + self.ffn_params_per_layer
+
+    @property
+    def active_layer_params(self) -> int:
+        """Parameters one token activates in one layer."""
+        return self.attn_params_per_layer + self.active_ffn_params_per_layer
+
+    @property
+    def total_params(self) -> int:
+        """Total model parameters, including embedding and LM head."""
+        embeddings = 2 * self.vocab_size * self.hidden_dim
+        return self.num_layers * self.layer_params + embeddings
+
+    @property
+    def active_params(self) -> int:
+        """Parameters activated per token (== total for dense models)."""
+        embeddings = 2 * self.vocab_size * self.hidden_dim
+        return self.num_layers * self.active_layer_params + embeddings
+
+    @property
+    def weight_bytes(self) -> int:
+        """Bytes of GPU memory occupied by the weights."""
+        return self.total_params * self.dtype_bytes
+
+    @property
+    def kv_bytes_per_token_layer(self) -> int:
+        """KV-cache bytes one token adds in one layer (K and V)."""
+        return 2 * self.kv_dim * self.dtype_bytes
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        """KV-cache bytes one token adds across all layers."""
+        return self.num_layers * self.kv_bytes_per_token_layer
+
+
+#: Llama-3-8B: 32 layers, d=4096, 32/8 GQA heads, FFN 14336.
+LLAMA_8B = ModelConfig(
+    name="Llama-8B",
+    num_layers=32,
+    hidden_dim=4096,
+    num_heads=32,
+    num_kv_heads=8,
+    head_dim=128,
+    ffn_dim=14336,
+    vocab_size=128256,
+)
+
+#: Llama-3-70B: 80 layers, d=8192, 64/8 GQA heads, FFN 28672.
+LLAMA_70B = ModelConfig(
+    name="Llama-70B",
+    num_layers=80,
+    hidden_dim=8192,
+    num_heads=64,
+    num_kv_heads=8,
+    head_dim=128,
+    ffn_dim=28672,
+    vocab_size=128256,
+)
+
+#: Qwen3-235B-A22B: 94 layers, 128 experts with 8 active (~22B activated).
+QWEN3_235B = ModelConfig(
+    name="Qwen3-235B-A22B",
+    num_layers=94,
+    hidden_dim=4096,
+    num_heads=64,
+    num_kv_heads=4,
+    head_dim=128,
+    ffn_dim=1536,
+    vocab_size=151936,
+    num_experts=128,
+    active_experts=8,
+)
+
+#: CodeLlama-34B (artifact appendix testbed model).
+CODELLAMA_34B = ModelConfig(
+    name="CodeLlama-34B",
+    num_layers=48,
+    hidden_dim=8192,
+    num_heads=64,
+    num_kv_heads=8,
+    head_dim=128,
+    ffn_dim=22016,
+    vocab_size=32016,
+    max_context=16384,
+)
+
+MODELS_BY_NAME = {
+    model.name: model for model in (LLAMA_8B, LLAMA_70B, QWEN3_235B, CODELLAMA_34B)
+}

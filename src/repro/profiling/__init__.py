@@ -1,0 +1,35 @@
+"""Offline profiling: solo-run grids and pairwise contention sampling."""
+
+from repro.profiling.contention import (
+    GUARD_BATCH_SIZES,
+    GUARD_TOKEN_LEVELS,
+    ContentionSample,
+    build_guard,
+    measure_corun,
+    profile_contention,
+)
+from repro.profiling.solo import (
+    DECODE_BATCH_GRID,
+    DECODE_CONTEXT_GRID,
+    PREFILL_NEW_GRID,
+    PREFILL_REUSED_GRID,
+    measure_solo,
+    profile_decode,
+    profile_prefill,
+)
+
+__all__ = [
+    "ContentionSample",
+    "DECODE_BATCH_GRID",
+    "DECODE_CONTEXT_GRID",
+    "GUARD_BATCH_SIZES",
+    "GUARD_TOKEN_LEVELS",
+    "PREFILL_NEW_GRID",
+    "PREFILL_REUSED_GRID",
+    "build_guard",
+    "measure_corun",
+    "measure_solo",
+    "profile_contention",
+    "profile_decode",
+    "profile_prefill",
+]

@@ -1,0 +1,145 @@
+"""Pairwise contention profiling (§3.3.1-3.3.2, Fig. 11).
+
+Co-runs a prefill batch and a decode iteration on disjoint SM partitions of
+a scratch device and measures the decode slowdown versus its solo run.  The
+coarse powers-of-4 grid seeds the contention guard ("~7K samples within 12
+hours" in the paper; seconds here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.estimator import ContentionGuard
+from repro.gpu.device import Device, ExecTask
+from repro.gpu.specs import decode_partition_options
+from repro.models.costs import CostModel, PrefillItem, phase_latency
+from repro.serving.config import ServingConfig
+from repro.sim import Simulator
+
+#: Powers-of-4 token levels, 2K..128K (§3.3.2).
+GUARD_TOKEN_LEVELS = (2048, 8192, 32768, 131072)
+#: Decode batch sizes used when seeding the guard (subset for speed; the
+#: full list mirrors BATCH_SIZE_BUCKETS).
+GUARD_BATCH_SIZES = (1, 4, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class ContentionSample:
+    """One pairwise co-run measurement."""
+
+    prefill_new: int
+    prefill_reused: int
+    decode_batch: int
+    decode_tokens: int
+    decode_sms: int
+    solo_latency: float
+    corun_latency: float
+
+    @property
+    def slowdown(self) -> float:
+        """Decode slowdown under contention (>= 1 up to measurement noise)."""
+        return self.corun_latency / self.solo_latency
+
+
+def measure_corun(
+    cfg: ServingConfig,
+    prefill_new: int,
+    prefill_reused: int,
+    decode_batch: int,
+    decode_context: int,
+    decode_sms: int,
+) -> ContentionSample:
+    """Co-run one (prefill, decode) pair on disjoint partitions."""
+    cost_model = CostModel(cfg.model, cfg.n_gpus, cfg.spec.nvlink_bandwidth)
+    prefill_cost = cost_model.prefill_full([PrefillItem(new=prefill_new, reused=prefill_reused)])
+    context_lens = [decode_context] * decode_batch
+    decode_cost = cost_model.decode_iter(context_lens)
+
+    sim = Simulator()
+    device = Device(sim, cfg.spec, cfg.n_gpus)
+    solo = phase_latency(decode_cost, device, decode_sms)
+
+    prefill_sms = device.total_sms - decode_sms
+    done: dict[str, float] = {}
+    device.submit(
+        ExecTask(
+            flops=prefill_cost.flops,
+            bytes=prefill_cost.bytes,
+            sm_count=prefill_sms,
+            fixed_time=prefill_cost.comm_time,
+            tag="prefill",
+        )
+    )
+    device.submit(
+        ExecTask(
+            flops=decode_cost.flops,
+            bytes=decode_cost.bytes,
+            sm_count=decode_sms,
+            fixed_time=decode_cost.comm_time,
+            tag="decode",
+            on_complete=lambda t: done.setdefault("end", t),
+        )
+    )
+    sim.run(max_events=100_000)
+    corun = done.get("end", solo)
+    return ContentionSample(
+        prefill_new=prefill_new,
+        prefill_reused=prefill_reused,
+        decode_batch=decode_batch,
+        decode_tokens=decode_batch * decode_context,
+        decode_sms=decode_sms,
+        solo_latency=solo,
+        corun_latency=max(corun, solo),
+    )
+
+
+def profile_contention(
+    cfg: ServingConfig,
+    sm_configs: list[int] | None = None,
+    token_levels: tuple[int, ...] = GUARD_TOKEN_LEVELS,
+    batch_sizes: tuple[int, ...] = GUARD_BATCH_SIZES,
+) -> list[ContentionSample]:
+    """Grid-sample co-run slowdowns (the paper's offline guard profiling).
+
+    Excludes the (128K new, 128K reused) prefill corner — beyond the context
+    window of mainstream LLMs, exactly as the paper does.
+    """
+    if sm_configs is None:
+        sm_configs = decode_partition_options(cfg.spec)
+    max_level = max(token_levels)
+    samples: list[ContentionSample] = []
+    for decode_sms in sm_configs:
+        for prefill_new in token_levels:
+            for prefill_reused in (0, *token_levels):
+                if prefill_new == max_level and prefill_reused == max_level:
+                    continue
+                for batch_size in batch_sizes:
+                    for context in token_levels:
+                        per_request = max(1, context // batch_size)
+                        samples.append(
+                            measure_corun(
+                                cfg,
+                                prefill_new,
+                                prefill_reused,
+                                batch_size,
+                                per_request,
+                                decode_sms,
+                            )
+                        )
+    return samples
+
+
+def build_guard(samples: list[ContentionSample], default: float = 1.30) -> ContentionGuard:
+    """Seed a contention guard with the max slowdown per grid cell."""
+    guard = ContentionGuard(default=default)
+    for sample in samples:
+        key = guard.key(
+            sample.prefill_new,
+            sample.prefill_reused,
+            sample.decode_batch,
+            sample.decode_tokens,
+            sample.decode_sms,
+        )
+        guard.update(key, sample.slowdown)
+    return guard

@@ -1,0 +1,104 @@
+"""Offline solo-run profiling (§3.3.2, "a few hours, one-time per pair").
+
+Runs prefill phases and decode iterations alone on a scratch simulated
+device across a grid of (new tokens, reused tokens, batch size, partition
+configuration) and records latencies.  The samples train the solo-run
+predictor's least-squares models.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.device import Device, ExecTask
+from repro.gpu.specs import decode_partition_options
+from repro.models.costs import CostModel, PhaseCost, PrefillItem
+from repro.serving.config import ServingConfig
+from repro.core.estimator import DecodeSample, PrefillSample
+from repro.sim import Simulator
+
+#: Default profiling grids: log-spaced token counts covering Table 1's span.
+PREFILL_NEW_GRID = (128, 512, 2048, 8192, 32768, 131072)
+PREFILL_REUSED_GRID = (0, 2048, 8192, 32768, 131072)
+DECODE_BATCH_GRID = (1, 4, 8, 16, 32, 64, 128, 256)
+DECODE_CONTEXT_GRID = (256, 1024, 4096, 16384, 65536)
+
+
+def measure_solo(
+    sim: Simulator, device: Device, cost: PhaseCost, sm_count: int
+) -> float:
+    """Execute ``cost`` alone on ``sm_count`` SMs and return its latency."""
+    start = sim.now
+    result: dict[str, float] = {}
+    task = ExecTask(
+        flops=cost.flops,
+        bytes=cost.bytes,
+        sm_count=sm_count,
+        fixed_time=cost.comm_time,
+        tag="profile",
+        on_complete=lambda t: result.__setitem__("end", t),
+    )
+    device.submit(task)
+    sim.run()
+    return result["end"] - start
+
+
+def profile_prefill(
+    cfg: ServingConfig,
+    sm_configs: list[int] | None = None,
+    new_grid: tuple[int, ...] = PREFILL_NEW_GRID,
+    reused_grid: tuple[int, ...] = PREFILL_REUSED_GRID,
+) -> list[PrefillSample]:
+    """Solo-run prefill latencies over the profiling grid."""
+    if sm_configs is None:
+        sm_configs = _prefill_configs(cfg)
+    cost_model = CostModel(cfg.model, cfg.n_gpus, cfg.spec.nvlink_bandwidth)
+    samples: list[PrefillSample] = []
+    max_context = cfg.model.max_context
+    for sm_count in sm_configs:
+        for new in new_grid:
+            for reused in reused_grid:
+                if new + reused > max_context:
+                    continue
+                items = [PrefillItem(new=new, reused=reused)]
+                cost = cost_model.prefill_full(items)
+                sim = Simulator()
+                device = Device(sim, cfg.spec, cfg.n_gpus)
+                latency = measure_solo(sim, device, cost, sm_count)
+                samples.append(PrefillSample(items=items, sm_count=sm_count, latency=latency))
+    return samples
+
+
+def profile_decode(
+    cfg: ServingConfig,
+    sm_configs: list[int] | None = None,
+    batch_grid: tuple[int, ...] = DECODE_BATCH_GRID,
+    context_grid: tuple[int, ...] = DECODE_CONTEXT_GRID,
+) -> list[DecodeSample]:
+    """Solo-run decode-iteration latencies over the profiling grid."""
+    if sm_configs is None:
+        sm_configs = decode_partition_options(cfg.spec)
+    cost_model = CostModel(cfg.model, cfg.n_gpus, cfg.spec.nvlink_bandwidth)
+    samples: list[DecodeSample] = []
+    for sm_count in sm_configs:
+        for batch_size in batch_grid:
+            for context in context_grid:
+                context_lens = [context] * batch_size
+                cost = cost_model.decode_iter(context_lens)
+                sim = Simulator()
+                device = Device(sim, cfg.spec, cfg.n_gpus)
+                latency = measure_solo(sim, device, cost, sm_count)
+                samples.append(
+                    DecodeSample(
+                        batch_size=batch_size,
+                        sum_reused=float(sum(context_lens)),
+                        sm_count=sm_count,
+                        latency=latency,
+                    )
+                )
+    return samples
+
+
+def _prefill_configs(cfg: ServingConfig) -> list[int]:
+    """Prefill-side partition sizes: complements of the decode options."""
+    options = decode_partition_options(cfg.spec)
+    complements = sorted({cfg.spec.sms - sm for sm in options} | {cfg.spec.sms})
+    return [sm for sm in complements if sm > 0]

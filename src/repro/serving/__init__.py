@@ -1,0 +1,22 @@
+"""Serving framework: configs, SLOs, metrics, base system machinery."""
+
+from repro.serving.base import Instance, RequestState, ServingSystem, build_instance
+from repro.serving.batching import DecodeBatchMixin
+from repro.serving.config import ServingConfig
+from repro.serving.metrics import MetricsCollector, RequestRecord, Summary, percentile
+from repro.serving.slo import SLO, default_slo
+
+__all__ = [
+    "DecodeBatchMixin",
+    "Instance",
+    "MetricsCollector",
+    "RequestRecord",
+    "RequestState",
+    "SLO",
+    "ServingConfig",
+    "ServingSystem",
+    "Summary",
+    "build_instance",
+    "default_slo",
+    "percentile",
+]

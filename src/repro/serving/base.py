@@ -1,0 +1,259 @@
+"""Base machinery shared by all serving systems.
+
+A :class:`ServingSystem` owns request admission (arrival events, multi-turn
+session ordering), metrics, and the KV-cache bookkeeping helpers; concrete
+systems (MuxWise and the baselines) implement scheduling on top via
+:meth:`ServingSystem.on_request_ready`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.gpu.device import Device, OutOfMemoryError
+from repro.gpu.host import HostThread
+from repro.kvcache.pool import KVCachePool, PoolExhaustedError
+from repro.kvcache.radix import Lease, RadixCache, Segment
+from repro.models.costs import CostModel, PrefillItem
+from repro.serving.config import ServingConfig
+from repro.serving.metrics import MetricsCollector, RequestRecord
+from repro.sim import Simulator
+from repro.workloads.request import Request, Workload
+
+
+@dataclass
+class Instance:
+    """One serving instance: a device, its KV cache, and host thread."""
+
+    name: str
+    device: Device
+    cache: RadixCache
+    cost_model: CostModel
+    host: HostThread
+    n_gpus: int
+
+
+def build_instance(
+    sim: Simulator,
+    cfg: ServingConfig,
+    n_gpus: int,
+    name: str,
+    cross_request_reuse: bool = True,
+    extra_reserved: float = 0.0,
+) -> Instance:
+    """Construct an instance: device + weights + KV pool + cost model.
+
+    Raises :class:`OutOfMemoryError` when the weights do not fit — e.g.
+    Qwen3-235B on a 4-GPU disaggregated instance, which the paper notes is
+    infeasible.
+    """
+    device = Device(sim, cfg.spec, n_gpus=n_gpus, name=name)
+    device.alloc_memory(cfg.model.weight_bytes)
+    reserve = device.mem_capacity * cfg.activation_reserve_fraction + extra_reserved
+    if device.mem_free < reserve:
+        raise OutOfMemoryError(f"{name}: no memory left for activations")
+    device.alloc_memory(reserve)
+    pool_bytes = device.mem_free
+    pool = KVCachePool(pool_bytes, cfg.model.kv_bytes_per_token, cfg.page_tokens)
+    cache = RadixCache(pool, enable_prefix_sharing=cross_request_reuse)
+    cost_model = CostModel(cfg.model, n_gpus=n_gpus, nvlink_bandwidth=cfg.spec.nvlink_bandwidth)
+    host = HostThread(sim, name=f"{name}-host")
+    return Instance(
+        name=name,
+        device=device,
+        cache=cache,
+        cost_model=cost_model,
+        host=host,
+        n_gpus=n_gpus,
+    )
+
+
+class RequestState:
+    """Mutable serving-side state of one request."""
+
+    def __init__(self, request: Request, record: RequestRecord) -> None:
+        self.request = request
+        self.record = record
+        self.lease: Lease | None = None
+        self.reused_tokens = 0
+        self.prefill_tokens = 0
+        self.generated = 0
+        self.first_token_emitted = False
+        self.finished = False
+        # System-specific progress (layer-wise execution, chunking).
+        self.layers_done = 0
+        self.chunk_tokens_done = 0
+
+    @property
+    def remaining_output(self) -> int:
+        """Tokens still to generate."""
+        return self.request.output_tokens - self.generated
+
+    def cache_path(self) -> list[Segment]:
+        """Radix path for this (possibly resumed) request.
+
+        Ends with the output segment at its *current* generated length so a
+        recompute-preempted request re-prefills its own partial output.
+        """
+        output = Segment(uid=self.request.output_segment.uid, tokens=self.generated)
+        return [*self.request.context_path, output]
+
+    def prefill_item(self) -> PrefillItem:
+        """The (new, reused) token pair this request's prefill computes."""
+        return PrefillItem(new=self.prefill_tokens, reused=self.reused_tokens)
+
+    def context_len(self) -> int:
+        """Current total context length (input + generated)."""
+        return self.request.input_tokens + self.generated
+
+
+class ServingSystem(ABC):
+    """Common admission, session-ordering and KV bookkeeping."""
+
+    name = "base"
+
+    def __init__(self, sim: Simulator, cfg: ServingConfig) -> None:
+        self.sim = sim
+        self.cfg = cfg
+        self.metrics = MetricsCollector(cfg.slo, name=self.name)
+        self._session_next_turn: dict[int, int] = {}
+        self._deferred: dict[tuple[int, int], RequestState] = {}
+        self.states: dict[int, RequestState] = {}
+
+    # ------------------------------------------------------------------ #
+    # Workload intake
+    # ------------------------------------------------------------------ #
+
+    def submit(self, workload: Workload) -> None:
+        """Schedule every request's arrival on the simulator."""
+        for request in workload:
+            self.sim.schedule_at(request.arrival_time, lambda r=request: self._arrive(r))
+
+    def run(self, until: float | None = None) -> None:
+        """Run the simulation (drains the event queue by default)."""
+        self.sim.run(until=until)
+
+    def _arrive(self, request: Request) -> None:
+        record = self.metrics.on_arrival(request, self.sim.now)
+        state = RequestState(request, record)
+        self.states[request.request_id] = state
+        next_turn = self._session_next_turn.setdefault(request.session_id, 0)
+        if request.turn_index == next_turn:
+            self.on_request_ready(state)
+        else:
+            # A turn cannot start before its predecessor finished streaming.
+            self._deferred[(request.session_id, request.turn_index)] = state
+
+    def _complete_turn(self, state: RequestState) -> None:
+        session = state.request.session_id
+        self._session_next_turn[session] = state.request.turn_index + 1
+        follower = self._deferred.pop((session, state.request.turn_index + 1), None)
+        if follower is not None:
+            self.on_request_ready(follower)
+
+    @abstractmethod
+    def on_request_ready(self, state: RequestState) -> None:
+        """A request is admissible (its session predecessor finished)."""
+
+    # ------------------------------------------------------------------ #
+    # KV-cache helpers
+    # ------------------------------------------------------------------ #
+
+    def plan_prefill(self, instance: Instance, state: RequestState) -> None:
+        """Pin the cached prefix and compute what must be (re)computed."""
+        instance.cache.touch(self.sim.now)
+        path = state.cache_path()
+        state.lease = instance.cache.acquire(path)
+        total = sum(segment.tokens for segment in path)
+        state.reused_tokens = state.lease.cached_tokens
+        state.prefill_tokens = max(1, total - state.reused_tokens)
+
+    def allocate_context(self, instance: Instance, state: RequestState) -> bool:
+        """Reserve KV pages for the uncached context; False if it cannot fit."""
+        if state.lease is None:
+            raise ValueError("plan_prefill must run first")
+        path = state.cache_path()
+        missing = path[state.lease.depth :]
+        needed = sum(segment.tokens for segment in missing)
+        if not instance.cache.can_fit(needed):
+            return False
+        instance.cache.touch(self.sim.now)
+        try:
+            instance.cache.insert(state.lease, missing)
+        except PoolExhaustedError:
+            return False
+        return True
+
+    def abandon_plan(self, instance: Instance, state: RequestState) -> None:
+        """Release a lease after a failed admission attempt."""
+        if state.lease is not None:
+            instance.cache.release(state.lease, keep_cached=True)
+            state.lease = None
+
+    def extend_output(self, instance: Instance, state: RequestState, tokens: int) -> bool:
+        """Grow the output segment by ``tokens``; False on pool exhaustion."""
+        if state.lease is None:
+            raise ValueError("request has no lease")
+        instance.cache.touch(self.sim.now)
+        try:
+            instance.cache.extend(state.lease, tokens)
+        except PoolExhaustedError:
+            return False
+        return True
+
+    def release_request(
+        self, instance: Instance, state: RequestState, keep_cached: bool = True
+    ) -> None:
+        """Unpin (and optionally drop) the request's KV."""
+        if state.lease is not None:
+            instance.cache.touch(self.sim.now)
+            instance.cache.release(state.lease, keep_cached=keep_cached)
+            state.lease = None
+
+    # ------------------------------------------------------------------ #
+    # Metric events
+    # ------------------------------------------------------------------ #
+
+    def emit_first_token(self, state: RequestState) -> None:
+        """Record end of prefill (idempotent across recompute-preemption)."""
+        if state.first_token_emitted:
+            return
+        state.first_token_emitted = True
+        state.generated = 1
+        self.metrics.on_prefill_done(state.request, self.sim.now, state.prefill_tokens)
+
+    def emit_tokens(self, state: RequestState, count: int = 1) -> None:
+        """Record decode tokens for ``state``."""
+        state.generated += count
+        self.metrics.on_tokens(state.request, self.sim.now, count)
+
+    def produce_prefill_token(self, state: RequestState) -> None:
+        """Record the token produced by a prefill's LM head.
+
+        For a fresh request this is the first token (TTFT); for a request
+        re-prefilled after recompute-preemption it is an ordinary token.
+        """
+        if state.first_token_emitted:
+            self.emit_tokens(state, 1)
+        else:
+            self.emit_first_token(state)
+
+    def can_ever_fit(self, instance: Instance, state: RequestState) -> bool:
+        """Whether the request's context + output can fit in an empty pool."""
+        needed = sum(s.tokens for s in state.request.full_path)
+        return needed <= instance.cache.pool.capacity_tokens
+
+    def drop_request(self, instance: Instance, state: RequestState) -> None:
+        """Reject a request that can never be served (context too large)."""
+        self.abandon_plan(instance, state)
+        state.finished = True
+        self._complete_turn(state)
+
+    def finish_request(
+        self, instance: Instance, state: RequestState, keep_cached: bool = True
+    ) -> None:
+        """Retire a request: release KV, unblock the session's next turn."""
+        state.finished = True
+        self.release_request(instance, state, keep_cached=keep_cached)
+        self._complete_turn(state)

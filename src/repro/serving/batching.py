@@ -1,0 +1,45 @@
+"""Continuous-batching helpers shared by the serving systems.
+
+Every system decodes with inflight batching: one token per running request
+per iteration, merging newly prefilled requests between iterations.  This
+module centralises token emission, retirement, and the recompute-preemption
+fallback used when the KV pool is exhausted mid-decode (vLLM-style: the
+youngest request is evicted and later re-prefills its context plus the
+tokens it already generated).
+"""
+
+from __future__ import annotations
+
+from repro.serving.base import Instance, RequestState, ServingSystem
+
+
+class DecodeBatchMixin(ServingSystem):
+    """Token accounting for decode batches, with pool-pressure handling."""
+
+    def decode_context_lens(self, batch: list[RequestState]) -> list[int]:
+        """Current context length of each running request."""
+        return [state.context_len() for state in batch]
+
+    def emit_decode_iteration(
+        self, instance: Instance, batch: list[RequestState]
+    ) -> tuple[list[RequestState], list[RequestState]]:
+        """Account one decode iteration's tokens.
+
+        Returns ``(finished, preempted)``: requests that completed their
+        output, and requests evicted because the KV pool could not grow.
+        """
+        finished: list[RequestState] = []
+        preempted: list[RequestState] = []
+        for state in batch:
+            if state.finished:
+                continue
+            if not self.extend_output(instance, state, 1):
+                preempted.append(state)
+                continue
+            self.emit_tokens(state, 1)
+            if state.generated >= state.request.output_tokens:
+                finished.append(state)
+        for state in preempted:
+            self.release_request(instance, state, keep_cached=False)
+            state.first_token_emitted = True  # keep its TTFT; it resumes
+        return finished, preempted

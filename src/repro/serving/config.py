@@ -1,0 +1,56 @@
+"""Deployment configuration shared by every serving system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.launch import LaunchModel
+from repro.gpu.specs import GPUSpec
+from repro.models.config import ModelConfig
+from repro.serving.slo import SLO, default_slo
+
+
+@dataclass
+class ServingConfig:
+    """Static description of one deployment (model on a GPU server).
+
+    Attributes:
+        model: The served LLM.
+        spec: GPU model of every GPU in the server.
+        n_gpus: GPUs in the server (the paper uses 8, or 1 in §4.3.1).
+        slo: Latency targets; defaults to the paper's per-model TBT SLO.
+        page_tokens: KV-cache page size in tokens.
+        activation_reserve_fraction: Fraction of GPU memory reserved for
+            activations, workspace and fragmentation.
+        max_decode_batch: Upper bound on the decode batch size.
+        max_prefill_batch_tokens: Cap on new tokens batched into one prefill.
+        launch: Host launch-overhead model.
+    """
+
+    model: ModelConfig
+    spec: GPUSpec
+    n_gpus: int = 8
+    slo: SLO | None = None
+    page_tokens: int = 16
+    activation_reserve_fraction: float = 0.08
+    max_decode_batch: int = 256
+    max_prefill_batch_tokens: int = 8192
+    launch: LaunchModel = field(default_factory=LaunchModel)
+
+    def __post_init__(self) -> None:
+        if self.n_gpus < 1:
+            raise ValueError("n_gpus must be >= 1")
+        if self.slo is None:
+            self.slo = default_slo(self.model)
+
+    def kv_pool_bytes(self, instance_gpus: int, extra_reserved: float = 0.0) -> float:
+        """KV-cache pool size for an instance spanning ``instance_gpus`` GPUs.
+
+        Each instance holds a full weight replica plus activation reserve;
+        ``extra_reserved`` covers system-specific costs (captured CUDA
+        graphs, green-context metadata).
+        """
+        total = self.spec.mem_bytes * instance_gpus
+        reserve = total * self.activation_reserve_fraction
+        pool = total - self.model.weight_bytes - reserve - extra_reserved
+        return max(0.0, pool)

@@ -1,0 +1,216 @@
+"""Latency and throughput metrics for serving experiments.
+
+Collects, per request: TTFT, every token gap (TBT), TPOT, end-to-end
+latency; and per run: percentiles, SLO attainment, token throughput.  These
+are exactly the quantities of the paper's Figs. 14-17 and Tables 3-5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.serving.slo import SLO
+from repro.workloads.request import Request
+
+
+def percentile(values: list[float], pct: float) -> float:
+    """Linear-interpolated percentile; NaN for empty input."""
+    if not values:
+        return math.nan
+    if not 0 <= pct <= 100:
+        raise ValueError("pct must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle timestamps of one request."""
+
+    request: Request
+    arrival: float
+    first_token: float | None = None
+    last_token: float | None = None
+    tokens_emitted: int = 0
+    token_gaps: list[float] = field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        """True once every output token was emitted."""
+        return self.tokens_emitted >= self.request.output_tokens
+
+    @property
+    def ttft(self) -> float:
+        """Time to first token."""
+        if self.first_token is None:
+            return math.nan
+        return self.first_token - self.arrival
+
+    @property
+    def ttft_per_token(self) -> float:
+        """TTFT normalised by input length (Fig. 20's metric)."""
+        return self.ttft / max(1, self.request.input_tokens)
+
+    @property
+    def tpot(self) -> float:
+        """Average time per output token after the first."""
+        if self.first_token is None or self.last_token is None or self.tokens_emitted < 2:
+            return math.nan
+        return (self.last_token - self.first_token) / (self.tokens_emitted - 1)
+
+    @property
+    def e2e(self) -> float:
+        """End-to-end latency (arrival to last token)."""
+        if self.last_token is None:
+            return math.nan
+        return self.last_token - self.arrival
+
+
+@dataclass
+class Summary:
+    """Aggregate results of one run (one system x workload x rate)."""
+
+    name: str
+    requests_total: int
+    requests_finished: int
+    ttft_avg: float
+    ttft_p50: float
+    ttft_p99: float
+    tbt_avg: float
+    tbt_p50: float
+    tbt_p99: float
+    tpot_avg: float
+    tpot_p50: float
+    e2e_avg: float
+    e2e_p50: float
+    token_throughput: float
+    useful_throughput: float
+    output_throughput: float
+    tbt_attainment: float
+    slo_met: bool
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for table printing."""
+        return dict(self.__dict__)
+
+
+class MetricsCollector:
+    """Accumulates per-request records and produces run summaries."""
+
+    def __init__(self, slo: SLO, name: str = "") -> None:
+        self.slo = slo
+        self.name = name
+        self.records: dict[int, RequestRecord] = {}
+        self._prefilled_tokens = 0
+        self._useful_input_tokens = 0
+        self._start_time: float | None = None
+        self._end_time: float | None = None
+
+    # ------------------------------------------------------------------ #
+    # Event recording
+    # ------------------------------------------------------------------ #
+
+    def on_arrival(self, request: Request, time: float) -> RequestRecord:
+        """Register a request's arrival."""
+        record = RequestRecord(request=request, arrival=time)
+        self.records[request.request_id] = record
+        if self._start_time is None or time < self._start_time:
+            self._start_time = time
+        return record
+
+    def on_prefill_done(self, request: Request, time: float, new_tokens: int) -> None:
+        """Record the first token (end of prefill) and prefilled volume."""
+        record = self.records[request.request_id]
+        if record.first_token is not None:
+            raise ValueError(f"request {request.request_id} prefilled twice")
+        record.first_token = time
+        record.last_token = time
+        record.tokens_emitted = 1
+        self._prefilled_tokens += new_tokens
+        self._useful_input_tokens += request.input_tokens
+        self._end_time = time if self._end_time is None else max(self._end_time, time)
+
+    def on_tokens(self, request: Request, time: float, count: int = 1) -> None:
+        """Record ``count`` decode tokens emitted at ``time``."""
+        record = self.records[request.request_id]
+        if record.last_token is None:
+            raise ValueError("tokens before first token")
+        gap = (time - record.last_token) / count
+        record.token_gaps.extend([gap] * count)
+        record.tokens_emitted += count
+        record.last_token = time
+        self._end_time = time if self._end_time is None else max(self._end_time, time)
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+
+    @property
+    def finished_records(self) -> list[RequestRecord]:
+        """Records of requests that emitted all their tokens."""
+        return [r for r in self.records.values() if r.finished]
+
+    def all_token_gaps(self) -> list[float]:
+        """Every TBT sample across all requests."""
+        gaps: list[float] = []
+        for record in self.records.values():
+            gaps.extend(record.token_gaps)
+        return gaps
+
+    def ttft_values(self, finished_only: bool = False) -> list[float]:
+        """TTFT samples (of requests that at least started decoding)."""
+        records = self.finished_records if finished_only else self.records.values()
+        return [r.ttft for r in records if r.first_token is not None]
+
+    def summarize(self) -> Summary:
+        """Aggregate all records into a :class:`Summary`."""
+        finished = self.finished_records
+        ttfts = self.ttft_values()
+        gaps = self.all_token_gaps()
+        tpots = [r.tpot for r in finished if not math.isnan(r.tpot)]
+        e2es = [r.e2e for r in finished]
+        elapsed = 0.0
+        if self._start_time is not None and self._end_time is not None:
+            elapsed = max(1e-9, self._end_time - self._start_time)
+        output_tokens = sum(r.tokens_emitted for r in self.records.values())
+        total_tokens = output_tokens + self._prefilled_tokens
+        useful_tokens = output_tokens + self._useful_input_tokens
+        tbt_p99 = percentile(gaps, 99.0)
+        attainment = (
+            sum(1 for g in gaps if g <= self.slo.tbt) / len(gaps) if gaps else 0.0
+        )
+        return Summary(
+            name=self.name,
+            requests_total=len(self.records),
+            requests_finished=len(finished),
+            ttft_avg=_mean(ttfts),
+            ttft_p50=percentile(ttfts, 50.0),
+            ttft_p99=percentile(ttfts, 99.0),
+            tbt_avg=_mean(gaps),
+            tbt_p50=percentile(gaps, 50.0),
+            tbt_p99=tbt_p99,
+            tpot_avg=_mean(tpots),
+            tpot_p50=percentile(tpots, 50.0),
+            e2e_avg=_mean(e2es),
+            e2e_p50=percentile(e2es, 50.0),
+            token_throughput=total_tokens / elapsed if elapsed else 0.0,
+            useful_throughput=useful_tokens / elapsed if elapsed else 0.0,
+            output_throughput=output_tokens / elapsed if elapsed else 0.0,
+            tbt_attainment=attainment,
+            slo_met=bool(gaps) and tbt_p99 <= self.slo.tbt,
+        )
+
+
+def _mean(values: list[float]) -> float:
+    if not values:
+        return math.nan
+    return sum(values) / len(values)

@@ -1,0 +1,61 @@
+"""Service-level objectives for LLM serving.
+
+Following the paper (§4.1): the TBT SLO is 50 ms for Llama-8B and 100 ms for
+Llama-70B; TBT (time between tokens, per individual token) is preferred over
+TPOT (an average that can mask bad tokens).  TTFT targets are used for
+characterisation (Fig. 3, 400 ms) and for MuxWise's preemption slack checks,
+but prefill SLO attainment is not directly guaranteed (§3.4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class SLO:
+    """Latency targets for one deployment.
+
+    Attributes:
+        tbt: Time-between-tokens target (seconds) for every decode token.
+        ttft: Time-to-first-token target (seconds); used for scheduling
+            slack (preemption) rather than hard guarantees.
+        ttft_per_token: Optional length-proportional TTFT target (seconds
+            per input token).  When set, a request's TTFT deadline scales
+            with its input length — the "TTFT per token" objective of the
+            paper's preemption study (§4.4.3, Fig. 20), under which short
+            requests have little slack and may preempt long prefills.
+        attainment_percentile: The percentile that must meet the target
+            (the paper uses P99).
+    """
+
+    tbt: float
+    ttft: float = 5.0
+    ttft_per_token: float | None = None
+    attainment_percentile: float = 99.0
+
+    #: Floor on per-token-scaled deadlines so tiny requests stay feasible.
+    MIN_TTFT_DEADLINE = 0.3
+
+    def __post_init__(self) -> None:
+        if self.tbt <= 0 or self.ttft <= 0:
+            raise ValueError("SLO targets must be positive")
+        if self.ttft_per_token is not None and self.ttft_per_token <= 0:
+            raise ValueError("ttft_per_token must be positive")
+        if not 0 < self.attainment_percentile <= 100:
+            raise ValueError("attainment_percentile must be in (0, 100]")
+
+    def ttft_target(self, input_tokens: int) -> float:
+        """TTFT target for a request of ``input_tokens`` total input."""
+        if self.ttft_per_token is None:
+            return self.ttft
+        return max(self.MIN_TTFT_DEADLINE, self.ttft_per_token * input_tokens)
+
+
+def default_slo(model: ModelConfig) -> SLO:
+    """The paper's SLO for a model: 50 ms TBT below ~30B params, else 100 ms."""
+    if model.total_params < 30e9:
+        return SLO(tbt=0.050)
+    return SLO(tbt=0.100)

@@ -1,0 +1,13 @@
+"""Discrete-event simulation engine underlying the GPU and serving models."""
+
+from repro.sim.events import PRIORITY_EARLY, PRIORITY_LATE, PRIORITY_NORMAL, Event
+from repro.sim.simulator import SimulationError, Simulator
+
+__all__ = [
+    "Event",
+    "PRIORITY_EARLY",
+    "PRIORITY_LATE",
+    "PRIORITY_NORMAL",
+    "SimulationError",
+    "Simulator",
+]

@@ -1,0 +1,51 @@
+"""Event primitives for the discrete-event simulation engine.
+
+The simulator is callback-based: an :class:`Event` wraps a callable scheduled
+to fire at an absolute simulation time.  Events are totally ordered by
+``(time, priority, sequence)`` so that simultaneous events fire in a
+deterministic order (insertion order within the same priority class).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Default priority for ordinary events.
+PRIORITY_NORMAL = 0
+#: Priority for events that must observe the state *after* all normal events
+#: at the same timestamp (e.g. schedulers reacting to completions).
+PRIORITY_LATE = 10
+#: Priority for events that must fire before normal events at a timestamp.
+PRIORITY_EARLY = -10
+
+_sequence = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: Absolute simulation time (seconds) at which to fire.
+        priority: Tie-break class; lower fires first at equal times.
+        seq: Monotonic insertion counter; preserves FIFO order for ties.
+        callback: Zero-argument callable invoked when the event fires.
+        cancelled: Cancelled events are skipped when popped.
+    """
+
+    time: float
+    priority: int = PRIORITY_NORMAL
+    seq: int = field(default_factory=lambda: next(_sequence))
+    callback: Callable[[], Any] | None = field(default=None, compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when it reaches the queue head."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback unless cancelled."""
+        if not self.cancelled and self.callback is not None:
+            self.callback()

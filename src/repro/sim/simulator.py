@@ -1,0 +1,134 @@
+"""The discrete-event simulator core.
+
+Everything in the reproduction — GPU kernels, request arrivals, scheduler
+decisions — runs on one :class:`Simulator`.  The simulator owns the virtual
+clock and an event heap; components schedule callbacks at future times and
+the main loop advances the clock from event to event.
+
+Example:
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [1.5]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.sim.events import PRIORITY_NORMAL, Event
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid simulator usage (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """A minimal, deterministic discrete-event simulator.
+
+    Time is a float in seconds.  Events scheduled at the same instant fire in
+    ``(priority, insertion order)`` — deterministic and reproducible.
+    """
+
+    #: Tolerance for "scheduling in the past" checks; protects against
+    #: floating-point round-off when chaining zero-delay events.
+    TIME_EPSILON = 1e-12
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._heap: list[Event] = []
+        self._event_count = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events fired so far (cancelled events excluded)."""
+        return self._event_count
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which the caller may ``cancel()``.
+        """
+        return self.schedule_at(self._now + delay, callback, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulation ``time``."""
+        if time < self._now - self.TIME_EPSILON:
+            raise SimulationError(
+                f"cannot schedule at {time:.9f}; clock is at {self._now:.9f}"
+            )
+        event = Event(time=max(time, self._now), priority=priority, callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> float | None:
+        """Time of the next non-cancelled event, or None if the queue is empty."""
+        self._drop_cancelled_head()
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False if no events remain."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        self._event_count += 1
+        event.fire()
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run events until the queue drains, the clock passes ``until``,
+        or ``max_events`` have fired.
+
+        When the run stops at ``until`` with events still pending, the clock
+        is left exactly at ``until``; if the queue drained earlier the clock
+        stays at the last event (no artificial idle time is appended).
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        try:
+            fired = 0
+            while True:
+                if max_events is not None and fired >= max_events:
+                    break
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until and self.peek_time() is not None:
+            self._now = until
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,47 @@
+"""Workload substrate: requests, length distributions, traces, arrivals."""
+
+from repro.workloads.arrival import (
+    arrivals_from_profile,
+    bursty_rate_profile,
+    poisson_arrivals,
+    profile_peak_to_mean,
+)
+from repro.workloads.distributions import BoundedLengths, sample_turns
+from repro.workloads.request import Request, Workload
+from repro.workloads.serialization import load_workload, save_records, save_workload
+from repro.workloads.stats import LengthStats, WorkloadStats, table1, workload_stats
+from repro.workloads.traces import (
+    conversation_workload,
+    loogle_workload,
+    mixed_workload,
+    openthoughts_workload,
+    poissonized,
+    realworld_trace,
+    sharegpt_workload,
+    toolagent_workload,
+)
+
+__all__ = [
+    "BoundedLengths",
+    "Request",
+    "Workload",
+    "arrivals_from_profile",
+    "LengthStats",
+    "WorkloadStats",
+    "bursty_rate_profile",
+    "conversation_workload",
+    "loogle_workload",
+    "mixed_workload",
+    "openthoughts_workload",
+    "poisson_arrivals",
+    "poissonized",
+    "profile_peak_to_mean",
+    "realworld_trace",
+    "sharegpt_workload",
+    "load_workload",
+    "save_records",
+    "save_workload",
+    "table1",
+    "toolagent_workload",
+    "workload_stats",
+]

@@ -1,0 +1,95 @@
+"""Arrival processes: Poisson open-loop and bursty real-world traces.
+
+The paper's goodput experiments (§4.2.3, §4.3) draw arrival timestamps from
+a Poisson process at varying rates; the end-to-end experiments (§4.2.1)
+replay two scaled-down production traces whose request rate is bursty — "up
+to 13x spike within 1 min" (Fig. 13).  The real traces are proprietary, so
+:func:`bursty_rate_profile` synthesises a rate curve with the same character
+and :func:`arrivals_from_profile` samples arrivals from it as an
+inhomogeneous Poisson process.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def poisson_arrivals(rng: random.Random, rate: float, count: int, start: float = 0.0) -> list[float]:
+    """``count`` arrival times from a homogeneous Poisson process."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    times = []
+    t = start
+    for _ in range(count):
+        t += rng.expovariate(rate)
+        times.append(t)
+    return times
+
+
+def bursty_rate_profile(
+    rng: random.Random,
+    duration: float,
+    base_rate: float,
+    bucket: float = 10.0,
+    spike_probability: float = 0.06,
+    max_spike: float = 13.0,
+) -> list[tuple[float, float]]:
+    """Piecewise-constant request-rate curve with production-style bursts.
+
+    Returns ``(bucket_start, rate)`` pairs.  The rate performs a mild
+    multiplicative random walk around ``base_rate`` and occasionally spikes
+    by up to ``max_spike``x, decaying over the following buckets — matching
+    Fig. 13's "13x spike within 1 min" bursts.
+    """
+    if duration <= 0 or base_rate <= 0 or bucket <= 0:
+        raise ValueError("duration, base_rate and bucket must be positive")
+    profile: list[tuple[float, float]] = []
+    level = 1.0
+    spike = 0.0
+    t = 0.0
+    while t < duration:
+        level *= rng.uniform(0.9, 1.1)
+        level = min(2.0, max(0.4, level))
+        if spike > 0:
+            spike *= 0.55  # burst decays over ~1 minute of buckets
+            if spike < 0.05:
+                spike = 0.0
+        elif rng.random() < spike_probability:
+            spike = rng.uniform(3.0, max_spike) - 1.0
+        rate = base_rate * level * (1.0 + spike)
+        profile.append((t, rate))
+        t += bucket
+    return profile
+
+
+def arrivals_from_profile(
+    rng: random.Random,
+    profile: list[tuple[float, float]],
+    bucket: float = 10.0,
+) -> list[float]:
+    """Arrival times from an inhomogeneous Poisson process over a profile."""
+    times: list[float] = []
+    for start, rate in profile:
+        t = start
+        end = start + bucket
+        if rate <= 0:
+            continue
+        while True:
+            t += rng.expovariate(rate)
+            if t >= end:
+                break
+            times.append(t)
+    return times
+
+
+def profile_peak_to_mean(profile: list[tuple[float, float]]) -> float:
+    """Burstiness measure of a rate profile (peak rate / mean rate)."""
+    if not profile:
+        return 0.0
+    rates = [rate for _, rate in profile]
+    mean = sum(rates) / len(rates)
+    if mean == 0:
+        return 0.0
+    return max(rates) / mean

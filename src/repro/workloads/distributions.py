@@ -1,0 +1,91 @@
+"""Bounded length distributions matching the paper's Table 1 envelopes.
+
+Table 1 reports (min / mean / max) token lengths per workload.  Request
+lengths in LLM traces are heavy-tailed, so each sampler draws from a
+log-normal shaped to the target mean and truncated to [min, max] by
+resampling.  All samplers are deterministic given their RNG.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BoundedLengths:
+    """A truncated log-normal over integer token counts.
+
+    Attributes:
+        minimum: Smallest sampled value (inclusive).
+        mean: Target mean of the *truncated* distribution (approximate).
+        maximum: Largest sampled value (inclusive).
+        sigma: Log-space spread; larger means heavier tail.
+    """
+
+    minimum: int
+    mean: float
+    maximum: int
+    sigma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.minimum <= self.mean <= self.maximum:
+            raise ValueError(
+                f"need min <= mean <= max, got {self.minimum}/{self.mean}/{self.maximum}"
+            )
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+
+    @property
+    def mu(self) -> float:
+        """Log-space location putting the untruncated mean at ``mean``."""
+        return math.log(self.mean) - self.sigma**2 / 2.0
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one length; truncates to [minimum, maximum] by resampling."""
+        for _ in range(64):
+            value = int(round(rng.lognormvariate(self.mu, self.sigma)))
+            if self.minimum <= value <= self.maximum:
+                return value
+        # Pathological parameters: fall back to clamping.
+        value = int(round(rng.lognormvariate(self.mu, self.sigma)))
+        return min(self.maximum, max(self.minimum, value))
+
+    def sample_many(self, rng: random.Random, count: int) -> list[int]:
+        """Draw ``count`` lengths."""
+        return [self.sample(rng) for _ in range(count)]
+
+
+#: Table 1 rows — single-turn workloads.
+SHAREGPT_INPUT = BoundedLengths(minimum=4, mean=280, maximum=1024, sigma=1.0)
+SHAREGPT_OUTPUT = BoundedLengths(minimum=4, mean=225, maximum=1838, sigma=1.1)
+
+LOOGLE_INPUT = BoundedLengths(minimum=3380, mean=34_000, maximum=81_000, sigma=0.7)
+LOOGLE_OUTPUT = BoundedLengths(minimum=2, mean=15, maximum=326, sigma=1.0)
+
+#: OpenThoughts: a constant 243-token system prompt is shared by every
+#: request; the sampled input excludes it.
+OPENTHOUGHTS_SYSTEM_PROMPT = 243
+OPENTHOUGHTS_INPUT = BoundedLengths(minimum=68, mean=466, maximum=4390, sigma=0.9)
+OPENTHOUGHTS_OUTPUT = BoundedLengths(minimum=684, mean=9800, maximum=32_000, sigma=0.8)
+
+#: Multi-turn traces: per-turn new-input and output lengths.  Reused lengths
+#: emerge from session accumulation (see traces.py) and land near Table 1's
+#: means (~4.5K Conversation, ~4.9K Tool&Agent).
+CONVERSATION_NEW_INPUT = BoundedLengths(minimum=512, mean=3000, maximum=16_000, sigma=0.8)
+CONVERSATION_OUTPUT = BoundedLengths(minimum=1, mean=342, maximum=2000, sigma=1.0)
+
+TOOLAGENT_NEW_INPUT = BoundedLengths(minimum=512, mean=3600, maximum=16_000, sigma=0.8)
+TOOLAGENT_OUTPUT = BoundedLengths(minimum=1, mean=182, maximum=2000, sigma=1.0)
+
+
+def sample_turns(rng: random.Random, mean_turns: float, max_turns: int = 16) -> int:
+    """Number of turns in a multi-turn session (geometric, >= 1)."""
+    if mean_turns < 1:
+        raise ValueError("mean_turns must be >= 1")
+    p = 1.0 / mean_turns
+    turns = 1
+    while turns < max_turns and rng.random() > p:
+        turns += 1
+    return turns

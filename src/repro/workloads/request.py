@@ -1,0 +1,115 @@
+"""Request and session model for serving workloads.
+
+A request is one turn of an LLM interaction: some *history* (segments from
+earlier turns or a shared system prompt, reusable via the KV cache), a *new
+input* segment to prefill, and a number of output tokens to decode.  The
+output becomes a new segment so later turns of the same session can reuse it
+— the cross-request KV reuse central to the paper's multi-turn workloads.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.kvcache.radix import Segment, new_segment
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class Request:
+    """One serving request (a single turn).
+
+    Attributes:
+        request_id: Globally unique id.
+        session_id: Conversation/session the turn belongs to.
+        turn_index: 0-based turn number within the session.
+        arrival_time: Absolute arrival time (seconds).
+        history: Context segments from earlier turns / shared prompts.
+            These may be KV-cache hits; on a miss they must be recomputed.
+        new_input: The fresh input segment of this turn (always computed).
+        output_tokens: Number of tokens the model will generate.
+        output_segment: Identity of the generated segment (length grows to
+            ``output_tokens`` as decode proceeds; later turns reference it).
+    """
+
+    session_id: int
+    turn_index: int
+    arrival_time: float
+    history: list[Segment]
+    new_input: Segment
+    output_tokens: int
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    output_segment: Segment = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.output_tokens < 1:
+            raise ValueError("output_tokens must be >= 1")
+        if self.new_input.tokens < 1:
+            raise ValueError("new_input must contain at least one token")
+        if self.output_segment is None:
+            self.output_segment = new_segment(self.output_tokens)
+
+    @property
+    def history_tokens(self) -> int:
+        """Tokens of reusable context (the paper's 'reused length')."""
+        return sum(segment.tokens for segment in self.history)
+
+    @property
+    def input_tokens(self) -> int:
+        """Total input length: reused plus new context (Table 1 convention)."""
+        return self.history_tokens + self.new_input.tokens
+
+    @property
+    def context_path(self) -> list[Segment]:
+        """Full cache path of this request: history + new input."""
+        return [*self.history, self.new_input]
+
+    @property
+    def full_path(self) -> list[Segment]:
+        """Cache path including the output segment (for later-turn reuse)."""
+        return [*self.history, self.new_input, self.output_segment]
+
+
+@dataclass
+class Workload:
+    """A named, fully materialised request trace."""
+
+    name: str
+    requests: list[Request]
+
+    def __post_init__(self) -> None:
+        self.requests.sort(key=lambda r: (r.arrival_time, r.request_id))
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    @property
+    def duration(self) -> float:
+        """Time span between first and last arrival."""
+        if not self.requests:
+            return 0.0
+        return self.requests[-1].arrival_time - self.requests[0].arrival_time
+
+    @property
+    def total_input_tokens(self) -> int:
+        """Sum of (reused + new) input tokens over all requests."""
+        return sum(request.input_tokens for request in self.requests)
+
+    @property
+    def total_output_tokens(self) -> int:
+        """Sum of generated tokens over all requests."""
+        return sum(request.output_tokens for request in self.requests)
+
+    def mean_stats(self) -> dict[str, float]:
+        """Mean input/output/reused lengths (for Table 1 comparisons)."""
+        n = max(1, len(self.requests))
+        return {
+            "input": self.total_input_tokens / n,
+            "output": self.total_output_tokens / n,
+            "reused": sum(r.history_tokens for r in self.requests) / n,
+        }

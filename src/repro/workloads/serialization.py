@@ -1,0 +1,97 @@
+"""Workload (de)serialisation as JSONL.
+
+The paper's artifact exchanges benchmark inputs/outputs as JSONL files;
+this module does the same for generated traces so experiments can be
+pinned, shared and replayed byte-for-byte.  Segment identities are
+preserved, so prefix-sharing structure (multi-turn sessions, shared system
+prompts) round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Iterable
+
+from repro.kvcache.radix import Segment
+from repro.workloads.request import Request, Workload
+
+
+def request_to_dict(request: Request) -> dict:
+    """JSON-serialisable view of one request."""
+    return {
+        "request_id": request.request_id,
+        "session_id": request.session_id,
+        "turn_index": request.turn_index,
+        "arrival_time": request.arrival_time,
+        "history": [[s.uid, s.tokens] for s in request.history],
+        "new_input": [request.new_input.uid, request.new_input.tokens],
+        "output_tokens": request.output_tokens,
+        "output_segment": [request.output_segment.uid, request.output_segment.tokens],
+    }
+
+
+def request_from_dict(data: dict) -> Request:
+    """Rebuild a request; segment uids are preserved verbatim."""
+    return Request(
+        session_id=data["session_id"],
+        turn_index=data["turn_index"],
+        arrival_time=data["arrival_time"],
+        history=[Segment(uid=uid, tokens=tokens) for uid, tokens in data["history"]],
+        new_input=Segment(uid=data["new_input"][0], tokens=data["new_input"][1]),
+        output_tokens=data["output_tokens"],
+        request_id=data["request_id"],
+        output_segment=Segment(
+            uid=data["output_segment"][0], tokens=data["output_segment"][1]
+        ),
+    )
+
+
+def save_workload(workload: Workload, path: str | Path) -> None:
+    """Write a workload as JSONL (one request per line, header first)."""
+    path = Path(path)
+    with path.open("w") as handle:
+        handle.write(json.dumps({"workload": workload.name}) + "\n")
+        for request in workload:
+            handle.write(json.dumps(request_to_dict(request)) + "\n")
+
+
+def load_workload(path: str | Path) -> Workload:
+    """Read a workload written by :func:`save_workload`."""
+    path = Path(path)
+    with path.open() as handle:
+        lines = [line for line in handle if line.strip()]
+    if not lines:
+        raise ValueError(f"{path}: empty workload file")
+    header = json.loads(lines[0])
+    if "workload" not in header:
+        raise ValueError(f"{path}: missing workload header")
+    requests = [request_from_dict(json.loads(line)) for line in lines[1:]]
+    return Workload(name=header["workload"], requests=requests)
+
+
+def save_records(records: Iterable, path: str | Path) -> None:
+    """Dump per-request metric records as JSONL (artifact-style output)."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for record in records:
+            row = {
+                "request_id": record.request.request_id,
+                "arrival": record.arrival,
+                "input_tokens": record.request.input_tokens,
+                "output_tokens": record.request.output_tokens,
+                "ttft": _json_float(record.ttft),
+                "tpot": _json_float(record.tpot),
+                "e2e": _json_float(record.e2e),
+                "tokens_emitted": record.tokens_emitted,
+                "max_tbt": max(record.token_gaps) if record.token_gaps else None,
+            }
+            handle.write(json.dumps(row) + "\n")
+
+
+def _json_float(value: float) -> float | None:
+    """NaN becomes null so the output stays strict JSON."""
+    if value is None or math.isnan(value):
+        return None
+    return value

@@ -1,0 +1,86 @@
+"""Workload statistics: the paper's Table 1 view of a trace.
+
+Summarises input/output/reused token lengths as (min / mean / max) rows and
+session structure (turns, reuse depth), both as data and as a printable
+table, so generated traces can be checked against the published envelopes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.request import Workload
+
+
+@dataclass(frozen=True)
+class LengthStats:
+    """(min, mean, max) of one token-length dimension."""
+
+    minimum: int
+    mean: float
+    maximum: int
+
+    @classmethod
+    def of(cls, values: list[int]) -> "LengthStats":
+        """Stats of a non-empty list (zeros for empty input)."""
+        if not values:
+            return cls(0, 0.0, 0)
+        return cls(min(values), sum(values) / len(values), max(values))
+
+    def row(self) -> str:
+        """Table 1's ``min/mean/max`` cell format."""
+        return f"{self.minimum}/{_compact(self.mean)}/{_compact(self.maximum)}"
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Table-1-style summary of one workload."""
+
+    name: str
+    requests: int
+    sessions: int
+    mean_turns: float
+    input_lengths: LengthStats
+    output_lengths: LengthStats
+    reused_lengths: LengthStats
+
+    def table_row(self) -> str:
+        """One row matching Table 1's layout."""
+        return (
+            f"{self.name:<16} {self.input_lengths.row():>18} "
+            f"{self.output_lengths.row():>16} {self.reused_lengths.row():>16}"
+        )
+
+
+def workload_stats(workload: Workload) -> WorkloadStats:
+    """Compute Table-1 statistics for ``workload``."""
+    inputs = [request.input_tokens for request in workload]
+    outputs = [request.output_tokens for request in workload]
+    reused = [request.history_tokens for request in workload]
+    sessions = {request.session_id for request in workload}
+    return WorkloadStats(
+        name=workload.name,
+        requests=len(workload),
+        sessions=len(sessions),
+        mean_turns=len(workload) / max(1, len(sessions)),
+        input_lengths=LengthStats.of(inputs),
+        output_lengths=LengthStats.of(outputs),
+        reused_lengths=LengthStats.of(reused),
+    )
+
+
+def table1(workloads: list[Workload]) -> str:
+    """Render several workloads as the paper's Table 1."""
+    header = (
+        f"{'Workload':<16} {'Input length':>18} {'Output length':>16} {'Reused length':>16}"
+    )
+    lines = [header, "-" * len(header)]
+    for workload in workloads:
+        lines.append(workload_stats(workload).table_row())
+    return "\n".join(lines)
+
+
+def _compact(value: float) -> str:
+    if value >= 10_000:
+        return f"{value / 1000:.0f}k"
+    return f"{value:.0f}"

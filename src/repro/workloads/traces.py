@@ -1,0 +1,239 @@
+"""Generators for the paper's five workload traces (Table 1).
+
+Single-turn traces (ShareGPT, LooGLE, OpenThoughts) draw independent
+requests; OpenThoughts additionally shares one constant system-prompt
+segment across all requests (243 reusable tokens).  Multi-turn traces
+(Conversation, Tool&Agent) build sessions whose later turns reuse all
+earlier segments — the source of the multi-kilotoken reused contexts that
+break chunked-prefill in the paper.
+
+Arrival semantics: single-turn generators place requests directly on a
+Poisson process.  Multi-turn generators place *sessions* on the process and
+space turns within a session by the time the user would take to receive the
+previous answer and respond (decode time estimate + think time).  The
+aggregate request rate is the session rate times the mean turn count.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.kvcache.radix import Segment, new_segment
+from repro.workloads import distributions as dist
+from repro.workloads.arrival import (
+    arrivals_from_profile,
+    bursty_rate_profile,
+    poisson_arrivals,
+)
+from repro.workloads.request import Request, Workload
+
+#: Seconds per generated token assumed when spacing turns of a session
+#: (a user cannot reply before the previous answer streamed out).
+TURN_DECODE_ESTIMATE = 0.04
+#: Mean user think time between receiving an answer and the next turn.
+THINK_TIME_MEAN = 8.0
+
+
+def sharegpt_workload(num_requests: int, rate: float, seed: int = 0) -> Workload:
+    """Single-turn chatbot trace: moderate inputs and outputs."""
+    rng = random.Random(seed)
+    arrivals = poisson_arrivals(rng, rate, num_requests)
+    requests = [
+        Request(
+            session_id=i,
+            turn_index=0,
+            arrival_time=t,
+            history=[],
+            new_input=new_segment(dist.SHAREGPT_INPUT.sample(rng)),
+            output_tokens=dist.SHAREGPT_OUTPUT.sample(rng),
+        )
+        for i, t in enumerate(arrivals)
+    ]
+    return Workload(name="ShareGPT", requests=requests)
+
+
+def loogle_workload(num_requests: int, rate: float, seed: int = 0) -> Workload:
+    """Long-context understanding: ultra-long inputs, short outputs."""
+    rng = random.Random(seed)
+    arrivals = poisson_arrivals(rng, rate, num_requests)
+    requests = [
+        Request(
+            session_id=i,
+            turn_index=0,
+            arrival_time=t,
+            history=[],
+            new_input=new_segment(dist.LOOGLE_INPUT.sample(rng)),
+            output_tokens=dist.LOOGLE_OUTPUT.sample(rng),
+        )
+        for i, t in enumerate(arrivals)
+    ]
+    return Workload(name="LooGLE", requests=requests)
+
+
+def openthoughts_workload(num_requests: int, rate: float, seed: int = 0) -> Workload:
+    """Reasoning trace: short inputs sharing a system prompt, long outputs."""
+    rng = random.Random(seed)
+    system_prompt = new_segment(dist.OPENTHOUGHTS_SYSTEM_PROMPT)
+    arrivals = poisson_arrivals(rng, rate, num_requests)
+    requests = [
+        Request(
+            session_id=i,
+            turn_index=0,
+            arrival_time=t,
+            history=[system_prompt],
+            new_input=new_segment(dist.OPENTHOUGHTS_INPUT.sample(rng)),
+            output_tokens=dist.OPENTHOUGHTS_OUTPUT.sample(rng),
+        )
+        for i, t in enumerate(arrivals)
+    ]
+    return Workload(name="OpenThoughts", requests=requests)
+
+
+def _multi_turn_sessions(
+    name: str,
+    session_starts: list[float],
+    new_input: dist.BoundedLengths,
+    output: dist.BoundedLengths,
+    mean_turns: float,
+    rng: random.Random,
+) -> Workload:
+    requests: list[Request] = []
+    for session_id, start in enumerate(session_starts):
+        turns = dist.sample_turns(rng, mean_turns)
+        history: list[Segment] = []
+        arrival = start
+        for turn_index in range(turns):
+            request = Request(
+                session_id=session_id,
+                turn_index=turn_index,
+                arrival_time=arrival,
+                history=list(history),
+                new_input=new_segment(new_input.sample(rng)),
+                output_tokens=output.sample(rng),
+            )
+            requests.append(request)
+            history.extend([request.new_input, request.output_segment])
+            decode_estimate = request.output_tokens * TURN_DECODE_ESTIMATE
+            think = rng.expovariate(1.0 / THINK_TIME_MEAN)
+            arrival += decode_estimate + think
+    return Workload(name=name, requests=requests)
+
+
+#: Mean turns per session for the two multi-turn traces; chosen so the mean
+#: reused length lands near Table 1 (~4.5K / ~4.9K tokens).
+CONVERSATION_MEAN_TURNS = 2.4
+TOOLAGENT_MEAN_TURNS = 2.3
+
+
+def conversation_workload(num_sessions: int, request_rate: float, seed: int = 0) -> Workload:
+    """Multi-turn chatbot trace (Mooncake 'Conversation')."""
+    rng = random.Random(seed)
+    session_rate = request_rate / CONVERSATION_MEAN_TURNS
+    starts = poisson_arrivals(rng, session_rate, num_sessions)
+    return _multi_turn_sessions(
+        "Conversation",
+        starts,
+        dist.CONVERSATION_NEW_INPUT,
+        dist.CONVERSATION_OUTPUT,
+        CONVERSATION_MEAN_TURNS,
+        rng,
+    )
+
+
+def toolagent_workload(num_sessions: int, request_rate: float, seed: int = 0) -> Workload:
+    """Multi-turn tool/agent trace (Mooncake 'Tool&Agent')."""
+    rng = random.Random(seed)
+    session_rate = request_rate / TOOLAGENT_MEAN_TURNS
+    starts = poisson_arrivals(rng, session_rate, num_sessions)
+    return _multi_turn_sessions(
+        "Tool&Agent",
+        starts,
+        dist.TOOLAGENT_NEW_INPUT,
+        dist.TOOLAGENT_OUTPUT,
+        TOOLAGENT_MEAN_TURNS,
+        rng,
+    )
+
+
+def realworld_trace(
+    kind: str,
+    duration: float,
+    base_request_rate: float,
+    seed: int = 0,
+) -> Workload:
+    """Bursty production-style replay of a multi-turn trace (Fig. 13/14).
+
+    Session starts follow an inhomogeneous Poisson process with spikes of up
+    to ~13x within a minute, then sessions unfold as in the steady
+    generators.
+    """
+    if kind not in ("Conversation", "Tool&Agent"):
+        raise ValueError("kind must be 'Conversation' or 'Tool&Agent'")
+    rng = random.Random(seed)
+    mean_turns = CONVERSATION_MEAN_TURNS if kind == "Conversation" else TOOLAGENT_MEAN_TURNS
+    profile = bursty_rate_profile(rng, duration, base_request_rate / mean_turns)
+    starts = arrivals_from_profile(rng, profile)
+    if kind == "Conversation":
+        workload = _multi_turn_sessions(
+            kind, starts, dist.CONVERSATION_NEW_INPUT, dist.CONVERSATION_OUTPUT, mean_turns, rng
+        )
+    else:
+        workload = _multi_turn_sessions(
+            kind, starts, dist.TOOLAGENT_NEW_INPUT, dist.TOOLAGENT_OUTPUT, mean_turns, rng
+        )
+    return workload
+
+
+def mixed_workload(num_requests: int, rate: float, seed: int = 0) -> Workload:
+    """50/50 ShareGPT + LooGLE mix used by the preemption study (Fig. 20)."""
+    rng = random.Random(seed)
+    arrivals = poisson_arrivals(rng, rate, num_requests)
+    requests = []
+    for i, t in enumerate(arrivals):
+        if rng.random() < 0.5:
+            new_input = new_segment(dist.SHAREGPT_INPUT.sample(rng))
+            output = dist.SHAREGPT_OUTPUT.sample(rng)
+        else:
+            new_input = new_segment(dist.LOOGLE_INPUT.sample(rng))
+            output = dist.LOOGLE_OUTPUT.sample(rng)
+        requests.append(
+            Request(
+                session_id=i,
+                turn_index=0,
+                arrival_time=t,
+                history=[],
+                new_input=new_input,
+                output_tokens=output,
+            )
+        )
+    return Workload(name="ShareGPT+LooGLE", requests=requests)
+
+
+def poissonized(workload: Workload, rate: float, seed: int = 0) -> Workload:
+    """Replace arrival timestamps with a fresh Poisson process (§4.2.3).
+
+    Sessions keep their internal order: a turn never arrives before its
+    predecessor's slot, so the request stream stays causally valid.
+    """
+    rng = random.Random(seed)
+    arrivals = poisson_arrivals(rng, rate, len(workload.requests))
+    by_original_order = sorted(workload.requests, key=lambda r: (r.arrival_time, r.request_id))
+    last_turn_time: dict[int, float] = {}
+    requests = []
+    for request, t in zip(by_original_order, arrivals):
+        previous = last_turn_time.get(request.session_id)
+        if previous is not None and t <= previous:
+            t = previous + 1e-6
+        last_turn_time[request.session_id] = t
+        requests.append(
+            Request(
+                session_id=request.session_id,
+                turn_index=request.turn_index,
+                arrival_time=t,
+                history=request.history,
+                new_input=request.new_input,
+                output_tokens=request.output_tokens,
+                output_segment=request.output_segment,
+            )
+        )
+    return Workload(name=f"{workload.name}@poisson", requests=requests)

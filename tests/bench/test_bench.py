@@ -1,0 +1,111 @@
+"""Unit tests for the bench harness: runner, goodput sweeps, reports."""
+
+import pytest
+
+from repro.bench import (
+    GoodputResult,
+    RatePoint,
+    goodput_ratio,
+    goodput_sweep,
+    latency_table,
+    run_system,
+    series,
+    tail_latency_table,
+    throughput_table,
+)
+from repro.bench.runner import RunResult
+from repro.core import MuxWiseServer
+from repro.baselines import ChunkedPrefillServer
+from repro.workloads import sharegpt_workload
+
+
+class TestRunner:
+    def test_run_system_produces_summary(self, cfg_70b):
+        wl = sharegpt_workload(30, rate=2.0, seed=1)
+        result = run_system(lambda sim, cfg: MuxWiseServer(sim, cfg), cfg_70b, wl)
+        assert result.summary.requests_finished == 30
+        assert 0.0 <= result.cache_hit_rate <= 1.0
+        assert result.sm_utilization > 0.0
+        assert "bubble_ratio" in result.extras
+
+    def test_stability_heuristic(self, cfg_70b):
+        wl = sharegpt_workload(30, rate=2.0, seed=1)
+        result = run_system(lambda sim, cfg: MuxWiseServer(sim, cfg), cfg_70b, wl)
+        assert result.stable
+        assert result.meets_slo == result.summary.slo_met
+
+    def test_disaggregated_system_aggregates_instances(self, cfg_70b):
+        from repro.baselines import SGLangPDServer
+
+        wl = sharegpt_workload(20, rate=1.0, seed=2)
+        result = run_system(lambda sim, cfg: SGLangPDServer(sim, cfg), cfg_70b, wl)
+        assert result.summary.requests_finished == 20
+
+
+class TestGoodputSweep:
+    def test_sweep_finds_knee(self, cfg_70b):
+        sweep = goodput_sweep(
+            "MuxWise",
+            lambda sim, cfg: MuxWiseServer(sim, cfg),
+            cfg_70b,
+            lambda rate: sharegpt_workload(40, rate=rate, seed=3),
+            rates=[1.0, 4.0],
+        )
+        assert sweep.goodput >= 1.0
+        assert len(sweep.points) >= 1
+
+    def test_sweep_stops_after_consecutive_failures(self, cfg_70b):
+        """An overloaded chunked server should trip the stop condition."""
+        sweep = goodput_sweep(
+            "Chunked",
+            lambda sim, cfg: ChunkedPrefillServer(sim, cfg, token_budget=256),
+            cfg_70b,
+            lambda rate: sharegpt_workload(250, rate=rate, seed=4),
+            rates=[40.0, 60.0, 80.0, 100.0],
+            stop_after_failures=1,
+        )
+        assert len(sweep.points) < 4
+
+    def test_goodput_ratio(self):
+        a = GoodputResult(system="a", points=[])
+        b = GoodputResult(system="b", points=[])
+        assert goodput_ratio(a, b) == float("inf")
+
+    def test_point_at(self, cfg_70b):
+        sweep = goodput_sweep(
+            "MuxWise",
+            lambda sim, cfg: MuxWiseServer(sim, cfg),
+            cfg_70b,
+            lambda rate: sharegpt_workload(20, rate=rate, seed=5),
+            rates=[2.0],
+        )
+        assert sweep.point_at(2.0) is not None
+        assert sweep.point_at(99.0) is None
+
+
+class TestReports:
+    def make_summary(self, cfg_70b):
+        wl = sharegpt_workload(15, rate=1.0, seed=6)
+        return run_system(lambda sim, cfg: MuxWiseServer(sim, cfg), cfg_70b, wl)
+
+    def test_latency_table_contains_all_rows(self, cfg_70b):
+        result = self.make_summary(cfg_70b)
+        text = latency_table({"MuxWise": result.summary, "Other": result.summary})
+        assert "MuxWise" in text and "Other" in text
+        assert "TTFT avg" in text
+
+    def test_tail_latency_table(self, cfg_70b):
+        result = self.make_summary(cfg_70b)
+        text = tail_latency_table({"MuxWise": result.summary})
+        assert "TBT p99" in text
+        assert ("yes" in text) or ("no" in text)
+
+    def test_throughput_table(self, cfg_70b):
+        result = self.make_summary(cfg_70b)
+        text = throughput_table({"MuxWise": result})
+        assert "Useful Tok/s" in text and "GPU util" in text
+
+    def test_series_formatting(self):
+        text = series("fig", [1.0, 2.0], [10.0, 20.0], "rate", "tbt")
+        assert "fig" in text
+        assert len(text.splitlines()) == 3

@@ -1,0 +1,66 @@
+"""Edge-case tests for the experiment runner's stability heuristics."""
+
+import math
+
+from repro.bench.runner import STABILITY_TTFT, RunResult
+from repro.serving.metrics import Summary
+
+
+def make_summary(**overrides) -> Summary:
+    base = dict(
+        name="x",
+        requests_total=100,
+        requests_finished=100,
+        ttft_avg=1.0,
+        ttft_p50=1.0,
+        ttft_p99=2.0,
+        tbt_avg=0.02,
+        tbt_p50=0.02,
+        tbt_p99=0.05,
+        tpot_avg=0.02,
+        tpot_p50=0.02,
+        e2e_avg=3.0,
+        e2e_p50=3.0,
+        token_throughput=1000.0,
+        useful_throughput=900.0,
+        output_throughput=500.0,
+        tbt_attainment=1.0,
+        slo_met=True,
+    )
+    base.update(overrides)
+    return Summary(**base)
+
+
+def make_result(summary: Summary) -> RunResult:
+    return RunResult(
+        summary=summary, cache_hit_rate=0.5, sm_utilization=0.7, bandwidth_utilization=0.5
+    )
+
+
+class TestStability:
+    def test_healthy_run_is_stable_and_meets_slo(self):
+        result = make_result(make_summary())
+        assert result.stable
+        assert result.meets_slo
+
+    def test_unfinished_requests_mark_unstable(self):
+        result = make_result(make_summary(requests_finished=90))
+        assert not result.stable
+        assert not result.meets_slo
+
+    def test_diverging_ttft_marks_unstable(self):
+        result = make_result(make_summary(ttft_p99=STABILITY_TTFT * 2))
+        assert not result.stable
+
+    def test_nan_ttft_marks_unstable(self):
+        result = make_result(make_summary(ttft_p99=math.nan))
+        assert not result.stable
+
+    def test_slo_violation_blocks_goodput_even_when_stable(self):
+        result = make_result(make_summary(slo_met=False, tbt_p99=0.2))
+        assert result.stable
+        assert not result.meets_slo
+
+    def test_boundary_ttft_exactly_at_threshold_is_stable(self):
+        result = make_result(make_summary(ttft_p99=STABILITY_TTFT))
+        assert result.stable

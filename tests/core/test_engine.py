@@ -1,0 +1,116 @@
+"""Unit tests for the multiplex engine: partitions, launches, bubbles."""
+
+import pytest
+
+from repro.core.engine import MultiplexEngine
+from repro.gpu.stream import Work
+from repro.serving.base import build_instance
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def setup(cfg_70b):
+    sim = Simulator()
+    instance = build_instance(sim, cfg_70b, cfg_70b.n_gpus, "engine-test")
+    engine = MultiplexEngine(sim, instance, cfg_70b, decode_sms=48)
+    return sim, instance, engine
+
+
+class TestPartitioning:
+    def test_initial_partition_covers_gpu(self, setup):
+        _, instance, engine = setup
+        assert engine.decode_sms + engine.prefill_sms == instance.device.total_sms
+
+    def test_set_partition_resizes_both_streams(self, setup):
+        sim, instance, engine = setup
+        engine.set_partition(64)
+        sim.run()
+        assert engine.decode_sms == 64
+        assert engine.prefill_sms == instance.device.total_sms - 64
+        assert engine.reconfigurations == 2
+
+    def test_same_partition_is_noop(self, setup):
+        sim, _, engine = setup
+        engine.set_partition(48)
+        assert engine.reconfigurations == 0
+
+    def test_prefill_all_expands_over_whole_gpu(self, setup):
+        sim, instance, engine = setup
+        engine.set_partition(48, prefill_all=True)
+        sim.run()
+        assert engine.prefill_sms == instance.device.total_sms
+
+    def test_invalid_partition_rejected(self, setup):
+        _, instance, engine = setup
+        with pytest.raises(ValueError):
+            engine.set_partition(0)
+        with pytest.raises(ValueError):
+            engine.set_partition(instance.device.total_sms)
+
+
+class TestLaunching:
+    def test_decode_launch_pays_graph_launch_time(self, setup, cfg_70b):
+        sim, instance, engine = setup
+        done = {}
+        work = Work(flops=instance.device.compute_rate(48) * 0.01, bytes=0.0)
+        engine.launch_decode(work, lambda t: done.setdefault("t", t))
+        sim.run()
+        assert done["t"] == pytest.approx(cfg_70b.launch.decode_launch() + 0.01, rel=1e-3)
+
+    def test_layerwise_prefill_launch_is_cheap(self, setup, cfg_70b):
+        sim, instance, engine = setup
+        done = {}
+        sms = engine.prefill_sms
+        work = Work(flops=instance.device.compute_rate(sms) * 0.01, bytes=0.0)
+        engine.launch_prefill_group(work, layer_count=8, on_done=lambda t: done.setdefault("t", t))
+        sim.run()
+        expected = cfg_70b.launch.prefill_layers_launch(8) + 0.01
+        assert done["t"] == pytest.approx(expected, rel=1e-3)
+
+    def test_non_layerwise_launch_blocks_host(self, cfg_70b):
+        """Full-phase launches occupy the host, delaying decode launches —
+        the first bubble type of Fig. 9."""
+        sim = Simulator()
+        instance = build_instance(sim, cfg_70b, cfg_70b.n_gpus, "nb")
+        engine = MultiplexEngine(sim, instance, cfg_70b, decode_sms=48, layerwise=False)
+        done = {}
+        prefill_work = Work(flops=instance.device.compute_rate(60) * 0.05, bytes=0.0)
+        engine.launch_prefill_group(
+            prefill_work, layer_count=80, on_done=lambda t: None, whole_phase_layers=80
+        )
+        decode_work = Work(flops=instance.device.compute_rate(48) * 0.001, bytes=0.0)
+        engine.launch_decode(decode_work, lambda t: done.setdefault("t", t))
+        sim.run()
+        full_launch = cfg_70b.launch.full_prefill_launch(80)
+        # Decode completion is pushed behind the long prefill launch.
+        assert done["t"] >= full_launch
+
+    def test_concurrent_streams_overlap_execution(self, setup):
+        sim, instance, engine = setup
+        done = {}
+        decode_work = Work(flops=instance.device.compute_rate(48) * 0.1, bytes=0.0)
+        prefill_work = Work(flops=instance.device.compute_rate(engine.prefill_sms) * 0.1, bytes=0.0)
+        engine.launch_decode(decode_work, lambda t: done.setdefault("d", t))
+        engine.launch_prefill_group(prefill_work, 10, lambda t: done.setdefault("p", t))
+        sim.run()
+        # Both finish around 0.1 s (+launches), i.e. they ran concurrently.
+        assert done["d"] < 0.12
+        assert done["p"] < 0.12
+
+
+class TestBubbleAccounting:
+    def test_bubble_ratio_reflects_idle_streams(self, setup):
+        sim, instance, engine = setup
+        work = Work(flops=instance.device.compute_rate(48) * 0.1, bytes=0.0)
+        engine.launch_decode(work, lambda t: None)
+        sim.run(until=0.4)
+        # Decode stream busy 0.1/0.4; prefill stream fully idle.
+        assert 0.5 < engine.bubble_ratio() <= 1.0
+
+    def test_reset_bubble_accounting(self, setup):
+        sim, instance, engine = setup
+        work = Work(flops=instance.device.compute_rate(48) * 0.1, bytes=0.0)
+        engine.launch_decode(work, lambda t: None)
+        sim.run(until=0.2)
+        engine.reset_bubble_accounting()
+        assert engine.bubble_ratio() == 0.0

@@ -1,0 +1,140 @@
+"""Unit tests for the contention-tolerant estimator."""
+
+import pytest
+
+from repro.core import (
+    ContentionGuard,
+    ContentionTolerantEstimator,
+    SoloRunPredictor,
+    batch_bucket,
+    calibrated_predictor,
+    token_bucket,
+)
+from repro.core.estimator import DecodeSample
+from repro.gpu import Device
+from repro.models import CostModel, PrefillItem, phase_latency
+from repro.sim import Simulator
+
+
+class TestBuckets:
+    def test_token_bucket_powers_of_four(self):
+        assert token_bucket(100) == 2048
+        assert token_bucket(2048) == 2048
+        assert token_bucket(2049) == 8192
+        assert token_bucket(50_000) == 131072
+        assert token_bucket(1_000_000) == 131072
+
+    def test_batch_bucket_rounds_up(self):
+        assert batch_bucket(1) == 1
+        assert batch_bucket(3) == 4
+        assert batch_bucket(33) == 40
+        assert batch_bucket(999) == 256
+
+
+class TestSoloRunPredictor:
+    def test_unfitted_predictor_raises(self):
+        with pytest.raises(RuntimeError):
+            SoloRunPredictor().predict_decode(8, 1024.0, 48)
+
+    def test_decode_accuracy_within_paper_bound(self, cfg_70b):
+        """Max deviation should be in the ballpark of the paper's 8.84 %."""
+        predictor = calibrated_predictor(cfg_70b)
+        cost_model = CostModel(cfg_70b.model, 8, cfg_70b.spec.nvlink_bandwidth)
+        device = Device(Simulator(), cfg_70b.spec, 8)
+        worst = 0.0
+        for bs in (2, 6, 24, 96, 192):
+            for ctx in (512, 3000, 20_000, 100_000):
+                truth = phase_latency(cost_model.decode_iter([ctx] * bs), device, 48)
+                pred = predictor.predict_decode(bs, float(bs * ctx), 48)
+                worst = max(worst, abs(pred - truth) / truth)
+        # The paper reports 8.84 % max deviation; the linear model's error
+        # concentrates at the roofline compute/memory kink, so allow 15 %.
+        assert worst < 0.15
+
+    def test_prefill_accuracy_within_paper_bound(self, cfg_70b):
+        """Max deviation should be in the ballpark of the paper's 8.16 %."""
+        predictor = calibrated_predictor(cfg_70b)
+        cost_model = CostModel(cfg_70b.model, 8, cfg_70b.spec.nvlink_bandwidth)
+        device = Device(Simulator(), cfg_70b.spec, 8)
+        worst = 0.0
+        for new in (300, 1500, 6000, 20_000):
+            for reused in (0, 3000, 60_000):
+                items = [PrefillItem(new=new, reused=reused)]
+                truth = phase_latency(cost_model.prefill_full(items), device, 60)
+                pred = predictor.predict_prefill(items, 60)
+                worst = max(worst, abs(pred - truth) / truth)
+        assert worst < 0.12
+
+    def test_prefill_prediction_scales_inverse_with_sms(self, cfg_70b):
+        predictor = calibrated_predictor(cfg_70b)
+        items = [PrefillItem(new=4096, reused=0)]
+        fast = predictor.predict_prefill(items, 92)
+        slow = predictor.predict_prefill(items, 46)
+        assert slow == pytest.approx(2 * fast, rel=0.25)
+
+    def test_decode_per_config_models(self, cfg_70b):
+        predictor = calibrated_predictor(cfg_70b)
+        starved = predictor.predict_decode(32, 32 * 1024.0, 16)
+        ample = predictor.predict_decode(32, 32 * 1024.0, 96)
+        assert starved > ample
+
+    def test_fit_on_synthetic_linear_data_is_exact(self):
+        predictor = SoloRunPredictor()
+        samples = [
+            DecodeSample(batch_size=bs, sum_reused=r, sm_count=48, latency=2e-6 * r + 1e-3 * bs + 0.005)
+            for bs in (1, 8, 32)
+            for r in (1000.0, 50_000.0, 200_000.0)
+        ]
+        predictor.fit_decode(samples)
+        assert predictor.predict_decode(16, 100_000.0, 48) == pytest.approx(
+            2e-6 * 100_000 + 1e-3 * 16 + 0.005, rel=1e-6
+        )
+
+
+class TestContentionGuard:
+    def test_default_for_unseen_cells(self):
+        guard = ContentionGuard(default=1.3)
+        key = guard.key(4096, 0, 32, 32 * 1024, 48)
+        assert guard.lookup(key) == 1.3
+
+    def test_update_keeps_maximum(self):
+        guard = ContentionGuard()
+        key = guard.key(4096, 0, 32, 32 * 1024, 48)
+        guard.update(key, 1.1)
+        guard.update(key, 1.05)
+        assert guard.lookup(key) == pytest.approx(1.1)
+
+    def test_update_clamps_below_one(self):
+        guard = ContentionGuard()
+        key = guard.key(4096, 0, 8, 8192, 48)
+        guard.update(key, 0.7)
+        assert guard.lookup(key) == 1.0
+
+    def test_cells_count(self):
+        guard = ContentionGuard()
+        guard.seed(guard.key(2048, 0, 1, 2048, 16), 1.05)
+        guard.seed(guard.key(8192, 0, 1, 2048, 16), 1.08)
+        assert guard.cells == 2
+
+
+class TestWorstCase:
+    def test_worst_case_inflates_solo_when_multiplexing(self, cfg_70b):
+        estimator = ContentionTolerantEstimator(calibrated_predictor(cfg_70b))
+        solo = estimator.solo_decode(32, 32 * 1024.0, 48)
+        worst = estimator.worst_case_decode(32, 32 * 1024.0, 48, prefill_new=4096)
+        assert worst == pytest.approx(solo * estimator.guard.default)
+
+    def test_no_prefill_means_no_inflation(self, cfg_70b):
+        estimator = ContentionTolerantEstimator(calibrated_predictor(cfg_70b))
+        solo = estimator.solo_decode(32, 32 * 1024.0, 48)
+        assert estimator.worst_case_decode(32, 32 * 1024.0, 48) == pytest.approx(solo)
+
+    def test_observe_refines_guard(self, cfg_70b):
+        estimator = ContentionTolerantEstimator(calibrated_predictor(cfg_70b))
+        solo = estimator.solo_decode(32, 32 * 1024.0, 48)
+        slowdown = estimator.observe_decode(
+            32, 32 * 1024.0, 48, observed_latency=solo * 1.5, prefill_new=4096, prefill_reused=0
+        )
+        assert slowdown == pytest.approx(1.5, rel=0.01)
+        worst = estimator.worst_case_decode(32, 32 * 1024.0, 48, prefill_new=4096)
+        assert worst == pytest.approx(solo * 1.5, rel=0.01)

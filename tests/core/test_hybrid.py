@@ -1,0 +1,66 @@
+"""Tests for the §5 hybrid deployment (MuxWise as the decode instance)."""
+
+import pytest
+
+from repro.baselines import SGLangPDServer
+from repro.core import HybridPDServer
+from repro.serving import SLO, ServingConfig
+from repro.sim import Simulator
+from repro.workloads import sharegpt_workload, toolagent_workload
+
+
+def run(cls, cfg, workload, **kwargs):
+    sim = Simulator()
+    server = cls(sim, cfg, **kwargs)
+    server.submit(workload)
+    server.run()
+    return server
+
+
+class TestHybridPD:
+    def test_completes_and_meets_slo(self, cfg_70b):
+        wl = toolagent_workload(40, request_rate=0.8, seed=61)
+        server = run(HybridPDServer, cfg_70b, wl)
+        summary = server.metrics.summarize()
+        assert summary.requests_finished == summary.requests_total
+        assert summary.slo_met
+
+    def test_short_requests_served_locally(self, cfg_70b):
+        """Short prefills run on the MuxWise side, skipping migration."""
+        wl = sharegpt_workload(40, rate=2.0, seed=62)
+        server = run(HybridPDServer, cfg_70b, wl)
+        # The dedicated prefill instance never saw the short requests.
+        assert server.prefill_inst.cache.stats.lookups == 0
+        assert server.metrics.summarize().requests_finished == 40
+
+    def test_long_requests_use_dedicated_instance(self, cfg_70b):
+        wl = toolagent_workload(30, request_rate=0.6, seed=63)
+        server = run(HybridPDServer, cfg_70b, wl)
+        assert server.prefill_inst.cache.stats.lookups > 0
+
+    def test_better_ttft_than_static_disaggregation(self, cfg_70b):
+        """Replacing the idle decode instance with MuxWise exploits idle
+        compute, improving prefill latency under load (§5)."""
+        wl = toolagent_workload(50, request_rate=1.2, seed=64)
+        hybrid = run(HybridPDServer, cfg_70b, wl).metrics.summarize()
+        static = run(SGLangPDServer, cfg_70b, wl).metrics.summarize()
+        assert hybrid.ttft_p99 <= static.ttft_p99 * 1.05
+
+    def test_needs_two_gpus(self, cfg_8b_single):
+        with pytest.raises(ValueError):
+            HybridPDServer(Simulator(), cfg_8b_single)
+
+
+class TestPerTokenTTFT:
+    def test_target_scales_with_length(self):
+        slo = SLO(tbt=0.1, ttft=5.0, ttft_per_token=0.01)
+        assert slo.ttft_target(100_000) == pytest.approx(1000.0)
+        assert slo.ttft_target(1) == SLO.MIN_TTFT_DEADLINE
+
+    def test_flat_target_without_per_token(self):
+        slo = SLO(tbt=0.1, ttft=5.0)
+        assert slo.ttft_target(1) == slo.ttft_target(100_000) == 5.0
+
+    def test_invalid_per_token_rejected(self):
+        with pytest.raises(ValueError):
+            SLO(tbt=0.1, ttft_per_token=0.0)

@@ -1,0 +1,165 @@
+"""Behavioural tests for the MuxWise server: partitioning, bubbles,
+merging, ablations and preemption."""
+
+import pytest
+
+from repro.core import MuxWiseServer
+from repro.gpu import decode_partition_options
+from repro.kvcache import new_segment
+from repro.serving import ServingConfig
+from repro.sim import Simulator
+from repro.workloads import Request, Workload, loogle_workload, openthoughts_workload, sharegpt_workload
+
+
+def run_server(cfg, workload, **kwargs):
+    sim = Simulator()
+    server = MuxWiseServer(sim, cfg, **kwargs)
+    server.submit(workload)
+    server.run()
+    return server
+
+
+def single_request(input_tokens=512, output_tokens=8, arrival=0.0, session=0, turn=0, history=None):
+    return Request(
+        session_id=session,
+        turn_index=turn,
+        arrival_time=arrival,
+        history=history or [],
+        new_input=new_segment(input_tokens),
+        output_tokens=output_tokens,
+    )
+
+
+class TestBasicServing:
+    def test_single_request_completes(self, cfg_70b):
+        server = run_server(cfg_70b, Workload("one", [single_request()]))
+        summary = server.metrics.summarize()
+        assert summary.requests_finished == 1
+        assert summary.ttft_p99 > 0
+
+    def test_all_requests_finish(self, cfg_70b):
+        wl = sharegpt_workload(60, rate=3.0, seed=1)
+        server = run_server(cfg_70b, wl)
+        assert server.metrics.summarize().requests_finished == 60
+
+    def test_meets_tbt_slo_at_moderate_load(self, cfg_70b):
+        wl = sharegpt_workload(80, rate=4.0, seed=2)
+        server = run_server(cfg_70b, wl)
+        summary = server.metrics.summarize()
+        assert summary.slo_met, f"P99 TBT {summary.tbt_p99 * 1e3:.1f} ms"
+
+    def test_multi_turn_reuses_cache(self, cfg_70b):
+        shared = new_segment(5000)
+        first = single_request(session=1, turn=0, history=[shared])
+        second = single_request(
+            session=1,
+            turn=1,
+            arrival=0.1,
+            history=[shared, first.new_input, first.output_segment],
+        )
+        server = run_server(cfg_70b, Workload("turns", [first, second]))
+        assert server.metrics.summarize().requests_finished == 2
+        assert server.instance.cache.stats.tokens_hit > 0
+
+    def test_oversized_request_dropped_not_deadlocked(self, cfg_70b):
+        huge = single_request(input_tokens=10_000_000, output_tokens=4)
+        ok = single_request(arrival=0.1, session=2)
+        server = run_server(cfg_70b, Workload("mix", [huge, ok]))
+        assert server.metrics.summarize().requests_finished == 1
+
+
+class TestPartitioning:
+    def test_partition_stays_within_options(self, cfg_70b):
+        wl = sharegpt_workload(60, rate=4.0, seed=3)
+        server = run_server(cfg_70b, wl)
+        options = set(decode_partition_options(cfg_70b.spec))
+        for _, decode_sms, _ in server.partition_log:
+            assert decode_sms in options
+
+    def test_loogle_gives_prefill_most_sms(self, cfg_70b):
+        """Fig. 18: on LooGLE most SMs go to prefill."""
+        wl = loogle_workload(12, rate=0.15, seed=4)
+        server = run_server(cfg_70b, wl)
+        total = cfg_70b.spec.sms
+        shares = [p / total for _, _, p in server.partition_log if p < total]
+        assert shares and sum(shares) / len(shares) > 0.5
+
+    def test_decode_heavy_workload_allocates_more_decode_sms(self, cfg_8b):
+        """Fig. 18: OpenThoughts (decode-heavy) shifts SMs toward decode
+        relative to LooGLE (prefill-heavy)."""
+        ot = run_server(cfg_8b, openthoughts_workload(15, rate=1.0, seed=5))
+        lg = run_server(cfg_8b, loogle_workload(15, rate=0.2, seed=5))
+
+        def mean_decode_share(server):
+            entries = [d for _, d, _ in server.partition_log]
+            return sum(entries) / max(1, len(entries))
+
+        assert mean_decode_share(ot) >= mean_decode_share(lg)
+
+    def test_prefill_expands_when_decode_idle(self, cfg_70b):
+        wl = Workload("solo", [single_request(input_tokens=30_000, output_tokens=2)])
+        server = run_server(cfg_70b, wl)
+        # With no decode batch, prefill runs on the whole GPU at some point.
+        assert any(p == cfg_70b.spec.sms for _, _, p in server.partition_log)
+
+
+class TestAblations:
+    def test_disabling_layerwise_hurts_tbt(self, cfg_70b):
+        """Fig. 19: full-phase launches block decode launches (~10 ms)."""
+        wl = sharegpt_workload(60, rate=4.0, seed=6)
+        with_lw = run_server(cfg_70b, wl, layerwise=True).metrics.summarize()
+        without = run_server(cfg_70b, wl, layerwise=False).metrics.summarize()
+        assert without.tbt_p99 >= with_lw.tbt_p99
+
+    def test_disabling_query_sync_hurts_tbt_more(self, cfg_70b):
+        """Fig. 19: blocking merges stall decode significantly."""
+        wl = sharegpt_workload(60, rate=4.0, seed=6)
+        baseline = run_server(cfg_70b, wl).metrics.summarize()
+        blocked = run_server(cfg_70b, wl, layerwise=False, query_sync=False).metrics.summarize()
+        assert blocked.tbt_p99 > baseline.tbt_p99
+
+    def test_bubble_ratio_is_small(self, cfg_70b):
+        """§4.4.2: MuxWise's bubble ratio stays in the single digits at load."""
+        wl = sharegpt_workload(120, rate=6.0, seed=7)
+        sim = Simulator()
+        server = MuxWiseServer(sim, cfg_70b)
+        server.submit(wl)
+        server.run(until=wl.requests[-1].arrival_time)
+        assert server.engine.bubble_ratio() < 0.35
+
+
+class TestPreemption:
+    def make_mixed(self):
+        long = single_request(input_tokens=60_000, output_tokens=4, arrival=0.0, session=0)
+        short = single_request(input_tokens=300, output_tokens=4, arrival=0.05, session=1)
+        return long, short
+
+    def test_short_request_preempts_long_prefill(self, cfg_70b):
+        long, short = self.make_mixed()
+        server = run_server(cfg_70b, Workload("mix", [long, short]), preemption=True)
+        ttft_short = server.metrics.records[short.request_id].ttft
+        server2 = run_server(
+            cfg_70b,
+            Workload("mix2", [
+                single_request(input_tokens=60_000, output_tokens=4, session=0),
+                single_request(input_tokens=300, output_tokens=4, arrival=0.05, session=1),
+            ]),
+            preemption=False,
+        )
+        short2 = [r for r in server2.metrics.records.values() if r.request.input_tokens == 300][0]
+        assert ttft_short < short2.ttft
+
+    def test_preempted_long_request_still_finishes(self, cfg_70b):
+        long, short = self.make_mixed()
+        server = run_server(cfg_70b, Workload("mix", [long, short]), preemption=True)
+        assert server.metrics.summarize().requests_finished == 2
+
+    def test_no_recursive_preemption(self, cfg_70b):
+        """A preemptor may not itself be preempted."""
+        requests = [
+            single_request(input_tokens=80_000, output_tokens=3, arrival=0.0, session=0),
+            single_request(input_tokens=8_000, output_tokens=3, arrival=0.05, session=1),
+            single_request(input_tokens=200, output_tokens=3, arrival=0.10, session=2),
+        ]
+        server = run_server(cfg_70b, Workload("three", requests), preemption=True)
+        assert server.metrics.summarize().requests_finished == 3

@@ -1,0 +1,212 @@
+"""Unit tests for the fluid-flow device: rooflines, contention, memory."""
+
+import math
+
+import pytest
+
+from repro.gpu import A100, H100, Device, ExecTask, OutOfMemoryError
+from repro.sim import Simulator
+
+
+def make_device(n_gpus: int = 1, spec=A100):
+    sim = Simulator()
+    return sim, Device(sim, spec, n_gpus=n_gpus)
+
+
+def run_task(sim, device, **kwargs) -> float:
+    done = {}
+    task = ExecTask(on_complete=lambda t: done.setdefault("t", t), **kwargs)
+    device.submit(task)
+    sim.run()
+    return done["t"]
+
+
+class TestSoloExecution:
+    def test_compute_bound_task_duration(self):
+        sim, device = make_device()
+        flops = device.compute_rate(device.total_sms) * 0.5  # exactly 0.5 s
+        elapsed = run_task(sim, device, flops=flops, bytes=1.0, sm_count=device.total_sms)
+        assert elapsed == pytest.approx(0.5, rel=1e-6)
+
+    def test_memory_bound_task_duration(self):
+        sim, device = make_device()
+        nbytes = device.effective_bandwidth * 0.25
+        elapsed = run_task(sim, device, flops=1.0, bytes=nbytes, sm_count=device.total_sms)
+        assert elapsed == pytest.approx(0.25, rel=1e-6)
+
+    def test_roofline_takes_maximum(self):
+        sim, device = make_device()
+        flops = device.compute_rate(device.total_sms) * 0.4
+        nbytes = device.effective_bandwidth * 0.1
+        elapsed = run_task(sim, device, flops=flops, bytes=nbytes, sm_count=device.total_sms)
+        assert elapsed == pytest.approx(0.4, rel=1e-6)
+
+    def test_fixed_time_appends(self):
+        sim, device = make_device()
+        flops = device.compute_rate(device.total_sms) * 0.1
+        elapsed = run_task(
+            sim, device, flops=flops, bytes=0.0, sm_count=device.total_sms, fixed_time=0.05
+        )
+        assert elapsed == pytest.approx(0.15, rel=1e-6)
+
+    def test_zero_work_task_completes_after_fixed_time(self):
+        sim, device = make_device()
+        elapsed = run_task(sim, device, flops=0.0, bytes=0.0, sm_count=10, fixed_time=0.01)
+        assert elapsed == pytest.approx(0.01, rel=1e-6)
+
+    def test_compute_scales_with_sm_count(self):
+        sim, device = make_device()
+        flops = device.compute_rate(device.total_sms) * 0.1
+        full = ExecTask(flops=flops, bytes=0.0, sm_count=device.total_sms)
+        half = ExecTask(flops=flops, bytes=0.0, sm_count=device.total_sms // 2)
+        assert half.solo_time(device) == pytest.approx(2 * full.solo_time(device), rel=0.02)
+
+    def test_max_bandwidth_caps_memory_rate(self):
+        sim, device = make_device()
+        nbytes = device.effective_bandwidth * 0.1
+        elapsed = run_task(
+            sim,
+            device,
+            flops=1.0,
+            bytes=nbytes,
+            sm_count=device.total_sms,
+            max_bandwidth=device.effective_bandwidth / 2,
+        )
+        assert elapsed == pytest.approx(0.2, rel=1e-6)
+
+    def test_tp_group_aggregates_resources(self):
+        sim1, one = make_device(n_gpus=1)
+        sim8, eight = make_device(n_gpus=8)
+        assert eight.effective_bandwidth == pytest.approx(8 * one.effective_bandwidth)
+        assert eight.compute_rate(10) == pytest.approx(8 * one.compute_rate(10))
+
+    def test_invalid_sm_count_rejected(self):
+        _, device = make_device()
+        with pytest.raises(ValueError):
+            device.compute_rate(0)
+        with pytest.raises(ValueError):
+            device.compute_rate(device.total_sms + 1)
+
+
+class TestContention:
+    def test_memory_bound_corunner_slows_down(self):
+        """A memory-bound task co-running with a busy partition slows by a
+        bounded factor (the paper's Fig. 11 effect)."""
+        sim, device = make_device(n_gpus=8)
+        solo_sim, solo_device = make_device(n_gpus=8)
+        nbytes = solo_device.effective_bandwidth * 0.05
+        solo = run_task(solo_sim, solo_device, flops=1.0, bytes=nbytes, sm_count=48)
+
+        done = {}
+        # A compute-bound co-runner (prefill-like): modest bandwidth demand.
+        big_flops = device.compute_rate(60) * 0.5
+        big_bytes = device.effective_bandwidth * 0.05
+        device.submit(ExecTask(flops=big_flops, bytes=big_bytes, sm_count=60))
+        device.submit(
+            ExecTask(
+                flops=1.0,
+                bytes=nbytes,
+                sm_count=48,
+                on_complete=lambda t: done.setdefault("t", t),
+            )
+        )
+        sim.run()
+        slowdown = done["t"] / solo
+        assert 1.0 <= slowdown <= 1.45
+
+    def test_compute_bound_task_absorbs_interference(self):
+        """Compute-bound tasks barely slow down under co-running."""
+        sim, device = make_device(n_gpus=8)
+        flops = device.compute_rate(48) * 0.2
+        solo = ExecTask(flops=flops, bytes=1e6, sm_count=48).solo_time(device)
+        done = {}
+        device.submit(ExecTask(flops=device.compute_rate(60) * 0.3, bytes=1e9, sm_count=60))
+        device.submit(
+            ExecTask(
+                flops=flops, bytes=1e6, sm_count=48, on_complete=lambda t: done.setdefault("t", t)
+            )
+        )
+        sim.run()
+        assert done["t"] <= solo * 1.05
+
+    def test_oversubscribed_sms_share_compute(self):
+        """Two full-SM tasks (plain streams) each run at ~half speed."""
+        sim, device = make_device()
+        flops = device.compute_rate(device.total_sms) * 0.1
+        done = {}
+        for name in ("a", "b"):
+            device.submit(
+                ExecTask(
+                    flops=flops,
+                    bytes=0.0,
+                    sm_count=device.total_sms,
+                    on_complete=lambda t, n=name: done.setdefault(n, t),
+                )
+            )
+        sim.run()
+        assert done["a"] == pytest.approx(0.2, rel=1e-6)
+        assert done["b"] == pytest.approx(0.2, rel=1e-6)
+
+    def test_bandwidth_shared_fairly_between_memory_bound_tasks(self):
+        sim, device = make_device()
+        nbytes = device.effective_bandwidth * 0.1
+        done = {}
+        for name in ("a", "b"):
+            device.submit(
+                ExecTask(
+                    flops=1.0,
+                    bytes=nbytes,
+                    sm_count=20,
+                    on_complete=lambda t, n=name: done.setdefault(n, t),
+                )
+            )
+        sim.run()
+        # Each gets ~half bandwidth (interference makes it slightly worse).
+        assert done["a"] == pytest.approx(done["b"], rel=1e-6)
+        assert 0.2 <= done["a"] <= 0.25
+
+    def test_h100_contention_stronger_than_a100(self):
+        assert H100.contention_kappa > A100.contention_kappa
+
+
+class TestMemoryAccounting:
+    def test_alloc_and_free(self):
+        _, device = make_device()
+        device.alloc_memory(10 * 2**30)
+        assert device.mem_free == pytest.approx(device.mem_capacity - 10 * 2**30)
+        device.free_memory(10 * 2**30)
+        assert device.mem_free == pytest.approx(device.mem_capacity)
+
+    def test_over_allocation_raises(self):
+        _, device = make_device()
+        with pytest.raises(OutOfMemoryError):
+            device.alloc_memory(device.mem_capacity + 1)
+
+    def test_negative_alloc_rejected(self):
+        _, device = make_device()
+        with pytest.raises(ValueError):
+            device.alloc_memory(-1)
+
+    def test_free_never_goes_negative(self):
+        _, device = make_device()
+        device.alloc_memory(100)
+        device.free_memory(1e12)
+        assert device.mem_allocated == 0.0
+
+
+class TestUtilization:
+    def test_sm_utilization_tracks_busy_fraction(self):
+        sim, device = make_device()
+        flops = device.compute_rate(device.total_sms // 2) * 1.0
+        run_task(sim, device, flops=flops, bytes=0.0, sm_count=device.total_sms // 2)
+        sim.schedule(1.0, lambda: None)  # extend the window to t=2
+        sim.run()
+        util = device.sm_utilization()
+        # Half the SMs for half the window.
+        assert util == pytest.approx(0.25, rel=0.05)
+
+    def test_reset_accounting(self):
+        sim, device = make_device()
+        run_task(sim, device, flops=device.compute_rate(50), bytes=0.0, sm_count=50)
+        device.reset_accounting()
+        assert device.sm_utilization() == 0.0

@@ -1,0 +1,57 @@
+"""Unit tests for GPU specifications and partition options."""
+
+import pytest
+
+from repro.gpu import A100, H100, H200, H200_NVL, SPECS_BY_NAME, GPUSpec, decode_partition_options
+
+
+class TestSpecs:
+    def test_a100_parameters(self):
+        assert A100.sms == 108
+        assert A100.mem_bytes == 80 * 2**30
+        assert A100.peak_flops == pytest.approx(312e12)
+
+    def test_h100_parameters(self):
+        assert H100.sms == 132
+        assert H100.peak_flops > A100.peak_flops
+        assert H100.mem_bandwidth > A100.mem_bandwidth
+
+    def test_h200_has_more_memory_and_bandwidth_than_h100(self):
+        assert H200.mem_bytes > H100.mem_bytes
+        assert H200.mem_bandwidth > H100.mem_bandwidth
+
+    def test_registry_contains_all_specs(self):
+        for spec in (A100, H100, H200, H200_NVL):
+            assert SPECS_BY_NAME[spec.name] is spec
+
+    def test_effective_rates_discounted(self):
+        assert A100.effective_flops < A100.peak_flops
+        assert A100.effective_bandwidth < A100.mem_bandwidth
+
+    def test_with_overrides_returns_modified_copy(self):
+        fat = A100.with_overrides(mem_bytes=160 * 2**30)
+        assert fat.mem_bytes == 160 * 2**30
+        assert A100.mem_bytes == 80 * 2**30
+        assert fat.sms == A100.sms
+
+
+class TestPartitionOptions:
+    def test_a100_has_six_configurations(self):
+        """The paper: 16-SM granularity yields 6 configurations on A100."""
+        options = decode_partition_options(A100)
+        assert options == [16, 32, 48, 64, 80, 96]
+
+    def test_h100_has_seven_configurations(self):
+        """...and 7 on H100."""
+        options = decode_partition_options(H100)
+        assert options == [16, 32, 48, 64, 80, 96, 112]
+
+    def test_options_are_multiples_of_granularity(self):
+        for spec in (A100, H100, H200):
+            for sm in decode_partition_options(spec):
+                assert sm % spec.sm_granularity == 0
+
+    def test_every_option_leaves_prefill_sms(self):
+        for spec in (A100, H100, H200):
+            for sm in decode_partition_options(spec):
+                assert spec.sms - sm >= spec.sm_granularity // 2

@@ -1,0 +1,157 @@
+"""Unit tests for streams (green contexts), host thread and launch model."""
+
+import pytest
+
+from repro.gpu import A100, Device, HostThread, LaunchModel, Stream, Work
+from repro.gpu.launch import KERNELS_FIXED, KERNELS_PER_LAYER, GraphMemoryModel
+from repro.sim import Simulator
+
+
+def make_stream(sm_count: int = 54):
+    sim = Simulator()
+    device = Device(sim, A100)
+    return sim, device, Stream(device, sm_count)
+
+
+def timed_work(device: Device, sm_count: int, seconds: float) -> Work:
+    return Work(flops=device.compute_rate(sm_count) * seconds, bytes=0.0)
+
+
+class TestStream:
+    def test_work_executes_on_partition(self):
+        sim, device, stream = make_stream(54)
+        handle = stream.submit(timed_work(device, 54, 0.1))
+        sim.run()
+        assert handle.done
+        assert handle.completion_time == pytest.approx(0.1, rel=1e-6)
+
+    def test_serial_execution_order(self):
+        sim, device, stream = make_stream(54)
+        first = stream.submit(timed_work(device, 54, 0.1))
+        second = stream.submit(timed_work(device, 54, 0.1))
+        sim.run()
+        assert first.completion_time == pytest.approx(0.1, rel=1e-6)
+        assert second.completion_time == pytest.approx(0.2, rel=1e-6)
+
+    def test_query_is_nonblocking(self):
+        sim, device, stream = make_stream(54)
+        handle = stream.submit(timed_work(device, 54, 0.1))
+        assert handle.query() is False
+        sim.run()
+        assert handle.query() is True
+
+    def test_callback_fires_immediately_if_done(self):
+        sim, device, stream = make_stream(54)
+        handle = stream.submit(timed_work(device, 54, 0.05))
+        sim.run()
+        seen = []
+        handle.on_complete(lambda t: seen.append(t))
+        assert seen == [handle.completion_time]
+
+    def test_resize_changes_partition_after_queued_work(self):
+        sim, device, stream = make_stream(54)
+        stream.submit(timed_work(device, 54, 0.1))
+        stream.resize(27)
+        handle = stream.submit(timed_work(device, 27, 0.1))
+        sim.run()
+        assert stream.sm_count == 27
+        assert handle.completion_time == pytest.approx(
+            0.1 + A100.greenctx_reconfig_time + 0.1, rel=1e-4
+        )
+
+    def test_resize_validation(self):
+        _, device, stream = make_stream()
+        with pytest.raises(ValueError):
+            stream.resize(0)
+        with pytest.raises(ValueError):
+            stream.resize(device.total_sms + 1)
+
+    def test_barrier_completes_after_queued_work(self):
+        sim, device, stream = make_stream(54)
+        stream.submit(timed_work(device, 54, 0.2))
+        barrier = stream.barrier()
+        sim.run()
+        assert barrier.completion_time == pytest.approx(0.2, rel=1e-6)
+
+    def test_barrier_on_idle_stream_completes_now(self):
+        sim, device, stream = make_stream(54)
+        barrier = stream.barrier()
+        assert barrier.done
+
+    def test_bubble_ratio_counts_idle_time(self):
+        sim, device, stream = make_stream(54)
+        stream.submit(timed_work(device, 54, 0.5))
+        sim.schedule(1.0, lambda: None)  # extend the window to t=1
+        sim.run()
+        assert stream.bubble_ratio() == pytest.approx(0.5, rel=0.02)
+
+    def test_bubble_ratio_zero_when_always_busy(self):
+        sim, device, stream = make_stream(54)
+        stream.submit(timed_work(device, 54, 1.0))
+        sim.run()
+        assert stream.bubble_ratio() == pytest.approx(0.0, abs=1e-6)
+
+
+class TestHostThread:
+    def test_serializes_operations(self):
+        sim = Simulator()
+        host = HostThread(sim)
+        times = []
+        host.enqueue(0.01, lambda: times.append(sim.now))
+        host.enqueue(0.02, lambda: times.append(sim.now))
+        sim.run()
+        assert times[0] == pytest.approx(0.01)
+        assert times[1] == pytest.approx(0.03)
+
+    def test_busy_flag(self):
+        sim = Simulator()
+        host = HostThread(sim)
+        host.enqueue(0.5, lambda: None)
+        assert host.busy
+        sim.run()
+        assert not host.busy
+
+    def test_busy_seconds_accumulate(self):
+        sim = Simulator()
+        host = HostThread(sim)
+        host.enqueue(0.1, lambda: None)
+        host.enqueue(0.2, lambda: None)
+        sim.run()
+        assert host.busy_seconds == pytest.approx(0.3)
+
+    def test_negative_duration_rejected(self):
+        host = HostThread(Simulator())
+        with pytest.raises(ValueError):
+            host.enqueue(-1.0, lambda: None)
+
+
+class TestLaunchModel:
+    def test_full_prefill_launch_is_tens_of_ms_for_70b(self):
+        """The paper: launching a prefill phase takes tens of milliseconds."""
+        launch = LaunchModel()
+        assert 0.005 <= launch.full_prefill_launch(80) <= 0.05
+
+    def test_layerwise_launch_is_about_10ms_for_70b(self):
+        """The paper: piecewise graphs still incur ~10 ms for Llama-70B."""
+        launch = LaunchModel()
+        assert 0.008 <= launch.layerwise_prefill_launch(80) <= 0.012
+
+    def test_decode_launch_under_half_millisecond(self):
+        """The paper: launching a decode iteration takes < 0.5 ms."""
+        assert LaunchModel().decode_launch() < 0.5e-3
+
+    def test_kernel_count_scales_with_layers(self):
+        launch = LaunchModel()
+        assert launch.full_prefill_launch(80) == pytest.approx(
+            (80 * KERNELS_PER_LAYER + KERNELS_FIXED) * launch.kernel_launch_time
+        )
+
+    def test_graph_memory_scales_with_configs(self):
+        graphs = GraphMemoryModel()
+        single = graphs.baseline_graphs_bytes(20)
+        multi = graphs.decode_graphs_bytes(20, 6)
+        assert multi == pytest.approx(6 * single)
+
+    def test_greenctx_pool_is_4mb(self):
+        """The paper: creating a group of green contexts requires only 4 MB."""
+        assert GraphMemoryModel().greenctx_pool_bytes == 4 * 2**20

@@ -1,0 +1,86 @@
+"""Unit tests for the timeline tracer (Nsight-like span capture)."""
+
+import pytest
+
+from repro.gpu import A100, Device, Stream, Work
+from repro.gpu.timeline import Span, Timeline, attach_timeline
+from repro.sim import Simulator
+
+
+class TestSpans:
+    def test_duration(self):
+        assert Span("s", "k", 1.0, 3.0).duration == 2.0
+
+    def test_invalid_span_rejected(self):
+        with pytest.raises(ValueError):
+            Span("s", "k", 2.0, 1.0)
+
+
+class TestTimeline:
+    def make(self) -> Timeline:
+        timeline = Timeline()
+        timeline.record("decode", "iter", 0.0, 1.0)
+        timeline.record("decode", "iter", 2.0, 3.0)
+        timeline.record("prefill", "layer", 0.5, 2.5)
+        return timeline
+
+    def test_streams_in_order(self):
+        assert self.make().streams() == ["decode", "prefill"]
+
+    def test_busy_time_merges_overlaps(self):
+        timeline = Timeline()
+        timeline.record("s", "a", 0.0, 2.0)
+        timeline.record("s", "b", 1.0, 3.0)
+        assert timeline.busy_time("s") == pytest.approx(3.0)
+
+    def test_bubbles_in_window(self):
+        timeline = self.make()
+        gaps = timeline.bubbles("decode", 0.0, 3.0)
+        assert gaps == [(1.0, 2.0)]
+
+    def test_bubbles_include_leading_and_trailing_idle(self):
+        timeline = self.make()
+        gaps = timeline.bubbles("prefill", 0.0, 3.0)
+        assert gaps == [(0.0, 0.5), (2.5, 3.0)]
+
+    def test_bubble_ratio(self):
+        timeline = self.make()
+        assert timeline.bubble_ratio("decode", 0.0, 3.0) == pytest.approx(1.0 / 3.0)
+
+    def test_mean_bubble_ratio(self):
+        timeline = self.make()
+        expected = (1.0 / 3.0 + 1.0 / 3.0) / 2.0
+        assert timeline.mean_bubble_ratio(0.0, 3.0) == pytest.approx(expected)
+
+    def test_empty_timeline(self):
+        timeline = Timeline()
+        assert timeline.mean_bubble_ratio(0.0, 1.0) == 0.0
+        assert timeline.render() == "(empty timeline)"
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().bubbles("decode", 3.0, 1.0)
+
+    def test_render_shows_lanes(self):
+        text = self.make().render(width=30)
+        assert "decode" in text and "prefill" in text
+        assert "#" in text
+
+
+class TestAttach:
+    def test_traces_real_stream_execution(self):
+        sim = Simulator()
+        device = Device(sim, A100)
+        decode = Stream(device, 48, name="decode-gc")
+        prefill = Stream(device, 60, name="prefill-gc")
+        timeline = attach_timeline(decode, prefill)
+
+        decode.submit(Work(flops=device.compute_rate(48) * 0.1, bytes=0.0, tag="iter"))
+        prefill.submit(Work(flops=device.compute_rate(60) * 0.2, bytes=0.0, tag="layers"))
+        sim.run()
+
+        assert len(timeline.spans) == 2
+        assert timeline.busy_time("decode-gc") == pytest.approx(0.1, rel=0.05)
+        assert timeline.busy_time("prefill-gc") == pytest.approx(0.2, rel=0.05)
+        # Concurrent execution: decode finishes during prefill's span.
+        assert timeline.bubble_ratio("decode-gc", 0.0, 0.2) == pytest.approx(0.5, rel=0.1)

@@ -1,0 +1,81 @@
+"""Unit tests for the paged KV pool."""
+
+import pytest
+
+from repro.kvcache import KVCachePool, PoolExhaustedError
+
+
+def make_pool(capacity_tokens: int = 1024, page_tokens: int = 16) -> KVCachePool:
+    return KVCachePool(
+        capacity_bytes=capacity_tokens * 100.0, kv_bytes_per_token=100.0, page_tokens=page_tokens
+    )
+
+
+class TestCapacity:
+    def test_capacity_tokens(self):
+        pool = make_pool(1024)
+        assert pool.capacity_tokens == 1024
+
+    def test_capacity_rounds_down_to_whole_pages(self):
+        pool = KVCachePool(capacity_bytes=1700.0, kv_bytes_per_token=100.0, page_tokens=16)
+        assert pool.capacity_pages == 1
+        assert pool.capacity_tokens == 16
+
+    def test_zero_capacity_pool(self):
+        pool = KVCachePool(capacity_bytes=0.0, kv_bytes_per_token=100.0)
+        assert pool.capacity_tokens == 0
+        assert not pool.can_allocate(1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            KVCachePool(capacity_bytes=-1, kv_bytes_per_token=1)
+        with pytest.raises(ValueError):
+            KVCachePool(capacity_bytes=1, kv_bytes_per_token=0)
+        with pytest.raises(ValueError):
+            KVCachePool(capacity_bytes=1, kv_bytes_per_token=1, page_tokens=0)
+
+
+class TestAllocation:
+    def test_allocate_rounds_up_to_pages(self):
+        pool = make_pool(1024, page_tokens=16)
+        pages = pool.allocate(17)
+        assert pages == 2
+        assert pool.used_pages == 2
+
+    def test_allocate_zero_tokens(self):
+        pool = make_pool()
+        assert pool.allocate(0) == 0
+
+    def test_free_tokens_decrease_on_allocation(self):
+        pool = make_pool(1024)
+        pool.allocate(160)
+        assert pool.free_tokens == 1024 - 160
+
+    def test_exhaustion_raises(self):
+        pool = make_pool(64)
+        pool.allocate(64)
+        with pytest.raises(PoolExhaustedError):
+            pool.allocate(1)
+
+    def test_release_returns_pages(self):
+        pool = make_pool(64)
+        pages = pool.allocate(64)
+        pool.release_pages(pages)
+        assert pool.free_pages == pool.capacity_pages
+
+    def test_release_more_than_allocated_raises(self):
+        pool = make_pool()
+        with pytest.raises(ValueError):
+            pool.release_pages(1)
+
+    def test_can_allocate_predicts_allocate(self):
+        pool = make_pool(64, page_tokens=16)
+        pool.allocate(48)
+        assert pool.can_allocate(16)
+        assert not pool.can_allocate(17)
+
+    def test_utilization(self):
+        pool = make_pool(100, page_tokens=10)
+        assert pool.utilization() == 0.0
+        pool.allocate(50)
+        assert pool.utilization() == pytest.approx(0.5)

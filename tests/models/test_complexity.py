@@ -1,0 +1,87 @@
+"""Table 2 complexity checks: the cost model's asymptotic scaling.
+
+======================  =====================  ============
+Phase                   Attention              FFN
+======================  =====================  ============
+Prefill w/o cache       O(L d^2 + L^2 d)       O(L d^2)
+Prefill w/ cache        O(n d^2 + L n d)       O(n d^2)
+Decode                  O(d^2 + (r+1) d)       O(d^2)
+======================  =====================  ============
+"""
+
+import pytest
+
+from repro.models import LLAMA_70B, CostModel, PrefillItem
+
+
+@pytest.fixture
+def cm() -> CostModel:
+    return CostModel(LLAMA_70B, n_gpus=1)
+
+
+def attn_flops(cm: CostModel, new: int, reused: int) -> float:
+    """Isolate the attention term by differencing against zero context."""
+    base = cm.prefill_layer([PrefillItem(new=new, reused=0)]).raw_flops
+    with_ctx = cm.prefill_layer([PrefillItem(new=new, reused=reused)]).raw_flops
+    return with_ctx - base
+
+
+class TestPrefillWithoutCache:
+    def test_quadratic_attention_term(self, cm):
+        """Doubling L roughly quadruples the L^2 d attention term."""
+        f1 = cm.prefill_layer([PrefillItem(new=8192)]).raw_flops
+        f2 = cm.prefill_layer([PrefillItem(new=16384)]).raw_flops
+        linear_only = 2.0 * LLAMA_70B.active_layer_params
+        attn1 = f1 - linear_only * 8192
+        attn2 = f2 - linear_only * 16384
+        assert attn2 / attn1 == pytest.approx(4.0, rel=0.05)
+
+    def test_linear_ffn_term(self, cm):
+        """FFN flops are exactly linear in L."""
+        small = cm.prefill_layer([PrefillItem(new=100)])
+        big = cm.prefill_layer([PrefillItem(new=1000)])
+        ffn_flops = 2.0 * LLAMA_70B.active_ffn_params_per_layer
+        # Subtract attention by construction: linear term per token is fixed.
+        assert big.raw_flops - small.raw_flops >= ffn_flops * 900
+
+
+class TestPrefillWithCache:
+    def test_attention_linear_in_reused_length(self, cm):
+        """With caching, attention grows as L*n*d: linear in r for fixed n."""
+        a = attn_flops(cm, new=1024, reused=10_000)
+        b = attn_flops(cm, new=1024, reused=20_000)
+        assert b / a == pytest.approx(2.0, rel=0.01)
+
+    def test_attention_linear_in_new_length_for_fixed_reuse(self, cm):
+        a = attn_flops(cm, new=512, reused=50_000)
+        b = attn_flops(cm, new=1024, reused=50_000)
+        assert b / a == pytest.approx(2.0, rel=0.01)
+
+    def test_cached_prefill_cheaper_than_recompute(self, cm):
+        """Prefilling n new tokens over an r-token cache is much cheaper than
+        prefilling r+n tokens from scratch — the value of KV reuse."""
+        cached = cm.prefill_full([PrefillItem(new=2048, reused=30_000)])
+        recompute = cm.prefill_full([PrefillItem(new=32_048, reused=0)])
+        assert cached.raw_flops < 0.25 * recompute.raw_flops
+
+
+class TestDecode:
+    def test_constant_ffn_term_per_token(self, cm):
+        one = cm.decode_layer([1000])
+        also_one = cm.decode_layer([50_000])
+        linear = 2.0 * LLAMA_70B.active_layer_params
+        # FFN+projection flops identical regardless of context length.
+        assert one.raw_flops - also_one.raw_flops == pytest.approx(
+            4.0 * (1000 - 50_000) * LLAMA_70B.q_dim, rel=1e-6
+        )
+        assert one.raw_flops > linear
+
+    def test_attention_linear_in_context(self, cm):
+        a = cm.decode_layer([10_000]).raw_flops
+        b = cm.decode_layer([20_000]).raw_flops
+        assert b - a == pytest.approx(4.0 * 10_000 * LLAMA_70B.q_dim, rel=1e-6)
+
+    def test_batch_scales_linear_terms(self, cm):
+        one = cm.decode_layer([4096])
+        eight = cm.decode_layer([4096] * 8)
+        assert eight.raw_flops == pytest.approx(8 * one.raw_flops, rel=1e-6)

@@ -1,0 +1,76 @@
+"""Unit tests for model architecture configs."""
+
+import pytest
+
+from repro.models import CODELLAMA_34B, LLAMA_8B, LLAMA_70B, MODELS_BY_NAME, QWEN3_235B, ModelConfig
+
+
+class TestParameterCounts:
+    def test_llama_8b_total_params(self):
+        assert LLAMA_8B.total_params == pytest.approx(8e9, rel=0.05)
+
+    def test_llama_70b_total_params(self):
+        assert LLAMA_70B.total_params == pytest.approx(70e9, rel=0.05)
+
+    def test_qwen_total_and_active_params(self):
+        """Qwen3-235B-A22B: 235B total, ~22B activated per token."""
+        assert QWEN3_235B.total_params == pytest.approx(235e9, rel=0.05)
+        assert QWEN3_235B.active_params == pytest.approx(22e9, rel=0.10)
+
+    def test_codellama_34b_params(self):
+        assert CODELLAMA_34B.total_params == pytest.approx(34e9, rel=0.05)
+
+    def test_dense_model_active_equals_total(self):
+        assert LLAMA_70B.active_params == LLAMA_70B.total_params
+
+
+class TestDerivedSizes:
+    def test_weight_bytes_fp16(self):
+        assert LLAMA_8B.weight_bytes == LLAMA_8B.total_params * 2
+
+    def test_llama_70b_kv_bytes_per_token(self):
+        """GQA: 2 * 80 layers * 8 kv heads * 128 dim * 2 bytes = 320 KiB."""
+        assert LLAMA_70B.kv_bytes_per_token == 320 * 1024
+
+    def test_kv_bytes_use_kv_heads_not_q_heads(self):
+        assert LLAMA_70B.kv_dim == 8 * 128
+        assert LLAMA_70B.q_dim == 64 * 128
+
+    def test_moe_flag(self):
+        assert QWEN3_235B.is_moe
+        assert not LLAMA_70B.is_moe
+
+    def test_moe_active_ffn_smaller_than_total(self):
+        assert QWEN3_235B.active_ffn_params_per_layer < QWEN3_235B.ffn_params_per_layer
+
+    def test_registry(self):
+        assert MODELS_BY_NAME["Llama-70B"] is LLAMA_70B
+
+
+class TestValidation:
+    def test_heads_must_divide_kv_heads(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                name="bad",
+                num_layers=2,
+                hidden_dim=64,
+                num_heads=7,
+                num_kv_heads=2,
+                head_dim=8,
+                ffn_dim=128,
+                vocab_size=1000,
+            )
+
+    def test_moe_requires_active_experts(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                name="bad-moe",
+                num_layers=2,
+                hidden_dim=64,
+                num_heads=8,
+                num_kv_heads=2,
+                head_dim=8,
+                ffn_dim=128,
+                vocab_size=1000,
+                num_experts=8,
+            )

@@ -1,0 +1,84 @@
+"""Unit tests for the offline profiling harness."""
+
+import pytest
+
+from repro.core import ContentionGuard
+from repro.gpu import A100, Device
+from repro.models import LLAMA_70B, CostModel, PrefillItem, phase_latency
+from repro.profiling import (
+    build_guard,
+    measure_corun,
+    measure_solo,
+    profile_contention,
+    profile_decode,
+    profile_prefill,
+)
+from repro.serving import ServingConfig
+from repro.sim import Simulator
+
+
+class TestSoloProfiling:
+    def test_measure_solo_matches_analytic(self, cfg_70b):
+        sim = Simulator()
+        device = Device(sim, cfg_70b.spec, cfg_70b.n_gpus)
+        cost_model = CostModel(cfg_70b.model, 8, cfg_70b.spec.nvlink_bandwidth)
+        cost = cost_model.decode_iter([1024] * 16)
+        measured = measure_solo(sim, device, cost, 48)
+        analytic = phase_latency(cost, device, 48)
+        assert measured == pytest.approx(analytic, rel=1e-6)
+
+    def test_profile_prefill_covers_configs(self, cfg_70b):
+        samples = profile_prefill(cfg_70b, sm_configs=[46, 92], new_grid=(512, 4096), reused_grid=(0, 8192))
+        assert {s.sm_count for s in samples} == {46, 92}
+        assert all(s.latency > 0 for s in samples)
+
+    def test_profile_prefill_skips_over_context_window(self, cfg_70b):
+        samples = profile_prefill(
+            cfg_70b, sm_configs=[92], new_grid=(131072,), reused_grid=(131072,)
+        )
+        assert samples == []  # 256K total exceeds the context window
+
+    def test_profile_decode_latencies_scale_with_batch(self, cfg_70b):
+        samples = profile_decode(cfg_70b, sm_configs=[48], batch_grid=(1, 64), context_grid=(1024,))
+        small = next(s for s in samples if s.batch_size == 1)
+        large = next(s for s in samples if s.batch_size == 64)
+        assert large.latency > small.latency
+
+
+class TestContentionProfiling:
+    def test_corun_slowdown_at_least_one(self, cfg_70b):
+        sample = measure_corun(cfg_70b, 8192, 8192, 32, 2048, 48)
+        assert sample.slowdown >= 1.0
+
+    def test_slowdowns_bounded_like_paper(self, cfg_70b):
+        """§3.3.2: max ~20 % on A100 (30 % on H100)."""
+        worst = 0.0
+        for decode_sms in (32, 64, 96):
+            for context in (1024, 32_768):
+                sample = measure_corun(cfg_70b, 32_768, 32_768, 32, context, decode_sms)
+                worst = max(worst, sample.slowdown)
+        assert 1.0 < worst <= 1.35
+
+    def test_profile_contention_excludes_max_corner(self, cfg_70b):
+        samples = profile_contention(
+            cfg_70b,
+            sm_configs=[48],
+            token_levels=(2048, 131072),
+            batch_sizes=(8,),
+        )
+        corners = [
+            s for s in samples if s.prefill_new == 131072 and s.prefill_reused == 131072
+        ]
+        assert corners == []
+        assert samples  # other cells exist
+
+    def test_build_guard_seeds_cells(self, cfg_70b):
+        samples = profile_contention(
+            cfg_70b, sm_configs=[48], token_levels=(2048, 8192), batch_sizes=(8,)
+        )
+        guard = build_guard(samples)
+        assert isinstance(guard, ContentionGuard)
+        assert guard.cells > 0
+        key = guard.key(samples[0].prefill_new, samples[0].prefill_reused, 8,
+                        samples[0].decode_tokens, 48)
+        assert guard.lookup(key) >= 1.0

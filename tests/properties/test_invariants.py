@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.device import waterfill
+from repro.kvcache import KVCachePool, RadixCache, Segment
+from repro.serving.metrics import percentile
+from repro.sim import Simulator
+from repro.workloads.distributions import BoundedLengths
+
+finite_demands = st.lists(
+    st.one_of(st.floats(min_value=0.0, max_value=1e13), st.just(math.inf)),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestWaterfillProperties:
+    @given(demands=finite_demands, capacity=st.floats(min_value=1.0, max_value=1e13))
+    @settings(max_examples=200)
+    def test_allocations_never_exceed_demand_or_capacity(self, demands, capacity):
+        allocs = waterfill(demands, capacity)
+        assert len(allocs) == len(demands)
+        assert sum(allocs) <= capacity * (1 + 1e-9)
+        for demand, alloc in zip(demands, allocs):
+            assert alloc <= demand + 1e-6 or math.isinf(demand)
+            assert alloc >= 0.0
+
+    @given(demands=finite_demands, capacity=st.floats(min_value=1.0, max_value=1e13))
+    @settings(max_examples=200)
+    def test_capacity_fully_used_when_demand_exceeds_it(self, demands, capacity):
+        total_demand = sum(d for d in demands if not math.isinf(d))
+        has_inf = any(math.isinf(d) for d in demands)
+        allocs = waterfill(demands, capacity)
+        if has_inf or total_demand >= capacity:
+            assert sum(allocs) >= capacity * (1 - 1e-6)
+        else:
+            # All demands satisfiable: everyone gets exactly their demand.
+            for demand, alloc in zip(demands, allocs):
+                assert alloc >= demand - max(1e-6, demand * 1e-9)
+
+    @given(
+        demands=st.lists(st.floats(min_value=1.0, max_value=1e12), min_size=2, max_size=8),
+        capacity=st.floats(min_value=1.0, max_value=1e12),
+    )
+    @settings(max_examples=200)
+    def test_max_min_fairness_no_envy(self, demands, capacity):
+        """No unsatisfied task receives less than another task's allocation
+        above its own (max-min fairness)."""
+        allocs = waterfill(demands, capacity)
+        for i, (demand_i, alloc_i) in enumerate(zip(demands, allocs)):
+            unsatisfied = alloc_i < demand_i - 1e-6
+            if not unsatisfied:
+                continue
+            for j, alloc_j in enumerate(allocs):
+                if i != j:
+                    assert alloc_j <= alloc_i + 1e-6
+
+
+class TestPercentileProperties:
+    @given(values=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200),
+           pct=st.floats(min_value=0, max_value=100))
+    @settings(max_examples=200)
+    def test_percentile_within_range(self, values, pct):
+        result = percentile(values, pct)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+    @given(values=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=100))
+    @settings(max_examples=100)
+    def test_percentile_monotone_in_pct(self, values):
+        p50 = percentile(values, 50)
+        p90 = percentile(values, 90)
+        p99 = percentile(values, 99)
+        assert p50 <= p90 + 1e-9 <= p99 + 2e-9
+
+
+class TestPoolProperties:
+    @given(ops=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=40))
+    @settings(max_examples=100)
+    def test_alloc_free_round_trip_conserves_pages(self, ops):
+        pool = KVCachePool(capacity_bytes=1e6, kv_bytes_per_token=10.0, page_tokens=16)
+        allocated: list[int] = []
+        for tokens in ops:
+            if pool.can_allocate(tokens):
+                allocated.append(pool.allocate(tokens))
+        for pages in allocated:
+            pool.release_pages(pages)
+        assert pool.used_pages == 0
+        assert pool.free_pages == pool.capacity_pages
+
+
+class TestRadixProperties:
+    @given(
+        lengths=st.lists(st.integers(min_value=1, max_value=200), min_size=1, max_size=12),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=100)
+    def test_pool_usage_matches_cached_tokens(self, lengths, seed):
+        """Pages used by the pool always cover exactly the cached tokens."""
+        rng = random.Random(seed)
+        pool = KVCachePool(capacity_bytes=1e9, kv_bytes_per_token=10.0, page_tokens=16)
+        cache = RadixCache(pool)
+        uid = 0
+        leases = []
+        for tokens in lengths:
+            uid += 1
+            segment = Segment(uid=uid, tokens=tokens)
+            lease = cache.acquire([segment])
+            cache.insert(lease, [segment])
+            leases.append(lease)
+            if rng.random() < 0.5 and leases:
+                cache.release(leases.pop(rng.randrange(len(leases))))
+        expected_pages = sum(
+            pool.pages_for(tokens) for tokens in self._node_tokens(cache)
+        )
+        assert pool.used_pages == expected_pages
+
+    @staticmethod
+    def _node_tokens(cache: RadixCache):
+        return [node.tokens for node in cache._iter_nodes()]
+
+    @given(
+        prefix_len=st.integers(min_value=1, max_value=100),
+        tail_len=st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=50)
+    def test_match_never_exceeds_inserted(self, prefix_len, tail_len):
+        pool = KVCachePool(capacity_bytes=1e9, kv_bytes_per_token=10.0)
+        cache = RadixCache(pool)
+        a = Segment(uid=1, tokens=prefix_len)
+        b = Segment(uid=2, tokens=tail_len)
+        lease = cache.acquire([a])
+        cache.insert(lease, [a])
+        assert cache.match([a, b]) == prefix_len
+        assert cache.match([a]) == prefix_len
+
+
+class TestDistributionProperties:
+    @given(
+        minimum=st.integers(min_value=1, max_value=100),
+        spread=st.integers(min_value=1, max_value=10_000),
+        seed=st.integers(min_value=0, max_value=1_000_000),
+    )
+    @settings(max_examples=100)
+    def test_bounded_lengths_always_in_bounds(self, minimum, spread, seed):
+        maximum = minimum + spread
+        mean = minimum + spread / 2
+        dist = BoundedLengths(minimum=minimum, mean=mean, maximum=maximum)
+        rng = random.Random(seed)
+        for _ in range(20):
+            assert minimum <= dist.sample(rng) <= maximum
+
+
+class TestSimulatorProperties:
+    @given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50))
+    @settings(max_examples=100)
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)

@@ -1,0 +1,99 @@
+"""Property-based tests for the cost model and estimator bucketing."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimator import BATCH_SIZE_BUCKETS, TOKEN_BUCKETS, batch_bucket, token_bucket
+from repro.gpu import A100
+from repro.models import LLAMA_8B, LLAMA_70B, QWEN3_235B, CostModel, PrefillItem
+
+tokens = st.integers(min_value=1, max_value=131072)
+small_tokens = st.integers(min_value=1, max_value=8192)
+batch = st.integers(min_value=1, max_value=256)
+
+
+def cm(model=LLAMA_70B, n_gpus=8) -> CostModel:
+    return CostModel(model, n_gpus=n_gpus, nvlink_bandwidth=A100.nvlink_bandwidth)
+
+
+class TestCostMonotonicity:
+    @given(new=small_tokens, extra=small_tokens, reused=tokens)
+    @settings(max_examples=100)
+    def test_prefill_flops_increase_with_new_tokens(self, new, extra, reused):
+        model = cm()
+        smaller = model.prefill_layer([PrefillItem(new=new, reused=reused)])
+        larger = model.prefill_layer([PrefillItem(new=new + extra, reused=reused)])
+        assert larger.raw_flops > smaller.raw_flops
+        assert larger.bytes > smaller.bytes
+
+    @given(new=small_tokens, reused=tokens, extra=tokens)
+    @settings(max_examples=100)
+    def test_prefill_cost_increases_with_reuse(self, new, reused, extra):
+        model = cm()
+        smaller = model.prefill_layer([PrefillItem(new=new, reused=reused)])
+        larger = model.prefill_layer([PrefillItem(new=new, reused=reused + extra)])
+        assert larger.raw_flops > smaller.raw_flops
+        assert larger.bytes >= smaller.bytes
+
+    @given(bs=st.integers(min_value=1, max_value=128), ctx=tokens)
+    @settings(max_examples=100)
+    def test_decode_cost_scales_with_batch(self, bs, ctx):
+        model = cm()
+        one = model.decode_layer([ctx] * bs)
+        two = model.decode_layer([ctx] * (bs * 2))
+        assert two.raw_flops > one.raw_flops
+        assert two.bytes > one.bytes
+
+    @given(new=small_tokens, reused=tokens)
+    @settings(max_examples=100)
+    def test_effective_flops_never_below_raw(self, new, reused):
+        """Efficiency adjustment only inflates compute, never deflates."""
+        cost = cm().prefill_layer([PrefillItem(new=new, reused=reused)])
+        assert cost.flops >= cost.raw_flops
+
+    @given(new=small_tokens)
+    @settings(max_examples=60)
+    def test_gemm_efficiency_in_unit_interval(self, new):
+        model = cm()
+        eff = model.gemm_efficiency(new)
+        assert 0.0 < eff <= 1.0
+
+    @given(bs=batch)
+    @settings(max_examples=60)
+    def test_moe_touches_between_active_and_all_experts(self, bs):
+        model = cm(QWEN3_235B)
+        touched = model._moe_experts_touched(bs)
+        assert QWEN3_235B.active_experts <= touched + 1e-9
+        assert touched <= QWEN3_235B.num_experts + 1e-9
+
+    @given(new=small_tokens, reused=st.integers(min_value=0, max_value=65536))
+    @settings(max_examples=60)
+    def test_costs_nonnegative_and_finite(self, new, reused):
+        for model in (cm(LLAMA_8B, 1), cm(LLAMA_70B, 8), cm(QWEN3_235B, 8)):
+            cost = model.prefill_full([PrefillItem(new=new, reused=reused)])
+            assert cost.flops > 0 and cost.bytes > 0
+            assert cost.comm_time >= 0
+
+
+class TestBucketingProperties:
+    @given(value=st.floats(min_value=0, max_value=1e7))
+    @settings(max_examples=100)
+    def test_token_bucket_is_valid_and_covering(self, value):
+        bucket = token_bucket(value)
+        assert bucket in TOKEN_BUCKETS
+        if value <= TOKEN_BUCKETS[-1]:
+            assert bucket >= value
+
+    @given(value=st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=100)
+    def test_batch_bucket_is_valid(self, value):
+        bucket = batch_bucket(value)
+        assert bucket in BATCH_SIZE_BUCKETS
+        if value <= BATCH_SIZE_BUCKETS[-1]:
+            assert bucket >= value
+
+    @given(a=st.floats(min_value=0, max_value=1e6), b=st.floats(min_value=0, max_value=1e6))
+    @settings(max_examples=100)
+    def test_token_bucket_monotone(self, a, b):
+        low, high = sorted((a, b))
+        assert token_bucket(low) <= token_bucket(high)

@@ -1,0 +1,166 @@
+"""Unit tests for serving config, instance building and base machinery."""
+
+import pytest
+
+from repro.gpu import A100, H200, OutOfMemoryError
+from repro.kvcache import new_segment
+from repro.models import LLAMA_70B, QWEN3_235B
+from repro.serving import RequestState, ServingConfig, ServingSystem, build_instance
+from repro.sim import Simulator
+from repro.workloads import Request
+
+
+class RecordingSystem(ServingSystem):
+    """Minimal concrete system that records admissions."""
+
+    name = "recorder"
+
+    def __init__(self, sim, cfg):
+        super().__init__(sim, cfg)
+        self.admitted: list[RequestState] = []
+
+    def on_request_ready(self, state):
+        self.admitted.append(state)
+
+
+def make_request(session=0, turn=0, arrival=0.0, history=None, output=4):
+    return Request(
+        session_id=session,
+        turn_index=turn,
+        arrival_time=arrival,
+        history=history or [],
+        new_input=new_segment(64),
+        output_tokens=output,
+    )
+
+
+class TestServingConfig:
+    def test_default_slo_from_model(self, cfg_70b):
+        assert cfg_70b.slo.tbt == pytest.approx(0.1)
+
+    def test_kv_pool_excludes_weights_and_reserve(self, cfg_70b):
+        pool = cfg_70b.kv_pool_bytes(8)
+        total = cfg_70b.spec.mem_bytes * 8
+        assert pool < total - LLAMA_70B.weight_bytes
+        assert pool > 0
+
+    def test_invalid_gpu_count(self):
+        with pytest.raises(ValueError):
+            ServingConfig(model=LLAMA_70B, spec=A100, n_gpus=0)
+
+
+class TestBuildInstance:
+    def test_instance_pool_sized_from_free_memory(self, sim, cfg_70b):
+        inst = build_instance(sim, cfg_70b, 8, "t")
+        # ~480 GB free of 640 GB for 70B weights + reserve -> >1M tokens.
+        assert inst.cache.pool.capacity_tokens > 1_000_000
+
+    def test_disaggregated_pool_is_smaller(self, sim, cfg_70b):
+        """Each disaggregated instance replicates weights: the aggregate KV
+        pool shrinks (the paper's Fig. 5 capacity halving)."""
+        full = build_instance(sim, cfg_70b, 8, "full")
+        half_a = build_instance(Simulator(), cfg_70b, 4, "a")
+        combined = 2 * half_a.cache.pool.capacity_tokens
+        assert combined < full.cache.pool.capacity_tokens
+
+    def test_qwen_disaggregation_collapses_kv_pool(self, sim):
+        """The paper: disaggregated serving is infeasible for Qwen-235B even
+        with 141 GB per H200 — replicating 470 GB of weights per instance
+        leaves almost no KV pool."""
+        cfg = ServingConfig(model=QWEN3_235B, spec=H200, n_gpus=8)
+        full = build_instance(Simulator(), cfg, 8, "qwen-full")
+        half = build_instance(sim, cfg, 4, "qwen-half")
+        assert 2 * half.cache.pool.capacity_tokens < 0.4 * full.cache.pool.capacity_tokens
+
+    def test_qwen_on_a100_half_server_raises_oom(self, sim):
+        """On 80 GB GPUs the Qwen weights do not even fit a 4-GPU instance."""
+        cfg = ServingConfig(model=QWEN3_235B, spec=A100, n_gpus=8)
+        with pytest.raises(OutOfMemoryError):
+            build_instance(sim, cfg, 4, "qwen-a100-half")
+
+
+class TestSessionGating:
+    def test_single_turn_admitted_immediately(self, sim, cfg_8b_single):
+        system = RecordingSystem(sim, cfg_8b_single)
+        system._arrive(make_request())
+        assert len(system.admitted) == 1
+
+    def test_second_turn_deferred_until_first_finishes(self, sim, cfg_8b_single):
+        system = RecordingSystem(sim, cfg_8b_single)
+        first = make_request(session=1, turn=0)
+        second = make_request(session=1, turn=1, arrival=0.5)
+        system._arrive(first)
+        system._arrive(second)
+        assert len(system.admitted) == 1
+        system._complete_turn(system.admitted[0])
+        assert len(system.admitted) == 2
+        assert system.admitted[1].request is second
+
+    def test_independent_sessions_not_gated(self, sim, cfg_8b_single):
+        system = RecordingSystem(sim, cfg_8b_single)
+        system._arrive(make_request(session=1))
+        system._arrive(make_request(session=2))
+        assert len(system.admitted) == 2
+
+
+class TestKVHelpers:
+    def make_system(self, sim, cfg):
+        system = RecordingSystem(sim, cfg)
+        system.instance = build_instance(sim, cfg, cfg.n_gpus, "helper")
+        return system
+
+    def test_plan_prefill_counts_reuse(self, sim, cfg_8b_single):
+        system = self.make_system(sim, cfg_8b_single)
+        inst = system.instance
+        shared = new_segment(500)
+        system._arrive(make_request(session=10, history=[shared]))
+        state1 = system.admitted[-1]
+        system.plan_prefill(inst, state1)
+        assert state1.reused_tokens == 0
+        assert system.allocate_context(inst, state1)
+        system.release_request(inst, state1)
+
+        system._arrive(make_request(session=11, history=[shared]))
+        state2 = system.admitted[-1]
+        system.plan_prefill(inst, state2)
+        assert state2.reused_tokens == 500  # hit on the shared prefix
+
+    def test_extend_and_finish(self, sim, cfg_8b_single):
+        system = self.make_system(sim, cfg_8b_single)
+        inst = system.instance
+        system._arrive(make_request(session=20, output=3))
+        state = system.admitted[-1]
+        system.plan_prefill(inst, state)
+        assert system.allocate_context(inst, state)
+        assert system.extend_output(inst, state, 1)
+        system.emit_first_token(state)
+        assert state.generated == 1
+        system.emit_tokens(state, 2)
+        assert state.generated == 3
+        system.finish_request(inst, state)
+        assert state.finished
+
+    def test_can_ever_fit_rejects_oversized(self, sim, cfg_8b_single):
+        system = self.make_system(sim, cfg_8b_single)
+        huge = Request(
+            session_id=30,
+            turn_index=0,
+            arrival_time=0.0,
+            history=[new_segment(10_000_000)],
+            new_input=new_segment(64),
+            output_tokens=2,
+        )
+        system._arrive(huge)
+        state = system.admitted[-1]
+        assert not system.can_ever_fit(system.instance, state)
+
+    def test_produce_prefill_token_idempotent_semantics(self, sim, cfg_8b_single):
+        system = self.make_system(sim, cfg_8b_single)
+        system._arrive(make_request(session=40, output=5))
+        state = system.admitted[-1]
+        system.plan_prefill(system.instance, state)
+        assert system.allocate_context(system.instance, state)
+        system.produce_prefill_token(state)   # first token
+        assert state.generated == 1
+        system.produce_prefill_token(state)   # resumed-prefill token
+        assert state.generated == 2

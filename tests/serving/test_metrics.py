@@ -1,0 +1,157 @@
+"""Unit tests for SLOs and the metrics collector."""
+
+import math
+
+import pytest
+
+from repro.kvcache import new_segment
+from repro.models import LLAMA_8B, LLAMA_70B, QWEN3_235B
+from repro.serving import SLO, MetricsCollector, default_slo, percentile
+from repro.workloads import Request
+
+
+def make_request(output_tokens: int = 5, arrival: float = 0.0) -> Request:
+    return Request(
+        session_id=0,
+        turn_index=0,
+        arrival_time=arrival,
+        history=[],
+        new_input=new_segment(100),
+        output_tokens=output_tokens,
+    )
+
+
+class TestSLO:
+    def test_default_slo_small_model(self):
+        """The paper: 50 ms TBT for Llama-8B."""
+        assert default_slo(LLAMA_8B).tbt == pytest.approx(0.050)
+
+    def test_default_slo_large_models(self):
+        """...and 100 ms for Llama-70B (and larger)."""
+        assert default_slo(LLAMA_70B).tbt == pytest.approx(0.100)
+        assert default_slo(QWEN3_235B).tbt == pytest.approx(0.100)
+
+    def test_invalid_targets_rejected(self):
+        with pytest.raises(ValueError):
+            SLO(tbt=0.0)
+        with pytest.raises(ValueError):
+            SLO(tbt=0.05, attainment_percentile=0.0)
+
+
+class TestPercentile:
+    def test_empty_returns_nan(self):
+        assert math.isnan(percentile([], 99))
+
+    def test_single_value(self):
+        assert percentile([3.0], 99) == 3.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_p99_of_uniform(self):
+        values = [float(i) for i in range(101)]
+        assert percentile(values, 99) == pytest.approx(99.0)
+
+    def test_bounds(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+
+    def test_invalid_pct(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+
+class TestMetricsCollector:
+    def make(self) -> MetricsCollector:
+        return MetricsCollector(SLO(tbt=0.1), name="test")
+
+    def test_ttft_recorded(self):
+        metrics = self.make()
+        request = make_request()
+        metrics.on_arrival(request, 1.0)
+        metrics.on_prefill_done(request, 1.5, new_tokens=100)
+        record = metrics.records[request.request_id]
+        assert record.ttft == pytest.approx(0.5)
+        assert record.tokens_emitted == 1
+
+    def test_token_gaps_recorded(self):
+        metrics = self.make()
+        request = make_request(output_tokens=3)
+        metrics.on_arrival(request, 0.0)
+        metrics.on_prefill_done(request, 1.0, 100)
+        metrics.on_tokens(request, 1.05)
+        metrics.on_tokens(request, 1.15)
+        record = metrics.records[request.request_id]
+        assert record.token_gaps == pytest.approx([0.05, 0.10])
+        assert record.finished
+
+    def test_batched_token_emission_splits_gap(self):
+        metrics = self.make()
+        request = make_request(output_tokens=5)
+        metrics.on_arrival(request, 0.0)
+        metrics.on_prefill_done(request, 1.0, 100)
+        metrics.on_tokens(request, 1.2, count=4)
+        record = metrics.records[request.request_id]
+        assert record.token_gaps == pytest.approx([0.05] * 4)
+
+    def test_tpot(self):
+        metrics = self.make()
+        request = make_request(output_tokens=3)
+        metrics.on_arrival(request, 0.0)
+        metrics.on_prefill_done(request, 1.0, 100)
+        metrics.on_tokens(request, 1.1)
+        metrics.on_tokens(request, 1.3)
+        record = metrics.records[request.request_id]
+        assert record.tpot == pytest.approx(0.15)
+        assert record.e2e == pytest.approx(1.3)
+
+    def test_double_prefill_rejected(self):
+        metrics = self.make()
+        request = make_request()
+        metrics.on_arrival(request, 0.0)
+        metrics.on_prefill_done(request, 1.0, 10)
+        with pytest.raises(ValueError):
+            metrics.on_prefill_done(request, 2.0, 10)
+
+    def test_summary_slo_attainment(self):
+        metrics = self.make()
+        for i in range(3):
+            request = make_request(output_tokens=2)
+            metrics.on_arrival(request, 0.0)
+            metrics.on_prefill_done(request, 1.0, 10)
+            gap = 0.05 if i < 2 else 0.5  # one violator
+            metrics.on_tokens(request, 1.0 + gap)
+        summary = metrics.summarize()
+        assert summary.requests_finished == 3
+        assert summary.tbt_attainment == pytest.approx(2 / 3)
+        assert not summary.slo_met  # p99 dominated by the violator
+
+    def test_summary_throughput(self):
+        metrics = self.make()
+        request = make_request(output_tokens=11)
+        metrics.on_arrival(request, 0.0)
+        metrics.on_prefill_done(request, 1.0, 100)
+        for i in range(10):
+            metrics.on_tokens(request, 1.0 + 0.1 * (i + 1))
+        summary = metrics.summarize()
+        # 100 prefilled + 11 output over 2 seconds.
+        assert summary.token_throughput == pytest.approx(111 / 2.0)
+        assert summary.output_throughput == pytest.approx(11 / 2.0)
+
+    def test_ttft_per_token(self):
+        metrics = self.make()
+        request = make_request()
+        metrics.on_arrival(request, 0.0)
+        metrics.on_prefill_done(request, 2.0, 100)
+        record = metrics.records[request.request_id]
+        assert record.ttft_per_token == pytest.approx(2.0 / request.input_tokens)
+
+    def test_unfinished_request_not_counted_finished(self):
+        metrics = self.make()
+        request = make_request(output_tokens=10)
+        metrics.on_arrival(request, 0.0)
+        metrics.on_prefill_done(request, 1.0, 10)
+        summary = metrics.summarize()
+        assert summary.requests_total == 1
+        assert summary.requests_finished == 0

@@ -1,0 +1,162 @@
+"""Unit tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.sim import PRIORITY_EARLY, PRIORITY_LATE, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_event_fires_at_scheduled_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(7.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [7.0]
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_fire_in_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for label in "abcde":
+            sim.schedule(1.0, lambda lab=label: order.append(lab))
+        sim.run()
+        assert order == list("abcde")
+
+    def test_priority_overrides_insertion_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("normal"))
+        sim.schedule(1.0, lambda: order.append("early"), priority=PRIORITY_EARLY)
+        sim.schedule(1.0, lambda: order.append("late"), priority=PRIORITY_LATE)
+        sim.run()
+        assert order == ["early", "normal", "late"]
+
+    def test_scheduling_in_past_raises(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_zero_delay_event_from_callback(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: sim.schedule(0.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [1.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(1.0, lambda: seen.append("fired"))
+        event.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancelled_events_do_not_count_as_pending(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending_events == 1
+
+    def test_cancel_from_within_callback(self):
+        sim = Simulator()
+        seen = []
+        later = sim.schedule(2.0, lambda: seen.append("later"))
+        sim.schedule(1.0, lambda: later.cancel())
+        sim.run()
+        assert seen == []
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_bound(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(10.0, lambda: seen.append(10))
+        sim.run(until=5.0)
+        assert seen == [1]
+        assert sim.now == 5.0
+        assert sim.pending_events == 1
+
+    def test_run_until_leaves_clock_at_last_event_when_drained(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=100.0)
+        assert sim.now == 1.0  # no artificial idle time appended
+
+    def test_max_events_limits_firing(self):
+        sim = Simulator()
+        seen = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda i=i: seen.append(i))
+        sim.run(max_events=3)
+        assert seen == [0, 1, 2]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_processed_event_count(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.processed_events == 4
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def nested():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, nested)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_chained_events_advance_clock(self):
+        sim = Simulator()
+        times = []
+
+        def chain(depth: int):
+            times.append(sim.now)
+            if depth > 0:
+                sim.schedule(1.0, lambda: chain(depth - 1))
+
+        sim.schedule(1.0, lambda: chain(3))
+        sim.run()
+        assert times == [1.0, 2.0, 3.0, 4.0]

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import MODEL_ALIASES, SYSTEMS, build_parser, main
+
+
+class TestParser:
+    def test_specs_command(self, capsys):
+        assert main(["specs"]) == 0
+        out = capsys.readouterr().out
+        assert "Llama-70B" in out
+        assert "A100-80GB" in out
+        assert "muxwise" in out
+
+    def test_table1_command(self, capsys):
+        assert main(["table1", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ShareGPT" in out
+        assert "Tool&Agent" in out
+
+    def test_run_command_small(self, capsys):
+        code = main([
+            "run", "--system", "muxwise", "--workload", "sharegpt",
+            "--model", "8b", "--gpus", "1", "--rate", "4.0", "--requests", "20",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TBT p99" in out
+        assert "Useful Tok/s" in out
+
+    def test_run_writes_jsonl(self, tmp_path, capsys):
+        output = tmp_path / "records.jsonl"
+        code = main([
+            "run", "--system", "chunked", "--workload", "sharegpt",
+            "--model", "8b", "--gpus", "1", "--rate", "4.0", "--requests", "10",
+            "--output", str(output),
+        ])
+        assert code == 0
+        assert output.exists()
+        assert len(output.read_text().strip().splitlines()) == 10
+
+    def test_compare_command(self, capsys):
+        code = main([
+            "compare", "--workload", "sharegpt", "--model", "8b", "--gpus", "1",
+            "--rate", "3.0", "--requests", "15", "--systems", "muxwise,chunked",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "muxwise" in out and "chunked" in out
+
+    def test_goodput_command(self, capsys):
+        code = main([
+            "goodput", "--system", "muxwise", "--workload", "sharegpt",
+            "--model", "8b", "--gpus", "1", "--requests", "20", "--rates", "2.0,4.0",
+        ])
+        assert code == 0
+        assert "goodput:" in capsys.readouterr().out
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--system", "nope", "--workload", "sharegpt"])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--model", "gpt-17", "--workload", "sharegpt"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--workload", "nope", "--model", "8b", "--gpus", "1"])
+
+    def test_all_aliases_resolve(self):
+        parser = build_parser()
+        assert parser is not None
+        assert set(MODEL_ALIASES.values()) <= {
+            "Llama-8B", "Llama-70B", "Qwen3-235B-A22B", "CodeLlama-34B",
+        }
+        assert "muxwise" in SYSTEMS and "hybrid-pd" in SYSTEMS

@@ -1,0 +1,111 @@
+"""Unit tests for workload stats (Table 1 view) and JSONL serialisation."""
+
+import pytest
+
+from repro.workloads import sharegpt_workload, toolagent_workload
+from repro.workloads.serialization import (
+    load_workload,
+    request_from_dict,
+    request_to_dict,
+    save_records,
+    save_workload,
+)
+from repro.workloads.stats import LengthStats, table1, workload_stats
+
+
+class TestLengthStats:
+    def test_of_values(self):
+        stats = LengthStats.of([5, 10, 30])
+        assert (stats.minimum, stats.maximum) == (5, 30)
+        assert stats.mean == pytest.approx(15.0)
+
+    def test_of_empty(self):
+        stats = LengthStats.of([])
+        assert stats == LengthStats(0, 0.0, 0)
+
+    def test_row_compacts_large_values(self):
+        assert LengthStats(3380, 30_000, 81_000).row() == "3380/30k/81k"
+        assert LengthStats(4, 226, 1024).row() == "4/226/1024"
+
+
+class TestWorkloadStats:
+    def test_single_turn_stats(self):
+        wl = sharegpt_workload(50, rate=2.0, seed=1)
+        stats = workload_stats(wl)
+        assert stats.requests == 50
+        assert stats.sessions == 50
+        assert stats.mean_turns == pytest.approx(1.0)
+        assert stats.reused_lengths.maximum == 0
+
+    def test_multi_turn_stats(self):
+        wl = toolagent_workload(60, request_rate=2.0, seed=2)
+        stats = workload_stats(wl)
+        assert stats.mean_turns > 1.0
+        assert stats.reused_lengths.maximum > 0
+
+    def test_table1_renders_all_rows(self):
+        text = table1([sharegpt_workload(20, rate=2.0, seed=3)])
+        assert "ShareGPT" in text
+        assert "Reused length" in text
+
+
+class TestSerialization:
+    def test_request_round_trip(self):
+        wl = toolagent_workload(20, request_rate=1.0, seed=4)
+        original = wl.requests[-1]
+        rebuilt = request_from_dict(request_to_dict(original))
+        assert rebuilt.request_id == original.request_id
+        assert rebuilt.session_id == original.session_id
+        assert rebuilt.input_tokens == original.input_tokens
+        assert [s.uid for s in rebuilt.history] == [s.uid for s in original.history]
+        assert rebuilt.output_segment.uid == original.output_segment.uid
+
+    def test_workload_round_trip(self, tmp_path):
+        wl = toolagent_workload(30, request_rate=1.0, seed=5)
+        path = tmp_path / "trace.jsonl"
+        save_workload(wl, path)
+        loaded = load_workload(path)
+        assert loaded.name == wl.name
+        assert len(loaded) == len(wl)
+        for a, b in zip(wl.requests, loaded.requests):
+            assert (a.request_id, a.arrival_time) == (b.request_id, b.arrival_time)
+
+    def test_round_trip_preserves_prefix_sharing(self, tmp_path):
+        wl = toolagent_workload(40, request_rate=1.0, seed=6)
+        path = tmp_path / "trace.jsonl"
+        save_workload(wl, path)
+        loaded = load_workload(path)
+        # Multi-turn sessions must still reference the same segment uids.
+        for request in loaded.requests:
+            if request.turn_index > 0:
+                assert request.history, "history lost in round trip"
+
+    def test_load_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_workload(path)
+
+    def test_load_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"not_a_header": 1}\n')
+        with pytest.raises(ValueError):
+            load_workload(path)
+
+    def test_save_records(self, tmp_path):
+        from repro.serving import SLO, MetricsCollector
+
+        wl = sharegpt_workload(3, rate=1.0, seed=7)
+        metrics = MetricsCollector(SLO(tbt=0.1))
+        for request in wl:
+            metrics.on_arrival(request, request.arrival_time)
+            metrics.on_prefill_done(request, request.arrival_time + 0.5, 10)
+        path = tmp_path / "records.jsonl"
+        save_records(metrics.records.values(), path)
+        import json
+
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3
+        row = json.loads(lines[0])  # strict JSON: NaN must be null
+        assert row["ttft"] == pytest.approx(0.5)
+        assert row["tpot"] is None

@@ -1,0 +1,184 @@
+"""Unit tests for workload generation: Table 1 statistics, session structure."""
+
+import random
+
+import pytest
+
+from repro.workloads import (
+    BoundedLengths,
+    Workload,
+    arrivals_from_profile,
+    bursty_rate_profile,
+    conversation_workload,
+    loogle_workload,
+    mixed_workload,
+    openthoughts_workload,
+    poisson_arrivals,
+    profile_peak_to_mean,
+    sharegpt_workload,
+    toolagent_workload,
+)
+from repro.workloads.distributions import sample_turns
+from repro.workloads.traces import poissonized
+
+
+class TestBoundedLengths:
+    def test_samples_within_bounds(self):
+        dist = BoundedLengths(minimum=10, mean=100, maximum=1000)
+        rng = random.Random(1)
+        for _ in range(500):
+            value = dist.sample(rng)
+            assert 10 <= value <= 1000
+
+    def test_mean_roughly_matches(self):
+        dist = BoundedLengths(minimum=1, mean=200, maximum=100_000, sigma=0.8)
+        rng = random.Random(2)
+        values = dist.sample_many(rng, 3000)
+        assert sum(values) / len(values) == pytest.approx(200, rel=0.15)
+
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedLengths(minimum=100, mean=50, maximum=200)
+
+    def test_sample_turns_at_least_one(self):
+        rng = random.Random(3)
+        assert all(sample_turns(rng, 2.5) >= 1 for _ in range(100))
+
+    def test_sample_turns_mean(self):
+        rng = random.Random(4)
+        turns = [sample_turns(rng, 3.0, max_turns=50) for _ in range(4000)]
+        assert sum(turns) / len(turns) == pytest.approx(3.0, rel=0.1)
+
+
+class TestArrivals:
+    def test_poisson_arrival_count_and_monotonicity(self):
+        rng = random.Random(5)
+        times = poisson_arrivals(rng, rate=2.0, count=100)
+        assert len(times) == 100
+        assert times == sorted(times)
+
+    def test_poisson_mean_interarrival(self):
+        rng = random.Random(6)
+        times = poisson_arrivals(rng, rate=4.0, count=5000)
+        assert times[-1] / 5000 == pytest.approx(0.25, rel=0.1)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(random.Random(0), rate=0.0, count=10)
+
+    def test_bursty_profile_has_spikes(self):
+        """Fig. 13: bursts of several x over the mean within a minute."""
+        rng = random.Random(7)
+        profile = bursty_rate_profile(rng, duration=3600, base_rate=1.0)
+        assert profile_peak_to_mean(profile) >= 3.0
+
+    def test_profile_arrivals_follow_rates(self):
+        rng = random.Random(8)
+        profile = [(0.0, 10.0), (10.0, 0.0)]
+        times = arrivals_from_profile(rng, profile, bucket=10.0)
+        assert all(t < 10.0 for t in times)
+        assert 60 <= len(times) <= 140
+
+
+class TestSingleTurnTraces:
+    def test_sharegpt_matches_table1(self):
+        stats = sharegpt_workload(800, rate=2.0, seed=1).mean_stats()
+        assert stats["input"] == pytest.approx(226, rel=0.2)
+        assert stats["output"] == pytest.approx(195, rel=0.25)
+        assert stats["reused"] == 0
+
+    def test_loogle_long_inputs_short_outputs(self):
+        stats = loogle_workload(300, rate=0.5, seed=1).mean_stats()
+        assert stats["input"] == pytest.approx(30_000, rel=0.25)
+        assert stats["output"] < 50
+
+    def test_openthoughts_shares_system_prompt(self):
+        wl = openthoughts_workload(100, rate=1.0, seed=1)
+        prompts = {tuple(s.uid for s in r.history) for r in wl}
+        assert len(prompts) == 1  # all share the same 243-token prompt
+        assert all(r.history_tokens == 243 for r in wl)
+
+    def test_openthoughts_long_outputs(self):
+        stats = openthoughts_workload(300, rate=1.0, seed=1).mean_stats()
+        assert stats["output"] == pytest.approx(8374, rel=0.25)
+
+
+class TestMultiTurnTraces:
+    def test_conversation_reuse_matches_table1(self):
+        stats = conversation_workload(500, request_rate=2.0, seed=1).mean_stats()
+        assert stats["reused"] == pytest.approx(4496, rel=0.3)
+        assert stats["input"] == pytest.approx(7538, rel=0.3)
+
+    def test_toolagent_reuse_matches_table1(self):
+        stats = toolagent_workload(500, request_rate=2.0, seed=1).mean_stats()
+        assert stats["reused"] == pytest.approx(4905, rel=0.3)
+
+    def test_turns_arrive_in_order_with_gaps(self):
+        wl = toolagent_workload(100, request_rate=2.0, seed=2)
+        by_session: dict[int, list] = {}
+        for request in wl:
+            by_session.setdefault(request.session_id, []).append(request)
+        for turns in by_session.values():
+            turns.sort(key=lambda r: r.turn_index)
+            for earlier, later in zip(turns, turns[1:]):
+                assert later.arrival_time > earlier.arrival_time
+
+    def test_later_turns_reference_earlier_segments(self):
+        wl = conversation_workload(60, request_rate=2.0, seed=3)
+        multi = [r for r in wl if r.turn_index == 1]
+        assert multi, "expected some second turns"
+        for request in multi:
+            uids = {s.uid for s in request.history}
+            first = next(
+                r for r in wl if r.session_id == request.session_id and r.turn_index == 0
+            )
+            assert first.new_input.uid in uids
+            assert first.output_segment.uid in uids
+
+    def test_history_tokens_accumulate(self):
+        wl = conversation_workload(80, request_rate=2.0, seed=4)
+        for request in wl:
+            if request.turn_index > 0:
+                assert request.history_tokens > 0
+
+
+class TestUtilities:
+    def test_mixed_workload_contains_both_kinds(self):
+        wl = mixed_workload(200, rate=0.5, seed=5)
+        lengths = [r.new_input.tokens for r in wl]
+        assert min(lengths) < 1500
+        assert max(lengths) > 3380
+
+    def test_poissonized_preserves_request_structure(self):
+        base = toolagent_workload(50, request_rate=1.0, seed=6)
+        redone = poissonized(base, rate=2.0, seed=7)
+        assert len(redone) == len(base)
+        assert {r.new_input.uid for r in redone} == {r.new_input.uid for r in base}
+
+    def test_poissonized_keeps_session_order(self):
+        base = toolagent_workload(80, request_rate=1.0, seed=8)
+        redone = poissonized(base, rate=5.0, seed=9)
+        last: dict[int, tuple] = {}
+        for request in redone.requests:
+            key = request.session_id
+            if key in last:
+                prev_turn, prev_time = last[key]
+                if request.turn_index > prev_turn:
+                    assert request.arrival_time > prev_time
+            last[key] = (request.turn_index, request.arrival_time)
+
+    def test_workload_sorted_by_arrival(self):
+        wl = mixed_workload(100, rate=1.0, seed=10)
+        times = [r.arrival_time for r in wl]
+        assert times == sorted(times)
+
+    def test_workload_duration(self):
+        wl = sharegpt_workload(10, rate=1.0, seed=11)
+        assert wl.duration == pytest.approx(
+            wl.requests[-1].arrival_time - wl.requests[0].arrival_time
+        )
+
+    def test_empty_workload(self):
+        wl = Workload(name="empty", requests=[])
+        assert len(wl) == 0
+        assert wl.duration == 0.0
