@@ -10,6 +10,7 @@ from repro.serving.base import ServingSystem
 from repro.serving.config import ServingConfig
 from repro.serving.metrics import Summary
 from repro.sim import Simulator
+from repro.trace import Tracer
 from repro.workloads.request import Workload
 
 #: Safety cap on simulator events per run (guards against scheduling bugs).
@@ -53,9 +54,16 @@ def run_system(
     cfg: ServingConfig,
     workload: Workload,
     drain_horizon: float = DRAIN_HORIZON,
+    tracer: Tracer | None = None,
 ) -> RunResult:
-    """Run ``workload`` through a freshly built system and summarise."""
+    """Run ``workload`` through a freshly built system and summarise.
+
+    Pass a :class:`repro.trace.Tracer` to record an event timeline; it is
+    attached before the system is built so every layer's hooks see it.
+    """
     sim = Simulator()
+    if tracer is not None:
+        sim.attach_tracer(tracer)
     system = factory(sim, cfg)
     system.submit(workload)
     last_arrival = workload.requests[-1].arrival_time if len(workload) else 0.0

@@ -122,7 +122,18 @@ def cmd_run(args: argparse.Namespace) -> int:
     cfg = build_config(args)
     workload = build_workload(args)
     factory = make_factory(args.system, args.token_budget)
-    result = run_system(factory, cfg, workload)
+    tracer = None
+    if args.trace:
+        from repro.trace import Tracer
+
+        # Fail on an unwritable destination now, not after the simulation.
+        try:
+            with open(args.trace, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            raise SystemExit(f"cannot write trace file {args.trace!r}: {exc}")
+        tracer = Tracer()
+    result = run_system(factory, cfg, workload, tracer=tracer)
     print(tail_latency_table({args.system: result.summary}))
     print()
     print(latency_table({args.system: result.summary}))
@@ -139,6 +150,13 @@ def cmd_run(args: argparse.Namespace) -> int:
         sim.run(max_events=20_000_000)
         save_records(system.metrics.records.values(), args.output)
         print(f"\nper-request records written to {args.output}")
+    if tracer is not None:
+        from repro.trace import export, phase_summary
+
+        print()
+        print(phase_summary(tracer))
+        print()
+        print(export(tracer, args.trace))
     return 0
 
 
@@ -228,6 +246,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--workload", default="toolagent")
     run_p.add_argument("--rate", type=float, default=1.0)
     run_p.add_argument("--output", default=None, help="write per-request JSONL here")
+    run_p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record an event trace; .json for chrome://tracing, .jsonl for a flat log",
+    )
     run_p.set_defaults(func=cmd_run)
 
     cmp_p = sub.add_parser("compare", help="run several systems on one workload")

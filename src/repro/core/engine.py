@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.gpu.launch import DECODE_LAUNCH_LABEL, prefill_launch_label
 from repro.gpu.stream import OpHandle, Stream, Work
 from repro.serving.base import Instance
 from repro.serving.config import ServingConfig
@@ -93,7 +94,7 @@ class MultiplexEngine:
             handle = self.decode_stream.submit(work)
             handle.on_complete(on_done)
 
-        self.instance.host.enqueue(launch_time, do_submit)
+        self.instance.host.enqueue(launch_time, do_submit, label=DECODE_LAUNCH_LABEL)
 
     def launch_prefill_group(
         self,
@@ -113,12 +114,13 @@ class MultiplexEngine:
         else:
             layers = whole_phase_layers if whole_phase_layers is not None else layer_count
             launch_time = self.cfg.launch.full_prefill_launch(layers)
+        label = prefill_launch_label(self.layerwise)
 
         def do_submit() -> None:
             handle = self.prefill_stream.submit(work)
             handle.on_complete(on_done)
 
-        self.instance.host.enqueue(launch_time, do_submit)
+        self.instance.host.enqueue(launch_time, do_submit, label=label)
 
     # ------------------------------------------------------------------ #
     # Diagnostics

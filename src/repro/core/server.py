@@ -30,6 +30,7 @@ from repro.serving.base import RequestState, build_instance
 from repro.serving.batching import DecodeBatchMixin
 from repro.serving.config import ServingConfig
 from repro.sim import Simulator
+from repro.trace.tracer import CAT_SCHED
 
 
 @dataclass
@@ -295,6 +296,18 @@ class MuxWiseServer(DecodeBatchMixin):
             return
         job.preempt_requested = True
         self._preemptor_state = newcomer
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.instant(
+                f"sched/{self.name}",
+                "preempt-request",
+                CAT_SCHED,
+                now,
+                {
+                    "preemptor": newcomer.request.request_id,
+                    "victims": [s.request.request_id for s in job.states],
+                },
+            )
 
     # ------------------------------------------------------------------ #
     # Decode side
@@ -392,3 +405,14 @@ class MuxWiseServer(DecodeBatchMixin):
         self.partition_log.append(
             (self.sim.now, self.engine.decode_sms, self.engine.prefill_sms)
         )
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.counter(
+                f"sched/{self.name}",
+                "partition-sms",
+                self.sim.now,
+                {
+                    "decode": float(self.engine.decode_sms),
+                    "prefill": float(self.engine.prefill_sms),
+                },
+            )

@@ -32,6 +32,7 @@ from typing import Callable
 
 from repro.gpu.specs import GPUSpec
 from repro.sim import Event, Simulator
+from repro.trace.tracer import CAT_BANDWIDTH, CAT_KERNEL
 
 _EPS = 1e-9
 _task_ids = itertools.count()
@@ -75,6 +76,9 @@ class ExecTask:
             k-GPU subset of a g-GPU group, since a job physically cannot read
             from HBM stacks it does not occupy.
         tag: Free-form label ("prefill"/"decode"/...), used by profiling.
+        trace_track: Trace row for this task's execution span; streams set
+            it to their own track, direct device submissions leave it None
+            (the device then uses its generic exec row).
         on_complete: Called with the completion timestamp.
     """
 
@@ -84,6 +88,7 @@ class ExecTask:
     fixed_time: float = 0.0
     max_bandwidth: float = math.inf
     tag: str = ""
+    trace_track: str | None = None
     on_complete: Callable[[float], None] | None = None
 
     # Runtime state, managed by the device.
@@ -286,6 +291,19 @@ class Device:
         allocs = waterfill(demands, self.effective_bandwidth)
         for task, alloc, factor in zip(self._active, allocs, factors):
             task.bw_rate = alloc * factor
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            used = sum(t.bw_rate for t in self._active)
+            tracer.counter(
+                f"gpu/{self.name}",
+                "hbm-bandwidth",
+                self.sim.now,
+                {
+                    "allocated": used,
+                    "idle": max(0.0, self.effective_bandwidth - used),
+                },
+                cat=CAT_BANDWIDTH,
+            )
 
     def _next_phase_change(self) -> float:
         """Seconds until any active task finishes a dimension."""
@@ -339,6 +357,16 @@ class Device:
     def _finish_task(self, task: ExecTask) -> None:
         def complete() -> None:
             task.finish_time = self.sim.now
+            tracer = self.sim.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.complete(
+                    task.trace_track or f"gpu/{self.name}/exec",
+                    task.tag or "exec",
+                    CAT_KERNEL,
+                    task.start_time,
+                    task.finish_time,
+                    {"sms": task.sm_count, "flops": task.flops, "bytes": task.bytes},
+                )
             if task.on_complete is not None:
                 task.on_complete(self.sim.now)
 

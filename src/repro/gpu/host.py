@@ -14,6 +14,7 @@ from collections import deque
 from typing import Callable
 
 from repro.sim import Simulator
+from repro.trace.tracer import CAT_LAUNCH
 
 
 class HostThread:
@@ -27,7 +28,9 @@ class HostThread:
     def __init__(self, sim: Simulator, name: str = "host") -> None:
         self.sim = sim
         self.name = name
-        self._queue: deque[tuple[float, Callable[[], None]]] = deque()
+        #: Trace row for this thread's launch-occupancy spans.
+        self.trace_track = f"host/{name}"
+        self._queue: deque[tuple[float, Callable[[], None], str]] = deque()
         self._busy = False
         self._busy_seconds = 0.0
 
@@ -46,22 +49,34 @@ class HostThread:
         """Cumulative host time spent launching."""
         return self._busy_seconds
 
-    def enqueue(self, duration: float, action: Callable[[], None]) -> None:
-        """Queue a host operation of ``duration`` seconds ending in ``action``."""
+    def enqueue(
+        self, duration: float, action: Callable[[], None], label: str = "launch"
+    ) -> None:
+        """Queue a host operation of ``duration`` seconds ending in ``action``.
+
+        ``label`` names the operation in recorded traces (e.g. the launch
+        kind from :mod:`repro.gpu.launch`).
+        """
         if duration < 0:
             raise ValueError("duration must be non-negative")
-        self._queue.append((duration, action))
+        self._queue.append((duration, action, label))
         self._pump()
 
     def _pump(self) -> None:
         if self._busy or not self._queue:
             return
-        duration, action = self._queue.popleft()
+        duration, action, label = self._queue.popleft()
         self._busy = True
         self._busy_seconds += duration
+        started = self.sim.now
 
         def finish() -> None:
             self._busy = False
+            tracer = self.sim.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.complete(
+                    self.trace_track, label, CAT_LAUNCH, started, self.sim.now
+                )
             action()
             self._pump()
 

@@ -23,6 +23,19 @@ KERNELS_PER_LAYER = 18
 #: Extra kernels outside the layer stack (embedding, final norm, LM head).
 KERNELS_FIXED = 6
 
+#: Trace label for a captured-graph decode launch.
+DECODE_LAUNCH_LABEL = "decode-graph"
+
+
+def prefill_launch_label(layerwise: bool) -> str:
+    """Trace label for a prefill launch.
+
+    Distinguishes the piecewise per-layer-graph path from the
+    kernel-by-kernel whole-phase path (the Fig. 9 bubble source), so a
+    recorded trace shows which launch regime a run was in.
+    """
+    return "prefill-piecewise" if layerwise else "prefill-kernels"
+
 
 @dataclass(frozen=True)
 class LaunchModel:

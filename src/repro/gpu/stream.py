@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.gpu.device import Device, ExecTask
+from repro.trace.tracer import CAT_GREENCTX
 
 
 @dataclass
@@ -69,6 +70,8 @@ class Stream:
             raise ValueError(f"sm_count {sm_count} out of range for {device.name}")
         self.device = device
         self.name = name
+        #: Trace row for this stream's kernels and resizes.
+        self.trace_track = f"gpu/{device.name}/{name}"
         self._sm_count = sm_count
         self._queue: deque[tuple[str, object, OpHandle]] = deque()
         self._running: OpHandle | None = None
@@ -161,9 +164,23 @@ class Stream:
         if kind == "resize":
             new_sms: int = payload  # type: ignore[assignment]
             delay = self.device.spec.greenctx_reconfig_time
+            handle.start_time = now
+            # A resize is a stream-occupying synchronisation: the stream is
+            # busy while it re-binds, so it must not count as bubble time.
+            self._current_op_start = now
 
             def finish_resize() -> None:
-                self._sm_count = new_sms
+                old_sms, self._sm_count = self._sm_count, new_sms
+                tracer = self.device.sim.tracer
+                if tracer is not None and tracer.enabled:
+                    tracer.complete(
+                        self.trace_track,
+                        "resize",
+                        CAT_GREENCTX,
+                        handle.start_time or now,
+                        self.device.sim.now,
+                        {"from_sms": old_sms, "to_sms": new_sms},
+                    )
                 self._op_done(handle)
 
             self.device.sim.schedule(delay, finish_resize)
@@ -178,6 +195,7 @@ class Stream:
             fixed_time=work.fixed_time,
             max_bandwidth=work.max_bandwidth,
             tag=work.tag or self.name,
+            trace_track=self.trace_track,
             on_complete=lambda _t, h=handle: self._op_done(h),
         )
         self.device.submit(task)

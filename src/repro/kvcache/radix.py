@@ -20,8 +20,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.kvcache.pool import KVCachePool, PoolExhaustedError
+from repro.trace.tracer import CAT_CACHE
+
+if TYPE_CHECKING:
+    from repro.trace.tracer import Tracer
 
 _segment_uids = itertools.count()
 
@@ -102,12 +107,22 @@ class CacheStats:
 class RadixCache:
     """Prefix cache mapping segment paths onto pooled KV pages."""
 
-    def __init__(self, pool: KVCachePool, enable_prefix_sharing: bool = True) -> None:
+    def __init__(
+        self,
+        pool: KVCachePool,
+        enable_prefix_sharing: bool = True,
+        tracer: "Tracer | None" = None,
+        name: str = "kvcache",
+    ) -> None:
         self.pool = pool
         self.enable_prefix_sharing = enable_prefix_sharing
         self._root = _Node(segment_uid=-1, tokens=0, pages=0, parent=None)
         self._clock = 0.0
         self.stats = CacheStats()
+        #: Optional tracing sink (timestamps come from the LRU clock, which
+        #: callers advance with :meth:`touch` before mutating the cache).
+        self.tracer = tracer
+        self.trace_track = f"kvcache/{name}"
 
     # ------------------------------------------------------------------ #
     # Lookup
@@ -150,6 +165,15 @@ class RadixCache:
         self.stats.lookups += 1
         self.stats.tokens_requested += requested
         self.stats.tokens_hit += lease.cached_tokens
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.instant(
+                self.trace_track,
+                "hit" if lease.cached_tokens else "miss",
+                CAT_CACHE,
+                self._clock,
+                {"requested": requested, "hit": lease.cached_tokens},
+            )
         return lease
 
     # ------------------------------------------------------------------ #
@@ -243,6 +267,15 @@ class RadixCache:
             self._drop(victim)
             self.stats.evictions += 1
             self.stats.evicted_tokens += victim.tokens
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.instant(
+                    self.trace_track,
+                    "evict",
+                    CAT_CACHE,
+                    self._clock,
+                    {"tokens": victim.tokens, "pages": victim.pages},
+                )
 
     def _pick_victim(self) -> _Node | None:
         best: _Node | None = None

@@ -19,6 +19,7 @@ from repro.models.costs import CostModel, PrefillItem
 from repro.serving.config import ServingConfig
 from repro.serving.metrics import MetricsCollector, RequestRecord
 from repro.sim import Simulator
+from repro.trace.tracer import CAT_LIFECYCLE
 from repro.workloads.request import Request, Workload
 
 
@@ -56,7 +57,9 @@ def build_instance(
     device.alloc_memory(reserve)
     pool_bytes = device.mem_free
     pool = KVCachePool(pool_bytes, cfg.model.kv_bytes_per_token, cfg.page_tokens)
-    cache = RadixCache(pool, enable_prefix_sharing=cross_request_reuse)
+    cache = RadixCache(
+        pool, enable_prefix_sharing=cross_request_reuse, tracer=sim.tracer, name=name
+    )
     cost_model = CostModel(cfg.model, n_gpus=n_gpus, nvlink_bandwidth=cfg.spec.nvlink_bandwidth)
     host = HostThread(sim, name=f"{name}-host")
     return Instance(
@@ -84,6 +87,9 @@ class RequestState:
         # System-specific progress (layer-wise execution, chunking).
         self.layers_done = 0
         self.chunk_tokens_done = 0
+        # Tracing: current lifecycle phase and when it started.
+        self.trace_phase: str | None = None
+        self.trace_phase_start = 0.0
 
     @property
     def remaining_output(self) -> int:
@@ -138,6 +144,7 @@ class ServingSystem(ABC):
         record = self.metrics.on_arrival(request, self.sim.now)
         state = RequestState(request, record)
         self.states[request.request_id] = state
+        self.trace_lifecycle(state, "queued", instant="arrival")
         next_turn = self._session_next_turn.setdefault(request.session_id, 0)
         if request.turn_index == next_turn:
             self.on_request_ready(state)
@@ -157,6 +164,39 @@ class ServingSystem(ABC):
         """A request is admissible (its session predecessor finished)."""
 
     # ------------------------------------------------------------------ #
+    # Tracing
+    # ------------------------------------------------------------------ #
+
+    def trace_lifecycle(
+        self,
+        state: RequestState,
+        phase: str | None,
+        instant: str | None = None,
+        args: dict | None = None,
+    ) -> None:
+        """Move ``state`` to lifecycle ``phase``, recording the span it closes.
+
+        Each request owns one trace row (``req/<id>``); the queued → prefill
+        → decode progression appears as back-to-back spans, and transient
+        occurrences (arrival, preemption, finish) as instant events.  No-op
+        without an enabled tracer on the simulator.
+        """
+        tracer = self.sim.tracer
+        if tracer is None or not tracer.enabled:
+            return
+        now = self.sim.now
+        track = f"req/{state.request.request_id}"
+        if state.trace_phase != phase:
+            if state.trace_phase is not None:
+                tracer.complete(
+                    track, state.trace_phase, CAT_LIFECYCLE, state.trace_phase_start, now
+                )
+            state.trace_phase = phase
+            state.trace_phase_start = now
+        if instant is not None:
+            tracer.instant(track, instant, CAT_LIFECYCLE, now, args)
+
+    # ------------------------------------------------------------------ #
     # KV-cache helpers
     # ------------------------------------------------------------------ #
 
@@ -168,6 +208,12 @@ class ServingSystem(ABC):
         total = sum(segment.tokens for segment in path)
         state.reused_tokens = state.lease.cached_tokens
         state.prefill_tokens = max(1, total - state.reused_tokens)
+        self.trace_lifecycle(
+            state,
+            "prefill",
+            instant="kv-reuse" if state.reused_tokens else None,
+            args={"reused_tokens": state.reused_tokens} if state.reused_tokens else None,
+        )
 
     def allocate_context(self, instance: Instance, state: RequestState) -> bool:
         """Reserve KV pages for the uncached context; False if it cannot fit."""
@@ -190,6 +236,7 @@ class ServingSystem(ABC):
         if state.lease is not None:
             instance.cache.release(state.lease, keep_cached=True)
             state.lease = None
+        self.trace_lifecycle(state, "queued")
 
     def extend_output(self, instance: Instance, state: RequestState, tokens: int) -> bool:
         """Grow the output segment by ``tokens``; False on pool exhaustion."""
@@ -238,6 +285,7 @@ class ServingSystem(ABC):
             self.emit_tokens(state, 1)
         else:
             self.emit_first_token(state)
+        self.trace_lifecycle(state, "decode")
 
     def can_ever_fit(self, instance: Instance, state: RequestState) -> bool:
         """Whether the request's context + output can fit in an empty pool."""
@@ -248,6 +296,7 @@ class ServingSystem(ABC):
         """Reject a request that can never be served (context too large)."""
         self.abandon_plan(instance, state)
         state.finished = True
+        self.trace_lifecycle(state, None, instant="dropped")
         self._complete_turn(state)
 
     def finish_request(
@@ -256,4 +305,5 @@ class ServingSystem(ABC):
         """Retire a request: release KV, unblock the session's next turn."""
         state.finished = True
         self.release_request(instance, state, keep_cached=keep_cached)
+        self.trace_lifecycle(state, None, instant="finished")
         self._complete_turn(state)

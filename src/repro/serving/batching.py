@@ -42,4 +42,7 @@ class DecodeBatchMixin(ServingSystem):
         for state in preempted:
             self.release_request(instance, state, keep_cached=False)
             state.first_token_emitted = True  # keep its TTFT; it resumes
+            self.trace_lifecycle(
+                state, "queued", instant="preempted", args={"kind": "recompute"}
+            )
         return finished, preempted

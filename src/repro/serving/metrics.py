@@ -15,12 +15,17 @@ from repro.workloads.request import Request
 
 
 def percentile(values: list[float], pct: float) -> float:
-    """Linear-interpolated percentile; NaN for empty input."""
-    if not values:
-        return math.nan
+    """Linear-interpolated percentile; NaN for empty (or all-NaN) input.
+
+    NaN samples are excluded up front: NaN compares false against
+    everything, so letting it into ``sorted()`` leaves the list partially
+    ordered and silently corrupts every rank.
+    """
     if not 0 <= pct <= 100:
         raise ValueError("pct must be in [0, 100]")
-    ordered = sorted(values)
+    ordered = sorted(v for v in values if not math.isnan(v))
+    if not ordered:
+        return math.nan
     if len(ordered) == 1:
         return ordered[0]
     rank = (pct / 100.0) * (len(ordered) - 1)
@@ -185,8 +190,11 @@ class MetricsCollector:
         total_tokens = output_tokens + self._prefilled_tokens
         useful_tokens = output_tokens + self._useful_input_tokens
         tbt_p99 = percentile(gaps, 99.0)
+        # A run with no decode gaps (every request emitted a single output
+        # token) never violated the TBT SLO: attainment is vacuously 1.0
+        # and the SLO is met, not failed.
         attainment = (
-            sum(1 for g in gaps if g <= self.slo.tbt) / len(gaps) if gaps else 0.0
+            sum(1 for g in gaps if g <= self.slo.tbt) / len(gaps) if gaps else 1.0
         )
         return Summary(
             name=self.name,
@@ -206,7 +214,7 @@ class MetricsCollector:
             useful_throughput=useful_tokens / elapsed if elapsed else 0.0,
             output_throughput=output_tokens / elapsed if elapsed else 0.0,
             tbt_attainment=attainment,
-            slo_met=bool(gaps) and tbt_p99 <= self.slo.tbt,
+            slo_met=tbt_p99 <= self.slo.tbt if gaps else True,
         )
 
 

@@ -33,6 +33,9 @@ class Event:
         seq: Monotonic insertion counter; preserves FIFO order for ties.
         callback: Zero-argument callable invoked when the event fires.
         cancelled: Cancelled events are skipped when popped.
+        owner: The simulator holding this event in its queue; notified on
+            the first ``cancel()`` so it can keep an O(1) count of dead
+            queue entries (and compact the heap when they pile up).
     """
 
     time: float
@@ -40,10 +43,15 @@ class Event:
     seq: int = field(default_factory=lambda: next(_sequence))
     callback: Callable[[], Any] | None = field(default=None, compare=False)
     cancelled: bool = field(default=False, compare=False)
+    owner: Any = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so it is skipped when it reaches the queue head."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.owner is not None:
+            self.owner._note_cancelled()
 
     def fire(self) -> None:
         """Invoke the callback unless cancelled."""

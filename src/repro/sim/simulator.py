@@ -17,9 +17,12 @@ Example:
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.sim.events import PRIORITY_NORMAL, Event
+
+if TYPE_CHECKING:
+    from repro.trace.tracer import Tracer
 
 
 class SimulationError(RuntimeError):
@@ -37,11 +40,23 @@ class Simulator:
     #: floating-point round-off when chaining zero-delay events.
     TIME_EPSILON = 1e-12
 
+    #: Below this queue size, cancelled events are never compacted eagerly
+    #: (the O(n) rebuild is not worth it for tiny heaps).
+    COMPACT_MIN_SIZE = 64
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = start_time
         self._heap: list[Event] = []
         self._event_count = 0
+        self._cancelled_count = 0
         self._running = False
+        #: Optional tracing sink; components emit through ``sim.tracer``
+        #: when it is attached and enabled (see :mod:`repro.trace`).
+        self.tracer: Tracer | None = None
+
+    def attach_tracer(self, tracer: "Tracer | None") -> None:
+        """Attach (or detach, with ``None``) a :class:`repro.trace.Tracer`."""
+        self.tracer = tracer
 
     @property
     def now(self) -> float:
@@ -51,7 +66,7 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of non-cancelled events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return len(self._heap) - self._cancelled_count
 
     @property
     def processed_events(self) -> int:
@@ -81,7 +96,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time:.9f}; clock is at {self._now:.9f}"
             )
-        event = Event(time=max(time, self._now), priority=priority, callback=callback)
+        event = Event(
+            time=max(time, self._now), priority=priority, callback=callback, owner=self
+        )
         heapq.heappush(self._heap, event)
         return event
 
@@ -96,6 +113,7 @@ class Simulator:
         if not self._heap:
             return False
         event = heapq.heappop(self._heap)
+        event.owner = None
         self._now = event.time
         self._event_count += 1
         event.fire()
@@ -131,4 +149,30 @@ class Simulator:
 
     def _drop_cancelled_head(self) -> None:
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            dropped = heapq.heappop(self._heap)
+            dropped.owner = None
+            self._cancelled_count -= 1
+
+    def _note_cancelled(self) -> None:
+        """An event still in the queue was cancelled (called by Event).
+
+        Keeps :attr:`pending_events` O(1) and compacts the heap once more
+        than half of it is dead weight, bounding memory growth of workloads
+        that cancel aggressively (e.g. the device's rolling update events).
+        """
+        self._cancelled_count += 1
+        if (
+            len(self._heap) >= self.COMPACT_MIN_SIZE
+            and self._cancelled_count * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled events."""
+        live = [e for e in self._heap if not e.cancelled]
+        for event in self._heap:
+            if event.cancelled:
+                event.owner = None
+        self._heap = live
+        heapq.heapify(self._heap)
+        self._cancelled_count = 0

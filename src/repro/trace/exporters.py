@@ -1,0 +1,223 @@
+"""Trace exporters: Chrome trace-event JSON, flat JSONL, and a text summary.
+
+The Chrome format is the `chrome://tracing` / Perfetto "JSON trace event"
+schema: a ``traceEvents`` array whose entries carry ``ph`` (phase letter),
+``ts``/``dur`` in *microseconds*, and ``pid``/``tid`` integers that Perfetto
+renders as process and thread rows.  Tracks map onto rows as follows:
+
+* the part of the track name before the first ``/`` is the process
+  ("gpu", "host", "req", "sched", "kvcache");
+* the full track name labels the thread row, via metadata events.
+
+The JSONL exporter writes one event per line (seconds, not microseconds) for
+ad-hoc analysis with ``jq`` / pandas; the summary exporter aggregates span
+time by track and category into the per-phase breakdown used to explain
+where a run's time went.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import IO
+
+from repro.trace.tracer import (
+    PH_BEGIN,
+    PH_COMPLETE,
+    PH_COUNTER,
+    PH_END,
+    PH_INSTANT,
+    TraceEvent,
+    Tracer,
+)
+
+_SECONDS_TO_US = 1e6
+
+
+def _track_rows(tracer: Tracer) -> dict[str, tuple[int, int]]:
+    """Deterministic (pid, tid) assignment per track, by first appearance."""
+    processes: dict[str, int] = {}
+    rows: dict[str, tuple[int, int]] = {}
+    next_tid = 1
+    for track in tracer.tracks():
+        process = track.split("/", 1)[0]
+        pid = processes.setdefault(process, len(processes) + 1)
+        rows[track] = (pid, next_tid)
+        next_tid += 1
+    return rows
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """The ``traceEvents`` array for one tracer (metadata rows included)."""
+    rows = _track_rows(tracer)
+    events: list[dict] = []
+    named_processes: set[int] = set()
+    for track, (pid, tid) in rows.items():
+        process = track.split("/", 1)[0]
+        if pid not in named_processes:
+            named_processes.add(pid)
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": process},
+                }
+            )
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_sort_index",
+                "pid": pid,
+                "tid": tid,
+                "args": {"sort_index": tid},
+            }
+        )
+    for event in tracer.events:
+        pid, tid = rows[event.track]
+        entry: dict = {
+            "ph": event.ph,
+            "name": event.name,
+            "cat": event.cat,
+            "ts": event.ts * _SECONDS_TO_US,
+            "pid": pid,
+            "tid": tid,
+        }
+        if event.ph == PH_COMPLETE:
+            entry["dur"] = event.dur * _SECONDS_TO_US
+        if event.ph == PH_INSTANT:
+            entry["s"] = "t"  # thread-scoped instant
+        if event.args:
+            entry["args"] = event.args
+        events.append(entry)
+    return events
+
+
+def write_chrome_trace(tracer: Tracer, destination: str | IO[str]) -> None:
+    """Write a `chrome://tracing`-loadable JSON file."""
+    payload = {"traceEvents": chrome_trace_events(tracer), "displayTimeUnit": "ms"}
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+    else:
+        json.dump(payload, destination)
+
+
+def write_jsonl(tracer: Tracer, destination: str | IO[str]) -> None:
+    """Write one JSON object per event (timestamps in seconds)."""
+
+    def dump(fh: IO[str]) -> None:
+        for event in tracer.events:
+            record = {
+                "seq": event.seq,
+                "ts": event.ts,
+                "ph": event.ph,
+                "track": event.track,
+                "name": event.name,
+                "cat": event.cat,
+            }
+            if event.ph == PH_COMPLETE:
+                record["dur"] = event.dur
+            if event.args:
+                record["args"] = event.args
+            fh.write(json.dumps(record) + "\n")
+
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as fh:
+            dump(fh)
+    else:
+        dump(destination)
+
+
+def phase_summary(tracer: Tracer, width: int = 72) -> str:
+    """Human-readable per-phase time breakdown.
+
+    For every track that recorded complete spans: total busy seconds split
+    by category, plus counts of instants.  Request tracks are aggregated
+    into a single "requests" line per lifecycle phase (queued / prefill /
+    decode) rather than listed per request.
+    """
+    span_time: dict[tuple[str, str], float] = defaultdict(float)
+    span_count: dict[tuple[str, str], int] = defaultdict(int)
+    phase_time: dict[str, float] = defaultdict(float)
+    phase_count: dict[str, int] = defaultdict(int)
+    instant_count: dict[str, int] = defaultdict(int)
+    open_begins: dict[tuple[str, str], float] = {}
+
+    for event in tracer.events:
+        if event.ph == PH_COMPLETE:
+            if event.track.startswith("req/"):
+                phase_time[event.name] += event.dur
+                phase_count[event.name] += 1
+            else:
+                key = (event.track, f"{event.cat}:{event.name}")
+                span_time[key] += event.dur
+                span_count[key] += 1
+        elif event.ph == PH_BEGIN:
+            open_begins[(event.track, event.name)] = event.ts
+        elif event.ph == PH_END:
+            started = open_begins.pop((event.track, event.name), None)
+            if started is not None:
+                phase_time[event.name] += event.ts - started
+                phase_count[event.name] += 1
+        elif event.ph == PH_INSTANT:
+            instant_count[event.name] += 1
+
+    lines = ["trace summary", "=" * width]
+    if phase_time:
+        lines.append("request lifecycle (total seconds across requests):")
+        for name in sorted(phase_time):
+            lines.append(
+                f"  {name:<20} {phase_time[name]:12.4f} s  ({phase_count[name]} spans)"
+            )
+    tracks = sorted({track for track, _ in span_time})
+    for track in tracks:
+        lines.append(f"track {track}:")
+        keys = sorted(k for k in span_time if k[0] == track)
+        for key in keys:
+            _, label = key
+            lines.append(
+                f"  {label:<28} {span_time[key]:12.4f} s  ({span_count[key]} spans)"
+            )
+    if instant_count:
+        lines.append("instant events:")
+        for name in sorted(instant_count):
+            lines.append(f"  {name:<28} x{instant_count[name]}")
+    if len(lines) == 2:
+        lines.append("(no events recorded)")
+    return "\n".join(lines)
+
+
+def export(tracer: Tracer, path: str) -> str:
+    """Write ``tracer`` to ``path``, choosing the format by extension.
+
+    ``.jsonl`` selects the flat event log; anything else gets Chrome JSON.
+    Returns a short description of what was written.
+    """
+    if path.endswith(".jsonl"):
+        write_jsonl(tracer, path)
+        return f"JSONL event log ({len(tracer.events)} events) written to {path}"
+    write_chrome_trace(tracer, path)
+    return (
+        f"Chrome trace ({len(tracer.events)} events) written to {path}; "
+        "open in https://ui.perfetto.dev or chrome://tracing"
+    )
+
+
+__all__ = [
+    "chrome_trace_events",
+    "export",
+    "phase_summary",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,5 +1,7 @@
 """Unit tests for streams (green contexts), host thread and launch model."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.gpu import A100, Device, HostThread, LaunchModel, Stream, Work
@@ -90,6 +92,32 @@ class TestStream:
         stream.submit(timed_work(device, 54, 1.0))
         sim.run()
         assert stream.bubble_ratio() == pytest.approx(0.0, abs=1e-6)
+
+    def test_resize_counts_as_busy_not_bubble(self):
+        """A green-context resize occupies the stream (it is a stream sync);
+        it used to be counted as bubble because the resize path never set
+        the op-start marker, inflating the §4.4.2 ratio on re-partitions."""
+        spec = replace(A100, greenctx_reconfig_time=0.05)
+        sim = Simulator()
+        device = Device(sim, spec)
+        stream = Stream(device, 54)
+        stream.submit(timed_work(device, 54, 0.1))
+        stream.resize(27)
+        sim.run()
+        # Window is 0.15 s: 0.1 s of work + 0.05 s of resize, zero idle.
+        assert sim.now == pytest.approx(0.15, rel=1e-6)
+        assert stream.bubble_ratio() == pytest.approx(0.0, abs=1e-6)
+
+    def test_idle_time_around_resize_still_counts_as_bubble(self):
+        spec = replace(A100, greenctx_reconfig_time=0.05)
+        sim = Simulator()
+        device = Device(sim, spec)
+        stream = Stream(device, 54)
+        stream.submit(timed_work(device, 54, 0.1))
+        sim.schedule(0.2, lambda: stream.resize(27))
+        sim.run()
+        # Busy 0.1 (work) + 0.05 (resize) out of a 0.25 s window.
+        assert stream.bubble_ratio() == pytest.approx(0.1 / 0.25, rel=1e-4)
 
 
 class TestHostThread:

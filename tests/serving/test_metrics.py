@@ -61,6 +61,21 @@ class TestPercentile:
         with pytest.raises(ValueError):
             percentile([1.0], 150)
 
+    def test_nan_inputs_are_filtered(self):
+        """NaN compares false with everything, so a NaN mid-list used to
+        leave sorted() partially ordered and corrupt every rank."""
+        values = [math.nan, 3.0, 1.0, math.nan, 2.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 50) == pytest.approx(2.0)
+        assert percentile(values, 100) == 3.0
+
+    def test_all_nan_returns_nan(self):
+        assert math.isnan(percentile([math.nan, math.nan], 50))
+
+    def test_nan_does_not_shift_p99(self):
+        clean = [float(i) for i in range(101)]
+        assert percentile([math.nan, *clean], 99) == percentile(clean, 99)
+
 
 class TestMetricsCollector:
     def make(self) -> MetricsCollector:
@@ -155,3 +170,22 @@ class TestMetricsCollector:
         summary = metrics.summarize()
         assert summary.requests_total == 1
         assert summary.requests_finished == 0
+
+    def test_single_token_outputs_meet_slo_vacuously(self):
+        """Requests emitting exactly one output token produce no TBT gaps;
+        the SLO was never violated, so attainment is 1.0 and slo_met True
+        (it used to report 0.0 / False)."""
+        metrics = self.make()
+        for _ in range(3):
+            request = make_request(output_tokens=1)
+            metrics.on_arrival(request, 0.0)
+            metrics.on_prefill_done(request, 0.5, 10)
+        summary = metrics.summarize()
+        assert summary.requests_finished == 3
+        assert summary.tbt_attainment == 1.0
+        assert summary.slo_met
+
+    def test_empty_run_meets_slo_vacuously(self):
+        summary = self.make().summarize()
+        assert summary.tbt_attainment == 1.0
+        assert summary.slo_met

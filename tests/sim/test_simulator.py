@@ -91,6 +91,45 @@ class TestCancellation:
         sim.run()
         assert seen == []
 
+    def test_heap_compacts_when_mostly_cancelled(self):
+        """Cancelled events used to linger until they reached the heap head;
+        a schedule/cancel loop grew the queue without bound."""
+        sim = Simulator()
+        for _ in range(10_000):
+            sim.schedule(1.0, lambda: None).cancel()
+        # All dead weight is gone from the queue, not just uncounted.
+        assert len(sim._heap) < Simulator.COMPACT_MIN_SIZE
+        assert sim.pending_events == 0
+
+    def test_pending_events_is_exact_after_mixed_cancellation(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(500)]
+        for event in events[::2]:
+            event.cancel()
+        assert sim.pending_events == 250
+        assert sim.pending_events == sum(1 for e in sim._heap if not e.cancelled)
+        fired = []
+        sim.schedule(600.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [600.0]
+        assert sim.pending_events == 0
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending_events == 1
+
+    def test_cancel_after_fire_does_not_corrupt_count(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.step()
+        event.cancel()
+        assert sim.pending_events == 1
+
 
 class TestRunControl:
     def test_run_until_stops_clock_at_bound(self):
