@@ -1,0 +1,94 @@
+"""Fleet serving study — routing policy quality and replica scaling.
+
+The cluster layer's reason to exist: on prefix-heavy multi-turn traces,
+cache-aware (prefix-affinity) routing keeps each session's turns on the
+replica that already holds its KV history, while cache-oblivious policies
+scatter turns across the fleet and re-prefill history on every hop.  The
+seeded comparisons below pin that gap, and the scaling sweep checks that
+N replicas at N× the arrival rate behave like one replica at 1×.
+"""
+
+from _helpers import once
+from repro.baselines import ChunkedPrefillServer
+from repro.bench import compare_policies, replica_scaling, run_fleet, run_system
+from repro.cluster import FleetConfig
+from repro.workloads import sharegpt_workload, toolagent_workload
+
+
+def chunked(sim, cfg):
+    return ChunkedPrefillServer(sim, cfg, token_budget=256)
+
+
+def test_prefix_affinity_beats_round_robin_on_cache_hits(benchmark, cfg_8b_single):
+    """Acceptance: ≥2 replicas, prefix-heavy workload, strictly higher
+    fleet cache-hit rate for prefix-affinity than round-robin."""
+    workload = toolagent_workload(25, request_rate=3.0, seed=7)
+
+    def run():
+        return compare_policies(
+            chunked,
+            cfg_8b_single,
+            workload,
+            policies=["round-robin", "prefix-affinity"],
+            fleet=FleetConfig(replicas=3),
+        )
+
+    results = once(benchmark, run)
+    print()
+    for policy, result in results.items():
+        print(
+            f"  {policy:>16}: cache hit {result.cache_hit_rate:.3f}, "
+            f"ttft p99 {result.summary.ttft_p99:.3f}s"
+        )
+    assert results["prefix-affinity"].cache_hit_rate > results["round-robin"].cache_hit_rate
+    for result in results.values():
+        assert result.summary.requests_finished == len(workload)
+
+
+def test_fleet_goodput_matches_single_replica_at_matched_rate(benchmark, cfg_8b_single):
+    """4 replicas at 4× the rate must keep the SLO a single replica keeps
+    at 1× — the router adds no meaningful overhead at moderate load."""
+    per_replica_rate = 2.0
+
+    def run():
+        single = run_system(
+            chunked, cfg_8b_single, sharegpt_workload(20, rate=per_replica_rate, seed=13)
+        )
+        fleet = run_fleet(
+            chunked,
+            cfg_8b_single,
+            sharegpt_workload(80, rate=4 * per_replica_rate, seed=13),
+            FleetConfig(replicas=4, policy="least-outstanding"),
+        )
+        return single, fleet
+
+    single, fleet = once(benchmark, run)
+    single_goodput = per_replica_rate if single.meets_slo else 0.0
+    fleet_goodput = 4 * per_replica_rate if fleet.meets_slo else 0.0
+    print(f"\n  single: {single_goodput:.1f} req/s, fleet(4): {fleet_goodput:.1f} req/s")
+    assert single.meets_slo
+    assert fleet_goodput >= 4 * single_goodput
+
+
+def test_throughput_scales_with_replica_count(benchmark, cfg_8b_single):
+    def run():
+        return replica_scaling(
+            chunked,
+            cfg_8b_single,
+            lambda rate: sharegpt_workload(int(10 * rate), rate=rate, seed=17),
+            replica_counts=[1, 2, 4],
+            per_replica_rate=2.0,
+            fleet=FleetConfig(replicas=1, policy="least-outstanding"),
+        )
+
+    points = once(benchmark, run)
+    print()
+    for count, result in points:
+        print(
+            f"  {count} replica(s): {result.summary.output_throughput:8.1f} out tok/s, "
+            f"slo={'yes' if result.meets_slo else 'no'}"
+        )
+    by_count = dict(points)
+    assert all(result.meets_slo for result in by_count.values())
+    # Output throughput grows with the fleet (allow 20% routing slack).
+    assert by_count[4].summary.output_throughput > 2.0 * by_count[1].summary.output_throughput * 0.8

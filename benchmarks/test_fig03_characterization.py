@@ -10,7 +10,6 @@ approaches the full server; decode demand is far less sensitive; KV
 footprints reach tens-to-hundreds of GB.
 """
 
-import pytest
 
 from _helpers import once
 from repro.bench import series

@@ -11,7 +11,7 @@ from _helpers import once
 from repro.bench import series
 from repro.core import MuxWiseServer
 from repro.sim import Simulator
-from repro.workloads import loogle_workload, openthoughts_workload, realworld_trace, sharegpt_workload
+from repro.workloads import loogle_workload, openthoughts_workload, sharegpt_workload
 
 
 def partition_trace(cfg, workload):

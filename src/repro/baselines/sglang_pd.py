@@ -21,7 +21,7 @@ from collections import deque
 
 from repro.gpu.device import ExecTask
 from repro.kvcache.radix import Segment
-from repro.serving.base import Instance, RequestState, build_instance
+from repro.serving.base import RequestState, build_instance
 from repro.serving.batching import DecodeBatchMixin
 from repro.serving.config import ServingConfig
 from repro.sim import Simulator

@@ -19,7 +19,7 @@ import math
 from collections import deque
 
 from repro.gpu.stream import Stream
-from repro.models.costs import PrefillItem, phase_latency
+from repro.models.costs import phase_latency
 from repro.serving.base import RequestState, build_instance
 from repro.serving.batching import DecodeBatchMixin
 from repro.serving.config import ServingConfig

@@ -1,21 +1,35 @@
-"""Experiment harness: runners, goodput sweeps, report formatting."""
+"""Experiment harness: runners, goodput sweeps, fleet studies, reports."""
 
 from repro.bench.ascii import bar_chart, cdf_chart, line_chart
+from repro.bench.fleet import (
+    FleetRunResult,
+    compare_policies,
+    fleet_goodput_sweep,
+    replica_scaling,
+    run_fleet,
+)
 from repro.bench.goodput import GoodputResult, RatePoint, goodput_ratio, goodput_sweep
-from repro.bench.runner import MAX_EVENTS, RunResult, run_system
+from repro.bench.runner import DRAIN_HORIZON, MAX_EVENTS, STABILITY_TTFT, RunResult, run_system
 from repro.bench.report import latency_table, series, tail_latency_table, throughput_table
 
 __all__ = [
+    "DRAIN_HORIZON",
+    "FleetRunResult",
     "GoodputResult",
     "MAX_EVENTS",
     "RatePoint",
     "RunResult",
+    "STABILITY_TTFT",
     "bar_chart",
     "cdf_chart",
-    "line_chart",
+    "compare_policies",
+    "fleet_goodput_sweep",
     "goodput_ratio",
     "goodput_sweep",
     "latency_table",
+    "line_chart",
+    "replica_scaling",
+    "run_fleet",
     "run_system",
     "series",
     "tail_latency_table",

@@ -6,7 +6,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.serving.base import ServingSystem
+from repro.serving.base import ServingSystem, iter_instances
 from repro.serving.config import ServingConfig
 from repro.serving.metrics import Summary
 from repro.sim import Simulator
@@ -15,10 +15,13 @@ from repro.workloads.request import Workload
 
 #: Safety cap on simulator events per run (guards against scheduling bugs).
 MAX_EVENTS = 20_000_000
-#: Extra simulated time allowed after the last arrival before a run is cut.
+#: Default extra simulated time allowed after the last arrival before a run
+#: is cut (override per run via ``run_system(..., drain_horizon=...)``).
 DRAIN_HORIZON = 3600.0
-#: TTFT ceiling used as the instability proxy: once P99 TTFT exceeds this,
-#: the system's queue is diverging and the paper would mark it unstable.
+#: Default TTFT ceiling used as the instability proxy: once P99 TTFT exceeds
+#: this, the system's queue is diverging and the paper would mark it
+#: unstable.  Long-tail workloads and fleet runs can pass their own ceiling
+#: via ``run_system(..., stability_ttft=...)``.
 STABILITY_TTFT = 30.0
 
 
@@ -31,13 +34,19 @@ class RunResult:
     sm_utilization: float
     bandwidth_utilization: float
     extras: dict[str, float] = field(default_factory=dict)
+    stability_ttft: float = STABILITY_TTFT
 
     @property
     def stable(self) -> bool:
         """Heuristic stability: all requests done, queues not diverging."""
         s = self.summary
+        if s.requests_total == 0:
+            # An empty run trivially never diverged; without this guard the
+            # finished>=total check is vacuous and the NaN TTFT would mark
+            # the run unstable.
+            return True
         done = s.requests_finished >= s.requests_total * 0.99
-        ttft_ok = not math.isnan(s.ttft_p99) and s.ttft_p99 <= STABILITY_TTFT
+        ttft_ok = not math.isnan(s.ttft_p99) and s.ttft_p99 <= self.stability_ttft
         return done and ttft_ok
 
     @property
@@ -55,11 +64,14 @@ def run_system(
     workload: Workload,
     drain_horizon: float = DRAIN_HORIZON,
     tracer: Tracer | None = None,
+    stability_ttft: float = STABILITY_TTFT,
 ) -> RunResult:
     """Run ``workload`` through a freshly built system and summarise.
 
     Pass a :class:`repro.trace.Tracer` to record an event timeline; it is
     attached before the system is built so every layer's hooks see it.
+    ``drain_horizon`` and ``stability_ttft`` override the module defaults
+    for long-tail workloads or fleet runs with their own stability criteria.
     """
     sim = Simulator()
     if tracer is not None:
@@ -75,19 +87,13 @@ def run_system(
         sm_utilization=_sm_utilization(system),
         bandwidth_utilization=_bw_utilization(system),
         extras=_extras(system),
+        stability_ttft=stability_ttft,
     )
-
-
-def _instances(system: ServingSystem):
-    for attr in ("instance", "prefill_inst", "decode_inst"):
-        inst = getattr(system, attr, None)
-        if inst is not None:
-            yield inst
 
 
 def _cache_hit_rate(system: ServingSystem) -> float:
     hits = requested = 0
-    for inst in _instances(system):
+    for inst in iter_instances(system):
         hits += inst.cache.stats.tokens_hit
         requested += inst.cache.stats.tokens_requested
     if requested == 0:
@@ -96,12 +102,12 @@ def _cache_hit_rate(system: ServingSystem) -> float:
 
 
 def _sm_utilization(system: ServingSystem) -> float:
-    utils = [inst.device.sm_utilization() for inst in _instances(system)]
+    utils = [inst.device.sm_utilization() for inst in iter_instances(system)]
     return sum(utils) / len(utils) if utils else 0.0
 
 
 def _bw_utilization(system: ServingSystem) -> float:
-    utils = [inst.device.bandwidth_utilization() for inst in _instances(system)]
+    utils = [inst.device.bandwidth_utilization() for inst in iter_instances(system)]
     return sum(utils) / len(utils) if utils else 0.0
 
 

@@ -5,6 +5,7 @@ Subcommands::
     python -m repro run        --system muxwise --workload toolagent --rate 1.0
     python -m repro compare    --workload sharegpt --rate 4.0
     python -m repro goodput    --system muxwise --workload toolagent --rates 0.5,1,2
+    python -m repro cluster    --replicas 4 --policy prefix-affinity --rate 4.0
     python -m repro table1     # Table-1 statistics of the generated traces
     python -m repro specs      # supported models and GPUs
 
@@ -25,7 +26,15 @@ from repro.baselines import (
     TemporalMuxServer,
     WindServeServer,
 )
-from repro.bench import goodput_sweep, latency_table, run_system, tail_latency_table, throughput_table
+from repro.bench import (
+    goodput_sweep,
+    latency_table,
+    run_fleet,
+    run_system,
+    tail_latency_table,
+    throughput_table,
+)
+from repro.cluster import POLICIES, AdmissionConfig, AutoscalerConfig, FleetConfig
 from repro.core import HybridPDServer, MuxWiseServer
 from repro.gpu.specs import SPECS_BY_NAME
 from repro.models.config import MODELS_BY_NAME
@@ -118,21 +127,26 @@ def make_factory(name: str, token_budget: int):
     return lambda sim, cfg: cls(sim, cfg)
 
 
+def make_tracer(args: argparse.Namespace):
+    """Tracer for ``--trace PATH`` runs (None when tracing is off)."""
+    if not args.trace:
+        return None
+    from repro.trace import Tracer
+
+    # Fail on an unwritable destination now, not after the simulation.
+    try:
+        with open(args.trace, "w", encoding="utf-8"):
+            pass
+    except OSError as exc:
+        raise SystemExit(f"cannot write trace file {args.trace!r}: {exc}")
+    return Tracer()
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     cfg = build_config(args)
     workload = build_workload(args)
     factory = make_factory(args.system, args.token_budget)
-    tracer = None
-    if args.trace:
-        from repro.trace import Tracer
-
-        # Fail on an unwritable destination now, not after the simulation.
-        try:
-            with open(args.trace, "w", encoding="utf-8"):
-                pass
-        except OSError as exc:
-            raise SystemExit(f"cannot write trace file {args.trace!r}: {exc}")
-        tracer = Tracer()
+    tracer = make_tracer(args)
     result = run_system(factory, cfg, workload, tracer=tracer)
     print(tail_latency_table({args.system: result.summary}))
     print()
@@ -193,6 +207,57 @@ def cmd_goodput(args: argparse.Namespace) -> int:
             f"P99 TTFT {summary.ttft_p99:7.2f} s"
         )
     print(f"goodput: {sweep.goodput:.2f} req/s")
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    cfg = build_config(args)
+    workload = build_workload(args)
+    factory = make_factory(args.system, args.token_budget)
+    admission = None
+    if args.admission != "off":
+        admission = AdmissionConfig(
+            max_outstanding_per_replica=args.max_outstanding, mode=args.admission
+        )
+    autoscaler = None
+    if args.autoscale:
+        autoscaler = AutoscalerConfig(
+            min_replicas=args.min_replicas, max_replicas=args.max_replicas
+        )
+    fleet_cfg = FleetConfig(
+        replicas=args.replicas,
+        policy=args.policy,
+        admission=admission,
+        autoscaler=autoscaler,
+    )
+    tracer = make_tracer(args)
+    result = run_fleet(factory, cfg, workload, fleet_cfg, tracer=tracer)
+    rows = {"fleet": result.summary, **result.per_replica}
+    print(tail_latency_table(rows))
+    print()
+    print(latency_table({"fleet": result.summary}))
+    print()
+    s = result.summary
+    print(
+        f"replicas: {result.replicas_routable} routable of {result.replicas_total} "
+        f"({args.policy} routing, {result.router_decisions} decisions)"
+    )
+    print(
+        f"requests: {s.requests_total} admitted, {s.requests_finished} finished, "
+        f"{result.requests_shed} shed, {result.extras.get('requests_queued', 0):.0f} queued"
+    )
+    print(
+        f"fleet cache hit {result.cache_hit_rate * 100:.1f} %, "
+        f"SM util {result.sm_utilization * 100:.1f} %, "
+        f"useful {s.useful_throughput:.0f} tok/s"
+    )
+    goodput = args.rate if result.meets_slo else 0.0
+    print(f"fleet goodput: {goodput:.2f} req/s ({'SLO met' if result.meets_slo else 'SLO MISSED'})")
+    if tracer is not None:
+        from repro.trace import export
+
+        print()
+        print(export(tracer, args.trace))
     return 0
 
 
@@ -267,6 +332,35 @@ def build_parser() -> argparse.ArgumentParser:
     good_p.add_argument("--workload", default="toolagent")
     good_p.add_argument("--rates", default="0.5,1.0,2.0", help="comma-separated req/s")
     good_p.set_defaults(func=cmd_goodput)
+
+    clu_p = sub.add_parser("cluster", help="multi-replica fleet behind a routing policy")
+    _add_common(clu_p)
+    clu_p.add_argument("--system", default="muxwise", help="serving system of every replica")
+    clu_p.add_argument("--workload", default="sharegpt")
+    clu_p.add_argument("--rate", type=float, default=4.0, help="fleet-wide request rate")
+    clu_p.add_argument("--replicas", type=int, default=4, help="replicas at start")
+    clu_p.add_argument(
+        "--policy", default="prefix-affinity", choices=sorted(POLICIES), help="routing policy"
+    )
+    clu_p.add_argument(
+        "--admission",
+        default="queue",
+        choices=["queue", "shed", "off"],
+        help="admission control mode at the router",
+    )
+    clu_p.add_argument(
+        "--max-outstanding", type=int, default=64, help="in-flight budget per replica"
+    )
+    clu_p.add_argument("--autoscale", action="store_true", help="enable the SLO autoscaler")
+    clu_p.add_argument("--min-replicas", type=int, default=1, help="autoscaler floor")
+    clu_p.add_argument("--max-replicas", type=int, default=8, help="autoscaler replica budget")
+    clu_p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record an event trace; .json for chrome://tracing, .jsonl for a flat log",
+    )
+    clu_p.set_defaults(func=cmd_cluster)
 
     t1_p = sub.add_parser("table1", help="print Table-1 stats of the traces")
     t1_p.add_argument("--seed", type=int, default=0)

@@ -1,0 +1,47 @@
+"""Multi-replica fleet serving: router, admission control, autoscaling.
+
+The scale-out layer above :mod:`repro.serving`: N full serving systems
+(each with its own GPUs, KV cache and metrics) share one simulator behind a
+policy-driven front-end router.  See :class:`Fleet` for the entry point and
+:mod:`repro.bench.fleet` for the experiment harness on top.
+"""
+
+from repro.cluster.admission import AdmissionConfig, AdmissionController, Decision
+from repro.cluster.autoscaler import AUTOSCALER_TRACK, Autoscaler, AutoscalerConfig
+from repro.cluster.fleet import Fleet, FleetConfig, Replica
+from repro.cluster.router import (
+    NETWORK_LATENCY,
+    POLICIES,
+    ROUTER_OVERHEAD,
+    ROUTER_TRACK,
+    LeastKVPressurePolicy,
+    LeastOutstandingPolicy,
+    PrefixAffinityPolicy,
+    RoundRobinPolicy,
+    Router,
+    RoutingPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "AUTOSCALER_TRACK",
+    "AdmissionConfig",
+    "AdmissionController",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "Decision",
+    "Fleet",
+    "FleetConfig",
+    "LeastKVPressurePolicy",
+    "LeastOutstandingPolicy",
+    "NETWORK_LATENCY",
+    "POLICIES",
+    "PrefixAffinityPolicy",
+    "ROUTER_OVERHEAD",
+    "ROUTER_TRACK",
+    "Replica",
+    "RoundRobinPolicy",
+    "Router",
+    "RoutingPolicy",
+    "make_policy",
+]

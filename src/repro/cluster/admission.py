@@ -1,0 +1,134 @@
+"""Fleet admission control: shed or queue load before replicas diverge.
+
+A single replica protects itself by queueing internally, but a fleet front
+end can do better: it sees *fleet-wide* signals (total in-flight requests,
+the tail of recently observed TTFTs) and can refuse work while queues are
+still short, keeping the served requests inside their SLO instead of
+letting every request's latency diverge together.
+
+Two knobs:
+
+* **Capacity** — total outstanding requests above
+  ``max_outstanding_per_replica x routable replicas`` triggers queueing
+  (or shedding, in ``"shed"`` mode).
+* **TTFT divergence** — when the high percentile of a sliding window of
+  completed-request TTFTs exceeds ``ttft_shed_threshold``, the fleet is
+  already past its stable operating point and new sessions are shed
+  outright; queueing would only lengthen the divergence.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.serving.metrics import percentile
+
+if TYPE_CHECKING:
+    from repro.cluster.fleet import Fleet
+
+
+class Decision(enum.Enum):
+    """Outcome of one admission check."""
+
+    ADMIT = "admit"
+    QUEUE = "queue"
+    SHED = "shed"
+
+
+@dataclass
+class AdmissionConfig:
+    """Tuning for the fleet admission controller.
+
+    Attributes:
+        max_outstanding_per_replica: In-flight requests each routable
+            replica is assumed to absorb before latency diverges.
+        queue_limit: Router-side queue length beyond which excess load is
+            shed even in ``"queue"`` mode.
+        mode: ``"queue"`` holds over-capacity arrivals at the router and
+            releases them as completions free capacity; ``"shed"`` rejects
+            them immediately.
+        ttft_shed_threshold: Shed new sessions once the recent-TTFT P99
+            exceeds this many seconds (None disables the signal).
+        ttft_window: Completed-request TTFTs kept in the sliding window.
+    """
+
+    max_outstanding_per_replica: int = 64
+    queue_limit: int = 256
+    mode: str = "queue"
+    ttft_shed_threshold: float | None = None
+    ttft_window: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_outstanding_per_replica < 1:
+            raise ValueError("max_outstanding_per_replica must be >= 1")
+        if self.queue_limit < 0:
+            raise ValueError("queue_limit must be non-negative")
+        if self.mode not in ("queue", "shed"):
+            raise ValueError(f"mode must be 'queue' or 'shed', got {self.mode!r}")
+        if self.ttft_window < 1:
+            raise ValueError("ttft_window must be >= 1")
+
+
+#: Minimum window samples before the TTFT signal is trusted.
+_TTFT_MIN_SAMPLES = 8
+
+
+class AdmissionController:
+    """Decides admit/queue/shed for each new arrival at the router."""
+
+    def __init__(self, config: AdmissionConfig | None = None) -> None:
+        self.config = config or AdmissionConfig()
+        self.admitted = 0
+        self.queued = 0
+        self.shed = 0
+        self._recent_ttfts: deque[float] = deque(maxlen=self.config.ttft_window)
+
+    # ------------------------------------------------------------------ #
+    # Signals
+    # ------------------------------------------------------------------ #
+
+    def observe_ttft(self, ttft: float) -> None:
+        """Feed one completed request's TTFT into the sliding window."""
+        self._recent_ttfts.append(ttft)
+
+    def recent_ttft_p99(self) -> float:
+        """High percentile of the TTFT window (NaN while empty)."""
+        return percentile(list(self._recent_ttfts), 99.0)
+
+    def capacity(self, fleet: "Fleet") -> int:
+        """Fleet-wide in-flight budget at the current replica count."""
+        routable = len(fleet.routable_replicas())
+        return self.config.max_outstanding_per_replica * max(1, routable)
+
+    def has_capacity(self, fleet: "Fleet") -> bool:
+        """True while the fleet is below its in-flight budget."""
+        return fleet.total_outstanding() < self.capacity(fleet)
+
+    # ------------------------------------------------------------------ #
+    # Decision
+    # ------------------------------------------------------------------ #
+
+    def decide(self, fleet: "Fleet") -> Decision:
+        """Admission decision for one arrival (does not record it)."""
+        threshold = self.config.ttft_shed_threshold
+        if (
+            threshold is not None
+            and len(self._recent_ttfts) >= _TTFT_MIN_SAMPLES
+            and self.recent_ttft_p99() > threshold
+        ):
+            return Decision.SHED
+        if self.has_capacity(fleet):
+            return Decision.ADMIT
+        return Decision.SHED if self.config.mode == "shed" else Decision.QUEUE
+
+    def note(self, decision: Decision) -> None:
+        """Record the decision actually taken by the router."""
+        if decision is Decision.ADMIT:
+            self.admitted += 1
+        elif decision is Decision.QUEUE:
+            self.queued += 1
+        else:
+            self.shed += 1

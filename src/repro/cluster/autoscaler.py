@@ -1,0 +1,120 @@
+"""SLO-driven fleet autoscaling against a replica budget.
+
+The autoscaler samples fleet load on a fixed interval and converges the
+routable replica count toward it: sustained per-replica backlog above
+``scale_up_outstanding`` adds a replica (reactivating a draining one when
+possible — its KV cache is still warm — else provisioning a new one, up to
+``max_replicas``); backlog below ``scale_down_outstanding`` drains the
+least-loaded replica down to ``min_replicas``.  A drained replica finishes
+its in-flight requests but receives no new work.
+
+Scaling actions and load samples land on the ``fleet/autoscaler`` trace
+track so capacity changes line up with routing decisions and per-replica
+GPU activity in an exported trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.sim import Simulator
+from repro.trace.tracer import CAT_ROUTER
+
+if TYPE_CHECKING:
+    from repro.cluster.fleet import Fleet
+
+#: Trace track carrying load samples and scale actions.
+AUTOSCALER_TRACK = "fleet/autoscaler"
+
+
+@dataclass
+class AutoscalerConfig:
+    """Tuning for the fleet autoscaler.
+
+    Attributes:
+        interval: Seconds between load samples.
+        min_replicas: Never drain below this many routable replicas.
+        max_replicas: Replica budget (existing + newly provisioned).
+        scale_up_outstanding: Mean in-flight requests per routable replica
+            (router queue included) above which a replica is added.
+        scale_down_outstanding: Load below which one replica is drained.
+        cooldown: Minimum seconds between two scaling actions.
+    """
+
+    interval: float = 5.0
+    min_replicas: int = 1
+    max_replicas: int = 8
+    scale_up_outstanding: float = 32.0
+    scale_down_outstanding: float = 4.0
+    cooldown: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        if self.min_replicas < 1:
+            raise ValueError("min_replicas must be >= 1")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError("max_replicas must be >= min_replicas")
+        if self.scale_down_outstanding > self.scale_up_outstanding:
+            raise ValueError("scale_down threshold must not exceed scale_up threshold")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+
+
+class Autoscaler:
+    """Periodic controller adding/draining replicas to track fleet load."""
+
+    def __init__(self, sim: Simulator, fleet: "Fleet", config: AutoscalerConfig | None = None) -> None:
+        self.sim = sim
+        self.fleet = fleet
+        self.config = config or AutoscalerConfig()
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self._last_action = -float("inf")
+        self.sim.schedule(self.config.interval, self._tick)
+
+    def _tick(self) -> None:
+        fleet = self.fleet
+        cfg = self.config
+        now = self.sim.now
+        routable = fleet.routable_replicas()
+        load = fleet.scaling_load()
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.counter(
+                AUTOSCALER_TRACK,
+                "load",
+                now,
+                {"per_replica": load, "routable": float(len(routable))},
+                cat=CAT_ROUTER,
+            )
+        if now - self._last_action >= cfg.cooldown:
+            if load > cfg.scale_up_outstanding:
+                replica = fleet.scale_up(cfg.max_replicas)
+                if replica is not None:
+                    self.scale_ups += 1
+                    self._last_action = now
+                    self._trace_action("scale-up", replica.name, load)
+            elif load < cfg.scale_down_outstanding and len(routable) > cfg.min_replicas:
+                victim = fleet.drain_one()
+                if victim is not None:
+                    self.scale_downs += 1
+                    self._last_action = now
+                    self._trace_action("drain", victim.name, load)
+        # Keep sampling only while the simulation still has other work;
+        # otherwise a drained event queue would never terminate `run()`.
+        if self.sim.pending_events > 0:
+            self.sim.schedule(cfg.interval, self._tick)
+
+    def _trace_action(self, action: str, replica: str, load: float) -> None:
+        tracer = self.sim.tracer
+        if tracer is None or not tracer.enabled:
+            return
+        tracer.instant(
+            AUTOSCALER_TRACK,
+            action,
+            CAT_ROUTER,
+            self.sim.now,
+            {"replica": replica, "per_replica_load": load},
+        )

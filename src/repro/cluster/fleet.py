@@ -1,0 +1,275 @@
+"""Multi-replica fleet: N serving systems behind one router, one simulator.
+
+A :class:`Fleet` stands up ``replicas`` independent copies of any serving
+system (MuxWise or a baseline) inside one shared
+:class:`~repro.sim.Simulator`.  Each replica owns its GPUs, KV cache and
+metrics exactly as in a single-server run — the per-replica model stays the
+one validated by the paper benchmarks — and a front-end
+:class:`~repro.cluster.router.Router` spreads arrivals across them, with
+optional admission control and autoscaling.
+
+Fleet-level metrics are the *merge* of per-replica collectors
+(:func:`repro.serving.metrics.merge_collectors`): request counts add, and
+percentiles are computed over the pooled per-request samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.cluster.admission import AdmissionConfig, AdmissionController
+from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
+from repro.cluster.router import (
+    NETWORK_LATENCY,
+    ROUTER_OVERHEAD,
+    Router,
+    RoutingPolicy,
+    make_policy,
+)
+from repro.kvcache.radix import Segment
+from repro.serving.base import ServingSystem, iter_instances
+from repro.serving.config import ServingConfig
+from repro.serving.metrics import Summary, merge_collectors
+from repro.sim import Simulator
+from repro.trace.tracer import CAT_ROUTER
+from repro.workloads.request import Workload
+
+SystemFactory = Callable[[Simulator, ServingConfig], ServingSystem]
+
+#: Trace track sampling the fleet's replica count.
+FLEET_TRACK = "fleet/replicas"
+
+
+@dataclass
+class FleetConfig:
+    """Shape of one fleet deployment.
+
+    Attributes:
+        replicas: Replicas provisioned at start.
+        policy: Routing policy name (see
+            :data:`repro.cluster.router.POLICIES`) or an instance.
+        router_overhead: Modelled routing-decision latency (seconds).
+        network_latency: Modelled router-to-replica transfer (seconds).
+        admission: Admission-control settings (None disables admission:
+            every arrival is dispatched immediately).
+        autoscaler: Autoscaler settings (None keeps the replica count
+            fixed).
+    """
+
+    replicas: int = 2
+    policy: str | RoutingPolicy = "round-robin"
+    router_overhead: float = ROUTER_OVERHEAD
+    network_latency: float = NETWORK_LATENCY
+    admission: AdmissionConfig | None = None
+    autoscaler: AutoscalerConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError("a fleet needs at least one replica")
+        if self.router_overhead < 0 or self.network_latency < 0:
+            raise ValueError("latencies must be non-negative")
+
+
+@dataclass
+class Replica:
+    """One serving system inside the fleet, plus router-side bookkeeping."""
+
+    index: int
+    name: str
+    system: ServingSystem
+    created_at: float = 0.0
+    outstanding: int = 0
+    dispatched: int = 0
+    draining: bool = False
+
+    @property
+    def routable(self) -> bool:
+        """Whether the router may send new work here."""
+        return not self.draining
+
+    @property
+    def drained(self) -> bool:
+        """Draining and idle: safe to deprovision."""
+        return self.draining and self.outstanding == 0
+
+    def kv_utilization(self) -> float:
+        """Pool pressure: utilisation of the replica's fullest KV pool."""
+        utils = [inst.cache.pool.utilization() for inst in iter_instances(self.system)]
+        return max(utils) if utils else 0.0
+
+    def prefix_affinity(self, path: list[Segment]) -> float:
+        """Best cached-prefix coverage of ``path`` across instances."""
+        scores = [inst.cache.prefix_affinity(path) for inst in iter_instances(self.system)]
+        return max(scores) if scores else 0.0
+
+    def cache_counts(self) -> tuple[int, int]:
+        """(tokens hit, tokens requested) summed over instances."""
+        hits = requested = 0
+        for inst in iter_instances(self.system):
+            hits += inst.cache.stats.tokens_hit
+            requested += inst.cache.stats.tokens_requested
+        return hits, requested
+
+
+class Fleet:
+    """N replicas of one serving system behind a policy-driven router."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        factory: SystemFactory,
+        cfg: ServingConfig,
+        config: FleetConfig | None = None,
+    ) -> None:
+        self.sim = sim
+        self.factory = factory
+        self.base_cfg = cfg
+        self.config = config or FleetConfig()
+        self.replicas: list[Replica] = []
+        self.admission = (
+            AdmissionController(self.config.admission)
+            if self.config.admission is not None
+            else None
+        )
+        self.router = Router(
+            sim,
+            self,
+            make_policy(self.config.policy),
+            admission=self.admission,
+            overhead=self.config.router_overhead,
+            network_latency=self.config.network_latency,
+        )
+        for _ in range(self.config.replicas):
+            self.add_replica()
+        self.autoscaler = (
+            Autoscaler(sim, self, self.config.autoscaler)
+            if self.config.autoscaler is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+
+    def add_replica(self) -> Replica:
+        """Provision one more replica (usable immediately)."""
+        index = len(self.replicas)
+        cfg = replace(self.base_cfg, name_prefix=f"{self.base_cfg.name_prefix}r{index}/")
+        system = self.factory(self.sim, cfg)
+        replica = Replica(index=index, name=f"r{index}", system=system, created_at=self.sim.now)
+        system.add_completion_listener(
+            lambda state, rep=replica: self.router.on_completion(rep, state)
+        )
+        self.replicas.append(replica)
+        self._trace_size()
+        return replica
+
+    def scale_up(self, max_replicas: int) -> Replica | None:
+        """Add capacity: reactivate a draining replica (warm cache) or
+        provision a new one while under the ``max_replicas`` budget."""
+        for replica in self.replicas:
+            if replica.draining:
+                replica.draining = False
+                self._trace_size()
+                return replica
+        if len(self.replicas) >= max_replicas:
+            return None
+        return self.add_replica()
+
+    def drain_one(self) -> Replica | None:
+        """Start draining the least-loaded routable replica (if >1 remain)."""
+        candidates = [r for r in self.replicas if r.routable]
+        if len(candidates) <= 1:
+            return None
+        victim = min(candidates, key=lambda r: (r.outstanding, -r.index))
+        victim.draining = True
+        self._trace_size()
+        return victim
+
+    def routable_replicas(self) -> list[Replica]:
+        """Replicas accepting new work, in index order."""
+        return [r for r in self.replicas if r.routable]
+
+    # ------------------------------------------------------------------ #
+    # Load signals
+    # ------------------------------------------------------------------ #
+
+    def total_outstanding(self) -> int:
+        """In-flight requests across every replica."""
+        return sum(r.outstanding for r in self.replicas)
+
+    def scaling_load(self) -> float:
+        """Mean backlog per routable replica (router queue included)."""
+        routable = max(1, len(self.routable_replicas()))
+        return (self.total_outstanding() + len(self.router.queue)) / routable
+
+    # ------------------------------------------------------------------ #
+    # Run
+    # ------------------------------------------------------------------ #
+
+    def submit(self, workload: Workload) -> None:
+        """Schedule every request's arrival at the router."""
+        for request in workload:
+            self.sim.schedule_at(request.arrival_time, lambda r=request: self.router.route(r))
+
+    def run(self, until: float | None = None) -> None:
+        """Run the shared simulation (drains the event queue by default)."""
+        self.sim.run(until=until)
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+
+    def summarize(self) -> Summary:
+        """Fleet-level summary: the merge of all per-replica collectors."""
+        merged = merge_collectors(
+            (r.system.metrics for r in self.replicas), self.base_cfg.slo, name="fleet"
+        )
+        return merged.summarize()
+
+    def per_replica_summaries(self) -> dict[str, Summary]:
+        """Each replica's own summary, keyed by replica name."""
+        return {r.name: r.system.metrics.summarize() for r in self.replicas}
+
+    def cache_hit_rate(self) -> float:
+        """Token-weighted KV-cache hit rate over the whole fleet."""
+        hits = requested = 0
+        for replica in self.replicas:
+            h, q = replica.cache_counts()
+            hits += h
+            requested += q
+        return hits / requested if requested else 0.0
+
+    def sm_utilization(self) -> float:
+        """Mean SM utilisation over every instance in the fleet."""
+        utils = [
+            inst.device.sm_utilization()
+            for replica in self.replicas
+            for inst in iter_instances(replica.system)
+        ]
+        return sum(utils) / len(utils) if utils else 0.0
+
+    def bandwidth_utilization(self) -> float:
+        """Mean memory-bandwidth utilisation over every instance."""
+        utils = [
+            inst.device.bandwidth_utilization()
+            for replica in self.replicas
+            for inst in iter_instances(replica.system)
+        ]
+        return sum(utils) / len(utils) if utils else 0.0
+
+    def _trace_size(self) -> None:
+        tracer = self.sim.tracer
+        if tracer is None or not tracer.enabled:
+            return
+        tracer.counter(
+            FLEET_TRACK,
+            "replicas",
+            self.sim.now,
+            {
+                "total": float(len(self.replicas)),
+                "routable": float(len(self.routable_replicas())),
+            },
+            cat=CAT_ROUTER,
+        )

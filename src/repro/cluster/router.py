@@ -1,0 +1,264 @@
+"""Front-end request router for multi-replica fleets.
+
+The router is the fleet's single entry point: every request arrival lands
+here, passes admission control, gets a replica picked by a pluggable
+:class:`RoutingPolicy`, and is delivered to that replica after a modelled
+routing + network delay.
+
+Unlike a single :class:`~repro.serving.base.ServingSystem`, the router owns
+*session ordering*: turn ``k`` of a session is held until turn ``k-1``
+finished — wherever it ran.  This is what production routers do, and it is
+what makes routing policy matter: a cache-oblivious policy may scatter a
+session's turns across replicas (each turn re-prefills its whole history),
+while prefix-affinity routing follows the KV cache and keeps reuse intact.
+
+Every routing decision is recorded as a span on the ``fleet/router`` trace
+track (category ``router``) so policy behaviour is visible in an exported
+Chrome trace.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import TYPE_CHECKING, Sequence
+
+from repro.cluster.admission import AdmissionController, Decision
+from repro.serving.base import RequestState
+from repro.sim import Simulator
+from repro.trace.tracer import CAT_ROUTER
+from repro.workloads.request import Request
+
+if TYPE_CHECKING:
+    from repro.cluster.fleet import Fleet, Replica
+
+#: Modelled latency of one routing decision (policy scoring, table lookup).
+ROUTER_OVERHEAD = 200e-6
+#: Modelled one-way network transfer between router and replica front-end.
+NETWORK_LATENCY = 2e-3
+
+#: Trace track carrying routing decisions and shed/hold/queue occurrences.
+ROUTER_TRACK = "fleet/router"
+
+
+class RoutingPolicy(ABC):
+    """Picks a replica for each admitted request."""
+
+    name = "base"
+
+    @abstractmethod
+    def choose(self, replicas: Sequence["Replica"], request: Request) -> "Replica":
+        """Pick one of ``replicas`` (non-empty, routable) for ``request``."""
+
+
+class RoundRobinPolicy(RoutingPolicy):
+    """Cycle through replicas regardless of load or cache state."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, replicas: Sequence["Replica"], request: Request) -> "Replica":
+        choice = replicas[self._next % len(replicas)]
+        self._next += 1
+        return choice
+
+
+def _least_loaded(replicas: Sequence["Replica"]) -> "Replica":
+    return min(replicas, key=lambda r: (r.outstanding, r.index))
+
+
+class LeastOutstandingPolicy(RoutingPolicy):
+    """Send to the replica with the fewest in-flight requests."""
+
+    name = "least-outstanding"
+
+    def choose(self, replicas: Sequence["Replica"], request: Request) -> "Replica":
+        return _least_loaded(replicas)
+
+
+class LeastKVPressurePolicy(RoutingPolicy):
+    """Send to the replica whose KV pool has the most headroom.
+
+    Pressure is the most-utilised pool of the replica (for disaggregated
+    systems the bottleneck instance); ties fall back to outstanding count.
+    """
+
+    name = "least-kv"
+
+    def choose(self, replicas: Sequence["Replica"], request: Request) -> "Replica":
+        return min(replicas, key=lambda r: (r.kv_utilization(), r.outstanding, r.index))
+
+
+class PrefixAffinityPolicy(RoutingPolicy):
+    """Send to the replica whose radix cache covers the longest prefix.
+
+    Scores every routable replica with
+    :meth:`repro.kvcache.radix.RadixCache.prefix_affinity` over the
+    request's context path.  When no replica holds any of the prefix the
+    request carries no locality signal, so the policy falls back to
+    least-outstanding to keep the fleet balanced.
+    """
+
+    name = "prefix-affinity"
+
+    def choose(self, replicas: Sequence["Replica"], request: Request) -> "Replica":
+        path = request.context_path
+        scored = [(replica.prefix_affinity(path), replica) for replica in replicas]
+        best = max(score for score, _ in scored)
+        if best <= 0.0:
+            return _least_loaded(replicas)
+        return _least_loaded([replica for score, replica in scored if score == best])
+
+
+POLICIES: dict[str, type[RoutingPolicy]] = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    LeastOutstandingPolicy.name: LeastOutstandingPolicy,
+    LeastKVPressurePolicy.name: LeastKVPressurePolicy,
+    PrefixAffinityPolicy.name: PrefixAffinityPolicy,
+}
+
+
+def make_policy(policy: str | RoutingPolicy) -> RoutingPolicy:
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(policy, RoutingPolicy):
+        return policy
+    try:
+        return POLICIES[policy]()
+    except KeyError:
+        raise ValueError(f"unknown routing policy {policy!r}; choose from {sorted(POLICIES)}")
+
+
+class Router:
+    """SLO-aware front end: admission, policy dispatch, session ordering."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fleet: "Fleet",
+        policy: RoutingPolicy,
+        admission: AdmissionController | None = None,
+        overhead: float = ROUTER_OVERHEAD,
+        network_latency: float = NETWORK_LATENCY,
+    ) -> None:
+        self.sim = sim
+        self.fleet = fleet
+        self.policy = policy
+        self.admission = admission
+        self.overhead = overhead
+        self.network_latency = network_latency
+        self.queue: deque[Request] = deque()
+        self.decisions = 0
+        self.requests_shed = 0
+        self.requests_queued = 0
+        #: Turns a session has completed fleet-wide (ordering barrier).
+        self._session_done: dict[int, int] = {}
+        self._held: dict[tuple[int, int], Request] = {}
+        self._shed_sessions: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Intake
+    # ------------------------------------------------------------------ #
+
+    def route(self, request: Request) -> None:
+        """Handle one arrival: order within its session, admit, dispatch."""
+        session, turn = request.session_id, request.turn_index
+        if session in self._shed_sessions:
+            self._shed(request, reason="session-shed")
+            return
+        if turn > self._session_done.get(session, 0):
+            # Predecessor still running somewhere in the fleet.
+            self._held[(session, turn)] = request
+            self._trace_instant("hold", request)
+            return
+        self._admit(request)
+
+    def _admit(self, request: Request) -> None:
+        decision = Decision.ADMIT if self.admission is None else self.admission.decide(self.fleet)
+        if decision is Decision.QUEUE and len(self.queue) >= self.admission.config.queue_limit:
+            decision = Decision.SHED
+        if self.admission is not None:
+            self.admission.note(decision)
+        if decision is Decision.ADMIT:
+            self._dispatch(request)
+        elif decision is Decision.QUEUE:
+            self.requests_queued += 1
+            self.queue.append(request)
+            self._trace_instant("queue", request)
+        else:
+            self._shed(request, reason="overload")
+
+    def _shed(self, request: Request, reason: str) -> None:
+        self.requests_shed += 1
+        self._shed_sessions.add(request.session_id)
+        self._trace_instant("shed", request, {"reason": reason})
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+
+    def _dispatch(self, request: Request) -> None:
+        replicas = self.fleet.routable_replicas()
+        if not replicas:
+            # Every replica is draining; deliver to the least-loaded one
+            # anyway rather than dropping admitted work.
+            replicas = self.fleet.replicas
+        now = self.sim.now
+        replica = self.policy.choose(replicas, request)
+        self.decisions += 1
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.complete(
+                ROUTER_TRACK,
+                f"route:{self.policy.name}",
+                CAT_ROUTER,
+                now,
+                now + self.overhead,
+                {
+                    "request": request.request_id,
+                    "session": request.session_id,
+                    "turn": request.turn_index,
+                    "replica": replica.name,
+                    "outstanding": replica.outstanding,
+                },
+            )
+        replica.outstanding += 1
+        replica.dispatched += 1
+        replica.system.expect_turn(request.session_id, request.turn_index)
+        delay = self.overhead + self.network_latency
+        self.sim.schedule(delay, lambda: replica.system.inject(request))
+
+    # ------------------------------------------------------------------ #
+    # Completion feedback
+    # ------------------------------------------------------------------ #
+
+    def on_completion(self, replica: "Replica", state: RequestState) -> None:
+        """A request finished (or dropped) on ``replica``."""
+        replica.outstanding -= 1
+        request = state.request
+        done = self._session_done.get(request.session_id, 0)
+        if request.turn_index + 1 > done:
+            self._session_done[request.session_id] = request.turn_index + 1
+        if self.admission is not None:
+            ttft = state.record.ttft
+            if not math.isnan(ttft):
+                self.admission.observe_ttft(ttft)
+        follower = self._held.pop((request.session_id, request.turn_index + 1), None)
+        if follower is not None:
+            self._admit(follower)
+        self._drain_queue()
+
+    def _drain_queue(self) -> None:
+        while self.queue and (self.admission is None or self.admission.has_capacity(self.fleet)):
+            self._dispatch(self.queue.popleft())
+
+    def _trace_instant(self, name: str, request: Request, extra: dict | None = None) -> None:
+        tracer = self.sim.tracer
+        if tracer is None or not tracer.enabled:
+            return
+        args = {"request": request.request_id, "session": request.session_id}
+        if extra:
+            args.update(extra)
+        tracer.instant(ROUTER_TRACK, name, CAT_ROUTER, self.sim.now, args)

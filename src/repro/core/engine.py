@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.gpu.launch import DECODE_LAUNCH_LABEL, prefill_launch_label
-from repro.gpu.stream import OpHandle, Stream, Work
+from repro.gpu.stream import Stream, Work
 from repro.serving.base import Instance
 from repro.serving.config import ServingConfig
 from repro.sim import Simulator

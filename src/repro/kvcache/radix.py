@@ -19,7 +19,7 @@ Hit statistics feed the paper's Fig. 5 (hit rate vs. pool capacity).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.kvcache.pool import KVCachePool, PoolExhaustedError
@@ -145,6 +145,19 @@ class RadixCache:
             covered += child.tokens
             node = child
         return covered
+
+    def prefix_affinity(self, segments: list[Segment]) -> float:
+        """Fraction of ``segments``' tokens already cached here (no pinning).
+
+        Routing hook for cache-aware fleet policies: scores how much of a
+        request's context this replica could reuse right now.  Unlike
+        :meth:`acquire`, it records no statistics — a scoring pass over N
+        replicas must not count as N-1 misses.
+        """
+        total = sum(segment.tokens for segment in segments)
+        if total == 0:
+            return 0.0
+        return self.match(segments) / total
 
     def acquire(self, segments: list[Segment]) -> Lease:
         """Pin the longest cached prefix of ``segments`` and record stats."""

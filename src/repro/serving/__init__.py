@@ -1,9 +1,21 @@
 """Serving framework: configs, SLOs, metrics, base system machinery."""
 
-from repro.serving.base import Instance, RequestState, ServingSystem, build_instance
+from repro.serving.base import (
+    Instance,
+    RequestState,
+    ServingSystem,
+    build_instance,
+    iter_instances,
+)
 from repro.serving.batching import DecodeBatchMixin
 from repro.serving.config import ServingConfig
-from repro.serving.metrics import MetricsCollector, RequestRecord, Summary, percentile
+from repro.serving.metrics import (
+    MetricsCollector,
+    RequestRecord,
+    Summary,
+    merge_collectors,
+    percentile,
+)
 from repro.serving.slo import SLO, default_slo
 
 __all__ = [
@@ -18,5 +30,7 @@ __all__ = [
     "Summary",
     "build_instance",
     "default_slo",
+    "iter_instances",
+    "merge_collectors",
     "percentile",
 ]

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Callable, Iterator
 
 from repro.gpu.device import Device, OutOfMemoryError
 from repro.gpu.host import HostThread
@@ -49,6 +50,8 @@ def build_instance(
     Qwen3-235B on a 4-GPU disaggregated instance, which the paper notes is
     infeasible.
     """
+    if cfg.name_prefix:
+        name = f"{cfg.name_prefix}{name}"
     device = Device(sim, cfg.spec, n_gpus=n_gpus, name=name)
     device.alloc_memory(cfg.model.weight_bytes)
     reserve = device.mem_capacity * cfg.activation_reserve_fraction + extra_reserved
@@ -70,6 +73,20 @@ def build_instance(
         host=host,
         n_gpus=n_gpus,
     )
+
+
+def iter_instances(system: "ServingSystem") -> Iterator[Instance]:
+    """Yield a system's serving instances, aggregated or disaggregated.
+
+    Aggregated systems expose one ``instance``; PD-disaggregated systems
+    expose ``prefill_inst`` and ``decode_inst``.  Shared by the bench runner
+    (utilisation averages) and the fleet router (KV pressure, prefix
+    affinity).
+    """
+    for attr in ("instance", "prefill_inst", "decode_inst"):
+        inst = getattr(system, attr, None)
+        if inst is not None:
+            yield inst
 
 
 class RequestState:
@@ -122,9 +139,10 @@ class ServingSystem(ABC):
     def __init__(self, sim: Simulator, cfg: ServingConfig) -> None:
         self.sim = sim
         self.cfg = cfg
-        self.metrics = MetricsCollector(cfg.slo, name=self.name)
+        self.metrics = MetricsCollector(cfg.slo, name=f"{cfg.name_prefix}{self.name}")
         self._session_next_turn: dict[int, int] = {}
         self._deferred: dict[tuple[int, int], RequestState] = {}
+        self._completion_listeners: list[Callable[[RequestState], None]] = []
         self.states: dict[int, RequestState] = {}
 
     # ------------------------------------------------------------------ #
@@ -140,6 +158,25 @@ class ServingSystem(ABC):
         """Run the simulation (drains the event queue by default)."""
         self.sim.run(until=until)
 
+    def inject(self, request: Request) -> None:
+        """Deliver one request now (fleet routers dispatch through this)."""
+        self._arrive(request)
+
+    def expect_turn(self, session_id: int, turn_index: int) -> None:
+        """Mark ``turn_index`` as this session's next admissible turn here.
+
+        A fleet router that enforces session ordering itself only delivers a
+        turn after its predecessor finished — possibly on another replica —
+        so this system must not defer it waiting for turns it never sees.
+        """
+        current = self._session_next_turn.setdefault(session_id, 0)
+        if turn_index > current:
+            self._session_next_turn[session_id] = turn_index
+
+    def add_completion_listener(self, listener: Callable[[RequestState], None]) -> None:
+        """Call ``listener(state)`` whenever a request finishes or drops."""
+        self._completion_listeners.append(listener)
+
     def _arrive(self, request: Request) -> None:
         record = self.metrics.on_arrival(request, self.sim.now)
         state = RequestState(request, record)
@@ -154,10 +191,14 @@ class ServingSystem(ABC):
 
     def _complete_turn(self, state: RequestState) -> None:
         session = state.request.session_id
-        self._session_next_turn[session] = state.request.turn_index + 1
-        follower = self._deferred.pop((session, state.request.turn_index + 1), None)
+        next_turn = state.request.turn_index + 1
+        if next_turn > self._session_next_turn.get(session, 0):
+            self._session_next_turn[session] = next_turn
+        follower = self._deferred.pop((session, next_turn), None)
         if follower is not None:
             self.on_request_ready(follower)
+        for listener in self._completion_listeners:
+            listener(state)
 
     @abstractmethod
     def on_request_ready(self, state: RequestState) -> None:

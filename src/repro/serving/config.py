@@ -25,6 +25,10 @@ class ServingConfig:
         max_decode_batch: Upper bound on the decode batch size.
         max_prefill_batch_tokens: Cap on new tokens batched into one prefill.
         launch: Host launch-overhead model.
+        name_prefix: Prepended to every instance/metrics/trace name built
+            from this config.  Fleet deployments run several systems on one
+            simulator and use a per-replica prefix (``"r0/"``, ``"r1/"``, …)
+            to keep device, host and cache trace tracks distinguishable.
     """
 
     model: ModelConfig
@@ -36,6 +40,7 @@ class ServingConfig:
     max_decode_batch: int = 256
     max_prefill_batch_tokens: int = 8192
     launch: LaunchModel = field(default_factory=LaunchModel)
+    name_prefix: str = ""
 
     def __post_init__(self) -> None:
         if self.n_gpus < 1:

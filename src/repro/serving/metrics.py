@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.serving.slo import SLO
 from repro.workloads.request import Request
@@ -216,6 +217,35 @@ class MetricsCollector:
             tbt_attainment=attainment,
             slo_met=tbt_p99 <= self.slo.tbt if gaps else True,
         )
+
+
+def merge_collectors(
+    collectors: Iterable[MetricsCollector], slo: SLO, name: str = "fleet"
+) -> MetricsCollector:
+    """Union several collectors into one (fleet-level aggregation).
+
+    Request ids are globally unique, so the merged record set is the plain
+    union; throughput counters add and the observation window spans the
+    earliest start to the latest end.  Summarising the merged collector
+    computes fleet percentiles over the *pooled* per-request samples — the
+    same numbers a single collector would have produced had it observed
+    every replica's events directly.
+    """
+    merged = MetricsCollector(slo, name=name)
+    for collector in collectors:
+        overlap = merged.records.keys() & collector.records.keys()
+        if overlap:
+            raise ValueError(f"request ids recorded on two replicas: {sorted(overlap)[:5]}")
+        merged.records.update(collector.records)
+        merged._prefilled_tokens += collector._prefilled_tokens
+        merged._useful_input_tokens += collector._useful_input_tokens
+        for bound, pick in (("_start_time", min), ("_end_time", max)):
+            theirs = getattr(collector, bound)
+            if theirs is None:
+                continue
+            ours = getattr(merged, bound)
+            setattr(merged, bound, theirs if ours is None else pick(ours, theirs))
+    return merged
 
 
 def _mean(values: list[float]) -> float:

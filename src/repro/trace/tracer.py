@@ -25,7 +25,7 @@ Design constraints, in order of importance:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable
 
 #: Phase letters, mirroring the Chrome trace-event format.
@@ -43,6 +43,7 @@ CAT_LIFECYCLE = "lifecycle"
 CAT_CACHE = "cache"
 CAT_SCHED = "sched"
 CAT_BANDWIDTH = "bandwidth"
+CAT_ROUTER = "router"
 
 
 @dataclass(slots=True)

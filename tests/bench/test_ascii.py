@@ -1,6 +1,5 @@
 """Unit tests for the ASCII chart helpers."""
 
-import math
 
 from repro.bench.ascii import bar_chart, cdf_chart, line_chart
 

@@ -1,6 +1,5 @@
 """Unit tests for the bench harness: runner, goodput sweeps, reports."""
 
-import pytest
 
 from repro.bench import (
     GoodputResult,
@@ -13,7 +12,6 @@ from repro.bench import (
     tail_latency_table,
     throughput_table,
 )
-from repro.bench.runner import RunResult
 from repro.core import MuxWiseServer
 from repro.baselines import ChunkedPrefillServer
 from repro.workloads import sharegpt_workload

@@ -2,8 +2,10 @@
 
 import math
 
-from repro.bench.runner import STABILITY_TTFT, RunResult
+from repro.baselines import ChunkedPrefillServer
+from repro.bench.runner import STABILITY_TTFT, RunResult, run_system
 from repro.serving.metrics import Summary
+from repro.workloads.request import Workload
 
 
 def make_summary(**overrides) -> Summary:
@@ -31,9 +33,13 @@ def make_summary(**overrides) -> Summary:
     return Summary(**base)
 
 
-def make_result(summary: Summary) -> RunResult:
+def make_result(summary: Summary, **overrides) -> RunResult:
     return RunResult(
-        summary=summary, cache_hit_rate=0.5, sm_utilization=0.7, bandwidth_utilization=0.5
+        summary=summary,
+        cache_hit_rate=0.5,
+        sm_utilization=0.7,
+        bandwidth_utilization=0.5,
+        **overrides,
     )
 
 
@@ -64,3 +70,41 @@ class TestStability:
     def test_boundary_ttft_exactly_at_threshold_is_stable(self):
         result = make_result(make_summary(ttft_p99=STABILITY_TTFT))
         assert result.stable
+
+    def test_empty_workload_counts_as_stable(self):
+        # Zero requests means zero unfinished requests and no latency
+        # samples; that must read as "stable", not as a failed run.
+        summary = make_summary(
+            requests_total=0, requests_finished=0, ttft_p99=math.nan
+        )
+        assert make_result(summary).stable
+
+    def test_custom_stability_threshold_applies(self):
+        summary = make_summary(ttft_p99=2.0)
+        assert make_result(summary).stable
+        assert not make_result(summary, stability_ttft=1.0).stable
+        assert make_result(summary, stability_ttft=2.0).stable
+
+
+class TestEmptyWorkloadRun:
+    def test_run_system_handles_empty_workload(self, cfg_8b_single):
+        result = run_system(
+            lambda sim, cfg: ChunkedPrefillServer(sim, cfg, token_budget=256),
+            cfg_8b_single,
+            Workload(name="empty", requests=[]),
+        )
+        assert result.summary.requests_total == 0
+        assert result.stable
+        assert result.meets_slo  # vacuously: nothing arrived, nothing violated
+
+    def test_run_system_accepts_stability_overrides(self, cfg_8b_single):
+        from repro.workloads import sharegpt_workload
+
+        workload = sharegpt_workload(5, rate=4.0, seed=9)
+        factory = lambda sim, cfg: ChunkedPrefillServer(sim, cfg, token_budget=256)
+        strict = run_system(
+            factory, cfg_8b_single, workload, stability_ttft=1e-9, drain_horizon=1800.0
+        )
+        relaxed = run_system(factory, cfg_8b_single, workload, stability_ttft=1e9)
+        assert not strict.stable
+        assert relaxed.stable

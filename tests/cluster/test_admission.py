@@ -1,0 +1,146 @@
+"""Unit and integration tests for fleet admission control."""
+
+import pytest
+
+from repro.baselines import ChunkedPrefillServer
+from repro.cluster import (
+    AdmissionConfig,
+    AdmissionController,
+    Decision,
+    Fleet,
+    FleetConfig,
+)
+from repro.sim import Simulator
+from repro.workloads import sharegpt_workload
+
+
+class StubFleet:
+    """Replica-count + outstanding view the controller reads."""
+
+    def __init__(self, routable=2, outstanding=0):
+        self._routable = [object()] * routable
+        self._outstanding = outstanding
+
+    def routable_replicas(self):
+        return self._routable
+
+    def total_outstanding(self):
+        return self._outstanding
+
+
+class TestConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_outstanding_per_replica=0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(queue_limit=-1)
+        with pytest.raises(ValueError):
+            AdmissionConfig(mode="drop")
+        with pytest.raises(ValueError):
+            AdmissionConfig(ttft_window=0)
+
+
+class TestDecisions:
+    def test_admits_under_capacity(self):
+        controller = AdmissionController(AdmissionConfig(max_outstanding_per_replica=4))
+        assert controller.decide(StubFleet(routable=2, outstanding=7)) is Decision.ADMIT
+
+    def test_queues_at_capacity_in_queue_mode(self):
+        controller = AdmissionController(AdmissionConfig(max_outstanding_per_replica=4))
+        assert controller.decide(StubFleet(routable=2, outstanding=8)) is Decision.QUEUE
+
+    def test_sheds_at_capacity_in_shed_mode(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_outstanding_per_replica=4, mode="shed")
+        )
+        assert controller.decide(StubFleet(routable=2, outstanding=8)) is Decision.SHED
+
+    def test_capacity_scales_with_routable_replicas(self):
+        controller = AdmissionController(AdmissionConfig(max_outstanding_per_replica=4))
+        assert controller.capacity(StubFleet(routable=3)) == 12
+        assert controller.capacity(StubFleet(routable=0)) == 4  # floor of one
+
+    def test_ttft_divergence_sheds_even_with_capacity(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_outstanding_per_replica=64, ttft_shed_threshold=1.0)
+        )
+        fleet = StubFleet(routable=2, outstanding=0)
+        for _ in range(8):
+            controller.observe_ttft(5.0)
+        assert controller.decide(fleet) is Decision.SHED
+
+    def test_ttft_signal_needs_enough_samples(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_outstanding_per_replica=64, ttft_shed_threshold=1.0)
+        )
+        fleet = StubFleet(routable=2, outstanding=0)
+        for _ in range(3):
+            controller.observe_ttft(5.0)
+        assert controller.decide(fleet) is Decision.ADMIT
+
+    def test_ttft_window_slides(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_outstanding_per_replica=64, ttft_shed_threshold=1.0, ttft_window=8)
+        )
+        for _ in range(8):
+            controller.observe_ttft(5.0)
+        for _ in range(8):
+            controller.observe_ttft(0.1)  # recovery pushes the spikes out
+        assert controller.decide(StubFleet()) is Decision.ADMIT
+
+    def test_note_counts_outcomes(self):
+        controller = AdmissionController()
+        controller.note(Decision.ADMIT)
+        controller.note(Decision.QUEUE)
+        controller.note(Decision.SHED)
+        controller.note(Decision.SHED)
+        assert (controller.admitted, controller.queued, controller.shed) == (1, 1, 2)
+
+
+def chunked_factory(sim, cfg):
+    return ChunkedPrefillServer(sim, cfg, token_budget=256)
+
+
+def run_with_admission(cfg, workload, admission):
+    sim = Simulator()
+    fleet = Fleet(
+        sim, chunked_factory, cfg, FleetConfig(replicas=2, admission=admission)
+    )
+    fleet.submit(workload)
+    sim.run(until=workload.requests[-1].arrival_time + 3600.0)
+    return fleet
+
+
+class TestIntegration:
+    def test_shed_mode_drops_overload_and_keeps_rest_within_slo(self, cfg_8b_single):
+        workload = sharegpt_workload(30, rate=100.0, seed=5)  # a burst well past capacity
+        fleet = run_with_admission(
+            cfg_8b_single,
+            workload,
+            AdmissionConfig(max_outstanding_per_replica=2, mode="shed"),
+        )
+        summary = fleet.summarize()
+        assert fleet.router.requests_shed > 0
+        assert summary.requests_total + fleet.router.requests_shed == len(workload)
+        assert summary.requests_finished == summary.requests_total
+
+    def test_queue_mode_eventually_serves_everything(self, cfg_8b_single):
+        workload = sharegpt_workload(30, rate=100.0, seed=5)
+        fleet = run_with_admission(
+            cfg_8b_single,
+            workload,
+            AdmissionConfig(max_outstanding_per_replica=2, mode="queue", queue_limit=1000),
+        )
+        summary = fleet.summarize()
+        assert fleet.router.requests_queued > 0
+        assert fleet.router.requests_shed == 0
+        assert summary.requests_finished == len(workload)
+
+    def test_queue_overflow_sheds(self, cfg_8b_single):
+        workload = sharegpt_workload(30, rate=100.0, seed=5)
+        fleet = run_with_admission(
+            cfg_8b_single,
+            workload,
+            AdmissionConfig(max_outstanding_per_replica=1, mode="queue", queue_limit=2),
+        )
+        assert fleet.router.requests_shed > 0

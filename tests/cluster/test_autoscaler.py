@@ -1,0 +1,159 @@
+"""Unit and integration tests for the fleet autoscaler."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.baselines import ChunkedPrefillServer
+from repro.cluster import (
+    AUTOSCALER_TRACK,
+    Autoscaler,
+    AutoscalerConfig,
+    Fleet,
+    FleetConfig,
+)
+from repro.sim import Simulator
+from repro.trace import Tracer
+from repro.workloads import sharegpt_workload
+
+
+class StubFleet:
+    """Scriptable load signal plus scale-action counters."""
+
+    def __init__(self, load=0.0, routable=2, budget=8):
+        self.load = load
+        self.budget = budget
+        self._routable = [SimpleNamespace(name=f"r{i}") for i in range(routable)]
+
+    def routable_replicas(self):
+        return self._routable
+
+    def scaling_load(self):
+        return self.load
+
+    def scale_up(self, max_replicas):
+        if len(self._routable) >= min(max_replicas, self.budget):
+            return None
+        replica = SimpleNamespace(name=f"r{len(self._routable)}")
+        self._routable.append(replica)
+        return replica
+
+    def drain_one(self):
+        if len(self._routable) <= 1:
+            return None
+        return self._routable.pop()
+
+
+def keep_alive(sim, until, step=1.0):
+    """Dummy future events so the autoscaler keeps sampling."""
+    t = step
+    while t <= until:
+        sim.schedule(t, lambda: None)
+        t += step
+
+
+class TestConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(interval=0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_replicas=0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_replicas=4, max_replicas=2)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(scale_up_outstanding=4, scale_down_outstanding=8)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(cooldown=-1)
+
+
+class TestScaling:
+    def config(self, **overrides):
+        base = dict(
+            interval=1.0,
+            cooldown=0.0,
+            min_replicas=1,
+            max_replicas=4,
+            scale_up_outstanding=10.0,
+            scale_down_outstanding=2.0,
+        )
+        base.update(overrides)
+        return AutoscalerConfig(**base)
+
+    def test_scales_up_under_load_until_budget(self):
+        sim = Simulator()
+        fleet = StubFleet(load=50.0, routable=1)
+        scaler = Autoscaler(sim, fleet, self.config())
+        keep_alive(sim, until=10.0)
+        sim.run(until=10.0)
+        assert len(fleet.routable_replicas()) == 4  # capped at max_replicas
+        assert scaler.scale_ups == 3
+
+    def test_drains_when_idle_down_to_min(self):
+        sim = Simulator()
+        fleet = StubFleet(load=0.0, routable=3)
+        scaler = Autoscaler(sim, fleet, self.config())
+        keep_alive(sim, until=10.0)
+        sim.run(until=10.0)
+        assert len(fleet.routable_replicas()) == 1
+        assert scaler.scale_downs == 2
+
+    def test_cooldown_spaces_actions(self):
+        sim = Simulator()
+        fleet = StubFleet(load=50.0, routable=1)
+        scaler = Autoscaler(sim, fleet, self.config(cooldown=5.0))
+        keep_alive(sim, until=6.5)
+        sim.run(until=6.5)
+        # Ticks at 1..6; actions only at t=1 and t=6 thanks to the cooldown.
+        assert scaler.scale_ups == 2
+
+    def test_steady_load_leaves_fleet_alone(self):
+        sim = Simulator()
+        fleet = StubFleet(load=5.0, routable=2)
+        scaler = Autoscaler(sim, fleet, self.config())
+        keep_alive(sim, until=10.0)
+        sim.run(until=10.0)
+        assert scaler.scale_ups == scaler.scale_downs == 0
+        assert len(fleet.routable_replicas()) == 2
+
+    def test_actions_and_load_are_traced(self):
+        sim = Simulator()
+        tracer = Tracer()
+        sim.attach_tracer(tracer)
+        fleet = StubFleet(load=50.0, routable=1)
+        Autoscaler(sim, fleet, self.config())
+        keep_alive(sim, until=5.0)
+        sim.run(until=5.0)
+        assert tracer.instants(AUTOSCALER_TRACK, "scale-up")
+        counters = [e for e in tracer.events if e.track == AUTOSCALER_TRACK and e.ph == "C"]
+        assert counters and counters[0].args["routable"] == 1.0
+
+    def test_stops_ticking_when_simulation_drains(self):
+        sim = Simulator()
+        Autoscaler(sim, StubFleet(load=0.0, routable=1), self.config())
+        sim.run()  # would never return if the tick rescheduled forever
+        assert sim.pending_events == 0
+
+
+class TestIntegration:
+    def test_burst_grows_real_fleet(self, cfg_8b_single):
+        sim = Simulator()
+        fleet_cfg = FleetConfig(
+            replicas=1,
+            policy="least-outstanding",
+            autoscaler=AutoscalerConfig(
+                interval=0.5,
+                cooldown=0.0,
+                min_replicas=1,
+                max_replicas=3,
+                scale_up_outstanding=4.0,
+                scale_down_outstanding=0.5,
+            ),
+        )
+        factory = lambda sim, cfg: ChunkedPrefillServer(sim, cfg, token_budget=256)
+        fleet = Fleet(sim, factory, cfg_8b_single, fleet_cfg)
+        workload = sharegpt_workload(60, rate=40.0, seed=6)
+        fleet.submit(workload)
+        sim.run(until=workload.requests[-1].arrival_time + 3600.0)
+        assert fleet.autoscaler.scale_ups > 0
+        assert len(fleet.replicas) > 1
+        assert fleet.summarize().requests_finished == len(workload)

@@ -1,0 +1,105 @@
+"""Fleet construction, aggregation, and multi-system-per-simulator tests."""
+
+import json
+
+import pytest
+
+from repro.baselines import ChunkedPrefillServer, SGLangPDServer
+from repro.cluster import Fleet, FleetConfig
+from repro.sim import Simulator
+from repro.trace import Tracer, export
+from repro.workloads import sharegpt_workload, toolagent_workload
+
+
+def chunked_factory(sim, cfg):
+    return ChunkedPrefillServer(sim, cfg, token_budget=256)
+
+
+def build_and_run(cfg, workload, fleet_cfg, factory=chunked_factory, tracer=None):
+    sim = Simulator()
+    if tracer is not None:
+        sim.attach_tracer(tracer)
+    fleet = Fleet(sim, factory, cfg, fleet_cfg)
+    fleet.submit(workload)
+    sim.run(until=workload.requests[-1].arrival_time + 3600.0)
+    return fleet
+
+
+class TestConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            FleetConfig(replicas=0)
+        with pytest.raises(ValueError):
+            FleetConfig(router_overhead=-1.0)
+
+
+class TestFleet:
+    def test_replicas_get_distinct_trace_tracks(self, cfg_8b_single):
+        tracer = Tracer()
+        workload = sharegpt_workload(12, rate=6.0, seed=1)
+        build_and_run(cfg_8b_single, workload, FleetConfig(replicas=2), tracer=tracer)
+        tracks = set(tracer.tracks())
+        assert any(t.startswith("gpu/r0/") for t in tracks)
+        assert any(t.startswith("gpu/r1/") for t in tracks)
+
+    def test_fleet_summary_counts_match_replica_totals(self, cfg_8b_single):
+        workload = sharegpt_workload(20, rate=8.0, seed=2)
+        fleet = build_and_run(cfg_8b_single, workload, FleetConfig(replicas=3))
+        merged = fleet.summarize()
+        per_replica = fleet.per_replica_summaries()
+        assert merged.requests_total == sum(s.requests_total for s in per_replica.values())
+        assert merged.requests_finished == sum(s.requests_finished for s in per_replica.values())
+        assert merged.name == "fleet"
+
+    def test_fleet_of_disaggregated_replicas(self, cfg_8b):
+        # Each replica is itself a 2-instance PD-disaggregated system: the
+        # fleet layer must aggregate across both nesting levels.
+        workload = sharegpt_workload(10, rate=4.0, seed=3)
+        fleet = build_and_run(
+            cfg_8b, workload, FleetConfig(replicas=2), factory=lambda s, c: SGLangPDServer(s, c)
+        )
+        assert fleet.summarize().requests_finished == 10
+        assert 0.0 <= fleet.cache_hit_rate() <= 1.0
+
+    def test_cache_hit_rate_reflects_multi_turn_reuse(self, cfg_8b_single):
+        workload = toolagent_workload(10, request_rate=2.0, seed=4)
+        fleet = build_and_run(
+            cfg_8b_single, workload, FleetConfig(replicas=2, policy="prefix-affinity")
+        )
+        assert fleet.cache_hit_rate() > 0.0
+
+    def test_scale_up_prefers_reactivating_draining_replica(self, cfg_8b_single):
+        sim = Simulator()
+        fleet = Fleet(sim, chunked_factory, cfg_8b_single, FleetConfig(replicas=2))
+        victim = fleet.drain_one()
+        assert victim is not None
+        revived = fleet.scale_up(max_replicas=8)
+        assert revived is victim and victim.routable
+        assert len(fleet.replicas) == 2
+
+    def test_scale_up_respects_budget(self, cfg_8b_single):
+        sim = Simulator()
+        fleet = Fleet(sim, chunked_factory, cfg_8b_single, FleetConfig(replicas=2))
+        assert fleet.scale_up(max_replicas=2) is None
+        replica = fleet.scale_up(max_replicas=3)
+        assert replica is not None and replica.name == "r2"
+
+    def test_drain_keeps_at_least_one_routable(self, cfg_8b_single):
+        sim = Simulator()
+        fleet = Fleet(sim, chunked_factory, cfg_8b_single, FleetConfig(replicas=2))
+        assert fleet.drain_one() is not None
+        assert fleet.drain_one() is None
+        assert len(fleet.routable_replicas()) == 1
+
+    def test_exported_chrome_trace_contains_router_spans(self, cfg_8b_single, tmp_path):
+        tracer = Tracer()
+        workload = sharegpt_workload(8, rate=4.0, seed=5)
+        build_and_run(cfg_8b_single, workload, FleetConfig(replicas=2), tracer=tracer)
+        path = tmp_path / "fleet.json"
+        export(tracer, str(path))
+        events = json.loads(path.read_text())["traceEvents"]
+        route_spans = [
+            e for e in events if e.get("ph") == "X" and e.get("name", "").startswith("route:")
+        ]
+        assert len(route_spans) == 8
+        assert all(e.get("cat") == "router" for e in route_spans)

@@ -1,0 +1,166 @@
+"""Unit tests for the routing policies and the fleet router."""
+
+import pytest
+
+from repro.baselines import ChunkedPrefillServer
+from repro.cluster import (
+    Fleet,
+    FleetConfig,
+    LeastKVPressurePolicy,
+    LeastOutstandingPolicy,
+    PrefixAffinityPolicy,
+    RoundRobinPolicy,
+    ROUTER_TRACK,
+    make_policy,
+)
+from repro.sim import Simulator
+from repro.trace import Tracer
+from repro.workloads import sharegpt_workload, toolagent_workload
+from repro.workloads.request import Request, Workload
+from repro.kvcache.radix import new_segment
+
+
+class StubReplica:
+    """Just enough surface for a policy decision."""
+
+    def __init__(self, index, outstanding=0, kv=0.0, affinity=0.0):
+        self.index = index
+        self.name = f"r{index}"
+        self.outstanding = outstanding
+        self._kv = kv
+        self._affinity = affinity
+
+    def kv_utilization(self):
+        return self._kv
+
+    def prefix_affinity(self, path):
+        return self._affinity
+
+
+def stub_request():
+    return Request(
+        session_id=0, turn_index=0, arrival_time=0.0,
+        history=[], new_input=new_segment(16), output_tokens=4,
+    )
+
+
+class TestPolicies:
+    def test_round_robin_cycles(self):
+        policy = RoundRobinPolicy()
+        replicas = [StubReplica(i) for i in range(3)]
+        picks = [policy.choose(replicas, stub_request()).index for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_round_robin_survives_replica_set_changes(self):
+        policy = RoundRobinPolicy()
+        replicas = [StubReplica(i) for i in range(3)]
+        policy.choose(replicas, stub_request())
+        policy.choose(replicas, stub_request())
+        assert policy.choose(replicas[:1], stub_request()).index == 0
+
+    def test_least_outstanding_picks_minimum(self):
+        policy = LeastOutstandingPolicy()
+        replicas = [StubReplica(0, outstanding=5), StubReplica(1, outstanding=2), StubReplica(2, outstanding=9)]
+        assert policy.choose(replicas, stub_request()).index == 1
+
+    def test_least_outstanding_tie_breaks_by_index(self):
+        policy = LeastOutstandingPolicy()
+        replicas = [StubReplica(1, outstanding=3), StubReplica(0, outstanding=3)]
+        assert policy.choose(replicas, stub_request()).index == 0
+
+    def test_least_kv_pressure_picks_emptiest_pool(self):
+        policy = LeastKVPressurePolicy()
+        replicas = [StubReplica(0, kv=0.9), StubReplica(1, kv=0.2), StubReplica(2, kv=0.5)]
+        assert policy.choose(replicas, stub_request()).index == 1
+
+    def test_prefix_affinity_follows_the_cache(self):
+        policy = PrefixAffinityPolicy()
+        replicas = [
+            StubReplica(0, outstanding=0, affinity=0.0),
+            StubReplica(1, outstanding=9, affinity=0.8),
+        ]
+        assert policy.choose(replicas, stub_request()).index == 1
+
+    def test_prefix_affinity_cold_start_balances_load(self):
+        policy = PrefixAffinityPolicy()
+        replicas = [StubReplica(0, outstanding=4, affinity=0.0), StubReplica(1, outstanding=1, affinity=0.0)]
+        assert policy.choose(replicas, stub_request()).index == 1
+
+    def test_make_policy_resolves_names_and_instances(self):
+        assert isinstance(make_policy("round-robin"), RoundRobinPolicy)
+        policy = PrefixAffinityPolicy()
+        assert make_policy(policy) is policy
+        with pytest.raises(ValueError):
+            make_policy("nope")
+
+
+def chunked_factory(sim, cfg):
+    return ChunkedPrefillServer(sim, cfg, token_budget=256)
+
+
+def run_fleet_inline(cfg, workload, fleet_cfg, tracer=None):
+    sim = Simulator()
+    if tracer is not None:
+        sim.attach_tracer(tracer)
+    fleet = Fleet(sim, chunked_factory, cfg, fleet_cfg)
+    fleet.submit(workload)
+    sim.run(until=workload.requests[-1].arrival_time + 3600.0 if len(workload) else 3600.0)
+    return fleet
+
+
+class TestRouter:
+    def test_spreads_single_turn_requests(self, cfg_8b_single):
+        workload = sharegpt_workload(24, rate=8.0, seed=1)
+        fleet = run_fleet_inline(cfg_8b_single, workload, FleetConfig(replicas=3))
+        assert all(r.dispatched > 0 for r in fleet.replicas)
+        assert sum(r.dispatched for r in fleet.replicas) == 24
+        assert fleet.summarize().requests_finished == 24
+
+    def test_session_turns_complete_in_order_across_fleet(self, cfg_8b_single):
+        workload = toolagent_workload(12, request_rate=4.0, seed=2)
+        fleet = run_fleet_inline(
+            cfg_8b_single, workload, FleetConfig(replicas=3, policy="round-robin")
+        )
+        summary = fleet.summarize()
+        assert summary.requests_finished == summary.requests_total == len(workload)
+
+    def test_simultaneous_turns_are_held_for_ordering(self, cfg_8b_single):
+        # Both turns arrive back-to-back; turn 1 must wait for turn 0
+        # fleet-wide even though another replica is idle.
+        first = Request(
+            session_id=0, turn_index=0, arrival_time=0.0,
+            history=[], new_input=new_segment(64), output_tokens=8,
+        )
+        second = Request(
+            session_id=0, turn_index=1, arrival_time=0.001,
+            history=[first.new_input, first.output_segment],
+            new_input=new_segment(32), output_tokens=8,
+        )
+        workload = Workload(name="two-turns", requests=[first, second])
+        fleet = run_fleet_inline(cfg_8b_single, workload, FleetConfig(replicas=2))
+        merged = fleet.summarize()
+        assert merged.requests_finished == 2
+        records = {}
+        for replica in fleet.replicas:
+            records.update(replica.system.metrics.records)
+        assert records[second.request_id].first_token > records[first.request_id].last_token
+
+    def test_router_decisions_traced_as_spans(self, cfg_8b_single):
+        tracer = Tracer()
+        workload = sharegpt_workload(10, rate=6.0, seed=3)
+        fleet = run_fleet_inline(cfg_8b_single, workload, FleetConfig(replicas=2), tracer=tracer)
+        spans = tracer.spans(ROUTER_TRACK, cat="router")
+        assert len(spans) == fleet.router.decisions == 10
+        assert all(span.dur > 0 for span in spans)
+        assert {span.args["replica"] for span in spans} <= {"r0", "r1"}
+
+    def test_draining_replica_receives_no_new_work(self, cfg_8b_single):
+        sim = Simulator()
+        fleet = Fleet(sim, chunked_factory, cfg_8b_single, FleetConfig(replicas=2))
+        victim = fleet.drain_one()
+        assert victim is not None and not victim.routable
+        workload = sharegpt_workload(8, rate=4.0, seed=4)
+        fleet.submit(workload)
+        sim.run(until=workload.requests[-1].arrival_time + 3600.0)
+        assert victim.dispatched == 0
+        assert fleet.summarize().requests_finished == 8

@@ -4,7 +4,7 @@ import pytest
 
 from repro.baselines import SGLangPDServer
 from repro.core import HybridPDServer
-from repro.serving import SLO, ServingConfig
+from repro.serving import SLO
 from repro.sim import Simulator
 from repro.workloads import sharegpt_workload, toolagent_workload
 

@@ -1,12 +1,10 @@
 """Behavioural tests for the MuxWise server: partitioning, bubbles,
 merging, ablations and preemption."""
 
-import pytest
 
 from repro.core import MuxWiseServer
 from repro.gpu import decode_partition_options
 from repro.kvcache import new_segment
-from repro.serving import ServingConfig
 from repro.sim import Simulator
 from repro.workloads import Request, Workload, loogle_workload, openthoughts_workload, sharegpt_workload
 

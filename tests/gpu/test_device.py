@@ -1,6 +1,5 @@
 """Unit tests for the fluid-flow device: rooflines, contention, memory."""
 
-import math
 
 import pytest
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.gpu import A100, H100, H200, H200_NVL, SPECS_BY_NAME, GPUSpec, decode_partition_options
+from repro.gpu import A100, H100, H200, H200_NVL, SPECS_BY_NAME, decode_partition_options
 
 
 class TestSpecs:

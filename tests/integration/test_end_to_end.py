@@ -8,7 +8,6 @@ import pytest
 
 from repro.baselines import ChunkedPrefillServer, LoongServeServer, SGLangPDServer
 from repro.core import MuxWiseServer
-from repro.serving import ServingConfig
 from repro.sim import Simulator
 from repro.workloads import sharegpt_workload, toolagent_workload
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import ContentionGuard
 from repro.gpu import A100, Device
-from repro.models import LLAMA_70B, CostModel, PrefillItem, phase_latency
+from repro.models import CostModel, phase_latency
 from repro.profiling import (
     build_guard,
     measure_corun,
@@ -13,7 +13,6 @@ from repro.profiling import (
     profile_decode,
     profile_prefill,
 )
-from repro.serving import ServingConfig
 from repro.sim import Simulator
 
 

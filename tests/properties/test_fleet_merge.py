@@ -1,0 +1,113 @@
+"""Property: the fleet-level summary equals the merge of per-replica views.
+
+Two angles:
+
+1. A synthetic check on ``merge_collectors``: feeding disjoint request
+   streams to separate collectors and merging must reproduce exactly what a
+   single collector observing the union would report.
+2. An end-to-end check on a deterministic seeded fleet run: the aggregated
+   ``Summary`` must agree with re-merging the per-replica collectors, and
+   the pooled percentile inputs must be the multiset union of the replicas'.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ChunkedPrefillServer
+from repro.cluster import Fleet, FleetConfig
+from repro.serving.metrics import MetricsCollector, merge_collectors
+from repro.serving.slo import SLO
+from repro.sim import Simulator
+from repro.workloads import sharegpt_workload
+from repro.workloads.request import Request
+from repro.kvcache.radix import new_segment
+
+
+SLO_DEFAULT = SLO(tbt=0.05, ttft=0.5)
+
+
+def _feed(collector: MetricsCollector, request_id: int, arrival: float, tokens: int) -> None:
+    request = Request(
+        session_id=request_id,
+        turn_index=0,
+        arrival_time=arrival,
+        history=[],
+        new_input=new_segment(16),
+        output_tokens=tokens,
+    )
+    request.request_id = request_id
+    collector.on_arrival(request, arrival)
+    collector.on_prefill_done(request, arrival + 0.05, new_tokens=16)
+    for step in range(tokens):
+        collector.on_tokens(request, arrival + 0.05 + 0.01 * (step + 1))
+
+
+request_plans = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),  # replica assignment
+        st.floats(min_value=0.0, max_value=50.0),  # arrival
+        st.integers(min_value=1, max_value=12),  # decoded tokens
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestMergeCollectors:
+    @given(plans=request_plans)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_matches_single_observer(self, plans):
+        shards = [MetricsCollector(SLO_DEFAULT, name=f"r{i}") for i in range(4)]
+        union = MetricsCollector(SLO_DEFAULT, name="union")
+        for request_id, (shard, arrival, tokens) in enumerate(plans):
+            _feed(shards[shard], request_id, arrival, tokens)
+            _feed(union, request_id, arrival, tokens)
+        merged = merge_collectors(shards, SLO_DEFAULT, name="union")
+        merged_dict = merged.summarize().as_dict()
+        union_dict = union.summarize().as_dict()
+        assert merged_dict.keys() == union_dict.keys()
+        for key, value in union_dict.items():
+            if isinstance(value, str):
+                assert merged_dict[key] == value, key
+                continue
+            # Means are summed in a different record order after merging, so
+            # allow for last-ulp float drift; everything else is exact.
+            assert merged_dict[key] == pytest.approx(value, rel=1e-9, abs=1e-12), key
+        assert Counter(merged.ttft_values()) == Counter(union.ttft_values())
+        assert Counter(merged.all_token_gaps()) == Counter(union.all_token_gaps())
+
+
+class TestFleetAggregation:
+    def test_fleet_summary_is_merge_of_replica_summaries(self, cfg_8b_single):
+        sim = Simulator()
+        fleet = Fleet(
+            sim,
+            lambda s, c: ChunkedPrefillServer(s, c, token_budget=256),
+            cfg_8b_single,
+            FleetConfig(replicas=3, policy="least-outstanding"),
+        )
+        workload = sharegpt_workload(24, rate=10.0, seed=11)
+        fleet.submit(workload)
+        sim.run(until=workload.requests[-1].arrival_time + 3600.0)
+
+        collectors = [r.system.metrics for r in fleet.replicas]
+        remerged = merge_collectors(collectors, cfg_8b_single.slo)
+        fleet_summary = fleet.summarize()
+        assert fleet_summary.as_dict() == remerged.summarize().as_dict()
+
+        pooled_ttfts = Counter(remerged.ttft_values())
+        shard_ttfts = Counter()
+        for collector in collectors:
+            shard_ttfts.update(collector.ttft_values())
+        assert pooled_ttfts == shard_ttfts
+
+        pooled_gaps = Counter(remerged.all_token_gaps())
+        shard_gaps = Counter()
+        for collector in collectors:
+            shard_gaps.update(collector.all_token_gaps())
+        assert pooled_gaps == shard_gaps
+
+        assert fleet_summary.requests_finished == len(workload)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.kvcache import new_segment
-from repro.serving import RequestState, ServingConfig, build_instance
+from repro.serving import RequestState, build_instance
 from repro.serving.batching import DecodeBatchMixin
 from repro.sim import Simulator
 from repro.workloads import Request

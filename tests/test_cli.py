@@ -57,6 +57,43 @@ class TestParser:
         assert code == 0
         assert "goodput:" in capsys.readouterr().out
 
+    def test_cluster_command(self, capsys):
+        code = main([
+            "cluster", "--system", "chunked", "--workload", "sharegpt",
+            "--model", "8b", "--gpus", "1", "--rate", "4.0", "--requests", "16",
+            "--replicas", "2", "--policy", "least-outstanding",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet goodput" in out
+        assert "r0" in out and "r1" in out
+
+    def test_cluster_with_autoscaler_and_shed_admission(self, capsys):
+        code = main([
+            "cluster", "--system", "chunked", "--workload", "sharegpt",
+            "--model", "8b", "--gpus", "1", "--rate", "8.0", "--requests", "16",
+            "--replicas", "1", "--policy", "round-robin",
+            "--admission", "shed", "--max-outstanding", "4",
+            "--autoscale", "--min-replicas", "1", "--max-replicas", "2",
+        ])
+        assert code == 0
+        assert "fleet goodput" in capsys.readouterr().out
+
+    def test_cluster_writes_trace(self, tmp_path, capsys):
+        trace = tmp_path / "fleet.json"
+        code = main([
+            "cluster", "--system", "chunked", "--workload", "sharegpt",
+            "--model", "8b", "--gpus", "1", "--rate", "4.0", "--requests", "8",
+            "--replicas", "2", "--trace", str(trace),
+        ])
+        assert code == 0
+        assert trace.exists()
+        assert '"route:' in trace.read_text()
+
+    def test_cluster_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--policy", "teleport", "--model", "8b", "--gpus", "1"])
+
     def test_unknown_system_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "--system", "nope", "--workload", "sharegpt"])
