@@ -1,6 +1,7 @@
 """Experiment harness: runners, goodput sweeps, fleet studies, reports."""
 
 from repro.bench.ascii import bar_chart, cdf_chart, line_chart
+from repro.bench.chaos import ChaosResult, default_chaos_fleet, run_chaos
 from repro.bench.fleet import (
     FleetRunResult,
     compare_policies,
@@ -13,6 +14,7 @@ from repro.bench.runner import DRAIN_HORIZON, MAX_EVENTS, STABILITY_TTFT, RunRes
 from repro.bench.report import latency_table, series, tail_latency_table, throughput_table
 
 __all__ = [
+    "ChaosResult",
     "DRAIN_HORIZON",
     "FleetRunResult",
     "GoodputResult",
@@ -23,12 +25,14 @@ __all__ = [
     "bar_chart",
     "cdf_chart",
     "compare_policies",
+    "default_chaos_fleet",
     "fleet_goodput_sweep",
     "goodput_ratio",
     "goodput_sweep",
     "latency_table",
     "line_chart",
     "replica_scaling",
+    "run_chaos",
     "run_fleet",
     "run_system",
     "series",

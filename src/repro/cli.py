@@ -6,6 +6,7 @@ Subcommands::
     python -m repro compare    --workload sharegpt --rate 4.0
     python -m repro goodput    --system muxwise --workload toolagent --rates 0.5,1,2
     python -m repro cluster    --replicas 4 --policy prefix-affinity --rate 4.0
+    python -m repro chaos      --replicas 4 --seed 0   # fault-injection run
     python -m repro table1     # Table-1 statistics of the generated traces
     python -m repro specs      # supported models and GPUs
 
@@ -29,12 +30,20 @@ from repro.baselines import (
 from repro.bench import (
     goodput_sweep,
     latency_table,
+    run_chaos,
     run_fleet,
     run_system,
     tail_latency_table,
     throughput_table,
 )
-from repro.cluster import POLICIES, AdmissionConfig, AutoscalerConfig, FleetConfig
+from repro.cluster import (
+    POLICIES,
+    AdmissionConfig,
+    AutoscalerConfig,
+    FleetConfig,
+    HealthConfig,
+)
+from repro.faults import FaultPlan, default_chaos_plan
 from repro.core import HybridPDServer, MuxWiseServer
 from repro.gpu.specs import SPECS_BY_NAME
 from repro.models.config import MODELS_BY_NAME
@@ -261,6 +270,45 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Deterministic fault-injection run; prints one JSON report.
+
+    The output is byte-stable for a fixed (deployment, workload, plan,
+    seed), which is what the CI chaos-smoke job asserts by running this
+    command twice and diffing the bytes.
+    """
+    cfg = build_config(args)
+    workload = build_workload(args)
+    factory = make_factory(args.system, args.token_budget)
+    if args.plan:
+        with open(args.plan, encoding="utf-8") as fh:
+            plan = FaultPlan.from_json(fh.read())
+    else:
+        last_arrival = workload.requests[-1].arrival_time if len(workload) else 1.0
+        plan = default_chaos_plan(
+            max(1.0, last_arrival), restart_after=args.restart_after, seed=args.seed
+        )
+    fleet_cfg = FleetConfig(
+        replicas=args.replicas,
+        policy=args.policy,
+        health=HealthConfig(),
+    )
+    tracer = make_tracer(args)
+    result = run_chaos(factory, cfg, workload, fleet=fleet_cfg, plan=plan, tracer=tracer)
+    print(result.to_json())
+    if tracer is not None:
+        from repro.trace import export
+
+        print(export(tracer, args.trace), file=sys.stderr)
+    if not result.drained:
+        print("chaos run did not drain (work stuck in flight)", file=sys.stderr)
+        return 1
+    if not result.conserved():
+        print("request conservation violated", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     seed = args.seed
     workloads = [
@@ -361,6 +409,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="record an event trace; .json for chrome://tracing, .jsonl for a flat log",
     )
     clu_p.set_defaults(func=cmd_cluster)
+
+    chaos_p = sub.add_parser("chaos", help="deterministic fault-injection run (JSON report)")
+    _add_common(chaos_p)
+    chaos_p.add_argument("--system", default="chunked", help="serving system of every replica")
+    chaos_p.add_argument("--workload", default="sharegpt")
+    chaos_p.add_argument("--rate", type=float, default=8.0, help="fleet-wide request rate")
+    chaos_p.add_argument("--replicas", type=int, default=4, help="replicas at start")
+    chaos_p.add_argument(
+        "--policy", default="round-robin", choices=sorted(POLICIES), help="routing policy"
+    )
+    chaos_p.add_argument(
+        "--plan", default=None, metavar="PATH", help="FaultPlan JSON (default: one of each kind)"
+    )
+    chaos_p.add_argument(
+        "--restart-after", type=float, default=2.0, help="replica restart delay after a kill"
+    )
+    chaos_p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record an event trace; .json for chrome://tracing, .jsonl for a flat log",
+    )
+    chaos_p.set_defaults(func=cmd_chaos)
 
     t1_p = sub.add_parser("table1", help="print Table-1 stats of the traces")
     t1_p.add_argument("--seed", type=int, default=0)

@@ -9,11 +9,18 @@ policy-driven front-end router.  See :class:`Fleet` for the entry point and
 from repro.cluster.admission import AdmissionConfig, AdmissionController, Decision
 from repro.cluster.autoscaler import AUTOSCALER_TRACK, Autoscaler, AutoscalerConfig
 from repro.cluster.fleet import Fleet, FleetConfig, Replica
+from repro.cluster.health import (
+    HEALTH_TRACK,
+    HealthConfig,
+    HealthMonitor,
+    RetryPolicy,
+)
 from repro.cluster.router import (
     NETWORK_LATENCY,
     POLICIES,
     ROUTER_OVERHEAD,
     ROUTER_TRACK,
+    DeliveryNetwork,
     LeastKVPressurePolicy,
     LeastOutstandingPolicy,
     PrefixAffinityPolicy,
@@ -30,8 +37,12 @@ __all__ = [
     "Autoscaler",
     "AutoscalerConfig",
     "Decision",
+    "DeliveryNetwork",
     "Fleet",
     "FleetConfig",
+    "HEALTH_TRACK",
+    "HealthConfig",
+    "HealthMonitor",
     "LeastKVPressurePolicy",
     "LeastOutstandingPolicy",
     "NETWORK_LATENCY",
@@ -40,6 +51,7 @@ __all__ = [
     "ROUTER_OVERHEAD",
     "ROUTER_TRACK",
     "Replica",
+    "RetryPolicy",
     "RoundRobinPolicy",
     "Router",
     "RoutingPolicy",

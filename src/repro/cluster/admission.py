@@ -53,6 +53,10 @@ class AdmissionConfig:
         ttft_shed_threshold: Shed new sessions once the recent-TTFT P99
             exceeds this many seconds (None disables the signal).
         ttft_window: Completed-request TTFTs kept in the sliding window.
+        brownout_factor: Capacity multiplier applied while the fleet is
+            degraded (a replica is down): the survivors are already
+            absorbing failed-over work, so admission sheds earlier instead
+            of piling new load onto them.  1.0 disables brownout.
     """
 
     max_outstanding_per_replica: int = 64
@@ -60,6 +64,7 @@ class AdmissionConfig:
     mode: str = "queue"
     ttft_shed_threshold: float | None = None
     ttft_window: int = 64
+    brownout_factor: float = 1.0
 
     def __post_init__(self) -> None:
         if self.max_outstanding_per_replica < 1:
@@ -70,6 +75,8 @@ class AdmissionConfig:
             raise ValueError(f"mode must be 'queue' or 'shed', got {self.mode!r}")
         if self.ttft_window < 1:
             raise ValueError("ttft_window must be >= 1")
+        if not 0.0 < self.brownout_factor <= 1.0:
+            raise ValueError("brownout_factor must be in (0, 1]")
 
 
 #: Minimum window samples before the TTFT signal is trusted.
@@ -99,9 +106,17 @@ class AdmissionController:
         return percentile(list(self._recent_ttfts), 99.0)
 
     def capacity(self, fleet: "Fleet") -> int:
-        """Fleet-wide in-flight budget at the current replica count."""
+        """Fleet-wide in-flight budget at the current replica count.
+
+        During a brownout (any replica failed) the budget shrinks by
+        ``brownout_factor`` so the surviving replicas keep their SLOs while
+        absorbing the failed-over load.
+        """
         routable = len(fleet.routable_replicas())
-        return self.config.max_outstanding_per_replica * max(1, routable)
+        budget = self.config.max_outstanding_per_replica * max(1, routable)
+        if self.config.brownout_factor < 1.0 and fleet.degraded():
+            budget = max(1, int(budget * self.config.brownout_factor))
+        return budget
 
     def has_capacity(self, fleet: "Fleet") -> bool:
         """True while the fleet is below its in-flight budget."""

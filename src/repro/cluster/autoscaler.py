@@ -71,8 +71,12 @@ class Autoscaler:
         self.config = config or AutoscalerConfig()
         self.scale_ups = 0
         self.scale_downs = 0
+        self.replacements = 0
         self._last_action = -float("inf")
-        self.sim.schedule(self.config.interval, self._tick)
+        # Daemon: load sampling is housekeeping — it must never keep a
+        # drained simulation alive (recovery work schedules its own
+        # productive events).
+        self.sim.schedule(self.config.interval, self._tick, daemon=True, scope=None)
 
     def _tick(self) -> None:
         fleet = self.fleet
@@ -89,6 +93,13 @@ class Autoscaler:
                 {"per_replica": load, "routable": float(len(routable))},
                 cat=CAT_ROUTER,
             )
+        # Replacing failed capacity bypasses the cooldown: a dead replica
+        # with no scheduled restart never comes back on its own, and the
+        # fleet should not wait out a scaling cooldown to recover.
+        replacement = fleet.replace_failed(cfg.max_replicas)
+        if replacement is not None:
+            self.replacements += 1
+            self._trace_action("replace-failed", replacement.name, load)
         if now - self._last_action >= cfg.cooldown:
             if load > cfg.scale_up_outstanding:
                 replica = fleet.scale_up(cfg.max_replicas)
@@ -102,10 +113,10 @@ class Autoscaler:
                     self.scale_downs += 1
                     self._last_action = now
                     self._trace_action("drain", victim.name, load)
-        # Keep sampling only while the simulation still has other work;
-        # otherwise a drained event queue would never terminate `run()`.
-        if self.sim.pending_events > 0:
-            self.sim.schedule(cfg.interval, self._tick)
+        # Daemon reschedule: run() ignores daemon events when deciding
+        # whether the simulation is drained, so sampling can continue
+        # unconditionally without ever holding termination hostage.
+        self.sim.schedule(cfg.interval, self._tick, daemon=True, scope=None)
 
     def _trace_action(self, action: str, replica: str, load: float) -> None:
         tracer = self.sim.tracer

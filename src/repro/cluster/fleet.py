@@ -15,11 +15,12 @@ percentiles are computed over the pooled per-request samples.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.cluster.admission import AdmissionConfig, AdmissionController
 from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
+from repro.cluster.health import HealthConfig, HealthMonitor, RetryPolicy
 from repro.cluster.router import (
     NETWORK_LATENCY,
     ROUTER_OVERHEAD,
@@ -30,10 +31,10 @@ from repro.cluster.router import (
 from repro.kvcache.radix import Segment
 from repro.serving.base import ServingSystem, iter_instances
 from repro.serving.config import ServingConfig
-from repro.serving.metrics import Summary, merge_collectors
+from repro.serving.metrics import MetricsCollector, Summary, merge_collectors
 from repro.sim import Simulator
-from repro.trace.tracer import CAT_ROUTER
-from repro.workloads.request import Workload
+from repro.trace.tracer import CAT_FAULT, CAT_ROUTER
+from repro.workloads.request import Request, Workload
 
 SystemFactory = Callable[[Simulator, ServingConfig], ServingSystem]
 
@@ -55,6 +56,11 @@ class FleetConfig:
             every arrival is dispatched immediately).
         autoscaler: Autoscaler settings (None keeps the replica count
             fixed).
+        retry: Router delivery-retry/backoff policy (also bounds how often
+            one request survives replica failovers).
+        health: Health-watchdog settings (None disables hang detection —
+            crash faults are still handled, but a stalled replica is only
+            noticed if something else fails it).
     """
 
     replicas: int = 2
@@ -63,6 +69,8 @@ class FleetConfig:
     network_latency: float = NETWORK_LATENCY
     admission: AdmissionConfig | None = None
     autoscaler: AutoscalerConfig | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    health: HealthConfig | None = None
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -82,11 +90,32 @@ class Replica:
     outstanding: int = 0
     dispatched: int = 0
     draining: bool = False
+    #: Dead: KV cache and in-flight work lost; not routable until restarted.
+    failed: bool = False
+    #: Incremented on every restart — scopes a generation's event cascade.
+    generation: int = 0
+    #: Simulated time a scheduled restart will complete (None: none pending).
+    restart_at: float | None = None
+    #: Requests dispatched here and not yet completed, by request id.  The
+    #: router's source of truth for what a failover must re-dispatch.
+    inflight: dict[int, Request] = field(default_factory=dict)
+
+    @property
+    def scope(self) -> str:
+        """Failure-domain tag of this replica's current generation.
+
+        Every event the replica's serving system schedules inherits this
+        scope, so killing the replica is one
+        :meth:`~repro.sim.Simulator.cancel_scope` call — the whole cascade
+        (device updates, decode iterations, in-transit deliveries) dies
+        atomically with it.
+        """
+        return f"replica/{self.name}/g{self.generation}"
 
     @property
     def routable(self) -> bool:
         """Whether the router may send new work here."""
-        return not self.draining
+        return not self.draining and not self.failed
 
     @property
     def drained(self) -> bool:
@@ -127,6 +156,12 @@ class Fleet:
         self.base_cfg = cfg
         self.config = config or FleetConfig()
         self.replicas: list[Replica] = []
+        #: Metrics of dead generations — merged into fleet summaries so the
+        #: requests a replica finished before dying still count.
+        self._retired_collectors: list[MetricsCollector] = []
+        self.failures = 0
+        self.restarts = 0
+        self.autoscaler: Autoscaler | None = None
         self.admission = (
             AdmissionController(self.config.admission)
             if self.config.admission is not None
@@ -139,12 +174,15 @@ class Fleet:
             admission=self.admission,
             overhead=self.config.router_overhead,
             network_latency=self.config.network_latency,
+            retry=self.config.retry,
         )
         for _ in range(self.config.replicas):
             self.add_replica()
-        self.autoscaler = (
-            Autoscaler(sim, self, self.config.autoscaler)
-            if self.config.autoscaler is not None
+        if self.config.autoscaler is not None:
+            self.autoscaler = Autoscaler(sim, self, self.config.autoscaler)
+        self.health = (
+            HealthMonitor(sim, self, self.config.health)
+            if self.config.health is not None
             else None
         )
 
@@ -155,25 +193,31 @@ class Fleet:
     def add_replica(self) -> Replica:
         """Provision one more replica (usable immediately)."""
         index = len(self.replicas)
+        name = f"r{index}"
         cfg = replace(self.base_cfg, name_prefix=f"{self.base_cfg.name_prefix}r{index}/")
-        system = self.factory(self.sim, cfg)
-        replica = Replica(index=index, name=f"r{index}", system=system, created_at=self.sim.now)
+        with self.sim.scope(f"replica/{name}/g0"):
+            system = self.factory(self.sim, cfg)
+        replica = Replica(index=index, name=name, system=system, created_at=self.sim.now)
         system.add_completion_listener(
             lambda state, rep=replica: self.router.on_completion(rep, state)
         )
         self.replicas.append(replica)
         self._trace_size()
+        # New capacity may unblock work parked while the fleet was dark.
+        self.router._drain_queue()
         return replica
 
     def scale_up(self, max_replicas: int) -> Replica | None:
         """Add capacity: reactivate a draining replica (warm cache) or
         provision a new one while under the ``max_replicas`` budget."""
         for replica in self.replicas:
-            if replica.draining:
+            if replica.draining and not replica.failed:
                 replica.draining = False
                 self._trace_size()
                 return replica
-        if len(self.replicas) >= max_replicas:
+        # Budget counts *live* replicas: corpses awaiting no restart do not
+        # consume capacity the fleet can no longer use.
+        if self.alive_count() >= max_replicas:
             return None
         return self.add_replica()
 
@@ -190,6 +234,154 @@ class Fleet:
     def routable_replicas(self) -> list[Replica]:
         """Replicas accepting new work, in index order."""
         return [r for r in self.replicas if r.routable]
+
+    def alive_count(self) -> int:
+        """Replicas not currently failed (routable or draining)."""
+        return sum(1 for r in self.replicas if not r.failed)
+
+    # ------------------------------------------------------------------ #
+    # Faults and recovery
+    # ------------------------------------------------------------------ #
+
+    def fail_replica(
+        self,
+        replica: Replica,
+        reason: str = "fault",
+        restart_after: float | None = None,
+    ) -> None:
+        """Kill one replica: its KV cache, in-flight work and pending event
+        cascade are lost atomically.
+
+        Cancelling the replica's scope removes every event it would have
+        fired (decode iterations, device updates, in-transit deliveries)
+        before the router re-dispatches the in-flight requests — nothing of
+        the dead generation can run afterwards and corrupt the replacement.
+        With ``restart_after`` set, a fresh (cold-cache) system takes over
+        the slot after that delay; otherwise the slot stays dead and only
+        an autoscaler can replace the capacity.
+        """
+        if replica.failed:
+            return
+        replica.failed = True
+        self.failures += 1
+        inflight = len(replica.inflight)
+        # Mark the pending restart BEFORE failing over: the router decides
+        # park-vs-lose from recovery_pending(), and in a fleet whose last
+        # replica just died that decision happens inside fail_over().
+        if restart_after is not None:
+            replica.restart_at = self.sim.now + restart_after
+        cancelled = self.sim.cancel_scope(replica.scope)
+        redispatched = self.router.fail_over(replica, reason)
+        if restart_after is not None:
+            # Productive, scope=None: the restart must fire even though the
+            # fleet may have no other pending work — it IS the recovery.
+            self.sim.schedule(
+                restart_after, lambda: self.restart_replica(replica), scope=None
+            )
+        elif self.autoscaler is not None:
+            # No restart is coming, so replacement is the recovery path.
+            # The autoscaler's periodic tick is a daemon (it never keeps
+            # the simulation alive), so give it one *productive* wake-up —
+            # otherwise a fleet whose other work drains first would stop
+            # with requests parked forever behind a replacement that the
+            # daemon tick never got to provision.
+            self.sim.schedule(
+                self.autoscaler.config.interval, self._replace_abandoned, scope=None
+            )
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.instant(
+                FLEET_TRACK,
+                "replica-failed",
+                CAT_FAULT,
+                self.sim.now,
+                {
+                    "replica": replica.name,
+                    "reason": reason,
+                    "generation": replica.generation,
+                    "inflight": inflight,
+                    "events_cancelled": cancelled,
+                    "redispatched": redispatched,
+                    "restart_after": restart_after,
+                },
+            )
+        self._trace_size()
+
+    def restart_replica(self, replica: Replica) -> Replica:
+        """Bring a failed replica back with a fresh serving system.
+
+        The old generation's metrics collector is retired (its finished
+        requests still count toward fleet totals — they were delivered) and
+        a new system is built under the *next* generation's scope.  The KV
+        cache starts cold: every radix-cache prefix the old generation held
+        is gone, which is exactly the recovery cost the chaos harness
+        measures.
+        """
+        if not replica.failed:
+            return replica
+        self._retired_collectors.append(replica.system.metrics)
+        replica.generation += 1
+        self.restarts += 1
+        cfg = replace(
+            self.base_cfg,
+            name_prefix=f"{self.base_cfg.name_prefix}r{replica.index}g{replica.generation}/",
+        )
+        with self.sim.scope(replica.scope):
+            system = self.factory(self.sim, cfg)
+        system.add_completion_listener(
+            lambda state, rep=replica: self.router.on_completion(rep, state)
+        )
+        replica.system = system
+        replica.failed = False
+        replica.draining = False
+        replica.restart_at = None
+        replica.created_at = self.sim.now
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.instant(
+                FLEET_TRACK,
+                "replica-restarted",
+                CAT_FAULT,
+                self.sim.now,
+                {"replica": replica.name, "generation": replica.generation},
+            )
+        self._trace_size()
+        self.router._drain_queue()
+        return replica
+
+    def _replace_abandoned(self) -> None:
+        if self.autoscaler is None:
+            return
+        replica = self.replace_failed(self.autoscaler.config.max_replicas)
+        if replica is not None:
+            self.autoscaler.replacements += 1
+
+    def replace_failed(self, max_replicas: int) -> Replica | None:
+        """Provision a substitute for a failed replica with no scheduled
+        restart (autoscaler path; bypasses scaling cooldown)."""
+        abandoned = [r for r in self.replicas if r.failed and r.restart_at is None]
+        if not abandoned or self.alive_count() >= max_replicas:
+            return None
+        return self.add_replica()
+
+    def recovery_pending(self) -> bool:
+        """Whether lost capacity will come back without outside help.
+
+        True while any replica has a scheduled restart, or an autoscaler
+        holds budget to provision a replacement.  The router uses this to
+        decide between *parking* admitted requests (capacity returns) and
+        *losing* them (nothing will ever serve them — terminate honestly
+        rather than hang).
+        """
+        if any(r.restart_at is not None for r in self.replicas):
+            return True
+        if self.autoscaler is not None:
+            return self.alive_count() < self.autoscaler.config.max_replicas
+        return False
+
+    def degraded(self) -> bool:
+        """Any replica currently failed (admission brownout signal)."""
+        return any(r.failed for r in self.replicas)
 
     # ------------------------------------------------------------------ #
     # Load signals
@@ -222,9 +414,12 @@ class Fleet:
     # ------------------------------------------------------------------ #
 
     def summarize(self) -> Summary:
-        """Fleet-level summary: the merge of all per-replica collectors."""
+        """Fleet-level summary: the merge of all per-replica collectors
+        (retired generations included — their finished work was real)."""
         merged = merge_collectors(
-            (r.system.metrics for r in self.replicas), self.base_cfg.slo, name="fleet"
+            [*self._retired_collectors, *(r.system.metrics for r in self.replicas)],
+            self.base_cfg.slo,
+            name="fleet",
         )
         return merged.summarize()
 

@@ -22,12 +22,13 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from collections import deque
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Protocol, Sequence
 
 from repro.cluster.admission import AdmissionController, Decision
+from repro.cluster.health import RetryPolicy
 from repro.serving.base import RequestState
 from repro.sim import Simulator
-from repro.trace.tracer import CAT_ROUTER
+from repro.trace.tracer import CAT_FAULT, CAT_ROUTER
 from repro.workloads.request import Request
 
 if TYPE_CHECKING:
@@ -40,6 +41,20 @@ NETWORK_LATENCY = 2e-3
 
 #: Trace track carrying routing decisions and shed/hold/queue occurrences.
 ROUTER_TRACK = "fleet/router"
+
+
+class DeliveryNetwork(Protocol):
+    """Hook deciding the fate of one router-to-replica delivery.
+
+    The fault injector installs itself here to model a lossy/slow network;
+    a ``None`` network delivers every request after the configured latency.
+    """
+
+    def disposition(
+        self, request: Request, replica: "Replica", now: float
+    ) -> tuple[bool, float]:
+        """Return ``(dropped, extra_delay)`` for this delivery attempt."""
+        ...
 
 
 class RoutingPolicy(ABC):
@@ -142,6 +157,7 @@ class Router:
         admission: AdmissionController | None = None,
         overhead: float = ROUTER_OVERHEAD,
         network_latency: float = NETWORK_LATENCY,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.sim = sim
         self.fleet = fleet
@@ -149,14 +165,29 @@ class Router:
         self.admission = admission
         self.overhead = overhead
         self.network_latency = network_latency
+        self.retry = retry or RetryPolicy()
+        #: Optional lossy-network model (fault injector installs itself).
+        self.network: DeliveryNetwork | None = None
         self.queue: deque[Request] = deque()
         self.decisions = 0
+        self.arrivals = 0
         self.requests_shed = 0
         self.requests_queued = 0
+        self.requests_completed = 0
+        self.requests_dropped = 0
+        self.requests_lost = 0
+        self.requests_retried = 0
+        self.deliveries_dropped = 0
         #: Turns a session has completed fleet-wide (ordering barrier).
         self._session_done: dict[int, int] = {}
         self._held: dict[tuple[int, int], Request] = {}
         self._shed_sessions: set[int] = set()
+        #: First delivery time per request id — failover re-dispatches keep
+        #: this so TTFT is measured against the original delivery, not the
+        #: retry (the recovery honestly pays for the crash).
+        self._first_arrival: dict[int, float] = {}
+        #: Delivery attempts consumed per in-flight request id.
+        self._attempts: dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     # Intake
@@ -164,6 +195,7 @@ class Router:
 
     def route(self, request: Request) -> None:
         """Handle one arrival: order within its session, admit, dispatch."""
+        self.arrivals += 1
         session, turn = request.session_id, request.turn_index
         if session in self._shed_sessions:
             self._shed(request, reason="session-shed")
@@ -194,20 +226,50 @@ class Router:
         self.requests_shed += 1
         self._shed_sessions.add(request.session_id)
         self._trace_instant("shed", request, {"reason": reason})
+        self._flush_held(request.session_id)
+
+    def _flush_held(self, session: int) -> None:
+        """Shed every held follower of a session that just died.
+
+        A held turn waits for its predecessor to complete; once that
+        predecessor is shed or lost the follower would wait forever, so it
+        is shed too (and counted — conservation must still balance).
+        """
+        for key in [k for k in self._held if k[0] == session]:
+            follower = self._held.pop(key)
+            self.requests_shed += 1
+            self._trace_instant("shed", follower, {"reason": "session-shed"})
 
     # ------------------------------------------------------------------ #
     # Dispatch
     # ------------------------------------------------------------------ #
 
-    def _dispatch(self, request: Request) -> None:
+    def _dispatch(self, request: Request, attempt: int = 0) -> None:
         replicas = self.fleet.routable_replicas()
         if not replicas:
-            # Every replica is draining; deliver to the least-loaded one
-            # anyway rather than dropping admitted work.
-            replicas = self.fleet.replicas
+            # Every replica is draining; deliver to a live draining one
+            # rather than dropping admitted work.  Failed replicas are
+            # never a fallback — delivering to a corpse loses the request.
+            replicas = [r for r in self.fleet.replicas if not r.failed and not r.drained]
+        if not replicas:
+            if self.fleet.recovery_pending():
+                # Someone (restart or autoscaler) will bring capacity back:
+                # park at the queue front and redeliver on recovery.
+                self.queue.appendleft(request)
+                self._trace_instant("park", request, cat=CAT_FAULT)
+            else:
+                self._lose(request, reason="no-replicas")
+            return
         now = self.sim.now
         replica = self.policy.choose(replicas, request)
         self.decisions += 1
+        if self.network is not None:
+            dropped, extra_delay = self.network.disposition(request, replica, now)
+            if dropped:
+                self._retry_delivery(request, attempt)
+                return
+        else:
+            extra_delay = 0.0
         tracer = self.sim.tracer
         if tracer is not None and tracer.enabled:
             tracer.complete(
@@ -222,13 +284,95 @@ class Router:
                     "turn": request.turn_index,
                     "replica": replica.name,
                     "outstanding": replica.outstanding,
+                    "attempt": attempt,
                 },
             )
         replica.outstanding += 1
         replica.dispatched += 1
+        replica.inflight[request.request_id] = request
         replica.system.expect_turn(request.session_id, request.turn_index)
-        delay = self.overhead + self.network_latency
-        self.sim.schedule(delay, lambda: replica.system.inject(request))
+        delay = self.overhead + self.network_latency + extra_delay
+        # TTFT anchor: the *nominal* first delivery time.  Injected network
+        # delay (extra_delay) and any later failover re-dispatch deliver
+        # after this anchor, so fault-induced latency lands in TTFT instead
+        # of being silently re-based away.
+        arrival = self._first_arrival.setdefault(
+            request.request_id, now + self.overhead + self.network_latency
+        )
+        # Bind the target system now (the replica may be restarted with a
+        # fresh system before delivery) and tag the delivery with the
+        # replica's failure scope so a kill cancels in-transit deliveries
+        # along with everything else — fail_over() re-dispatches them.
+        system = replica.system
+        self.sim.schedule(
+            delay,
+            lambda: system.inject(request, arrival_time=arrival),
+            scope=replica.scope,
+        )
+
+    def _retry_delivery(self, request: Request, attempt: int) -> None:
+        """A delivery was dropped in flight: back off and re-dispatch."""
+        if attempt + 1 >= self.retry.max_attempts:
+            self._lose(request, reason="delivery-drop")
+            return
+        self.deliveries_dropped += 1
+        self.requests_retried += 1
+        backoff = self.retry.backoff(attempt)
+        self._trace_instant(
+            "retry", request, {"attempt": attempt + 1, "backoff": backoff}, cat=CAT_FAULT
+        )
+        # scope=None: the retry must survive any replica's death — it is
+        # router state, not replica state.
+        self.sim.schedule(
+            self.overhead + backoff,
+            lambda: self._dispatch(request, attempt=attempt + 1),
+            scope=None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Failure handling
+    # ------------------------------------------------------------------ #
+
+    def fail_over(self, replica: "Replica", reason: str) -> int:
+        """Re-dispatch everything in flight on a replica that just died.
+
+        The dead replica's unfinished metrics records are discarded (their
+        partial decode tokens are wasted work, not delivered work) and each
+        victim is re-dispatched through the normal path, burning one retry
+        attempt.  TTFT keeps the original first-delivery timestamp, so the
+        recovered request's latency honestly spans the crash.  Returns the
+        number of requests re-dispatched.
+        """
+        victims = list(replica.inflight.values())
+        replica.inflight.clear()
+        replica.outstanding = 0
+        redispatched = 0
+        for request in victims:
+            replica.system.metrics.discard(request.request_id)
+            attempts = self._attempts.get(request.request_id, 0) + 1
+            self._attempts[request.request_id] = attempts
+            if attempts >= self.retry.max_attempts:
+                self._lose(request, reason=f"failover-exhausted:{reason}")
+                continue
+            self.requests_retried += 1
+            redispatched += 1
+            self._trace_instant(
+                "failover",
+                request,
+                {"replica": replica.name, "reason": reason, "attempt": attempts},
+                cat=CAT_FAULT,
+            )
+            self._dispatch(request, attempt=attempts)
+        return redispatched
+
+    def _lose(self, request: Request, reason: str) -> None:
+        """Declare an admitted request unservable (all recovery exhausted)."""
+        self.requests_lost += 1
+        self._first_arrival.pop(request.request_id, None)
+        self._attempts.pop(request.request_id, None)
+        self._shed_sessions.add(request.session_id)
+        self._trace_instant("lost", request, {"reason": reason}, cat=CAT_FAULT)
+        self._flush_held(request.session_id)
 
     # ------------------------------------------------------------------ #
     # Completion feedback
@@ -236,8 +380,15 @@ class Router:
 
     def on_completion(self, replica: "Replica", state: RequestState) -> None:
         """A request finished (or dropped) on ``replica``."""
-        replica.outstanding -= 1
+        replica.outstanding = max(0, replica.outstanding - 1)
         request = state.request
+        replica.inflight.pop(request.request_id, None)
+        self._first_arrival.pop(request.request_id, None)
+        self._attempts.pop(request.request_id, None)
+        if state.record.finished:
+            self.requests_completed += 1
+        else:
+            self.requests_dropped += 1
         done = self._session_done.get(request.session_id, 0)
         if request.turn_index + 1 > done:
             self._session_done[request.session_id] = request.turn_index + 1
@@ -251,14 +402,54 @@ class Router:
         self._drain_queue()
 
     def _drain_queue(self) -> None:
+        # Without a live replica, _dispatch would park the popped request
+        # right back at the queue front — spin forever.  Leave the queue
+        # parked until recovery calls back in.
+        if not any(not r.failed for r in self.fleet.replicas):
+            return
         while self.queue and (self.admission is None or self.admission.has_capacity(self.fleet)):
             self._dispatch(self.queue.popleft())
 
-    def _trace_instant(self, name: str, request: Request, extra: dict | None = None) -> None:
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+
+    def inflight_now(self) -> int:
+        """Requests currently dispatched to (or in transit to) replicas."""
+        return sum(len(r.inflight) for r in self.fleet.replicas)
+
+    def conservation(self) -> dict[str, int]:
+        """Snapshot of request conservation terms.
+
+        At drain (no productive events pending) every arrival is in exactly
+        one terminal bucket and the ``*_now`` terms are zero, so::
+
+            arrivals == completed + dropped + shed + lost
+        """
+        return {
+            "arrivals": self.arrivals,
+            "completed": self.requests_completed,
+            "dropped": self.requests_dropped,
+            "shed": self.requests_shed,
+            "lost": self.requests_lost,
+            "retried": self.requests_retried,
+            "deliveries_dropped": self.deliveries_dropped,
+            "queued_now": len(self.queue),
+            "held_now": len(self._held),
+            "inflight_now": self.inflight_now(),
+        }
+
+    def _trace_instant(
+        self,
+        name: str,
+        request: Request,
+        extra: dict | None = None,
+        cat: str = CAT_ROUTER,
+    ) -> None:
         tracer = self.sim.tracer
         if tracer is None or not tracer.enabled:
             return
         args = {"request": request.request_id, "session": request.session_id}
         if extra:
             args.update(extra)
-        tracer.instant(ROUTER_TRACK, name, CAT_ROUTER, self.sim.now, args)
+        tracer.instant(ROUTER_TRACK, name, cat, self.sim.now, args)

@@ -1,0 +1,27 @@
+"""Deterministic fault injection for fleet chaos testing.
+
+Two halves:
+
+* :mod:`repro.faults.plan` — a seeded, serialisable :class:`FaultPlan`
+  (what breaks, when, how badly).  The plan plus the workload is the full
+  description of a chaos run; everything downstream is deterministic.
+* :mod:`repro.faults.injector` — the :class:`FaultInjector`, which schedules
+  the plan's events against a live :class:`~repro.cluster.fleet.Fleet` and
+  models the lossy router↔replica network.
+
+Recovery is owned by the cluster layer (router failover, health watchdog,
+restarts, autoscaler replacement); :mod:`repro.bench.chaos` wires the two
+together into one measurable run.
+"""
+
+from repro.faults.injector import FAULT_TRACK, FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec, default_chaos_plan
+
+__all__ = [
+    "FAULT_TRACK",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "default_chaos_plan",
+]

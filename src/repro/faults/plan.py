@@ -1,0 +1,232 @@
+"""Declarative, seeded fault plans for chaos runs.
+
+A :class:`FaultPlan` is the *entire* source of nondeterminism in a chaos
+run: a sorted list of :class:`FaultSpec` entries (what breaks, when, how
+badly) plus one seed feeding every random choice the injector makes at
+runtime (victim selection, per-delivery drop coin flips).  Two runs with
+the same plan, seed and workload replay the same faults at the same
+virtual times and produce byte-identical summaries — which is what turns
+chaos testing from flakiness into a regression suite.
+
+Plans serialise to/from JSON so a failing chaos run can be reproduced from
+its artifact alone.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import random
+from dataclasses import asdict, dataclass
+
+
+class FaultKind(str, enum.Enum):
+    """Every fault the injector knows how to deliver."""
+
+    #: Kill a replica: KV cache and in-flight work lost; optional restart.
+    REPLICA_KILL = "replica-kill"
+    #: Reduce a replica's HBM bandwidth and SM throughput mid-run.
+    DEVICE_DEGRADE = "device-degrade"
+    #: Hang a replica's devices (hung kernel): silent until the watchdog
+    #: declares it dead or the stall window ends.
+    PARTITION_STALL = "partition-stall"
+    #: Add latency to router→replica deliveries inside a window.
+    NETWORK_DELAY = "network-delay"
+    #: Drop router→replica deliveries with some probability in a window.
+    NETWORK_DROP = "network-drop"
+    #: Force-preempt every running request on a replica (recompute path).
+    PREEMPTION_STORM = "preemption-storm"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Attributes:
+        at: Simulated time the fault fires.
+        kind: What breaks (:class:`FaultKind`).
+        target: Replica name (e.g. ``"r1"``); None lets the injector pick a
+            live replica with its seeded RNG.  Network faults ignore it
+            (they affect the router's links fleet-wide).
+        duration: Fault window in seconds.  For kills it is unused; for
+            stalls/degradations/network windows, ``0`` means "until the end
+            of the run" (or until recovery removes the faulty generation).
+        magnitude: Kind-specific severity — remaining bandwidth/compute
+            fraction in ``(0, 1]`` for degradations, extra seconds per
+            delivery for delays, drop probability in ``[0, 1]`` for drops.
+            Unused for kills, stalls and storms.
+        restart_after: Kills only — seconds until a fresh replica takes
+            over the slot (None: the slot stays dead).
+    """
+
+    at: float
+    kind: FaultKind
+    target: str | None = None
+    duration: float = 0.0
+    magnitude: float = 0.5
+    restart_after: float | None = None
+
+    def __post_init__(self) -> None:
+        # Round-trip through the enum so plans built from JSON strings
+        # validate the kind early.
+        object.__setattr__(self, "kind", FaultKind(self.kind))
+        if self.at < 0:
+            raise ValueError("fault time must be non-negative")
+        if self.duration < 0:
+            raise ValueError("duration must be non-negative")
+        if self.restart_after is not None and self.restart_after < 0:
+            raise ValueError("restart_after must be non-negative")
+        if self.kind is FaultKind.DEVICE_DEGRADE and not 0.0 < self.magnitude <= 1.0:
+            raise ValueError("degrade magnitude must be in (0, 1]")
+        if self.kind is FaultKind.NETWORK_DROP and not 0.0 <= self.magnitude <= 1.0:
+            raise ValueError("drop probability must be in [0, 1]")
+        if self.kind is FaultKind.NETWORK_DELAY and self.magnitude < 0:
+            raise ValueError("delay magnitude must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, time-ordered fault schedule."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Stable sort: ties on `at` keep authoring order, so scripted plans
+        # fire in the order they were written.
+        ordered = tuple(sorted(self.specs, key=lambda s: s.at))
+        object.__setattr__(self, "specs", ordered)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> str:
+        """Stable JSON representation (reproduces the plan exactly)."""
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "specs": [
+                    {**asdict(spec), "kind": spec.kind.value} for spec in self.specs
+                ],
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Inverse of :meth:`to_json`."""
+        data = json.loads(text)
+        specs = tuple(FaultSpec(**entry) for entry in data.get("specs", []))
+        return cls(specs=specs, seed=int(data.get("seed", 0)))
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        horizon: float,
+        counts: dict[FaultKind, int] | None = None,
+        restart_after: float | None = 2.0,
+    ) -> "FaultPlan":
+        """Generate a plan probabilistically from ``seed``.
+
+        ``counts`` maps each kind to how many instances to scatter over
+        ``[0.05 * horizon, 0.8 * horizon]`` (defaults to one kill, one
+        degradation, one stall and one storm).  Targets are left to the
+        injector's runtime RNG so the plan stays valid for any fleet size.
+        """
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if counts is None:
+            counts = {
+                FaultKind.REPLICA_KILL: 1,
+                FaultKind.DEVICE_DEGRADE: 1,
+                FaultKind.PARTITION_STALL: 1,
+                FaultKind.PREEMPTION_STORM: 1,
+            }
+        rng = random.Random(seed)
+        specs: list[FaultSpec] = []
+        lo, hi = 0.05 * horizon, 0.8 * horizon
+        for kind in sorted(counts, key=lambda k: k.value):
+            for _ in range(counts[kind]):
+                at = rng.uniform(lo, hi)
+                duration = rng.uniform(0.02, 0.2) * horizon
+                if kind is FaultKind.REPLICA_KILL:
+                    specs.append(
+                        FaultSpec(at=at, kind=kind, restart_after=restart_after)
+                    )
+                elif kind is FaultKind.DEVICE_DEGRADE:
+                    specs.append(
+                        FaultSpec(
+                            at=at,
+                            kind=kind,
+                            duration=duration,
+                            magnitude=rng.uniform(0.3, 0.9),
+                        )
+                    )
+                elif kind is FaultKind.PARTITION_STALL:
+                    specs.append(
+                        FaultSpec(at=at, kind=kind, duration=rng.uniform(0.5, 2.0))
+                    )
+                elif kind is FaultKind.NETWORK_DELAY:
+                    specs.append(
+                        FaultSpec(
+                            at=at,
+                            kind=kind,
+                            duration=duration,
+                            magnitude=rng.uniform(0.001, 0.05),
+                        )
+                    )
+                elif kind is FaultKind.NETWORK_DROP:
+                    specs.append(
+                        FaultSpec(
+                            at=at,
+                            kind=kind,
+                            duration=duration,
+                            magnitude=rng.uniform(0.05, 0.5),
+                        )
+                    )
+                else:
+                    specs.append(FaultSpec(at=at, kind=kind))
+        return cls(specs=tuple(specs), seed=seed)
+
+
+def default_chaos_plan(
+    duration: float, restart_after: float = 2.0, seed: int = 0
+) -> FaultPlan:
+    """The CLI/example default: one of everything, spread over the run.
+
+    Scripted (not sampled) fault times so the default chaos run exercises
+    every fault kind exactly once in a fixed order; ``seed`` only drives
+    victim selection and network coin flips inside the injector.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+
+    def t(frac: float) -> float:
+        return frac * duration
+
+    return FaultPlan(
+        specs=(
+            FaultSpec(at=t(0.10), kind=FaultKind.DEVICE_DEGRADE, duration=t(0.2), magnitude=0.5),
+            FaultSpec(at=t(0.20), kind=FaultKind.NETWORK_DELAY, duration=t(0.1), magnitude=0.005),
+            FaultSpec(at=t(0.30), kind=FaultKind.REPLICA_KILL, restart_after=restart_after),
+            FaultSpec(at=t(0.45), kind=FaultKind.NETWORK_DROP, duration=t(0.1), magnitude=0.2),
+            FaultSpec(at=t(0.60), kind=FaultKind.PREEMPTION_STORM),
+            FaultSpec(at=t(0.70), kind=FaultKind.PARTITION_STALL, duration=1.0),
+        ),
+        seed=seed,
+    )
+
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan", "default_chaos_plan"]

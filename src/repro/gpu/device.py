@@ -179,6 +179,10 @@ class Device:
         self.total_sms = spec.sms
         self.effective_bandwidth = spec.effective_bandwidth * n_gpus
         self._flops_per_sm = spec.effective_flops * n_gpus / spec.sms
+        # Nominal (healthy) rates; fault injection degrades the live ones.
+        self._nominal_bandwidth = self.effective_bandwidth
+        self._nominal_flops_per_sm = self._flops_per_sm
+        self._stalled = False
 
         self._active: list[ExecTask] = []
         self._last_advance = sim.now
@@ -202,6 +206,68 @@ class Device:
         if not 0 < sm_count <= self.total_sms:
             raise ValueError(f"sm_count {sm_count} out of range (1..{self.total_sms})")
         return self._flops_per_sm * sm_count
+
+    # ------------------------------------------------------------------ #
+    # Fault surface (driven by :mod:`repro.faults`)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def stalled(self) -> bool:
+        """True while the device hangs (no task makes any progress)."""
+        return self._stalled
+
+    @property
+    def degraded(self) -> bool:
+        """True while bandwidth and/or compute run below nominal."""
+        return (
+            self.effective_bandwidth < self._nominal_bandwidth - _EPS
+            or self._flops_per_sm < self._nominal_flops_per_sm - _EPS
+        )
+
+    def set_degradation(
+        self, bandwidth_factor: float = 1.0, compute_factor: float = 1.0
+    ) -> None:
+        """Scale the device below (or back to) its nominal rates.
+
+        Models a sick GPU mid-run: thermal throttling, a flaky HBM stack
+        (``bandwidth_factor``), ECC-masked dead SMs (``compute_factor``).
+        Factors are absolute w.r.t. the nominal spec, so
+        ``set_degradation()`` restores full health.  Active tasks are
+        advanced under the old rates first, then re-planned under the new
+        ones.
+        """
+        if not 0.0 < bandwidth_factor <= 1.0 or not 0.0 < compute_factor <= 1.0:
+            raise ValueError("degradation factors must be in (0, 1]")
+        self._advance_to_now()
+        self.effective_bandwidth = self._nominal_bandwidth * bandwidth_factor
+        self._flops_per_sm = self._nominal_flops_per_sm * compute_factor
+        self._reschedule()
+
+    def stall(self, duration: float | None = None) -> None:
+        """Freeze the device: active tasks stop progressing entirely.
+
+        Models a hung kernel / wedged partition.  With ``duration`` the
+        device resumes by itself; with ``None`` it hangs until
+        :meth:`unstall` — or until a fleet health watchdog declares the
+        replica dead.  The self-resume event inherits the current scope, so
+        killing the replica also cancels the pending resume.
+        """
+        if self._stalled:
+            return
+        self._advance_to_now()
+        self._stalled = True
+        self._reschedule()
+        if duration is not None:
+            self.sim.schedule(duration, self.unstall)
+
+    def unstall(self) -> None:
+        """Resume a stalled device; tasks continue where they froze."""
+        if not self._stalled:
+            return
+        self._stalled = False
+        # No progress accrued during the stall (all rates were zero).
+        self._advance_to_now()
+        self._reschedule()
 
     # ------------------------------------------------------------------ #
     # Memory
@@ -277,6 +343,14 @@ class Device:
         return max(0.3, 1.0 - loss)
 
     def _reallocate(self) -> None:
+        if self._stalled:
+            # A hung device makes no progress on any dimension; with all
+            # rates zero _next_phase_change returns inf and no update event
+            # is scheduled, so the device goes silent until unstalled.
+            for task in self._active:
+                task.compute_rate = 0.0
+                task.bw_rate = 0.0
+            return
         scale = self._compute_scale()
         for task in self._active:
             task.compute_rate = self.compute_rate(task.sm_count) * scale

@@ -144,6 +144,10 @@ class ServingSystem(ABC):
         self._deferred: dict[tuple[int, int], RequestState] = {}
         self._completion_listeners: list[Callable[[RequestState], None]] = []
         self.states: dict[int, RequestState] = {}
+        #: Preemption-storm fault: when set, the next decode iteration
+        #: recompute-preempts its whole batch (see DecodeBatchMixin).
+        self._storm_pending = False
+        self.storm_preemptions = 0
 
     # ------------------------------------------------------------------ #
     # Workload intake
@@ -158,9 +162,27 @@ class ServingSystem(ABC):
         """Run the simulation (drains the event queue by default)."""
         self.sim.run(until=until)
 
-    def inject(self, request: Request) -> None:
-        """Deliver one request now (fleet routers dispatch through this)."""
-        self._arrive(request)
+    def inject(self, request: Request, arrival_time: float | None = None) -> None:
+        """Deliver one request now (fleet routers dispatch through this).
+
+        ``arrival_time`` back-dates the metrics record — a router
+        re-dispatching a request it first delivered to a replica that later
+        died passes the *original* arrival so TTFT honestly includes the
+        failure and recovery time, not just the retry.
+        """
+        self._arrive(request, arrival_time)
+
+    def force_preempt(self) -> int:
+        """Fault hook: request a preemption storm (recompute-preempt all).
+
+        The base implementation arms a flag that batching systems consume
+        at their next decode iteration boundary — the only point where
+        evicting the whole running batch is safe in every scheduler.
+        Returns the number of requests preempted immediately (always 0
+        here; consult :attr:`storm_preemptions` afterwards for the total).
+        """
+        self._storm_pending = True
+        return 0
 
     def expect_turn(self, session_id: int, turn_index: int) -> None:
         """Mark ``turn_index`` as this session's next admissible turn here.
@@ -177,8 +199,9 @@ class ServingSystem(ABC):
         """Call ``listener(state)`` whenever a request finishes or drops."""
         self._completion_listeners.append(listener)
 
-    def _arrive(self, request: Request) -> None:
-        record = self.metrics.on_arrival(request, self.sim.now)
+    def _arrive(self, request: Request, arrival_time: float | None = None) -> None:
+        arrival = self.sim.now if arrival_time is None else arrival_time
+        record = self.metrics.on_arrival(request, arrival)
         state = RequestState(request, record)
         self.states[request.request_id] = state
         self.trace_lifecycle(state, "queued", instant="arrival")

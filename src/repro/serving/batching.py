@@ -26,23 +26,35 @@ class DecodeBatchMixin(ServingSystem):
         """Account one decode iteration's tokens.
 
         Returns ``(finished, preempted)``: requests that completed their
-        output, and requests evicted because the KV pool could not grow.
+        output, and requests evicted because the KV pool could not grow —
+        or, under an armed preemption storm (:meth:`force_preempt`), the
+        whole batch.  A storm reuses the recompute-preemption path: evicted
+        requests keep their emitted tokens and TTFT and later re-prefill
+        their context plus partial output, so the fault costs time, never
+        correctness.
         """
+        storm = self._storm_pending
+        self._storm_pending = False
         finished: list[RequestState] = []
         preempted: list[RequestState] = []
         for state in batch:
             if state.finished:
                 continue
-            if not self.extend_output(instance, state, 1):
+            if storm or not self.extend_output(instance, state, 1):
                 preempted.append(state)
                 continue
             self.emit_tokens(state, 1)
             if state.generated >= state.request.output_tokens:
                 finished.append(state)
+        if storm:
+            self.storm_preemptions += len(preempted)
         for state in preempted:
             self.release_request(instance, state, keep_cached=False)
             state.first_token_emitted = True  # keep its TTFT; it resumes
             self.trace_lifecycle(
-                state, "queued", instant="preempted", args={"kind": "recompute"}
+                state,
+                "queued",
+                instant="preempted",
+                args={"kind": "storm" if storm else "recompute"},
             )
         return finished, preempted

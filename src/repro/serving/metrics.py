@@ -48,6 +48,9 @@ class RequestRecord:
     last_token: float | None = None
     tokens_emitted: int = 0
     token_gaps: list[float] = field(default_factory=list)
+    #: New (non-reused) tokens this request's prefill computed; remembered
+    #: so a record discarded after a replica failure can be un-counted.
+    prefilled_tokens: int = 0
 
     @property
     def finished(self) -> bool:
@@ -141,6 +144,7 @@ class MetricsCollector:
         record.first_token = time
         record.last_token = time
         record.tokens_emitted = 1
+        record.prefilled_tokens += new_tokens
         self._prefilled_tokens += new_tokens
         self._useful_input_tokens += request.input_tokens
         self._end_time = time if self._end_time is None else max(self._end_time, time)
@@ -155,6 +159,26 @@ class MetricsCollector:
         record.tokens_emitted += count
         record.last_token = time
         self._end_time = time if self._end_time is None else max(self._end_time, time)
+
+    def discard(self, request_id: int) -> RequestRecord | None:
+        """Forget an in-flight request whose replica died mid-serve.
+
+        Un-counts the record's prefilled/useful token contributions so the
+        collector reports only work this (now dead) replica actually
+        delivered; the partial decode tokens it emitted are returned with
+        the record so the fault layer can account them as wasted.  The
+        request is then re-recorded from scratch wherever the router
+        re-dispatches it — its TTFT is measured honestly against the
+        original arrival, not the retry.  Returns None for unknown ids
+        (e.g. a delivery that never reached the replica).
+        """
+        record = self.records.pop(request_id, None)
+        if record is None:
+            return None
+        if record.first_token is not None:
+            self._prefilled_tokens -= record.prefilled_tokens
+            self._useful_input_tokens -= record.request.input_tokens
+        return record
 
     # ------------------------------------------------------------------ #
     # Aggregation

@@ -1,10 +1,11 @@
 """Discrete-event simulation engine underlying the GPU and serving models."""
 
 from repro.sim.events import PRIORITY_EARLY, PRIORITY_LATE, PRIORITY_NORMAL, Event
-from repro.sim.simulator import SimulationError, Simulator
+from repro.sim.simulator import INHERIT_SCOPE, SimulationError, Simulator
 
 __all__ = [
     "Event",
+    "INHERIT_SCOPE",
     "PRIORITY_EARLY",
     "PRIORITY_LATE",
     "PRIORITY_NORMAL",

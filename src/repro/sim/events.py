@@ -36,6 +36,15 @@ class Event:
         owner: The simulator holding this event in its queue; notified on
             the first ``cancel()`` so it can keep an O(1) count of dead
             queue entries (and compact the heap when they pile up).
+        daemon: Housekeeping events (periodic health probes, autoscaler
+            samples) that must never keep a simulation alive on their own:
+            :meth:`Simulator.run` stops once only daemon events remain.
+        scope: Failure-domain tag.  Events scheduled while a scope is
+            active (see :meth:`Simulator.scope`) inherit it, as do events
+            scheduled from inside their callbacks, so an entire causal
+            cascade can be cancelled at once with
+            :meth:`Simulator.cancel_scope` — this is how a replica kill
+            silences every in-flight callback of the dead serving system.
     """
 
     time: float
@@ -44,6 +53,8 @@ class Event:
     callback: Callable[[], Any] | None = field(default=None, compare=False)
     cancelled: bool = field(default=False, compare=False)
     owner: Any = field(default=None, compare=False, repr=False)
+    daemon: bool = field(default=False, compare=False)
+    scope: str | None = field(default=None, compare=False)
 
     def cancel(self) -> None:
         """Mark the event so it is skipped when it reaches the queue head."""
@@ -51,7 +62,7 @@ class Event:
             return
         self.cancelled = True
         if self.owner is not None:
-            self.owner._note_cancelled()
+            self.owner._note_cancelled(self)
 
     def fire(self) -> None:
         """Invoke the callback unless cancelled."""

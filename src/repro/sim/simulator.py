@@ -5,6 +5,18 @@ decisions — runs on one :class:`Simulator`.  The simulator owns the virtual
 clock and an event heap; components schedule callbacks at future times and
 the main loop advances the clock from event to event.
 
+Two refinements support fault injection (:mod:`repro.faults`):
+
+* **Daemon events** — housekeeping callbacks (health probes, autoscaler
+  samples) marked ``daemon=True`` never keep a run alive: :meth:`run`
+  returns once only daemon events remain, so a periodic monitor cannot
+  spin a drained fleet forever.
+* **Event scopes** — events carry an optional failure-domain tag, inherited
+  both lexically (:meth:`scope`) and causally (events scheduled from a
+  scoped callback keep its scope).  :meth:`cancel_scope` then cancels an
+  entire cascade at once, which is how a replica kill silences the dead
+  system's in-flight device updates, host callbacks and completions.
+
 Example:
     >>> sim = Simulator()
     >>> fired = []
@@ -17,12 +29,19 @@ Example:
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Any, Callable
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from repro.sim.events import PRIORITY_NORMAL, Event
 
 if TYPE_CHECKING:
     from repro.trace.tracer import Tracer
+
+#: Sentinel: "inherit the currently active scope" (the default).  Pass
+#: ``scope=None`` explicitly to force an event into the global scope even
+#: when scheduled from inside a scoped callback (e.g. router retry timers
+#: that must survive the target replica's death).
+INHERIT_SCOPE: Any = object()
 
 
 class SimulationError(RuntimeError):
@@ -49,7 +68,9 @@ class Simulator:
         self._heap: list[Event] = []
         self._event_count = 0
         self._cancelled_count = 0
+        self._daemon_count = 0
         self._running = False
+        self._current_scope: str | None = None
         #: Optional tracing sink; components emit through ``sim.tracer``
         #: when it is attached and enabled (see :mod:`repro.trace`).
         self.tracer: Tracer | None = None
@@ -65,31 +86,64 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of non-cancelled events still queued."""
+        """Number of non-cancelled events still queued (daemons included)."""
         return len(self._heap) - self._cancelled_count
+
+    @property
+    def pending_productive(self) -> int:
+        """Non-cancelled, non-daemon events still queued.
+
+        This is the quantity :meth:`run` drains: when it reaches zero the
+        simulation is over even if daemon housekeeping remains scheduled.
+        """
+        return self.pending_events - self._daemon_count
 
     @property
     def processed_events(self) -> int:
         """Number of events fired so far (cancelled events excluded)."""
         return self._event_count
 
+    @property
+    def current_scope(self) -> str | None:
+        """Scope new events inherit right now (None = global)."""
+        return self._current_scope
+
+    @contextmanager
+    def scope(self, name: str | None) -> Iterator[None]:
+        """Run a block with ``name`` as the active event scope.
+
+        Events scheduled inside the block — and, transitively, from the
+        callbacks of those events — carry the scope and can all be
+        cancelled with :meth:`cancel_scope`.
+        """
+        previous = self._current_scope
+        self._current_scope = name
+        try:
+            yield
+        finally:
+            self._current_scope = previous
+
     def schedule(
         self,
         delay: float,
         callback: Callable[[], Any],
         priority: int = PRIORITY_NORMAL,
+        daemon: bool = False,
+        scope: str | None | Any = INHERIT_SCOPE,
     ) -> Event:
         """Schedule ``callback`` to fire ``delay`` seconds from now.
 
         Returns the :class:`Event`, which the caller may ``cancel()``.
         """
-        return self.schedule_at(self._now + delay, callback, priority)
+        return self.schedule_at(self._now + delay, callback, priority, daemon, scope)
 
     def schedule_at(
         self,
         time: float,
         callback: Callable[[], Any],
         priority: int = PRIORITY_NORMAL,
+        daemon: bool = False,
+        scope: str | None | Any = INHERIT_SCOPE,
     ) -> Event:
         """Schedule ``callback`` at absolute simulation ``time``."""
         if time < self._now - self.TIME_EPSILON:
@@ -97,10 +151,32 @@ class Simulator:
                 f"cannot schedule at {time:.9f}; clock is at {self._now:.9f}"
             )
         event = Event(
-            time=max(time, self._now), priority=priority, callback=callback, owner=self
+            time=max(time, self._now),
+            priority=priority,
+            callback=callback,
+            owner=self,
+            daemon=daemon,
+            scope=self._current_scope if scope is INHERIT_SCOPE else scope,
         )
         heapq.heappush(self._heap, event)
+        if daemon:
+            self._daemon_count += 1
         return event
+
+    def cancel_scope(self, name: str) -> int:
+        """Cancel every pending event tagged with scope ``name``.
+
+        Used by the fault layer to take a whole failure domain (one replica
+        and everything it scheduled) out of the simulation atomically.
+        Returns the number of events cancelled.
+        """
+        cancelled = 0
+        # Snapshot: cancelling may trigger a heap compaction mid-iteration.
+        for event in list(self._heap):
+            if event.scope == name and not event.cancelled:
+                event.cancel()
+                cancelled += 1
+        return cancelled
 
     def peek_time(self) -> float | None:
         """Time of the next non-cancelled event, or None if the queue is empty."""
@@ -114,18 +190,28 @@ class Simulator:
             return False
         event = heapq.heappop(self._heap)
         event.owner = None
+        if event.daemon:
+            self._daemon_count -= 1
         self._now = event.time
         self._event_count += 1
-        event.fire()
+        previous_scope = self._current_scope
+        self._current_scope = event.scope
+        try:
+            event.fire()
+        finally:
+            self._current_scope = previous_scope
         return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
-        """Run events until the queue drains, the clock passes ``until``,
-        or ``max_events`` have fired.
+        """Run events until the productive queue drains, the clock passes
+        ``until``, or ``max_events`` have fired.
 
-        When the run stops at ``until`` with events still pending, the clock
-        is left exactly at ``until``; if the queue drained earlier the clock
-        stays at the last event (no artificial idle time is appended).
+        Daemon events do not count as pending work: once only daemons
+        remain the run is over (they are left unfired in the queue).  When
+        the run stops at ``until`` with productive events still pending,
+        the clock is left exactly at ``until``; if the queue drained
+        earlier the clock stays at the last event (no artificial idle time
+        is appended).
         """
         if self._running:
             raise SimulationError("simulator is not re-entrant")
@@ -135,16 +221,16 @@ class Simulator:
             while True:
                 if max_events is not None and fired >= max_events:
                     break
-                next_time = self.peek_time()
-                if next_time is None:
+                if self.pending_productive <= 0:
                     break
+                next_time = self.peek_time()
                 if until is not None and next_time > until:
                     break
                 self.step()
                 fired += 1
         finally:
             self._running = False
-        if until is not None and self._now < until and self.peek_time() is not None:
+        if until is not None and self._now < until and self.pending_productive > 0:
             self._now = until
 
     def _drop_cancelled_head(self) -> None:
@@ -153,7 +239,7 @@ class Simulator:
             dropped.owner = None
             self._cancelled_count -= 1
 
-    def _note_cancelled(self) -> None:
+    def _note_cancelled(self, event: Event) -> None:
         """An event still in the queue was cancelled (called by Event).
 
         Keeps :attr:`pending_events` O(1) and compacts the heap once more
@@ -161,6 +247,8 @@ class Simulator:
         that cancel aggressively (e.g. the device's rolling update events).
         """
         self._cancelled_count += 1
+        if event.daemon:
+            self._daemon_count -= 1
         if (
             len(self._heap) >= self.COMPACT_MIN_SIZE
             and self._cancelled_count * 2 > len(self._heap)

@@ -44,6 +44,7 @@ CAT_CACHE = "cache"
 CAT_SCHED = "sched"
 CAT_BANDWIDTH = "bandwidth"
 CAT_ROUTER = "router"
+CAT_FAULT = "fault"
 
 
 @dataclass(slots=True)

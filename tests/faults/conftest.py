@@ -1,0 +1,29 @@
+"""Shared helpers for the fault-injection suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ChunkedPrefillServer
+from repro.cluster import Fleet, FleetConfig, HealthConfig
+from repro.faults import FaultInjector, FaultPlan
+from repro.sim import Simulator
+
+
+def chunked_factory(sim, cfg):
+    return ChunkedPrefillServer(sim, cfg, token_budget=256)
+
+
+@pytest.fixture
+def chaos_fleet(cfg_8b_single):
+    """Builder: (plan, fleet_cfg?) -> (sim, fleet, injector), armed."""
+
+    def build(plan: FaultPlan, fleet_cfg: FleetConfig | None = None):
+        sim = Simulator()
+        fleet_cfg = fleet_cfg or FleetConfig(replicas=2, health=HealthConfig())
+        fleet = Fleet(sim, chunked_factory, cfg_8b_single, fleet_cfg)
+        injector = FaultInjector(sim, fleet, plan)
+        injector.arm()
+        return sim, fleet, injector
+
+    return build

@@ -1,0 +1,79 @@
+"""Bounded termination: faulted runs must drain, never hang.
+
+Regression suite for the orphaned-in-flight hang: before daemon events
+and event scopes, a replica that died with requests in flight left their
+completion events queued forever, so ``sim.run()`` never returned and
+the fleet reported phantom in-flight work.
+"""
+
+from repro.cluster import Fleet, FleetConfig, HealthConfig
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.sim import Simulator
+from repro.workloads import sharegpt_workload
+
+from tests.faults.conftest import chunked_factory
+
+HORIZON = 3600.0
+
+
+def run_with(sim, fleet, workload):
+    fleet.submit(workload)
+    sim.run(until=workload.requests[-1].arrival_time + HORIZON)
+    return fleet.router.conservation()
+
+
+class TestBoundedTermination:
+    def test_kill_with_inflight_does_not_hang(self, chaos_fleet):
+        plan = FaultPlan(
+            specs=(FaultSpec(at=0.5, kind=FaultKind.REPLICA_KILL, target="r0", restart_after=1.0),)
+        )
+        sim, fleet, injector = chaos_fleet(plan, FleetConfig(replicas=2, health=HealthConfig()))
+        c = run_with(sim, fleet, sharegpt_workload(16, rate=32.0, seed=41))
+        assert injector.inflight_at_kill[0] > 0
+        # The run returned (we are here) with no productive work pending
+        # and no request stuck in a queue or on a dead replica.
+        assert sim.pending_productive == 0
+        assert sim.now < HORIZON  # drained long before the safety horizon
+        assert c["queued_now"] == c["held_now"] == c["inflight_now"] == 0
+
+    def test_kill_without_any_recovery_still_drains(self, cfg_8b_single):
+        # Worst case: sole replica dies, no restart, no autoscaler.  The
+        # router must classify the orphans as lost instead of waiting for
+        # events that will never fire.
+        plan = FaultPlan(
+            specs=(FaultSpec(at=0.5, kind=FaultKind.REPLICA_KILL, restart_after=None),)
+        )
+        sim = Simulator()
+        fleet = Fleet(
+            sim, chunked_factory, cfg_8b_single, FleetConfig(replicas=1, health=HealthConfig())
+        )
+        FaultInjector(sim, fleet, plan).arm()
+        c = run_with(sim, fleet, sharegpt_workload(8, rate=16.0, seed=42))
+        assert sim.pending_productive == 0
+        assert c["inflight_now"] == 0
+        assert c["lost"] > 0
+        assert c["arrivals"] == c["completed"] + c["dropped"] + c["shed"] + c["lost"]
+
+    def test_unbounded_stall_does_not_hang_run(self, chaos_fleet):
+        # A hung partition with no duration is only recoverable through the
+        # watchdog; detection + restart must bound the run.
+        plan = FaultPlan(
+            specs=(FaultSpec(at=0.5, kind=FaultKind.PARTITION_STALL, target="r0", duration=0.0),)
+        )
+        cfg = FleetConfig(
+            replicas=2, health=HealthConfig(interval=0.25, misses_to_fail=3, restart_after=0.5)
+        )
+        sim, fleet, _ = chaos_fleet(plan, cfg)
+        c = run_with(sim, fleet, sharegpt_workload(12, rate=24.0, seed=43))
+        assert fleet.failures == 1
+        assert sim.pending_productive == 0
+        assert c["arrivals"] == c["completed"] + c["dropped"] + c["shed"] + c["lost"]
+        assert c["lost"] == 0  # watchdog recovery re-dispatched everything
+
+    def test_health_ticks_never_keep_idle_sim_alive(self, chaos_fleet):
+        # With no work at all, health and autoscaler ticks are daemons: the
+        # run ends immediately at t=0 instead of probing forever.
+        sim, fleet, _ = chaos_fleet(FaultPlan())
+        sim.run(until=HORIZON)
+        assert sim.now == 0.0
+        assert sim.pending_productive == 0

@@ -1,0 +1,171 @@
+"""Replica-kill failover: re-dispatch, KV loss, honest TTFT, zero loss."""
+
+from repro.cluster import Fleet, FleetConfig, HealthConfig, RetryPolicy
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.serving.base import iter_instances
+from repro.sim import Simulator
+from repro.workloads import sharegpt_workload
+
+from tests.faults.conftest import chunked_factory
+
+RESTART = 1.0
+
+
+def kill_plan(at=1.0, target="r0", restart_after=RESTART):
+    return FaultPlan(
+        specs=(
+            FaultSpec(
+                at=at, kind=FaultKind.REPLICA_KILL, target=target, restart_after=restart_after
+            ),
+        )
+    )
+
+
+class TestKillRecovery:
+    def test_mid_run_kill_loses_zero_admitted_requests(self, chaos_fleet):
+        sim, fleet, injector = chaos_fleet(
+            kill_plan(), FleetConfig(replicas=4, health=HealthConfig())
+        )
+        workload = sharegpt_workload(32, rate=16.0, seed=21)
+        fleet.submit(workload)
+        sim.run(until=workload.requests[-1].arrival_time + 3600.0)
+        router = fleet.router
+        assert injector.inflight_at_kill[0] > 0  # the kill actually hit work
+        assert router.requests_lost == 0
+        assert router.requests_shed == 0
+        assert fleet.summarize().requests_finished == len(workload)
+        assert router.requests_retried >= injector.inflight_at_kill[0]
+
+    def test_kill_discards_dead_generation_kv_cache(self, chaos_fleet):
+        sim, fleet, _ = chaos_fleet(kill_plan(), FleetConfig(replicas=2, health=HealthConfig()))
+        workload = sharegpt_workload(16, rate=16.0, seed=22)
+        fleet.submit(workload)
+        old_system = fleet.replicas[0].system
+        old_cached = {}
+        sim.schedule_at(
+            0.99,
+            lambda: old_cached.update(
+                tokens=sum(
+                    inst.cache.pool.used_pages
+                    for inst in iter_instances(fleet.replicas[0].system)
+                )
+            ),
+        )
+        sim.run(until=workload.requests[-1].arrival_time + 3600.0)
+        replica = fleet.replicas[0]
+        assert replica.generation == 1
+        assert replica.system is not old_system
+        # The replacement started cold: no prefix was carried over.
+        assert old_cached["tokens"] > 0
+
+    def test_victim_ttft_spans_the_crash(self, chaos_fleet):
+        sim, fleet, injector = chaos_fleet(
+            kill_plan(), FleetConfig(replicas=1, health=HealthConfig())
+        )
+        workload = sharegpt_workload(6, rate=12.0, seed=23)
+        fleet.submit(workload)
+        sim.run(until=workload.requests[-1].arrival_time + 3600.0)
+        assert injector.inflight_at_kill[0] > 0
+        merged = fleet.summarize()
+        assert merged.requests_finished == len(workload)
+        # In a 1-replica fleet every in-flight victim waited out the
+        # restart, so the worst TTFT must span the outage — not be reset by
+        # the re-dispatch.
+        collectors = [*fleet._retired_collectors, fleet.replicas[0].system.metrics]
+        worst = max(t for c in collectors for t in c.ttft_values())
+        assert worst >= RESTART
+
+    def test_dead_replica_work_survives_in_fleet_summary(self, chaos_fleet):
+        sim, fleet, _ = chaos_fleet(kill_plan(at=2.0), FleetConfig(replicas=2, health=HealthConfig()))
+        workload = sharegpt_workload(20, rate=10.0, seed=24)
+        fleet.submit(workload)
+        finished_before_kill = {}
+        sim.schedule_at(
+            1.99,
+            lambda: finished_before_kill.update(
+                n=len(fleet.replicas[0].system.metrics.finished_records)
+            ),
+        )
+        sim.run(until=workload.requests[-1].arrival_time + 3600.0)
+        merged = fleet.summarize()
+        # Requests the dead generation completed before the crash are real
+        # delivered work and stay in the fleet totals via the retired
+        # collector.
+        assert merged.requests_finished == len(workload)
+        assert finished_before_kill["n"] > 0
+        assert len(fleet._retired_collectors) == 1
+
+
+class TestNoRecovery:
+    def test_kill_without_recovery_loses_inflight_honestly(self, cfg_8b_single):
+        sim = Simulator()
+        fleet = Fleet(
+            sim,
+            chunked_factory,
+            cfg_8b_single,
+            FleetConfig(replicas=1, health=HealthConfig()),
+        )
+        injector = FaultInjector(sim, fleet, kill_plan(restart_after=None))
+        injector.arm()
+        workload = sharegpt_workload(8, rate=8.0, seed=25)
+        fleet.submit(workload)
+        sim.run(until=3600.0)
+        router = fleet.router
+        # No restart, no autoscaler: everything admitted and unfinished is
+        # classified lost; nothing hangs, nothing is silently dropped.
+        assert sim.pending_productive == 0
+        assert router.requests_lost > 0
+        c = router.conservation()
+        assert c["arrivals"] == c["completed"] + c["dropped"] + c["shed"] + c["lost"]
+        assert c["queued_now"] == c["held_now"] == c["inflight_now"] == 0
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(initial_backoff=0.05, multiplier=2.0, max_backoff=0.3)
+        assert [policy.backoff(i) for i in range(5)] == [0.05, 0.1, 0.2, 0.3, 0.3]
+
+    def test_rejects_bad_values(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RetryPolicy(initial_backoff=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_backoff=0.01, initial_backoff=0.05)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_backoff_spacing_observed_in_simulation(self, cfg_8b_single):
+        policy = RetryPolicy(initial_backoff=0.1, multiplier=2.0, max_backoff=10.0, max_attempts=4)
+        plan = FaultPlan(
+            specs=(FaultSpec(at=0.0, kind=FaultKind.NETWORK_DROP, duration=0.0, magnitude=1.0),)
+        )
+        sim = Simulator()
+        fleet = Fleet(
+            sim,
+            chunked_factory,
+            cfg_8b_single,
+            FleetConfig(replicas=1, retry=policy, health=HealthConfig()),
+        )
+        FaultInjector(sim, fleet, plan).arm()
+        times = []
+        original = fleet.router._retry_delivery
+
+        def spy(request, attempt):
+            times.append(sim.now)
+            original(request, attempt)
+
+        fleet.router._retry_delivery = spy
+        workload = sharegpt_workload(1, rate=1.0, seed=26)
+        fleet.submit(workload)
+        sim.run(until=3600.0)
+        # Drops at attempts 0..3; the spy records each drop's time.  Gaps
+        # between consecutive retries follow the exponential schedule.
+        assert len(times) == 4
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        expected = [policy.backoff(i) + fleet.router.overhead for i in range(3)]
+        for gap, want in zip(gaps, expected):
+            assert abs(gap - want) < 1e-9
+        assert fleet.router.requests_lost == 1

@@ -1,0 +1,192 @@
+"""FaultInjector delivery: each fault kind lands where and when planned."""
+
+from repro.cluster import FleetConfig, HealthConfig
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.serving.base import iter_instances
+from repro.workloads import sharegpt_workload
+
+
+def devices(replica):
+    return [inst.device for inst in iter_instances(replica.system)]
+
+
+class TestDegrade:
+    def test_degrade_applies_and_recovers(self, chaos_fleet):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    at=1.0,
+                    kind=FaultKind.DEVICE_DEGRADE,
+                    target="r0",
+                    duration=2.0,
+                    magnitude=0.5,
+                ),
+            )
+        )
+        sim, fleet, injector = chaos_fleet(plan)
+        nominal = devices(fleet.replicas[0])[0].effective_bandwidth
+        seen = {}
+        sim.schedule(2.0, lambda: seen.update(mid=devices(fleet.replicas[0])[0].effective_bandwidth))
+        sim.schedule(4.0, lambda: seen.update(after=devices(fleet.replicas[0])[0].effective_bandwidth))
+        sim.run()
+        assert seen["mid"] == nominal * 0.5
+        assert seen["after"] == nominal
+        assert injector.by_kind["device-degrade"] == 1
+
+    def test_degrade_only_touches_target(self, chaos_fleet):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(at=1.0, kind=FaultKind.DEVICE_DEGRADE, target="r0", magnitude=0.5),
+            )
+        )
+        sim, fleet, _ = chaos_fleet(plan)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert all(d.degraded for d in devices(fleet.replicas[0]))
+        assert not any(d.degraded for d in devices(fleet.replicas[1]))
+
+
+class TestStall:
+    def test_bounded_stall_resolves_without_watchdog(self, chaos_fleet):
+        plan = FaultPlan(
+            specs=(FaultSpec(at=1.0, kind=FaultKind.PARTITION_STALL, target="r0", duration=0.3),)
+        )
+        # misses_to_fail high enough that the stall ends before detection.
+        cfg = FleetConfig(replicas=2, health=HealthConfig(interval=0.25, misses_to_fail=10))
+        sim, fleet, _ = chaos_fleet(plan, cfg)
+        seen = {}
+        sim.schedule(1.1, lambda: seen.update(mid=devices(fleet.replicas[0])[0].stalled))
+        sim.schedule(2.0, lambda: seen.update(after=devices(fleet.replicas[0])[0].stalled))
+        sim.run()
+        assert seen == {"mid": True, "after": False}
+        assert fleet.failures == 0
+
+    def test_watchdog_detects_hung_replica(self, chaos_fleet):
+        plan = FaultPlan(
+            specs=(FaultSpec(at=1.0, kind=FaultKind.PARTITION_STALL, target="r0", duration=0.0),)
+        )
+        cfg = FleetConfig(
+            replicas=2,
+            health=HealthConfig(interval=0.25, misses_to_fail=3, restart_after=1.0),
+        )
+        sim, fleet, injector = chaos_fleet(plan, cfg)
+        workload = sharegpt_workload(10, rate=10.0, seed=5)
+        fleet.submit(workload)
+        sim.run(until=workload.requests[-1].arrival_time + 3600.0)
+        assert fleet.failures == 1
+        assert fleet.restarts == 1
+        assert fleet.health.failures_detected == 1
+        # The hung generation is gone; the replacement serves normally.
+        assert not any(d.stalled for d in devices(fleet.replicas[0]))
+        assert fleet.replicas[0].generation == 1
+
+
+class TestNetwork:
+    def test_drop_window_forces_retries(self, chaos_fleet):
+        plan = FaultPlan(
+            specs=(FaultSpec(at=0.0, kind=FaultKind.NETWORK_DROP, duration=0.5, magnitude=1.0),)
+        )
+        sim, fleet, injector = chaos_fleet(plan)
+        workload = sharegpt_workload(4, rate=40.0, seed=6)
+        fleet.submit(workload)
+        sim.run(until=3600.0)
+        router = fleet.router
+        # Every delivery inside the window dropped; retries (with backoff
+        # past the window's end) eventually landed every request.
+        assert router.deliveries_dropped > 0
+        assert router.requests_retried >= router.deliveries_dropped
+        assert router.requests_completed + router.requests_dropped == router.arrivals
+        assert router.requests_lost == 0
+
+    def test_delay_window_postpones_delivery(self, chaos_fleet):
+        extra = 0.25
+        plan = FaultPlan(
+            specs=(FaultSpec(at=0.0, kind=FaultKind.NETWORK_DELAY, duration=10.0, magnitude=extra),)
+        )
+        sim, fleet, _ = chaos_fleet(plan)
+        workload = sharegpt_workload(3, rate=10.0, seed=7)
+        fleet.submit(workload)
+        sim.run(until=3600.0)
+        merged = fleet.summarize()
+        # Every TTFT carries at least the injected network delay.
+        assert merged.ttft_p50 >= extra
+
+    def test_exhausted_retries_lose_the_request(self, cfg_8b_single):
+        from repro.cluster import Fleet, RetryPolicy
+        from repro.sim import Simulator
+        from tests.faults.conftest import chunked_factory
+
+        plan = FaultPlan(
+            specs=(FaultSpec(at=0.0, kind=FaultKind.NETWORK_DROP, duration=0.0, magnitude=1.0),)
+        )
+        sim = Simulator()
+        fleet = Fleet(
+            sim,
+            chunked_factory,
+            cfg_8b_single,
+            FleetConfig(
+                replicas=1,
+                retry=RetryPolicy(initial_backoff=0.01, max_attempts=3),
+                health=HealthConfig(),
+            ),
+        )
+        injector = FaultInjector(sim, fleet, plan)
+        injector.arm()
+        workload = sharegpt_workload(1, rate=1.0, seed=8)
+        fleet.submit(workload)
+        sim.run(until=3600.0)
+        router = fleet.router
+        # attempts 0 and 1 drop and retry; attempt 2 would exceed the
+        # budget, so the request is declared lost — never silently stuck.
+        assert router.deliveries_dropped == 2
+        assert router.requests_lost == 1
+        assert sim.pending_productive == 0
+
+
+class TestStormAndResolution:
+    def test_storm_preempts_running_batch(self, chaos_fleet):
+        plan = FaultPlan(
+            specs=(FaultSpec(at=1.0, kind=FaultKind.PREEMPTION_STORM, target="r0"),)
+        )
+        cfg = FleetConfig(replicas=1, health=HealthConfig())
+        sim, fleet, injector = chaos_fleet(plan, cfg)
+        workload = sharegpt_workload(8, rate=40.0, seed=9)
+        fleet.submit(workload)
+        sim.run(until=workload.requests[-1].arrival_time + 3600.0)
+        system = fleet.replicas[0].system
+        assert system.storm_preemptions > 0
+        # A storm costs time, never requests.
+        assert fleet.summarize().requests_finished == len(workload)
+
+    def test_unresolvable_target_is_skipped(self, chaos_fleet):
+        plan = FaultPlan(
+            specs=(FaultSpec(at=1.0, kind=FaultKind.REPLICA_KILL, target="r9"),)
+        )
+        sim, fleet, injector = chaos_fleet(plan)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert injector.injected == 0
+        assert injector.skipped == 1
+        assert fleet.failures == 0
+
+    def test_seeded_victim_choice_is_reproducible(self, chaos_fleet):
+        plan = FaultPlan(
+            specs=(FaultSpec(at=1.0, kind=FaultKind.REPLICA_KILL, restart_after=None),),
+            seed=5,
+        )
+        names = []
+        for _ in range(2):
+            sim, fleet, _ = chaos_fleet(plan)
+            sim.schedule(2.0, lambda: None)
+            sim.run()
+            names.append([r.name for r in fleet.replicas if r.failed])
+        assert names[0] == names[1]
+        assert len(names[0]) == 1
+
+    def test_double_arm_rejected(self, chaos_fleet):
+        import pytest
+
+        plan = FaultPlan()
+        _, _, injector = chaos_fleet(plan)
+        with pytest.raises(RuntimeError):
+            injector.arm()

@@ -1,0 +1,78 @@
+"""FaultPlan construction, validation, ordering and serialisation."""
+
+import pytest
+
+from repro.faults import FaultKind, FaultPlan, FaultSpec, default_chaos_plan
+
+
+class TestFaultSpec:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            FaultSpec(at=-1.0, kind=FaultKind.REPLICA_KILL)
+        with pytest.raises(ValueError):
+            FaultSpec(at=0.0, kind=FaultKind.REPLICA_KILL, duration=-1.0)
+        with pytest.raises(ValueError):
+            FaultSpec(at=0.0, kind=FaultKind.REPLICA_KILL, restart_after=-2.0)
+        with pytest.raises(ValueError):
+            FaultSpec(at=0.0, kind=FaultKind.DEVICE_DEGRADE, magnitude=0.0)
+        with pytest.raises(ValueError):
+            FaultSpec(at=0.0, kind=FaultKind.DEVICE_DEGRADE, magnitude=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(at=0.0, kind=FaultKind.NETWORK_DROP, magnitude=1.01)
+        with pytest.raises(ValueError):
+            FaultSpec(at=0.0, kind=FaultKind.NETWORK_DELAY, magnitude=-0.1)
+
+    def test_accepts_string_kinds(self):
+        spec = FaultSpec(at=1.0, kind="replica-kill")
+        assert spec.kind is FaultKind.REPLICA_KILL
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultSpec(at=1.0, kind="meteor-strike")
+
+
+class TestFaultPlan:
+    def test_specs_sorted_by_time(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(at=5.0, kind=FaultKind.REPLICA_KILL),
+                FaultSpec(at=1.0, kind=FaultKind.PREEMPTION_STORM),
+                FaultSpec(at=3.0, kind=FaultKind.PARTITION_STALL, duration=1.0),
+            )
+        )
+        assert [s.at for s in plan] == [1.0, 3.0, 5.0]
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(at=1.0, kind=FaultKind.REPLICA_KILL, target="r1", restart_after=2.0),
+                FaultSpec(at=2.0, kind=FaultKind.NETWORK_DROP, duration=3.0, magnitude=0.25),
+            ),
+            seed=7,
+        )
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored == plan
+        assert restored.to_json() == plan.to_json()
+
+    def test_random_is_seed_deterministic(self):
+        a = FaultPlan.random(seed=3, horizon=60.0)
+        b = FaultPlan.random(seed=3, horizon=60.0)
+        c = FaultPlan.random(seed=4, horizon=60.0)
+        assert a == b
+        assert a != c
+
+    def test_random_respects_counts(self):
+        plan = FaultPlan.random(
+            seed=0,
+            horizon=30.0,
+            counts={FaultKind.REPLICA_KILL: 2, FaultKind.NETWORK_DROP: 1},
+        )
+        kinds = [s.kind for s in plan]
+        assert kinds.count(FaultKind.REPLICA_KILL) == 2
+        assert kinds.count(FaultKind.NETWORK_DROP) == 1
+        assert len(plan) == 3
+
+    def test_default_plan_covers_every_kind_once(self):
+        plan = default_chaos_plan(10.0)
+        assert sorted(s.kind.value for s in plan) == sorted(k.value for k in FaultKind)
+        assert all(0 < s.at < 10.0 for s in plan)

@@ -1,0 +1,86 @@
+"""Property: request conservation survives arbitrary fault plans.
+
+Whatever faults fire — kills with or without recovery, unbounded drop
+windows, hung partitions, storms — every admitted request must end in
+exactly one terminal bucket (completed / dropped / shed / lost), nothing
+may stay in flight after the drain, and the merged fleet summary must
+agree with the router's ledger.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ChunkedPrefillServer
+from repro.cluster import Fleet, FleetConfig, HealthConfig
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.gpu import A100
+from repro.models import LLAMA_8B
+from repro.serving.config import ServingConfig
+from repro.sim import Simulator
+from repro.workloads import sharegpt_workload
+
+CFG = ServingConfig(model=LLAMA_8B, spec=A100, n_gpus=1)
+
+
+@st.composite
+def fault_specs(draw):
+    kind = draw(st.sampled_from(sorted(FaultKind, key=lambda k: k.value)))
+    at = draw(st.floats(min_value=0.0, max_value=1.5, allow_nan=False))
+    duration = draw(st.sampled_from([0.0, 0.2, 0.5]))
+    if kind is FaultKind.DEVICE_DEGRADE:
+        magnitude = draw(st.sampled_from([0.25, 0.5, 1.0]))
+    elif kind is FaultKind.NETWORK_DROP:
+        magnitude = draw(st.sampled_from([0.0, 0.5, 1.0]))
+    elif kind is FaultKind.NETWORK_DELAY:
+        magnitude = draw(st.sampled_from([0.0, 0.01, 0.05]))
+    else:
+        magnitude = 0.5
+    return FaultSpec(
+        at=at,
+        kind=kind,
+        # "r9" never resolves: injector must skip it, not crash.
+        target=draw(st.sampled_from([None, "r0", "r1", "r9"])),
+        duration=duration,
+        restart_after=draw(st.sampled_from([None, 0.5])),
+        magnitude=magnitude,
+    )
+
+
+fault_plans = st.builds(
+    FaultPlan,
+    specs=st.lists(fault_specs(), max_size=4).map(tuple),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+
+
+class TestFaultConservation:
+    @given(plan=fault_plans)
+    @settings(max_examples=20, deadline=None)
+    def test_every_admitted_request_lands_in_one_bucket(self, plan):
+        sim = Simulator()
+        fleet = Fleet(
+            sim,
+            lambda s, c: ChunkedPrefillServer(s, c, token_budget=256),
+            CFG,
+            FleetConfig(
+                replicas=2,
+                health=HealthConfig(interval=0.25, misses_to_fail=3, restart_after=0.5),
+            ),
+        )
+        FaultInjector(sim, fleet, plan).arm()
+        workload = sharegpt_workload(8, rate=16.0, seed=51)
+        fleet.submit(workload)
+        sim.run(until=workload.requests[-1].arrival_time + 3600.0)
+
+        # Bounded termination under any plan.
+        assert sim.pending_productive == 0
+
+        c = fleet.router.conservation()
+        assert c["arrivals"] == len(workload)
+        assert c["arrivals"] == c["completed"] + c["dropped"] + c["shed"] + c["lost"]
+        assert c["queued_now"] == c["held_now"] == c["inflight_now"] == 0
+
+        # The merged fleet view (live + retired generations) agrees with the
+        # router's ledger: completions counted once, discards not at all.
+        merged = fleet.summarize()
+        assert merged.requests_finished == c["completed"]

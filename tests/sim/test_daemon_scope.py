@@ -1,0 +1,151 @@
+"""Daemon events and failure-domain scopes (the fault layer's substrate)."""
+
+import pytest
+
+from repro.sim import INHERIT_SCOPE, Simulator
+
+
+class TestDaemonEvents:
+    def test_run_stops_when_only_daemons_remain(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("work"))
+        sim.schedule(0.5, lambda: fired.append("daemon"), daemon=True)
+        sim.schedule(2.0, lambda: fired.append("late-daemon"), daemon=True)
+        sim.run()
+        # The early daemon fires (productive work was still pending); the
+        # late one never does — it alone cannot keep the run alive.
+        assert fired == ["daemon", "work"]
+        assert sim.now == 1.0
+        assert sim.pending_productive == 0
+        assert sim.pending_events == 1  # the unfired daemon stays queued
+
+    def test_self_rescheduling_daemon_terminates(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            sim.schedule(1.0, tick, daemon=True)
+
+        sim.schedule(1.0, tick, daemon=True)
+        sim.schedule(3.5, lambda: None)
+        sim.run()  # would never return if daemons counted as work
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_two_mutual_daemons_cannot_keep_each_other_alive(self):
+        # Regression for the drain-hang: two periodic monitors, each seeing
+        # the other's pending event, must not ping-pong forever.
+        sim = Simulator()
+        counts = {"a": 0, "b": 0}
+
+        def make(name):
+            def tick():
+                counts[name] += 1
+                sim.schedule(1.0, tick, daemon=True)
+
+            return tick
+
+        sim.schedule(1.0, make("a"), daemon=True)
+        sim.schedule(1.0, make("b"), daemon=True)
+        sim.run()
+        assert counts == {"a": 0, "b": 0}
+
+    def test_cancelling_daemon_keeps_counts_consistent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None, daemon=True)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_productive == 1
+        event.cancel()
+        assert sim.pending_productive == 1
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.now == 2.0
+
+    def test_run_until_does_not_advance_clock_for_daemons(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(5.0, lambda: None, daemon=True)
+        sim.run(until=10.0)
+        # Productive work ended at t=1; the pending daemon must not make
+        # the run report ten seconds of idle time.
+        assert sim.now == 1.0
+
+
+class TestScopes:
+    def test_lexical_inheritance(self):
+        sim = Simulator()
+        with sim.scope("replica/r0"):
+            event = sim.schedule(1.0, lambda: None)
+        assert event.scope == "replica/r0"
+        assert sim.schedule(1.0, lambda: None).scope is None
+
+    def test_causal_inheritance(self):
+        sim = Simulator()
+        scopes = []
+
+        def outer():
+            child = sim.schedule(1.0, lambda: None)
+            scopes.append(child.scope)
+
+        with sim.scope("replica/r1"):
+            sim.schedule(1.0, outer)
+        sim.run()
+        # The child was scheduled while r1's event fired: same scope.
+        assert scopes == ["replica/r1"]
+
+    def test_explicit_none_overrides_inheritance(self):
+        sim = Simulator()
+        scopes = []
+
+        def outer():
+            scopes.append(sim.schedule(1.0, lambda: None, scope=None).scope)
+            scopes.append(sim.schedule(1.0, lambda: None, scope=INHERIT_SCOPE).scope)
+            scopes.append(sim.schedule(1.0, lambda: None, scope="other").scope)
+
+        with sim.scope("replica/r2"):
+            sim.schedule(1.0, outer)
+        sim.run()
+        assert scopes == [None, "replica/r2", "other"]
+
+    def test_cancel_scope_kills_whole_cascade(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 5:
+                sim.schedule(1.0, lambda: chain(depth + 1))
+
+        with sim.scope("replica/r0"):
+            sim.schedule(1.0, lambda: chain(0))
+        sim.schedule(2.5, lambda: sim.cancel_scope("replica/r0"), scope=None)
+        sim.run()
+        # Kill lands at t=2.5: links at t=1 and t=2 fired, the rest died.
+        assert fired == [0, 1]
+
+    def test_cancel_scope_returns_count_and_spares_other_scopes(self):
+        sim = Simulator()
+        with sim.scope("a"):
+            sim.schedule(1.0, lambda: None)
+            sim.schedule(2.0, lambda: None)
+        with sim.scope("b"):
+            survivor = sim.schedule(1.0, lambda: None)
+        assert sim.cancel_scope("a") == 2
+        assert sim.cancel_scope("a") == 0  # idempotent
+        assert not survivor.cancelled
+        assert sim.pending_productive == 1
+
+    def test_scope_restored_after_event_fires(self):
+        sim = Simulator()
+        with sim.scope("replica/r0"):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.current_scope is None
+
+    def test_exception_in_scoped_block_restores_scope(self):
+        sim = Simulator()
+        with pytest.raises(RuntimeError):
+            with sim.scope("x"):
+                raise RuntimeError("boom")
+        assert sim.current_scope is None
