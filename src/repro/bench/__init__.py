@@ -10,6 +10,7 @@ from repro.bench.fleet import (
     run_fleet,
 )
 from repro.bench.goodput import GoodputResult, RatePoint, goodput_ratio, goodput_sweep
+from repro.bench.perf import SCENARIOS, PerfReport, ScenarioTiming, run_perf
 from repro.bench.runner import DRAIN_HORIZON, MAX_EVENTS, STABILITY_TTFT, RunResult, run_system
 from repro.bench.report import latency_table, series, tail_latency_table, throughput_table
 
@@ -19,9 +20,12 @@ __all__ = [
     "FleetRunResult",
     "GoodputResult",
     "MAX_EVENTS",
+    "PerfReport",
     "RatePoint",
     "RunResult",
+    "SCENARIOS",
     "STABILITY_TTFT",
+    "ScenarioTiming",
     "bar_chart",
     "cdf_chart",
     "compare_policies",
@@ -34,6 +38,7 @@ __all__ = [
     "replica_scaling",
     "run_chaos",
     "run_fleet",
+    "run_perf",
     "run_system",
     "series",
     "tail_latency_table",

@@ -132,6 +132,7 @@ def run_chaos(
     extras: dict[str, float] = {
         "requests_queued": float(cluster.router.requests_queued),
         "events_processed": float(sim.processed_events),
+        "peak_event_queue": float(sim.max_event_queue),
     }
     if cluster.autoscaler is not None:
         extras["scale_ups"] = float(cluster.autoscaler.scale_ups)

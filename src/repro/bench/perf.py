@@ -1,0 +1,271 @@
+"""Wall-clock performance harness for the simulator itself.
+
+Every experiment in this repository is bounded by how fast the
+discrete-event core executes, so the simulator's own throughput is a
+first-class benchmark: :func:`run_perf` times a set of canonical scenarios
+(a single-system goodput run, a 4-replica fleet, a chaos run with fault
+injection) and reports events/sec, peak event-queue size and wall-clock
+per scenario.
+
+Two kinds of numbers come out, with very different stability contracts:
+
+* **Fingerprints** — a SHA-256 digest of each scenario's *simulation
+  results* (summaries, utilisations, conservation ledgers, event counts,
+  queue high-water marks).  These are byte-stable across runs and across
+  optimisation work: the whole point of the perf effort is that making
+  the core faster must not change what it computes.  The CI ``perf-smoke``
+  job runs the harness twice and diffs the fingerprints.
+* **Timings** — wall-clock seconds and derived events/sec.  These vary
+  with the machine; the committed ``BENCH_perf.json`` baseline is compared
+  with a generous regression threshold (default 2x) rather than exactly.
+
+Request/segment ids are process-global counters, so fingerprints never
+include raw ids — only id-free aggregates, which are invariant under the
+id offsets two scenarios in one process produce.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.baselines import ChunkedPrefillServer
+from repro.bench.chaos import run_chaos
+from repro.bench.fleet import run_fleet
+from repro.bench.runner import run_system
+from repro.cluster import FleetConfig, HealthConfig
+from repro.gpu.specs import A100
+from repro.models.config import LLAMA_8B
+from repro.serving.config import ServingConfig
+from repro.workloads import sharegpt_workload
+
+#: Schema version of BENCH_perf.json; bump on incompatible layout changes.
+SCHEMA_VERSION = 1
+
+
+def _jsonable(value):
+    """Recursively map NaN/inf floats to None (strict-JSON safe)."""
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def _digest(payload) -> str:
+    """Canonical SHA-256 over a JSON-able result payload."""
+    canon = json.dumps(_jsonable(payload), sort_keys=True, allow_nan=False)
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+def _default_config() -> ServingConfig:
+    return ServingConfig(model=LLAMA_8B, spec=A100, n_gpus=1)
+
+
+def _factory(sim, cfg):
+    return ChunkedPrefillServer(sim, cfg, token_budget=256)
+
+
+# --------------------------------------------------------------------- #
+# Scenarios
+# --------------------------------------------------------------------- #
+
+
+def _scenario_single(scale: float):
+    """One ServingSystem under a goodput-style load (the Fig. 15 shape)."""
+    cfg = _default_config()
+    workload = sharegpt_workload(max(8, int(200 * scale)), rate=6.0, seed=13)
+    result = run_system(_factory, cfg, workload)
+    payload = {
+        "summary": result.summary.as_dict(),
+        "cache_hit_rate": result.cache_hit_rate,
+        "sm_utilization": result.sm_utilization,
+        "bandwidth_utilization": result.bandwidth_utilization,
+        "extras": result.extras,
+    }
+    return payload, result.extras
+
+
+def _scenario_fleet(scale: float):
+    """The acceptance scenario: a 4-replica fleet behind prefix-affinity."""
+    cfg = _default_config()
+    workload = sharegpt_workload(max(16, int(800 * scale)), rate=12.0, seed=13)
+    result = run_fleet(
+        _factory, cfg, workload, FleetConfig(replicas=4, policy="prefix-affinity")
+    )
+    payload = {
+        "summary": result.summary.as_dict(),
+        "per_replica": {n: s.as_dict() for n, s in sorted(result.per_replica.items())},
+        "cache_hit_rate": result.cache_hit_rate,
+        "sm_utilization": result.sm_utilization,
+        "bandwidth_utilization": result.bandwidth_utilization,
+        "requests_shed": result.requests_shed,
+        "router_decisions": result.router_decisions,
+        "extras": result.extras,
+    }
+    return payload, result.extras
+
+
+def _scenario_chaos(scale: float):
+    """A faulted 4-replica fleet; fingerprints the full chaos report."""
+    cfg = _default_config()
+    workload = sharegpt_workload(max(8, int(150 * scale)), rate=8.0, seed=0)
+    result = run_chaos(
+        _factory,
+        cfg,
+        workload,
+        fleet=FleetConfig(replicas=4, policy="round-robin", health=HealthConfig()),
+    )
+    # The chaos report *bytes* are the replay contract — digest them whole.
+    payload = {"report": result.to_json()}
+    return payload, result.extras
+
+
+SCENARIOS: dict[str, Callable] = {
+    "single_goodput": _scenario_single,
+    "fleet_4_replicas": _scenario_fleet,
+    "chaos_4_replicas": _scenario_chaos,
+}
+
+
+# --------------------------------------------------------------------- #
+# Results
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class ScenarioTiming:
+    """One timed scenario: deterministic fingerprint + machine timings."""
+
+    name: str
+    fingerprint: str
+    events: int
+    peak_event_queue: int
+    wall_s: float
+
+    @property
+    def events_per_sec(self) -> float:
+        """Simulator throughput in events per wall-clock second."""
+        if self.wall_s <= 0:
+            return 0.0
+        return self.events / self.wall_s
+
+
+@dataclass
+class PerfReport:
+    """Outcome of one harness invocation."""
+
+    scenarios: dict[str, ScenarioTiming] = field(default_factory=dict)
+    scale: float = 1.0
+
+    def fingerprints(self) -> dict[str, dict]:
+        """The deterministic view: identical bytes for identical results."""
+        return {
+            name: {
+                "fingerprint": s.fingerprint,
+                "events": s.events,
+                "peak_event_queue": s.peak_event_queue,
+            }
+            for name, s in sorted(self.scenarios.items())
+        }
+
+    def fingerprint_json(self) -> str:
+        """Deterministic JSON of :meth:`fingerprints` (the CI diff target)."""
+        return json.dumps(
+            {"schema": SCHEMA_VERSION, "scale": self.scale, "results": self.fingerprints()},
+            sort_keys=True,
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        """Full report: fingerprints plus machine-dependent timings."""
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "scale": self.scale,
+            "results": self.fingerprints(),
+            "timings": {
+                name: {
+                    "wall_s": round(s.wall_s, 4),
+                    "events_per_sec": round(s.events_per_sec, 1),
+                }
+                for name, s in sorted(self.scenarios.items())
+            },
+        }
+        return json.dumps(payload, sort_keys=True, indent=indent) + "\n"
+
+    def compare_results(self, baseline: dict) -> list[str]:
+        """Fingerprint mismatches against a parsed baseline report."""
+        problems = []
+        ours = self.fingerprints()
+        for name, theirs in sorted(baseline.get("results", {}).items()):
+            mine = ours.get(name)
+            if mine is None:
+                problems.append(f"{name}: scenario missing from this run")
+            elif mine != theirs:
+                problems.append(f"{name}: result fingerprint changed: {theirs} -> {mine}")
+        return problems
+
+    def compare_timings(self, baseline: dict, max_regression: float) -> list[str]:
+        """Wall-clock regressions beyond ``max_regression``x the baseline."""
+        problems = []
+        for name, theirs in sorted(baseline.get("timings", {}).items()):
+            mine = self.scenarios.get(name)
+            base_wall = theirs.get("wall_s", 0.0)
+            if mine is None or base_wall <= 0:
+                continue
+            if mine.wall_s > base_wall * max_regression:
+                problems.append(
+                    f"{name}: wall-clock {mine.wall_s:.2f}s exceeds "
+                    f"{max_regression:.1f}x baseline {base_wall:.2f}s"
+                )
+        return problems
+
+
+def run_perf(
+    scenarios: list[str] | None = None,
+    scale: float = 1.0,
+    repeats: int = 1,
+) -> PerfReport:
+    """Time the canonical scenarios and fingerprint their results.
+
+    ``scale`` shrinks or grows every scenario's workload (CI smoke uses a
+    small scale); ``repeats`` re-runs each scenario and keeps the fastest
+    wall-clock (fingerprints must agree across repeats — a mismatch means
+    the simulation is non-deterministic, which is itself a bug).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    names = list(SCENARIOS) if scenarios is None else scenarios
+    report = PerfReport(scale=scale)
+    for name in names:
+        try:
+            scenario = SCENARIOS[name]
+        except KeyError:
+            raise ValueError(f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}")
+        best: ScenarioTiming | None = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            payload, extras = scenario(scale)
+            wall = time.perf_counter() - start
+            timing = ScenarioTiming(
+                name=name,
+                fingerprint=_digest(payload),
+                events=int(extras.get("events_processed", 0)),
+                peak_event_queue=int(extras.get("peak_event_queue", 0)),
+                wall_s=wall,
+            )
+            if best is not None and best.fingerprint != timing.fingerprint:
+                raise RuntimeError(
+                    f"scenario {name!r} is non-deterministic across repeats: "
+                    f"{best.fingerprint} != {timing.fingerprint}"
+                )
+            if best is None or timing.wall_s < best.wall_s:
+                best = timing
+        assert best is not None
+        report.scenarios[name] = best
+    return report

@@ -81,12 +81,15 @@ def run_system(
     last_arrival = workload.requests[-1].arrival_time if len(workload) else 0.0
     sim.run(until=last_arrival + drain_horizon, max_events=MAX_EVENTS)
     summary = system.metrics.summarize()
+    extras = _extras(system)
+    extras["events_processed"] = float(sim.processed_events)
+    extras["peak_event_queue"] = float(sim.max_event_queue)
     return RunResult(
         summary=summary,
         cache_hit_rate=_cache_hit_rate(system),
         sm_utilization=_sm_utilization(system),
         bandwidth_utilization=_bw_utilization(system),
-        extras=_extras(system),
+        extras=extras,
         stability_ttft=stability_ttft,
     )
 

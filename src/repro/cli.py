@@ -7,6 +7,7 @@ Subcommands::
     python -m repro goodput    --system muxwise --workload toolagent --rates 0.5,1,2
     python -m repro cluster    --replicas 4 --policy prefix-affinity --rate 4.0
     python -m repro chaos      --replicas 4 --seed 0   # fault-injection run
+    python -m repro perf       --output BENCH_perf.json   # simulator benchmark
     python -m repro table1     # Table-1 statistics of the generated traces
     python -m repro specs      # supported models and GPUs
 
@@ -17,6 +18,7 @@ deployment (defaults: Llama-70B on 8xA100, the paper's main testbed).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.baselines import (
@@ -309,6 +311,62 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    """Benchmark the simulator core on the canonical scenarios.
+
+    Prints a per-scenario table (events/sec, peak queue, wall-clock) and
+    optionally writes the full ``BENCH_perf.json``.  ``--fingerprint``
+    prints only the deterministic result digests — the CI ``perf-smoke``
+    job runs the harness twice and diffs exactly that output.  With
+    ``--baseline`` the run fails when any result fingerprint differs from
+    the committed report or wall-clock regresses beyond
+    ``--max-regression`` times the baseline.
+    """
+    from repro.bench.perf import SCENARIOS, run_perf
+
+    names = args.scenarios.split(",") if args.scenarios else None
+    if names is not None:
+        for name in names:
+            if name not in SCENARIOS:
+                raise SystemExit(f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}")
+    report = run_perf(scenarios=names, scale=args.scale, repeats=args.repeats)
+    if args.fingerprint:
+        print(report.fingerprint_json())
+    else:
+        print(f"{'scenario':<20} {'events':>10} {'peak queue':>10} {'wall (s)':>9} {'events/s':>12}")
+        for name, s in sorted(report.scenarios.items()):
+            print(
+                f"{name:<20} {s.events:>10} {s.peak_event_queue:>10} "
+                f"{s.wall_s:>9.3f} {s.events_per_sec:>12.0f}"
+            )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        if not args.fingerprint:
+            print(f"\nreport written to {args.output}")
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        if baseline.get("scale") != report.scale:
+            print(
+                f"perf regression: scale mismatch: baseline ran at "
+                f"--scale {baseline.get('scale')}, this run at --scale "
+                f"{report.scale} (fingerprints are only comparable at the "
+                "same scale)",
+                file=sys.stderr,
+            )
+            return 1
+        problems = report.compare_results(baseline)
+        problems += report.compare_timings(baseline, args.max_regression)
+        for problem in problems:
+            print(f"perf regression: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"ok: results match {args.baseline}, wall-clock within "
+              f"{args.max_regression:.1f}x", file=sys.stderr)
+    return 0
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     seed = args.seed
     workloads = [
@@ -432,6 +490,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="record an event trace; .json for chrome://tracing, .jsonl for a flat log",
     )
     chaos_p.set_defaults(func=cmd_chaos)
+
+    perf_p = sub.add_parser("perf", help="benchmark the simulator core (BENCH_perf.json)")
+    perf_p.add_argument(
+        "--scenarios", default=None, help="comma-separated scenario names (default: all)"
+    )
+    perf_p.add_argument(
+        "--scale", type=float, default=1.0, help="workload scale factor for every scenario"
+    )
+    perf_p.add_argument(
+        "--repeats", type=int, default=1, help="runs per scenario; fastest wall-clock is kept"
+    )
+    perf_p.add_argument("--output", default=None, metavar="PATH", help="write BENCH_perf.json here")
+    perf_p.add_argument(
+        "--fingerprint",
+        action="store_true",
+        help="print only the deterministic result fingerprints (for byte-diffing)",
+    )
+    perf_p.add_argument(
+        "--baseline", default=None, metavar="PATH", help="compare against a committed BENCH_perf.json"
+    )
+    perf_p.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail when wall-clock exceeds this factor of the baseline",
+    )
+    perf_p.set_defaults(func=cmd_perf)
 
     t1_p = sub.add_parser("table1", help="print Table-1 stats of the traces")
     t1_p.add_argument("--seed", type=int, default=0)

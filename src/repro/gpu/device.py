@@ -42,6 +42,12 @@ class OutOfMemoryError(RuntimeError):
     """Raised when a device memory allocation exceeds capacity."""
 
 
+#: Memo for :func:`_config_ripple` — a pure function of its (rounded) SM
+#: pair, and partition configurations recur constantly, so the hash mix
+#: runs once per distinct pair per process.
+_ripple_cache: dict[tuple[int, int], float] = {}
+
+
 def _config_ripple(own_sms: float, other_sms: float) -> float:
     """Deterministic irregular multiplier in [0.6, 1.4] per partition pair.
 
@@ -51,11 +57,17 @@ def _config_ripple(own_sms: float, other_sms: float) -> float:
     """
     a = int(round(own_sms)) & 0xFFFFFFFF
     b = int(round(other_sms)) & 0xFFFFFFFF
+    key = (a, b)
+    cached = _ripple_cache.get(key)
+    if cached is not None:
+        return cached
     mixed = (a * 2654435761 + b * 40503 + 12345) & 0xFFFFFFFF
     mixed ^= mixed >> 13
     mixed = (mixed * 1274126177) & 0xFFFFFFFF
     unit = (mixed % 10007) / 10006.0
-    return 0.6 + 0.8 * unit
+    result = 0.6 + 0.8 * unit
+    _ripple_cache[key] = result
+    return result
 
 
 @dataclass
@@ -141,14 +153,43 @@ def waterfill(demands: list[float], capacity: float) -> list[float]:
     Demands may be ``math.inf`` (task wants as much as possible).  Returns
     one allocation per demand; allocations never exceed the demand and sum
     to at most ``capacity``.
+
+    The fast paths below are *bit-exact* shortcuts of the round-based
+    algorithm, not approximations — the simulator's results must not depend
+    on which branch ran.  In particular the under-demand path requires a
+    1.0 byte/s margin: exactly at ``sum == capacity`` the rounds could
+    leave a final task rate-limited to its share, and near it, float
+    summation order could differ from the rounds' subtraction order.
     """
     n = len(demands)
+    if n == 1:
+        # One demand: round 1 gives it min(demand, capacity) exactly.
+        d = demands[0]
+        if d <= _EPS or capacity <= _EPS:
+            return [0.0]
+        return [d] if d <= capacity + _EPS else [capacity]
     alloc = [0.0] * n
+    if capacity <= _EPS:
+        return alloc
+    total = 0.0
+    for d in demands:
+        total += d
+    if total <= capacity - 1.0:
+        # All demands finite (an inf makes the sum inf) and comfortably
+        # under capacity: every round caps at least one task at exactly
+        # its demand, so the outcome is each task getting its demand.
+        return [d if d > _EPS else 0.0 for d in demands]
     unsatisfied = [i for i in range(n) if demands[i] > _EPS]
     remaining = capacity
     while unsatisfied and remaining > _EPS:
         share = remaining / len(unsatisfied)
-        capped = [i for i in unsatisfied if demands[i] <= share + _EPS]
+        capped = []
+        still = []
+        for i in unsatisfied:
+            if demands[i] <= share + _EPS:
+                capped.append(i)
+            else:
+                still.append(i)
         if not capped:
             for i in unsatisfied:
                 alloc[i] = share
@@ -156,7 +197,7 @@ def waterfill(demands: list[float], capacity: float) -> list[float]:
         for i in capped:
             alloc[i] = demands[i]
             remaining -= demands[i]
-        unsatisfied = [i for i in unsatisfied if i not in set(capped)]
+        unsatisfied = still
     return alloc
 
 
@@ -187,14 +228,34 @@ class Device:
         self._active: list[ExecTask] = []
         self._last_advance = sim.now
         self._update_event: Event | None = None
+        #: SM-seconds accrual rate of the *current* active set (occupied
+        #: SMs x oversubscription scale).  Recomputed whenever the active
+        #: set or a task's compute phase changes — i.e. in
+        #: :meth:`_reallocate` / :meth:`_reschedule`, which every mutation
+        #: path runs after :meth:`_advance_to_now` — so the advance itself
+        #: is O(active) without re-summing occupancy.
+        self._sm_occupancy = 0.0
+        # Single-entry interference-factor cache.  A task's sm_count never
+        # changes after submit, so the factors depend only on the identity
+        # and order of the active set; reallocation events that leave the
+        # set unchanged (the common case: a pure bandwidth phase change)
+        # skip the O(n^2) ripple recompute.
+        self._factors_key: tuple[int, ...] = ()
+        self._factors: list[float] = []
 
         # Memory accounting (one shared space across the group).
         self.mem_capacity = spec.mem_bytes * n_gpus
         self.mem_allocated = 0.0
 
-        # Utilisation accounting.
+        # Utilisation accounting.  Both integrals are piecewise: the SM
+        # numerator uses the occupancy in effect during each interval
+        # (tasks whose compute dimension finished hold no SMs during their
+        # memory tail), and the bandwidth denominator integrates the
+        # capacity that was actually available — a device degraded
+        # mid-window must never report >100 % utilisation.
         self._sm_seconds = 0.0
         self._bw_bytes_served = 0.0
+        self._bw_capacity_seconds = 0.0
         self._accounting_start = sim.now
 
     # ------------------------------------------------------------------ #
@@ -300,10 +361,15 @@ class Device:
     # ------------------------------------------------------------------ #
 
     def submit(self, task: ExecTask) -> ExecTask:
-        """Begin executing ``task`` now; its callback fires on completion."""
+        """Begin executing ``task`` now; its callback fires on completion.
+
+        Zero-work tasks normally complete immediately, but never on a
+        stalled device: a hung partition must not emit completions, so
+        they join the active set and retire when the stall clears.
+        """
         self._advance_to_now()
         task.start_time = self.sim.now
-        if task.flops <= _EPS and task.bytes <= _EPS:
+        if not self._stalled and task.flops <= _EPS and task.bytes <= _EPS:
             self._finish_task(task)
             return task
         self._active.append(task)
@@ -343,18 +409,56 @@ class Device:
         return max(0.3, 1.0 - loss)
 
     def _reallocate(self) -> None:
+        if len(self._active) == 1 and not self._stalled:
+            # Fast path for the dominant case (one fused step in flight):
+            # the interference factor of a lone task is exactly 1.0 and
+            # waterfill of one demand is min(demand, capacity), so this is
+            # a bit-exact shortcut of the general path below.
+            task = self._active[0]
+            sm = task.sm_count
+            scale = 1.0 if sm <= self.total_sms else self.total_sms / sm
+            self._sm_occupancy = (
+                sm * scale if task.rem_flops > task._flops_floor else 0.0
+            )
+            rate = self.compute_rate(sm) * scale
+            task.compute_rate = rate
+            demand = task.bandwidth_demand(rate)
+            if math.isfinite(demand) and demand > task.max_bandwidth:
+                demand = task.max_bandwidth
+            cap = self.effective_bandwidth
+            if demand <= _EPS or cap <= _EPS:
+                task.bw_rate = 0.0
+            elif demand <= cap + _EPS:
+                task.bw_rate = demand
+            else:
+                task.bw_rate = cap
+            tracer = self.sim.tracer
+            if tracer is None or not tracer.enabled:
+                return
+            self._trace_bandwidth()
+            return
+        scale = self._compute_scale()
+        self._sm_occupancy = (
+            sum(t.sm_count for t in self._active if not t.flops_done) * scale
+        )
         if self._stalled:
             # A hung device makes no progress on any dimension; with all
             # rates zero _next_phase_change returns inf and no update event
             # is scheduled, so the device goes silent until unstalled.
+            # (Hung tasks still *hold* their SMs — occupancy stays up.)
             for task in self._active:
                 task.compute_rate = 0.0
                 task.bw_rate = 0.0
             return
-        scale = self._compute_scale()
         for task in self._active:
             task.compute_rate = self.compute_rate(task.sm_count) * scale
-        factors = [self._interference_factor(t) for t in self._active]
+        key = tuple(t.task_id for t in self._active)
+        if key == self._factors_key:
+            factors = self._factors
+        else:
+            factors = [self._interference_factor(t) for t in self._active]
+            self._factors_key = key
+            self._factors = factors
         demands = []
         for task, factor in zip(self._active, factors):
             demand = task.bandwidth_demand(task.compute_rate)
@@ -367,56 +471,109 @@ class Device:
             task.bw_rate = alloc * factor
         tracer = self.sim.tracer
         if tracer is not None and tracer.enabled:
-            used = sum(t.bw_rate for t in self._active)
-            tracer.counter(
-                f"gpu/{self.name}",
-                "hbm-bandwidth",
-                self.sim.now,
-                {
-                    "allocated": used,
-                    "idle": max(0.0, self.effective_bandwidth - used),
-                },
-                cat=CAT_BANDWIDTH,
-            )
+            self._trace_bandwidth()
+
+    def _trace_bandwidth(self) -> None:
+        used = sum(t.bw_rate for t in self._active)
+        self.sim.tracer.counter(
+            f"gpu/{self.name}",
+            "hbm-bandwidth",
+            self.sim.now,
+            {
+                "allocated": used,
+                "idle": max(0.0, self.effective_bandwidth - used),
+            },
+            cat=CAT_BANDWIDTH,
+        )
 
     def _next_phase_change(self) -> float:
         """Seconds until any active task finishes a dimension."""
         horizon = math.inf
         for task in self._active:
-            if not task.flops_done and task.compute_rate > _EPS:
-                horizon = min(horizon, task.rem_flops / task.compute_rate)
-            if not task.bytes_done and task.bw_rate > _EPS:
-                horizon = min(horizon, task.rem_bytes / task.bw_rate)
+            if task.rem_flops > task._flops_floor and task.compute_rate > _EPS:
+                t = task.rem_flops / task.compute_rate
+                if t < horizon:
+                    horizon = t
+            if task.rem_bytes > task._bytes_floor and task.bw_rate > _EPS:
+                t = task.rem_bytes / task.bw_rate
+                if t < horizon:
+                    horizon = t
         return horizon
 
     def _advance_to_now(self) -> None:
-        dt = self.sim.now - self._last_advance
+        now = self.sim.now
+        dt = now - self._last_advance
         if dt <= 0:
-            self._last_advance = self.sim.now
+            self._last_advance = now
             return
-        for task in self._active:
-            done_flops = min(task.rem_flops, task.compute_rate * dt)
-            done_bytes = min(task.rem_bytes, task.bw_rate * dt)
-            task.rem_flops -= done_flops
-            task.rem_bytes -= done_bytes
-            if task.flops_done:
-                task.rem_flops = 0.0
-            if task.bytes_done:
-                task.rem_bytes = 0.0
-            self._bw_bytes_served += done_bytes
-            self._sm_seconds += task.sm_count * dt * self._compute_scale()
-        self._last_advance = self.sim.now
+        # Rates and occupancy are constant over [last_advance, now): every
+        # mutation (submit, stall, degradation, phase change) advances the
+        # clock first, so integrating with the *start-of-interval* state is
+        # exact.  Tasks whose compute dimension already finished stream
+        # their memory tail without holding SMs; ``_sm_occupancy`` carries
+        # that occupied-SMs-x-scale product between reallocations.
+        self._bw_capacity_seconds += self.effective_bandwidth * dt
+        if self._active:
+            self._sm_seconds += self._sm_occupancy * dt
+            served = self._bw_bytes_served
+            compute_transition = False
+            for task in self._active:
+                done_flops = task.compute_rate * dt
+                if done_flops > task.rem_flops:
+                    done_flops = task.rem_flops
+                done_bytes = task.bw_rate * dt
+                if done_bytes > task.rem_bytes:
+                    done_bytes = task.rem_bytes
+                floor = task._flops_floor
+                was_running = task.rem_flops > floor
+                task.rem_flops -= done_flops
+                task.rem_bytes -= done_bytes
+                if task.rem_flops <= floor:
+                    task.rem_flops = 0.0
+                    if was_running:
+                        compute_transition = True
+                if task.rem_bytes <= task._bytes_floor:
+                    task.rem_bytes = 0.0
+                served += done_bytes
+            self._bw_bytes_served = served
+            if compute_transition:
+                # A compute dimension crossed its floor mid-advance (the
+                # caller may not reallocate, e.g. a utilisation probe):
+                # refresh the occupancy rate for the next interval.
+                self._sm_occupancy = (
+                    sum(t.sm_count for t in self._active if not t.flops_done)
+                    * self._compute_scale()
+                )
+        self._last_advance = now
 
     def _reschedule(self) -> None:
         if self._update_event is not None:
             self._update_event.cancel()
             self._update_event = None
-        # Retire tasks whose dimensions are both complete.
-        finished = [t for t in self._active if t.flops_done and t.bytes_done]
-        for task in finished:
-            self._active.remove(task)
-            self._finish_task(task)
+        if self._stalled:
+            # A hung device neither progresses nor completes anything —
+            # even tasks whose dimensions are already done stay queued
+            # behind the stall and retire when it clears.
+            self._reallocate()
+            return
+        # Retire tasks whose dimensions are both complete (single pass,
+        # order-preserving).
+        finished: list[ExecTask] | None = None
+        still: list[ExecTask] = []
+        for t in self._active:
+            if t.rem_flops <= t._flops_floor and t.rem_bytes <= t._bytes_floor:
+                if finished is None:
+                    finished = [t]
+                else:
+                    finished.append(t)
+            else:
+                still.append(t)
+        if finished:
+            self._active = still
+            for task in finished:
+                self._finish_task(task)
         if not self._active:
+            self._sm_occupancy = 0.0
             return
         self._reallocate()
         horizon = self._next_phase_change()
@@ -458,6 +615,7 @@ class Device:
         self._advance_to_now()
         self._sm_seconds = 0.0
         self._bw_bytes_served = 0.0
+        self._bw_capacity_seconds = 0.0
         self._accounting_start = self.sim.now
 
     def sm_utilization(self) -> float:
@@ -469,9 +627,14 @@ class Device:
         return self._sm_seconds / (self.total_sms * elapsed)
 
     def bandwidth_utilization(self) -> float:
-        """Time-averaged fraction of HBM bandwidth used since last reset."""
+        """Time-averaged fraction of HBM bandwidth used since last reset.
+
+        Served bytes are divided by the *integrated* capacity over the
+        window, not the instantaneous rate: dividing by the current
+        (possibly degraded) bandwidth would let a device throttled
+        mid-window report more than 100 %.
+        """
         self._advance_to_now()
-        elapsed = self.sim.now - self._accounting_start
-        if elapsed <= 0:
+        if self._bw_capacity_seconds <= 0:
             return 0.0
-        return self._bw_bytes_served / (self.effective_bandwidth * elapsed)
+        return self._bw_bytes_served / self._bw_capacity_seconds

@@ -9,8 +9,6 @@ cliff.
 
 from __future__ import annotations
 
-import math
-
 
 class PoolExhaustedError(RuntimeError):
     """Raised when an allocation cannot be satisfied even after eviction."""
@@ -64,7 +62,9 @@ class KVCachePool:
 
     def pages_for(self, tokens: int) -> int:
         """Pages needed to store ``tokens`` tokens."""
-        return math.ceil(tokens / self.page_tokens)
+        # Floor-division ceiling; exact for integer inputs of any size
+        # (true division goes through a float and is not).
+        return int(-(-tokens // self.page_tokens))
 
     def can_allocate(self, tokens: int) -> bool:
         """True when ``tokens`` tokens fit in the free space."""

@@ -130,7 +130,8 @@ class RadixCache:
 
     def touch(self, time: float) -> None:
         """Advance the LRU clock (call with the simulation time)."""
-        self._clock = max(self._clock, time)
+        if time > self._clock:
+            self._clock = time
 
     def match(self, segments: list[Segment]) -> int:
         """Tokens of ``segments`` covered by the cached prefix (no pinning)."""
@@ -231,8 +232,11 @@ class RadixCache:
             raise ValueError("tokens must be non-negative")
         tail = lease._nodes[-1]
         new_total = tail.tokens + tokens
-        extra_pages = self.pool.pages_for(new_total) - tail.pages
-        if extra_pages > 0:
+        # Most decode steps stay within the tail's last page:
+        # ceil(new_total / page) > pages  <=>  new_total > pages * page,
+        # so the boundary test needs no division on the common path.
+        if new_total > tail.pages * self.pool.page_tokens:
+            extra_pages = self.pool.pages_for(new_total) - tail.pages
             self._ensure_free_pages(extra_pages)
             self.pool.allocate(extra_pages * self.pool.page_tokens)
             tail.pages += extra_pages
@@ -267,6 +271,10 @@ class RadixCache:
     def can_fit(self, tokens: int) -> bool:
         """True if ``tokens`` can be stored, evicting unpinned data if needed."""
         needed = self.pool.pages_for(tokens)
+        if needed <= self.pool.free_pages:
+            # Fits without evicting — skip the tree walk (the admission
+            # path asks this on every step, usually with plenty of room).
+            return True
         return needed <= self.pool.free_pages + self._evictable_leaf_pages()
 
     def _ensure_free_pages(self, pages: int) -> None:

@@ -10,6 +10,7 @@ MoE), vocabulary, and dtype width.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 
 @dataclass(frozen=True)
@@ -54,79 +55,79 @@ class ModelConfig:
     # Derived sizes
     # ------------------------------------------------------------------ #
 
-    @property
+    @cached_property
     def is_moe(self) -> bool:
         """True for mixture-of-experts models."""
         return self.num_experts > 0
 
-    @property
+    @cached_property
     def q_dim(self) -> int:
         """Total query projection width (num_heads * head_dim)."""
         return self.num_heads * self.head_dim
 
-    @property
+    @cached_property
     def kv_dim(self) -> int:
         """Total key (= value) projection width."""
         return self.num_kv_heads * self.head_dim
 
-    @property
+    @cached_property
     def attn_params_per_layer(self) -> int:
         """Attention weights per layer: Q, K, V and output projections."""
         d = self.hidden_dim
         return d * self.q_dim + 2 * d * self.kv_dim + self.q_dim * d
 
-    @property
+    @cached_property
     def expert_params(self) -> int:
         """Parameters of one FFN expert (gate, up, down projections)."""
         return 3 * self.hidden_dim * self.ffn_dim
 
-    @property
+    @cached_property
     def ffn_params_per_layer(self) -> int:
         """Total FFN parameters per layer (all experts for MoE)."""
         experts = self.num_experts if self.is_moe else 1
         router = self.hidden_dim * self.num_experts if self.is_moe else 0
         return experts * self.expert_params + router
 
-    @property
+    @cached_property
     def active_ffn_params_per_layer(self) -> int:
         """FFN parameters touched by one token (routed experts for MoE)."""
         experts = self.active_experts if self.is_moe else 1
         router = self.hidden_dim * self.num_experts if self.is_moe else 0
         return experts * self.expert_params + router
 
-    @property
+    @cached_property
     def layer_params(self) -> int:
         """Total parameters of one transformer layer."""
         return self.attn_params_per_layer + self.ffn_params_per_layer
 
-    @property
+    @cached_property
     def active_layer_params(self) -> int:
         """Parameters one token activates in one layer."""
         return self.attn_params_per_layer + self.active_ffn_params_per_layer
 
-    @property
+    @cached_property
     def total_params(self) -> int:
         """Total model parameters, including embedding and LM head."""
         embeddings = 2 * self.vocab_size * self.hidden_dim
         return self.num_layers * self.layer_params + embeddings
 
-    @property
+    @cached_property
     def active_params(self) -> int:
         """Parameters activated per token (== total for dense models)."""
         embeddings = 2 * self.vocab_size * self.hidden_dim
         return self.num_layers * self.active_layer_params + embeddings
 
-    @property
+    @cached_property
     def weight_bytes(self) -> int:
         """Bytes of GPU memory occupied by the weights."""
         return self.total_params * self.dtype_bytes
 
-    @property
+    @cached_property
     def kv_bytes_per_token_layer(self) -> int:
         """KV-cache bytes one token adds in one layer (K and V)."""
         return 2 * self.kv_dim * self.dtype_bytes
 
-    @property
+    @cached_property
     def kv_bytes_per_token(self) -> int:
         """KV-cache bytes one token adds across all layers."""
         return self.num_layers * self.kv_bytes_per_token_layer

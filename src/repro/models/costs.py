@@ -139,6 +139,13 @@ class CostModel:
         self.model = model
         self.n_gpus = n_gpus
         self.nvlink_bandwidth = nvlink_bandwidth
+        #: Per-batch-size constants of :meth:`decode_layer` — everything in
+        #: the decode cost except the context-length terms depends only on
+        #: the batch size, which repeats heavily across iterations.
+        self._decode_fixed: dict[int, tuple[float, float, float, float, float]] = {}
+        #: Per-batch-size :meth:`decode_head` costs (PhaseCost is frozen,
+        #: so sharing instances is safe).
+        self._decode_head_cache: dict[int, PhaseCost] = {}
 
     # ------------------------------------------------------------------ #
     # Efficiency / helper curves
@@ -259,34 +266,59 @@ class CostModel:
         # Decode runs through a graph-captured GEMV-style path: its linear
         # layers stream weights at full rate (no GEMM ramp-up curve), but
         # every layer pays a fixed overhead for the many small kernels.
-        linear_raw = 2.0 * model.active_layer_params * batch_size
-        attn_raw = sum(4.0 * (r + 1) * model.q_dim for r in context_lens)
-        flops = linear_raw + attn_raw / ATTENTION_EFFICIENCY
+        fixed = self._decode_fixed.get(batch_size)
+        if fixed is None:
+            linear_raw = 2.0 * model.active_layer_params * batch_size
+            weight_bytes = self._layer_weight_bytes_touched(batch_size)
+            kv_write = batch_size * model.kv_bytes_per_token_layer
+            activations = ACTIVATION_FACTOR * batch_size * model.hidden_dim * model.dtype_bytes
+            comm_time = self._allreduce_time(batch_size) + DECODE_LAYER_OVERHEAD
+            fixed = self._decode_fixed[batch_size] = (
+                linear_raw, weight_bytes, kv_write, activations, comm_time
+            )
+        linear_raw, weight_bytes, kv_write, activations, comm_time = fixed
 
-        weight_bytes = self._layer_weight_bytes_touched(batch_size)
-        kv_read = sum(context_lens) * model.kv_bytes_per_token_layer
-        kv_write = batch_size * model.kv_bytes_per_token_layer
-        activations = ACTIVATION_FACTOR * batch_size * model.hidden_dim * model.dtype_bytes
+        total_ctx = sum(context_lens)
+        # Factored form of sum(4.0 * (r + 1) * q_dim for r in ...): every
+        # per-term product and partial sum is an integer below 2**53, so
+        # both expressions produce the exact same float.
+        attn_raw = 4.0 * model.q_dim * (total_ctx + batch_size)
+        flops = linear_raw + attn_raw / ATTENTION_EFFICIENCY
+        kv_read = total_ctx * model.kv_bytes_per_token_layer
         total_bytes = weight_bytes + kv_read + kv_write + activations
 
         return PhaseCost(
             flops=flops,
             raw_flops=linear_raw + attn_raw,
             bytes=total_bytes,
-            comm_time=self._allreduce_time(batch_size) + DECODE_LAYER_OVERHEAD,
+            comm_time=comm_time,
         )
 
     def decode_head(self, batch_size: int) -> PhaseCost:
         """LM head of one decode iteration (graph-captured path, raw rate)."""
-        model = self.model
-        raw = 2.0 * model.vocab_size * model.hidden_dim * batch_size
-        weight = model.vocab_size * model.hidden_dim * model.dtype_bytes
-        return PhaseCost(flops=raw, raw_flops=raw, bytes=weight, comm_time=0.0)
+        cached = self._decode_head_cache.get(batch_size)
+        if cached is None:
+            model = self.model
+            raw = 2.0 * model.vocab_size * model.hidden_dim * batch_size
+            weight = model.vocab_size * model.hidden_dim * model.dtype_bytes
+            cached = self._decode_head_cache[batch_size] = PhaseCost(
+                flops=raw, raw_flops=raw, bytes=weight, comm_time=0.0
+            )
+        return cached
 
     def decode_iter(self, context_lens: list[int]) -> PhaseCost:
         """Cost of one full decode iteration (all layers + LM head)."""
-        layers = self.decode_layer(context_lens).scaled(self.model.num_layers)
-        return layers + self.decode_head(len(context_lens))
+        layer = self.decode_layer(context_lens)
+        head = self.decode_head(len(context_lens))
+        num_layers = self.model.num_layers
+        # ``layer.scaled(num_layers) + head`` with a single PhaseCost
+        # construction; each field is the same multiply-then-add.
+        return PhaseCost(
+            flops=layer.flops * num_layers + head.flops,
+            raw_flops=layer.raw_flops * num_layers + head.raw_flops,
+            bytes=layer.bytes * num_layers + head.bytes,
+            comm_time=layer.comm_time * num_layers + head.comm_time,
+        )
 
     # ------------------------------------------------------------------ #
     # KV transfer (disaggregated serving)

@@ -95,6 +95,10 @@ class RequestState:
     def __init__(self, request: Request, record: RequestRecord) -> None:
         self.request = request
         self.record = record
+        # Requests are immutable once built; keep their input length local
+        # so context_len() (per request per decode iteration) is two
+        # attribute reads instead of a property chain.
+        self._input_tokens = request.input_tokens
         self.lease: Lease | None = None
         self.reused_tokens = 0
         self.prefill_tokens = 0
@@ -128,7 +132,7 @@ class RequestState:
 
     def context_len(self) -> int:
         """Current total context length (input + generated)."""
-        return self.request.input_tokens + self.generated
+        return self._input_tokens + self.generated
 
 
 class ServingSystem(ABC):
@@ -337,7 +341,7 @@ class ServingSystem(ABC):
     def emit_tokens(self, state: RequestState, count: int = 1) -> None:
         """Record decode tokens for ``state``."""
         state.generated += count
-        self.metrics.on_tokens(state.request, self.sim.now, count)
+        self.metrics.on_tokens_record(state.record, self.sim.now, count)
 
     def produce_prefill_token(self, state: RequestState) -> None:
         """Record the token produced by a prefill's LM head.

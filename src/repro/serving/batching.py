@@ -10,6 +10,7 @@ tokens it already generated).
 
 from __future__ import annotations
 
+from repro.kvcache.pool import PoolExhaustedError
 from repro.serving.base import Instance, RequestState, ServingSystem
 
 
@@ -18,7 +19,9 @@ class DecodeBatchMixin(ServingSystem):
 
     def decode_context_lens(self, batch: list[RequestState]) -> list[int]:
         """Current context length of each running request."""
-        return [state.context_len() for state in batch]
+        # context_len() unrolled: this runs for every running request on
+        # every decode iteration.
+        return [state._input_tokens + state.generated for state in batch]
 
     def emit_decode_iteration(
         self, instance: Instance, batch: list[RequestState]
@@ -37,13 +40,29 @@ class DecodeBatchMixin(ServingSystem):
         self._storm_pending = False
         finished: list[RequestState] = []
         preempted: list[RequestState] = []
+        # Inner decode loop: extend_output + emit_tokens unrolled (one KV
+        # extension and one metrics sample per running request per
+        # iteration).  The cache clock is touched once up front — touch is
+        # idempotent for a fixed ``now``, so per-request touches are
+        # redundant.
+        now = self.sim.now
+        cache = instance.cache
+        cache.touch(now)
+        extend = cache.extend
+        on_tokens = self.metrics.on_tokens_record
         for state in batch:
             if state.finished:
                 continue
-            if storm or not self.extend_output(instance, state, 1):
+            if storm:
                 preempted.append(state)
                 continue
-            self.emit_tokens(state, 1)
+            try:
+                extend(state.lease, 1)
+            except PoolExhaustedError:
+                preempted.append(state)
+                continue
+            state.generated += 1
+            on_tokens(state.record, now, 1)
             if state.generated >= state.request.output_tokens:
                 finished.append(state)
         if storm:

@@ -9,7 +9,6 @@ deterministic order (insertion order within the same priority class).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 #: Default priority for ordinary events.
@@ -23,9 +22,19 @@ PRIORITY_EARLY = -10
 _sequence = itertools.count()
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
+
+    A plain ``__slots__`` class, not a dataclass: every simulated request
+    creates dozens of events, so construction cost and per-instance memory
+    are on the simulator's hot path.  Ordering is ``(time, priority, seq)``
+    via a hand-written :meth:`__lt__` (the only comparison ``heapq`` uses)
+    — identical ordering semantics to the previous ``dataclass(order=True)``
+    without building a key tuple per comparison.
+
+    Events are NOT pooled/recycled on purpose: a stale reference calling
+    ``cancel()`` after its event fired must hit the original (inert) object,
+    never a recycled one carrying someone else's callback.
 
     Attributes:
         time: Absolute simulation time (seconds) at which to fire.
@@ -47,14 +56,50 @@ class Event:
             silences every in-flight callback of the dead serving system.
     """
 
-    time: float
-    priority: int = PRIORITY_NORMAL
-    seq: int = field(default_factory=lambda: next(_sequence))
-    callback: Callable[[], Any] | None = field(default=None, compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    owner: Any = field(default=None, compare=False, repr=False)
-    daemon: bool = field(default=False, compare=False)
-    scope: str | None = field(default=None, compare=False)
+    __slots__ = (
+        "time",
+        "priority",
+        "seq",
+        "callback",
+        "cancelled",
+        "owner",
+        "daemon",
+        "scope",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        priority: int = PRIORITY_NORMAL,
+        seq: int | None = None,
+        callback: Callable[[], Any] | None = None,
+        cancelled: bool = False,
+        owner: Any = None,
+        daemon: bool = False,
+        scope: str | None = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = next(_sequence) if seq is None else seq
+        self.callback = callback
+        self.cancelled = cancelled
+        self.owner = owner
+        self.daemon = daemon
+        self.scope = scope
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(time={self.time!r}, priority={self.priority!r}, "
+            f"seq={self.seq!r}, cancelled={self.cancelled!r}, "
+            f"daemon={self.daemon!r}, scope={self.scope!r})"
+        )
 
     def cancel(self) -> None:
         """Mark the event so it is skipped when it reaches the queue head."""

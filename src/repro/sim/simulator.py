@@ -29,6 +29,7 @@ Example:
 from __future__ import annotations
 
 import heapq
+import math
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
@@ -64,13 +65,29 @@ class Simulator:
     COMPACT_MIN_SIZE = 64
 
     def __init__(self, start_time: float = 0.0) -> None:
-        self._now = start_time
-        self._heap: list[Event] = []
+        #: Current simulation time in seconds.  A plain attribute (not a
+        #: property) because components read it on every hot-path callback;
+        #: only the simulator's own event loop may assign it.
+        self.now = start_time
+        #: Heap of ``(time, priority, seq, event)`` tuples.  Storing the sort
+        #: key as a tuple prefix keeps every heap comparison in C: ``seq`` is
+        #: unique per event, so ties never reach the :class:`Event` element
+        #: and Python-level ``__lt__`` is never invoked on the hot path.
+        #: The ordering is exactly :class:`Event`'s own ``(time, priority,
+        #: seq)`` order, so behaviour is byte-identical to heaping events.
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._event_count = 0
         self._cancelled_count = 0
         self._daemon_count = 0
+        self._max_queue = 0
         self._running = False
         self._current_scope: str | None = None
+        #: Scope name -> live scoped events still in the queue.  Makes
+        #: :meth:`cancel_scope` O(|scope|) instead of O(|heap|).  Invariant:
+        #: an event appears in its scope's bucket iff it is in the heap and
+        #: not cancelled — maintained on schedule (add), pop (discard) and
+        #: cancel (discard, via :meth:`_note_cancelled`).
+        self._scope_index: dict[str, set[Event]] = {}
         #: Optional tracing sink; components emit through ``sim.tracer``
         #: when it is attached and enabled (see :mod:`repro.trace`).
         self.tracer: Tracer | None = None
@@ -78,11 +95,6 @@ class Simulator:
     def attach_tracer(self, tracer: "Tracer | None") -> None:
         """Attach (or detach, with ``None``) a :class:`repro.trace.Tracer`."""
         self.tracer = tracer
-
-    @property
-    def now(self) -> float:
-        """Current simulation time in seconds."""
-        return self._now
 
     @property
     def pending_events(self) -> int:
@@ -102,6 +114,15 @@ class Simulator:
     def processed_events(self) -> int:
         """Number of events fired so far (cancelled events excluded)."""
         return self._event_count
+
+    @property
+    def max_event_queue(self) -> int:
+        """High-water mark of the event queue (cancelled entries included).
+
+        Deterministic for a given run, so the perf harness folds it into
+        the result fingerprint as a cheap structural invariant.
+        """
+        return self._max_queue
 
     @property
     def current_scope(self) -> str | None:
@@ -135,7 +156,7 @@ class Simulator:
 
         Returns the :class:`Event`, which the caller may ``cancel()``.
         """
-        return self.schedule_at(self._now + delay, callback, priority, daemon, scope)
+        return self.schedule_at(self.now + delay, callback, priority, daemon, scope)
 
     def schedule_at(
         self,
@@ -146,21 +167,28 @@ class Simulator:
         scope: str | None | Any = INHERIT_SCOPE,
     ) -> Event:
         """Schedule ``callback`` at absolute simulation ``time``."""
-        if time < self._now - self.TIME_EPSILON:
+        now = self.now
+        if time < now - self.TIME_EPSILON:
             raise SimulationError(
-                f"cannot schedule at {time:.9f}; clock is at {self._now:.9f}"
+                f"cannot schedule at {time:.9f}; clock is at {now:.9f}"
             )
-        event = Event(
-            time=max(time, self._now),
-            priority=priority,
-            callback=callback,
-            owner=self,
-            daemon=daemon,
-            scope=self._current_scope if scope is INHERIT_SCOPE else scope,
-        )
-        heapq.heappush(self._heap, event)
+        if time <= now:
+            time = now
+        event_scope = self._current_scope if scope is INHERIT_SCOPE else scope
+        # Positional construction (see Event.__init__ for the slot order):
+        # this runs once per scheduled event.
+        event = Event(time, priority, None, callback, False, self, daemon, event_scope)
+        heap = self._heap
+        heapq.heappush(heap, (time, priority, event.seq, event))
+        if event_scope is not None:
+            bucket = self._scope_index.get(event_scope)
+            if bucket is None:
+                bucket = self._scope_index[event_scope] = set()
+            bucket.add(event)
         if daemon:
             self._daemon_count += 1
+        if len(heap) > self._max_queue:
+            self._max_queue = len(heap)
         return event
 
     def cancel_scope(self, name: str) -> int:
@@ -170,10 +198,14 @@ class Simulator:
         and everything it scheduled) out of the simulation atomically.
         Returns the number of events cancelled.
         """
+        bucket = self._scope_index.pop(name, None)
+        if not bucket:
+            return 0
         cancelled = 0
-        # Snapshot: cancelling may trigger a heap compaction mid-iteration.
-        for event in list(self._heap):
-            if event.scope == name and not event.cancelled:
+        # Snapshot: each cancel() discards from the bucket (a no-op here,
+        # the bucket is already popped) and may compact the heap.
+        for event in list(bucket):
+            if not event.cancelled:
                 event.cancel()
                 cancelled += 1
         return cancelled
@@ -181,18 +213,22 @@ class Simulator:
     def peek_time(self) -> float | None:
         """Time of the next non-cancelled event, or None if the queue is empty."""
         self._drop_cancelled_head()
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def step(self) -> bool:
         """Fire the next event.  Returns False if no events remain."""
         self._drop_cancelled_head()
         if not self._heap:
             return False
-        event = heapq.heappop(self._heap)
+        event = heapq.heappop(self._heap)[3]
         event.owner = None
+        if event.scope is not None:
+            bucket = self._scope_index.get(event.scope)
+            if bucket is not None:
+                bucket.discard(event)
         if event.daemon:
             self._daemon_count -= 1
-        self._now = event.time
+        self.now = event.time
         self._event_count += 1
         previous_scope = self._current_scope
         self._current_scope = event.scope
@@ -208,35 +244,71 @@ class Simulator:
 
         Daemon events do not count as pending work: once only daemons
         remain the run is over (they are left unfired in the queue).  When
-        the run stops at ``until`` with productive events still pending,
-        the clock is left exactly at ``until``; if the queue drained
-        earlier the clock stays at the last event (no artificial idle time
-        is appended).
+        the run stops *because* the next event lies past ``until``, the
+        clock is left exactly at ``until``; if the queue drained earlier
+        the clock stays at the last event (no artificial idle time is
+        appended), and if the loop stopped on ``max_events`` the clock
+        stays at the last fired event — events scheduled before ``until``
+        are still pending, and jumping ahead would make a later ``run()``
+        or ``step()`` move the clock backwards.
         """
         if self._running:
             raise SimulationError("simulator is not re-entrant")
         self._running = True
+        stopped_at_until = False
+        # Hot loop: this is ``while: peek_time(); step()`` inlined, with
+        # attribute lookups hoisted.  ``heap`` stays a valid alias of
+        # ``self._heap`` because :meth:`_compact` rebuilds it in place.
+        # The ``until``/``max_events`` guards become plain comparisons
+        # against +inf sentinels (no event time or count ever reaches inf
+        # without the original None check tripping identically).
+        heap = self._heap
+        heappop = heapq.heappop
+        scope_index = self._scope_index
+        until_cap = math.inf if until is None else until
+        fired_cap = math.inf if max_events is None else max_events
         try:
             fired = 0
             while True:
-                if max_events is not None and fired >= max_events:
+                if fired >= fired_cap:
                     break
-                if self.pending_productive <= 0:
+                while heap and heap[0][3].cancelled:
+                    heappop(heap)[3].owner = None
+                    self._cancelled_count -= 1
+                if len(heap) - self._cancelled_count - self._daemon_count <= 0:
                     break
-                next_time = self.peek_time()
-                if until is not None and next_time > until:
+                head = heap[0]
+                if head[0] > until_cap:
+                    stopped_at_until = True
                     break
-                self.step()
+                event = head[3]
+                heappop(heap)
+                event.owner = None
+                scope = event.scope
+                if scope is not None:
+                    bucket = scope_index.get(scope)
+                    if bucket is not None:
+                        bucket.discard(event)
+                if event.daemon:
+                    self._daemon_count -= 1
+                self.now = event.time
+                self._event_count += 1
+                previous_scope = self._current_scope
+                self._current_scope = scope
+                try:
+                    if not event.cancelled and event.callback is not None:
+                        event.callback()
+                finally:
+                    self._current_scope = previous_scope
                 fired += 1
         finally:
             self._running = False
-        if until is not None and self._now < until and self.pending_productive > 0:
-            self._now = until
+        if stopped_at_until and self.now < until:
+            self.now = until
 
     def _drop_cancelled_head(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            dropped = heapq.heappop(self._heap)
-            dropped.owner = None
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)[3].owner = None
             self._cancelled_count -= 1
 
     def _note_cancelled(self, event: Event) -> None:
@@ -249,6 +321,10 @@ class Simulator:
         self._cancelled_count += 1
         if event.daemon:
             self._daemon_count -= 1
+        if event.scope is not None:
+            bucket = self._scope_index.get(event.scope)
+            if bucket is not None:
+                bucket.discard(event)
         if (
             len(self._heap) >= self.COMPACT_MIN_SIZE
             and self._cancelled_count * 2 > len(self._heap)
@@ -256,11 +332,18 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
-        """Rebuild the heap without cancelled events."""
-        live = [e for e in self._heap if not e.cancelled]
-        for event in self._heap:
-            if event.cancelled:
-                event.owner = None
-        self._heap = live
+        """Rebuild the heap without cancelled events.
+
+        In place (``self._heap[:] = ...``): :meth:`run` holds a local alias
+        of the heap list across callbacks, and a callback's ``cancel()`` can
+        land here mid-loop.
+        """
+        live = []
+        for entry in self._heap:
+            if entry[3].cancelled:
+                entry[3].owner = None
+            else:
+                live.append(entry)
+        self._heap[:] = live
         heapq.heapify(self._heap)
         self._cancelled_count = 0

@@ -50,16 +50,21 @@ class Request:
             raise ValueError("new_input must contain at least one token")
         if self.output_segment is None:
             self.output_segment = new_segment(self.output_tokens)
+        # Segments are immutable (frozen dataclasses), so the token sums
+        # are fixed at construction; cache them — context_len() reads
+        # input_tokens on every decode iteration of every request.
+        self._history_tokens = sum(segment.tokens for segment in self.history)
+        self._input_tokens = self._history_tokens + self.new_input.tokens
 
     @property
     def history_tokens(self) -> int:
         """Tokens of reusable context (the paper's 'reused length')."""
-        return sum(segment.tokens for segment in self.history)
+        return self._history_tokens
 
     @property
     def input_tokens(self) -> int:
         """Total input length: reused plus new context (Table 1 convention)."""
-        return self.history_tokens + self.new_input.tokens
+        return self._input_tokens
 
     @property
     def context_path(self) -> list[Segment]:

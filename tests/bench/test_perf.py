@@ -1,0 +1,120 @@
+"""Tests for the simulator perf harness (repro.bench.perf).
+
+The golden fingerprints below pin the *simulation results* of the three
+canonical scenarios at a small scale.  They are byte-stable by contract:
+any change — an optimisation that reorders float arithmetic, a scheduler
+tweak, a metrics fix — that alters them must be deliberate, and the golden
+updated in the same commit with an explanation.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.perf import SCENARIOS, PerfReport, ScenarioTiming, run_perf
+
+#: Scale used for the golden run; small enough for a unit test, large
+#: enough that every scenario exercises batching, caching and faults.
+GOLDEN_SCALE = 0.05
+
+#: Deterministic results of ``run_perf(scale=GOLDEN_SCALE)``.  Regenerate
+#: with ``python -m repro perf --scale 0.05 --fingerprint`` after any
+#: intentional behaviour change.
+GOLDEN_RESULTS = {
+    "chaos_4_replicas": {
+        "events": 3672,
+        "fingerprint": "0466757058bcb74566302cb60693bbbe0b1b9c0ac42b58431d8458fdecbeeb11",
+        "peak_event_queue": 15,
+    },
+    "fleet_4_replicas": {
+        "events": 6102,
+        "fingerprint": "99a44a988cf062e2850b88100238a330e4fc5bcf6db1882fbebc9803b870d196",
+        "peak_event_queue": 40,
+    },
+    "single_goodput": {
+        "events": 4168,
+        "fingerprint": "c1147d43a9ad0a98eeef8693d9bc5feb57ac15554c615152ba75e42c708bfe4f",
+        "peak_event_queue": 10,
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def golden_run() -> PerfReport:
+    return run_perf(scale=GOLDEN_SCALE)
+
+
+class TestGoldenFingerprints:
+    def test_results_match_golden(self, golden_run):
+        assert golden_run.fingerprints() == GOLDEN_RESULTS
+
+    def test_fingerprints_stable_across_runs(self, golden_run):
+        again = run_perf(scale=GOLDEN_SCALE)
+        assert again.fingerprint_json() == golden_run.fingerprint_json()
+
+    def test_repeats_agree(self):
+        # run_perf itself raises if repeats fingerprint differently.
+        report = run_perf(scenarios=["single_goodput"], scale=GOLDEN_SCALE, repeats=2)
+        assert report.scenarios["single_goodput"].fingerprint == (
+            GOLDEN_RESULTS["single_goodput"]["fingerprint"]
+        )
+
+
+class TestHarnessMechanics:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_perf(scenarios=["nope"], scale=GOLDEN_SCALE)
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            run_perf(scenarios=["single_goodput"], repeats=0)
+
+    def test_scenario_registry_is_complete(self):
+        assert set(SCENARIOS) == set(GOLDEN_RESULTS)
+
+    def test_report_json_round_trips(self, golden_run):
+        payload = json.loads(golden_run.to_json())
+        assert payload["schema"] == 1
+        assert payload["scale"] == GOLDEN_SCALE
+        assert set(payload["results"]) == set(GOLDEN_RESULTS)
+        for timing in payload["timings"].values():
+            assert timing["wall_s"] >= 0.0
+
+    def test_compare_results_flags_fingerprint_change(self, golden_run):
+        baseline = json.loads(golden_run.to_json())
+        baseline["results"]["fleet_4_replicas"]["fingerprint"] = "0" * 64
+        problems = golden_run.compare_results(baseline)
+        assert len(problems) == 1
+        assert "fleet_4_replicas" in problems[0]
+
+    def test_compare_results_flags_missing_scenario(self, golden_run):
+        baseline = {"results": {"brand_new_scenario": {"fingerprint": "x"}}}
+        problems = golden_run.compare_results(baseline)
+        assert problems == ["brand_new_scenario: scenario missing from this run"]
+
+    def test_compare_timings_flags_regression(self):
+        report = PerfReport(scale=1.0)
+        report.scenarios["s"] = ScenarioTiming(
+            name="s", fingerprint="f", events=10, peak_event_queue=5, wall_s=10.0
+        )
+        baseline = {"timings": {"s": {"wall_s": 1.0}}}
+        problems = report.compare_timings(baseline, max_regression=2.0)
+        assert len(problems) == 1 and "exceeds" in problems[0]
+        assert report.compare_timings(baseline, max_regression=20.0) == []
+
+    def test_compare_timings_ignores_zero_baseline(self):
+        report = PerfReport()
+        report.scenarios["s"] = ScenarioTiming(
+            name="s", fingerprint="f", events=1, peak_event_queue=1, wall_s=5.0
+        )
+        assert report.compare_timings({"timings": {"s": {"wall_s": 0.0}}}, 2.0) == []
+
+    def test_events_per_sec(self):
+        timing = ScenarioTiming(
+            name="s", fingerprint="f", events=500, peak_event_queue=1, wall_s=0.5
+        )
+        assert timing.events_per_sec == 1000.0
+        zero = ScenarioTiming(
+            name="s", fingerprint="f", events=500, peak_event_queue=1, wall_s=0.0
+        )
+        assert zero.events_per_sec == 0.0

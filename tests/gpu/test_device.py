@@ -193,6 +193,34 @@ class TestMemoryAccounting:
         assert device.mem_allocated == 0.0
 
 
+class TestStall:
+    def test_zero_work_task_does_not_complete_while_stalled(self):
+        """A hung partition must not emit completions — not even for tasks
+        with no compute or memory work (regression: ``submit`` used to
+        finish them immediately, so a dead replica made visible progress)."""
+        sim, device = make_device()
+        done = []
+        device.stall()
+        device.submit(ExecTask(flops=0.0, bytes=0.0, sm_count=10, on_complete=done.append))
+        sim.run()
+        assert done == []  # stalled: no completion may surface
+        sim.schedule(3.0, device.unstall)
+        sim.run()
+        assert done == [3.0]  # retires exactly when the stall clears
+
+    def test_stall_freezes_and_resumes_in_flight_work(self):
+        sim, device = make_device()
+        done = []
+        flops = device.compute_rate(device.total_sms) * 1.0
+        device.submit(
+            ExecTask(flops=flops, bytes=0.0, sm_count=device.total_sms, on_complete=done.append)
+        )
+        sim.schedule(0.5, lambda: device.stall(duration=2.0))
+        sim.run()
+        # 0.5 s of work, 2 s frozen, then the remaining 0.5 s.
+        assert done and done[0] == pytest.approx(3.0, rel=1e-6)
+
+
 class TestUtilization:
     def test_sm_utilization_tracks_busy_fraction(self):
         sim, device = make_device()
@@ -209,3 +237,60 @@ class TestUtilization:
         run_task(sim, device, flops=device.compute_rate(50), bytes=0.0, sm_count=50)
         device.reset_accounting()
         assert device.sm_utilization() == 0.0
+
+    def test_memory_tail_holds_no_sms(self):
+        """A task whose compute finished long before its memory traffic
+        streams the tail without occupying SMs (regression: the integral
+        used to accrue sm_count * dt for the whole task lifetime)."""
+        sim, device = make_device()
+        half = device.total_sms // 2
+        flops = device.compute_rate(half) * 0.2  # compute done at t=0.2
+        nbytes = device.effective_bandwidth * 1.0  # memory done at t=1.0
+        run_task(sim, device, flops=flops, bytes=nbytes, sm_count=half)
+        util = device.sm_utilization()
+        # Half the SMs for 0.2 s of a 1.0 s window = 10 %, not 50 %.
+        assert util == pytest.approx(0.5 * 0.2, rel=0.05)
+
+    def test_bandwidth_utilization_capped_under_mid_window_degradation(self):
+        """Degrading bandwidth mid-window must not push utilisation above
+        100 % (regression: the denominator used the *current* degraded
+        rate for the whole elapsed window)."""
+        sim, device = make_device()
+        full_bw = device.effective_bandwidth
+        nbytes = full_bw * 1.0  # 1 s of traffic at full rate
+        done = {}
+        device.submit(
+            ExecTask(
+                flops=1.0,
+                bytes=nbytes,
+                sm_count=device.total_sms,
+                on_complete=lambda t: done.setdefault("t", t),
+            )
+        )
+        sim.schedule(0.5, lambda: device.set_degradation(bandwidth_factor=0.25))
+        sim.run()
+        util = device.bandwidth_utilization()
+        assert util <= 1.0 + 1e-9
+        # Served 0.5 + 0.5 of capacity-integral (0.5*1.0 + 2.0*0.25) -> 100 %.
+        assert util == pytest.approx(1.0, rel=1e-6)
+        assert done["t"] == pytest.approx(2.5, rel=1e-6)
+
+    def test_bandwidth_utilization_integrates_capacity_piecewise(self):
+        """After recovery the denominator keeps the degraded interval's
+        (smaller) capacity contribution instead of re-pricing the window."""
+        sim, device = make_device()
+        full_bw = device.effective_bandwidth
+        device.set_degradation(bandwidth_factor=0.5)
+        nbytes = full_bw * 0.5  # 1 s of traffic at the degraded rate
+        done = {}
+        device.submit(
+            ExecTask(
+                flops=1.0,
+                bytes=nbytes,
+                sm_count=device.total_sms,
+                on_complete=lambda t: done.setdefault("t", t),
+            )
+        )
+        sim.run()
+        assert done["t"] == pytest.approx(1.0, rel=1e-6)
+        assert device.bandwidth_utilization() == pytest.approx(1.0, rel=1e-6)

@@ -1,0 +1,139 @@
+"""Exact-equality tests of the optimised waterfill against a reference.
+
+:func:`repro.gpu.device.waterfill` grew bit-exact fast paths (single
+demand, comfortably-under-capacity batches).  These tests pin the claim
+that the fast paths are *shortcuts*, not approximations: the optimised
+function must return the exact same floats as the plain round-based
+algorithm on every input, so simulation results can never depend on which
+branch ran.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.device import waterfill
+
+_EPS = 1e-9  # must match device._EPS
+
+
+def reference_waterfill(demands: list[float], capacity: float) -> list[float]:
+    """The round-based max-min fair allocation, with no fast paths.
+
+    This is the algorithm :func:`waterfill` implemented before the fast
+    paths were added, kept verbatim as the behavioural oracle.
+    """
+    n = len(demands)
+    alloc = [0.0] * n
+    if capacity <= _EPS:
+        return alloc
+    unsatisfied = [i for i in range(n) if demands[i] > _EPS]
+    remaining = capacity
+    while unsatisfied and remaining > _EPS:
+        share = remaining / len(unsatisfied)
+        capped = []
+        still = []
+        for i in unsatisfied:
+            if demands[i] <= share + _EPS:
+                capped.append(i)
+            else:
+                still.append(i)
+        if not capped:
+            for i in unsatisfied:
+                alloc[i] = share
+            return alloc
+        for i in capped:
+            alloc[i] = demands[i]
+            remaining -= demands[i]
+        unsatisfied = still
+    return alloc
+
+
+def assert_bit_identical(demands: list[float], capacity: float) -> None:
+    fast = waterfill(demands, capacity)
+    slow = reference_waterfill(list(demands), capacity)
+    assert len(fast) == len(slow)
+    for got, want in zip(fast, slow):
+        # Exact float equality, deliberately: not approximately equal.
+        assert got == want, (demands, capacity, fast, slow)
+
+
+demand_values = st.one_of(
+    st.floats(min_value=0.0, max_value=1e13, allow_nan=False),
+    st.just(math.inf),
+)
+
+
+class TestWaterfillMatchesReference:
+    @given(
+        demands=st.lists(demand_values, min_size=1, max_size=12),
+        capacity=st.floats(min_value=0.0, max_value=1e13, allow_nan=False),
+    )
+    @settings(max_examples=300)
+    def test_exact_equality_general(self, demands, capacity):
+        assert_bit_identical(demands, capacity)
+
+    @given(demand=demand_values, capacity=st.floats(min_value=0.0, max_value=1e13))
+    @settings(max_examples=200)
+    def test_exact_equality_single_demand(self, demand, capacity):
+        """The n == 1 fast path."""
+        assert_bit_identical([demand], capacity)
+
+    @given(
+        demands=st.lists(
+            st.floats(min_value=0.0, max_value=1e9), min_size=2, max_size=12
+        ),
+        headroom=st.floats(min_value=1.0, max_value=1e12),
+    )
+    @settings(max_examples=200)
+    def test_exact_equality_under_demand(self, demands, headroom):
+        """The everyone-gets-their-demand fast path (sum < capacity - 1)."""
+        capacity = sum(demands) + headroom
+        assert_bit_identical(demands, capacity)
+
+    @given(
+        demands=st.lists(
+            st.floats(min_value=1.0, max_value=1e12), min_size=2, max_size=12
+        ),
+        squeeze=st.floats(min_value=0.1, max_value=0.999),
+    )
+    @settings(max_examples=200)
+    def test_exact_equality_over_demand(self, demands, squeeze):
+        """The contended region where the round loop actually iterates."""
+        capacity = sum(demands) * squeeze
+        assert_bit_identical(demands, capacity)
+
+
+class TestWaterfillEdgeCases:
+    def test_empty_demand_list(self):
+        assert waterfill([], 100.0) == []
+        assert waterfill([], 0.0) == []
+
+    def test_zero_capacity_gives_zeros(self):
+        assert waterfill([5.0, math.inf, 0.0], 0.0) == [0.0, 0.0, 0.0]
+
+    def test_all_inf_demands_split_capacity_equally(self):
+        allocs = waterfill([math.inf, math.inf, math.inf, math.inf], 100.0)
+        assert allocs == [25.0, 25.0, 25.0, 25.0]
+        assert_bit_identical([math.inf] * 4, 100.0)
+
+    def test_capacity_below_every_demand_splits_equally(self):
+        allocs = waterfill([50.0, 60.0, 70.0], 30.0)
+        assert allocs == [10.0, 10.0, 10.0]
+        assert_bit_identical([50.0, 60.0, 70.0], 30.0)
+
+    def test_demand_exactly_at_fair_share_is_capped(self):
+        # share = 30 in round 1; the 30.0 demand caps at exactly 30.0 and
+        # the leftover goes to the others.
+        assert_bit_identical([30.0, 90.0, 90.0], 90.0)
+
+    def test_zero_demands_stay_zero(self):
+        allocs = waterfill([0.0, 10.0, 0.0], 100.0)
+        assert allocs == [0.0, 10.0, 0.0]
+
+    def test_single_demand_over_capacity_is_clamped(self):
+        assert waterfill([500.0], 200.0) == [200.0]
+
+    def test_single_demand_under_capacity_is_exact(self):
+        assert waterfill([123.456], 200.0) == [123.456]

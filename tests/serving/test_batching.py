@@ -49,20 +49,20 @@ class TestDecodeIteration:
     def test_context_lens_reflect_generation(self, system):
         state = admitted_state(system, output_tokens=8)
         assert system.decode_context_lens([state]) == [64 + 1]
-        system.sim._now = 0.1
+        system.sim.now = 0.1
         system.emit_decode_iteration(system.instance, [state])
         assert system.decode_context_lens([state]) == [64 + 2]
 
     def test_iteration_emits_one_token_each(self, system):
         states = [admitted_state(system, output_tokens=5, session=i) for i in range(3)]
-        system.sim._now = 0.1
+        system.sim.now = 0.1
         finished, preempted = system.emit_decode_iteration(system.instance, states)
         assert finished == [] and preempted == []
         assert all(s.generated == 2 for s in states)
 
     def test_finished_requests_reported(self, system):
         state = admitted_state(system, output_tokens=2)
-        system.sim._now = 0.1
+        system.sim.now = 0.1
         finished, _ = system.emit_decode_iteration(system.instance, [state])
         assert finished == [state]
 
@@ -80,13 +80,13 @@ class TestDecodeIteration:
         state = admitted_state(system, output_tokens=1000, input_tokens=32)
         hog_pages = pool.free_pages
         pool.allocate(hog_pages * pool.page_tokens)  # externally exhaust
-        system.sim._now = 0.1
+        system.sim.now = 0.1
         finished, preempted = system.emit_decode_iteration(system.instance, [state])
         # The page boundary may not be hit on the first token; run a few.
         for step in range(2, 20):
             if preempted:
                 break
-            system.sim._now = 0.1 * step
+            system.sim.now = 0.1 * step
             finished, preempted = system.emit_decode_iteration(system.instance, [state])
         assert preempted == [state]
         assert state.lease is None

@@ -107,7 +107,9 @@ class TestCancellation:
         for event in events[::2]:
             event.cancel()
         assert sim.pending_events == 250
-        assert sim.pending_events == sum(1 for e in sim._heap if not e.cancelled)
+        assert sim.pending_events == sum(
+            1 for entry in sim._heap if not entry[3].cancelled
+        )
         fired = []
         sim.schedule(600.0, lambda: fired.append(sim.now))
         sim.run()
@@ -155,6 +157,31 @@ class TestRunControl:
             sim.schedule(float(i + 1), lambda i=i: seen.append(i))
         sim.run(max_events=3)
         assert seen == [0, 1, 2]
+
+    def test_max_events_with_until_does_not_jump_clock(self):
+        """Stopping on max_events must not clamp the clock to ``until``:
+        events scheduled before ``until`` are still pending, and a resumed
+        run would otherwise fire them with the clock moving backwards."""
+        sim = Simulator()
+        times = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: times.append(sim.now))
+        sim.run(until=10.0, max_events=2)
+        assert times == [1.0, 2.0]
+        assert sim.now == 2.0  # not clamped to 10.0
+        sim.run(until=10.0)
+        assert times == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert times == sorted(times)  # monotone across the resume
+        assert sim.now == 5.0
+
+    def test_resume_after_max_events_keeps_time_monotone_stepwise(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=50.0, max_events=1)
+        before = sim.now
+        sim.step()
+        assert sim.now >= before
 
     def test_step_returns_false_when_empty(self):
         assert Simulator().step() is False
