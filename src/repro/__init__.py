@@ -51,15 +51,18 @@ from repro.models import (
 )
 from repro.serving import SLO, ServingConfig, Summary, default_slo
 from repro.sim import Simulator
+from repro.tenancy import TenancyConfig, Tenant, TenantClass
 from repro.workloads import (
     Request,
     Workload,
+    combine_workloads,
     conversation_workload,
     loogle_workload,
     mixed_workload,
     openthoughts_workload,
     realworld_trace,
     sharegpt_workload,
+    tag_workload,
     toolagent_workload,
 )
 
@@ -97,8 +100,12 @@ __all__ = [
     "Simulator",
     "SoloRunPredictor",
     "Summary",
+    "TenancyConfig",
+    "Tenant",
+    "TenantClass",
     "Workload",
     "calibrated_estimator",
+    "combine_workloads",
     "conversation_workload",
     "decode_partition_options",
     "default_slo",
@@ -111,6 +118,7 @@ __all__ = [
     "realworld_trace",
     "run_system",
     "sharegpt_workload",
+    "tag_workload",
     "toolagent_workload",
     "__version__",
 ]

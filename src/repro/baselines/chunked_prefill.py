@@ -10,7 +10,6 @@ long reused contexts (Fig. 6b).
 
 from __future__ import annotations
 
-from collections import deque
 
 from repro.gpu.device import ExecTask
 from repro.models.costs import PhaseCost, PrefillItem
@@ -31,7 +30,7 @@ class ChunkedPrefillServer(DecodeBatchMixin):
             raise ValueError("token_budget must be >= 1")
         self.token_budget = token_budget
         self.instance = build_instance(sim, cfg, cfg.n_gpus, name=f"{self.name}-inst")
-        self.waiting: deque[RequestState] = deque()
+        self.waiting = self.make_waiting_queue()
         self.running: list[RequestState] = []
         self._current_prefill: RequestState | None = None
         self._step_in_flight = False

@@ -15,7 +15,6 @@ On the simulator, a job placed on k of the server's g GPUs runs with
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 
 from repro.gpu.device import ExecTask
@@ -48,7 +47,7 @@ class LoongServeServer(DecodeBatchMixin):
         self.instance = build_instance(
             sim, cfg, cfg.n_gpus, name="loong-inst", cross_request_reuse=False
         )
-        self.waiting: deque[RequestState] = deque()
+        self.waiting = self.make_waiting_queue()
         self.running: list[RequestState] = []
         self._prefill_jobs: list[_PrefillJob] = []
         self._decode_inflight = False

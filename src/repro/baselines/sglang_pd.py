@@ -42,7 +42,7 @@ class SGLangPDServer(DecodeBatchMixin):
         self.decode_inst = build_instance(
             sim, cfg, n_decode, name="pd-decode", cross_request_reuse=False
         )
-        self.waiting: deque[RequestState] = deque()
+        self.waiting = self.make_waiting_queue()
         self.running: list[RequestState] = []
         self._prefill_busy = False
         self._decode_inflight = False

@@ -16,7 +16,6 @@
 from __future__ import annotations
 
 import math
-from collections import deque
 
 from repro.gpu.stream import Stream
 from repro.models.costs import phase_latency
@@ -38,7 +37,7 @@ class WindServeServer(DecodeBatchMixin):
         # Plain streams: both phases claim the full GPU (oversubscribed).
         self.decode_stream = Stream(device, device.total_sms, name="wind-decode")
         self.prefill_stream = Stream(device, device.total_sms, name="wind-prefill")
-        self.waiting: deque[RequestState] = deque()
+        self.waiting = self.make_waiting_queue()
         self.running: list[RequestState] = []
         self.merge_ready: list[RequestState] = []
         self._prefill_busy = False
@@ -131,7 +130,7 @@ class TemporalMuxServer(DecodeBatchMixin):
         device = self.instance.device
         self.stream = Stream(device, device.total_sms, name="temporal")
         self.slack_margin = slack_margin
-        self.waiting: deque[RequestState] = deque()
+        self.waiting = self.make_waiting_queue()
         self.running: list[RequestState] = []
         self._active_prefill: RequestState | None = None
         self._cycle_inflight = False

@@ -12,13 +12,27 @@ from repro.bench.fleet import (
 from repro.bench.goodput import GoodputResult, RatePoint, goodput_ratio, goodput_sweep
 from repro.bench.perf import SCENARIOS, PerfReport, ScenarioTiming, run_perf
 from repro.bench.runner import DRAIN_HORIZON, MAX_EVENTS, STABILITY_TTFT, RunResult, run_system
-from repro.bench.report import latency_table, series, tail_latency_table, throughput_table
+from repro.bench.report import (
+    latency_table,
+    series,
+    tail_latency_table,
+    throughput_table,
+    tier_table,
+)
+from repro.bench.tenancy import (
+    IsolationStudy,
+    TenancyRunResult,
+    compare_isolation,
+    noisy_neighbor_workload,
+    run_tenancy_mode,
+)
 
 __all__ = [
     "ChaosResult",
     "DRAIN_HORIZON",
     "FleetRunResult",
     "GoodputResult",
+    "IsolationStudy",
     "MAX_EVENTS",
     "PerfReport",
     "RatePoint",
@@ -26,8 +40,10 @@ __all__ = [
     "SCENARIOS",
     "STABILITY_TTFT",
     "ScenarioTiming",
+    "TenancyRunResult",
     "bar_chart",
     "cdf_chart",
+    "compare_isolation",
     "compare_policies",
     "default_chaos_fleet",
     "fleet_goodput_sweep",
@@ -35,12 +51,15 @@ __all__ = [
     "goodput_sweep",
     "latency_table",
     "line_chart",
+    "noisy_neighbor_workload",
     "replica_scaling",
     "run_chaos",
     "run_fleet",
     "run_perf",
     "run_system",
+    "run_tenancy_mode",
     "series",
     "tail_latency_table",
     "throughput_table",
+    "tier_table",
 ]

@@ -127,10 +127,48 @@ def _scenario_chaos(scale: float):
     return payload, result.extras
 
 
+def _scenario_tenancy(scale: float):
+    """WFQ + tiered brownout under the noisy-neighbor workload.
+
+    Exercises the tenancy stack end to end — tagged workload, weighted
+    fair queue, tiered admission, per-tier slicing — and fingerprints the
+    full per-tier report.
+    """
+    from repro.bench.tenancy import (
+        BROWNOUT_CAPACITY,
+        BROWNOUT_TIER_FRACTIONS,
+        noisy_neighbor_workload,
+        run_tenancy_mode,
+        study_tenancy_config,
+    )
+    from repro.tenancy import TieredAdmissionController
+
+    tenancy = study_tenancy_config()
+    cfg = ServingConfig(
+        model=LLAMA_8B, spec=A100, n_gpus=1, queue_policy="wfq", tenancy=tenancy
+    )
+    workload = noisy_neighbor_workload(scale=scale * 0.5, seed=0)
+    from repro.cluster import AdmissionConfig
+
+    fleet = FleetConfig(
+        replicas=1,
+        admission=TieredAdmissionController(
+            AdmissionConfig(max_outstanding_per_replica=BROWNOUT_CAPACITY, mode="queue"),
+            tenancy=tenancy,
+            tier_fractions=BROWNOUT_TIER_FRACTIONS,
+        ),
+    )
+    result = run_tenancy_mode(
+        _factory, cfg, workload, tenancy, fleet, mode="wfq+brownout"
+    )
+    return result.as_dict(), result.extras
+
+
 SCENARIOS: dict[str, Callable] = {
     "single_goodput": _scenario_single,
     "fleet_4_replicas": _scenario_fleet,
     "chaos_4_replicas": _scenario_chaos,
+    "tenancy_wfq_brownout": _scenario_tenancy,
 }
 
 

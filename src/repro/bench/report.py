@@ -69,6 +69,32 @@ def throughput_table(rows: dict[str, RunResult]) -> str:
     return "\n".join(lines)
 
 
+def tier_table(rows: dict[str, list]) -> str:
+    """Per-tier QoS breakdown: one line per (mode, tier) pair.
+
+    ``rows`` maps a mode label to its :class:`~repro.tenancy.TierReport`
+    list (rank order).  Attainments are percentages against each tier's own
+    scaled SLO, so a batch tier at 100% is meeting its *relaxed* targets,
+    not the interactive ones.
+    """
+    header = (
+        f"{'Mode':<14} {'Tier':<12} {'Done/Total':>11} {'TTFT p99':>9} "
+        f"{'TBT p99':>8} {'TTFT att%':>10} {'TBT att%':>9} {'Goodput':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for mode, reports in rows.items():
+        for t in reports:
+            lines.append(
+                f"{mode:<14} {t.tier:<12} "
+                f"{f'{t.requests_finished}/{t.requests_total}':>11} "
+                f"{_fmt(t.ttft_p99, 1.0, 2):>9} {_fmt(t.tbt_p99, 1e3):>8} "
+                f"{_fmt(t.ttft_attainment, 100.0):>10} "
+                f"{_fmt(t.tbt_attainment, 100.0):>9} "
+                f"{_fmt(t.goodput_tokens_per_s, 1.0, 0):>9}"
+            )
+    return "\n".join(lines)
+
+
 def series(label: str, xs: list[float], ys: list[float], x_name: str = "x", y_name: str = "y") -> str:
     """A labelled (x, y) series, one row per point (figure data)."""
     lines = [f"# {label}: {x_name} -> {y_name}"]

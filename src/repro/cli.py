@@ -8,6 +8,7 @@ Subcommands::
     python -m repro cluster    --replicas 4 --policy prefix-affinity --rate 4.0
     python -m repro chaos      --replicas 4 --seed 0   # fault-injection run
     python -m repro perf       --output BENCH_perf.json   # simulator benchmark
+    python -m repro tenancy    --scale 0.5   # multi-tenant QoS isolation study
     python -m repro table1     # Table-1 statistics of the generated traces
     python -m repro specs      # supported models and GPUs
 
@@ -367,6 +368,38 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tenancy(args: argparse.Namespace) -> int:
+    """Noisy-neighbor isolation study: FIFO vs WFQ vs WFQ+tiered-brownout.
+
+    Prints the per-tier QoS table for the isolated reference and every
+    contended mode, then the interactive-tier degradation versus isolated.
+    ``--json`` emits the full machine-readable study instead — the CI
+    tenancy-smoke job parses that to assert interactive-tier attainment
+    stays at or above the batch tier's.
+    """
+    from repro.bench.tenancy import compare_isolation
+    from repro.tenancy import TIER_INTERACTIVE
+
+    study = compare_isolation(scale=args.scale, seed=args.seed)
+    if args.json:
+        print(json.dumps(study.as_dict(), indent=2, sort_keys=True))
+        return 0
+    rows = {"isolated": study.isolated.tiers}
+    rows.update({mode: r.tiers for mode, r in study.contended.items()})
+    from repro.bench import tier_table
+
+    print(tier_table(rows))
+    print()
+    for mode, result in study.contended.items():
+        print(
+            f"{mode:<14} interactive TBT attainment "
+            f"{result.attainment(TIER_INTERACTIVE):6.2f}% "
+            f"({study.degradation(mode):+.2f} pts vs isolated), "
+            f"shed {result.requests_shed}, fairness {result.fairness:.3f}"
+        )
+    return 0
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     seed = args.seed
     workloads = [
@@ -517,6 +550,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail when wall-clock exceeds this factor of the baseline",
     )
     perf_p.set_defaults(func=cmd_perf)
+
+    ten_p = sub.add_parser("tenancy", help="multi-tenant QoS isolation study")
+    ten_p.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
+    ten_p.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    ten_p.add_argument(
+        "--json", action="store_true", help="emit the full study as JSON (machine-readable)"
+    )
+    ten_p.set_defaults(func=cmd_tenancy)
 
     t1_p = sub.add_parser("table1", help="print Table-1 stats of the traces")
     t1_p.add_argument("--seed", type=int, default=0)

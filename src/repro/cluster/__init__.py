@@ -21,12 +21,14 @@ from repro.cluster.router import (
     ROUTER_OVERHEAD,
     ROUTER_TRACK,
     DeliveryNetwork,
+    IngressFilter,
     LeastKVPressurePolicy,
     LeastOutstandingPolicy,
     PrefixAffinityPolicy,
     RoundRobinPolicy,
     Router,
     RoutingPolicy,
+    TenantAffinityPolicy,
     make_policy,
 )
 
@@ -43,6 +45,7 @@ __all__ = [
     "HEALTH_TRACK",
     "HealthConfig",
     "HealthMonitor",
+    "IngressFilter",
     "LeastKVPressurePolicy",
     "LeastOutstandingPolicy",
     "NETWORK_LATENCY",
@@ -55,5 +58,6 @@ __all__ = [
     "RoundRobinPolicy",
     "Router",
     "RoutingPolicy",
+    "TenantAffinityPolicy",
     "make_policy",
 ]

@@ -28,6 +28,7 @@ from repro.serving.metrics import percentile
 
 if TYPE_CHECKING:
     from repro.cluster.fleet import Fleet
+    from repro.workloads.request import Request
 
 
 class Decision(enum.Enum):
@@ -91,6 +92,9 @@ class AdmissionController:
         self.admitted = 0
         self.queued = 0
         self.shed = 0
+        #: Why the most recent :meth:`decide` ruled the way it did
+        #: (``"capacity"``, ``"ttft-divergence"``, subclass-specific reasons).
+        self.last_reason: str | None = None
         self._recent_ttfts: deque[float] = deque(maxlen=self.config.ttft_window)
 
     # ------------------------------------------------------------------ #
@@ -126,17 +130,25 @@ class AdmissionController:
     # Decision
     # ------------------------------------------------------------------ #
 
-    def decide(self, fleet: "Fleet") -> Decision:
-        """Admission decision for one arrival (does not record it)."""
+    def decide(self, fleet: "Fleet", request: "Request | None" = None) -> Decision:
+        """Admission decision for one arrival (does not record it).
+
+        ``request`` lets tenant-aware subclasses differentiate by tier; the
+        base controller ignores it — every arrival is the same class.
+        :attr:`last_reason` explains the outcome for shed accounting.
+        """
         threshold = self.config.ttft_shed_threshold
         if (
             threshold is not None
             and len(self._recent_ttfts) >= _TTFT_MIN_SAMPLES
             and self.recent_ttft_p99() > threshold
         ):
+            self.last_reason = "ttft-divergence"
             return Decision.SHED
         if self.has_capacity(fleet):
+            self.last_reason = "capacity"
             return Decision.ADMIT
+        self.last_reason = "capacity"
         return Decision.SHED if self.config.mode == "shed" else Decision.QUEUE
 
     def note(self, decision: Decision) -> None:

@@ -24,6 +24,7 @@ from repro.cluster.health import HealthConfig, HealthMonitor, RetryPolicy
 from repro.cluster.router import (
     NETWORK_LATENCY,
     ROUTER_OVERHEAD,
+    IngressFilter,
     Router,
     RoutingPolicy,
     make_policy,
@@ -53,7 +54,10 @@ class FleetConfig:
         router_overhead: Modelled routing-decision latency (seconds).
         network_latency: Modelled router-to-replica transfer (seconds).
         admission: Admission-control settings (None disables admission:
-            every arrival is dispatched immediately).
+            every arrival is dispatched immediately).  A pre-built
+            :class:`~repro.cluster.admission.AdmissionController` instance
+            is used as-is — tenant-aware deployments pass a
+            :class:`~repro.tenancy.admission.TieredAdmissionController`.
         autoscaler: Autoscaler settings (None keeps the replica count
             fixed).
         retry: Router delivery-retry/backoff policy (also bounds how often
@@ -61,16 +65,20 @@ class FleetConfig:
         health: Health-watchdog settings (None disables hang detection —
             crash faults are still handled, but a stalled replica is only
             noticed if something else fails it).
+        ingress: Front-door filter applied before routing (e.g. a
+            :class:`~repro.tenancy.ratelimit.TenantRateLimiter`); None
+            admits everything.
     """
 
     replicas: int = 2
     policy: str | RoutingPolicy = "round-robin"
     router_overhead: float = ROUTER_OVERHEAD
     network_latency: float = NETWORK_LATENCY
-    admission: AdmissionConfig | None = None
+    admission: AdmissionConfig | AdmissionController | None = None
     autoscaler: AutoscalerConfig | None = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     health: HealthConfig | None = None
+    ingress: IngressFilter | None = None
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -162,11 +170,12 @@ class Fleet:
         self.failures = 0
         self.restarts = 0
         self.autoscaler: Autoscaler | None = None
-        self.admission = (
-            AdmissionController(self.config.admission)
-            if self.config.admission is not None
-            else None
-        )
+        if self.config.admission is None:
+            self.admission = None
+        elif isinstance(self.config.admission, AdmissionController):
+            self.admission = self.config.admission
+        else:
+            self.admission = AdmissionController(self.config.admission)
         self.router = Router(
             sim,
             self,
@@ -175,6 +184,7 @@ class Fleet:
             overhead=self.config.router_overhead,
             network_latency=self.config.network_latency,
             retry=self.config.retry,
+            ingress=self.config.ingress,
         )
         for _ in range(self.config.replicas):
             self.add_replica()

@@ -20,6 +20,7 @@ Chrome trace.
 from __future__ import annotations
 
 import math
+import zlib
 from abc import ABC, abstractmethod
 from collections import deque
 from typing import TYPE_CHECKING, Protocol, Sequence
@@ -28,7 +29,7 @@ from repro.cluster.admission import AdmissionController, Decision
 from repro.cluster.health import RetryPolicy
 from repro.serving.base import RequestState
 from repro.sim import Simulator
-from repro.trace.tracer import CAT_FAULT, CAT_ROUTER
+from repro.trace.tracer import CAT_FAULT, CAT_ROUTER, CAT_TENANCY, TENANCY_TRACK
 from repro.workloads.request import Request
 
 if TYPE_CHECKING:
@@ -41,6 +42,20 @@ NETWORK_LATENCY = 2e-3
 
 #: Trace track carrying routing decisions and shed/hold/queue occurrences.
 ROUTER_TRACK = "fleet/router"
+
+
+class IngressFilter(Protocol):
+    """Front-door admission hook applied before routing and queueing.
+
+    The multi-tenant rate limiter
+    (:class:`repro.tenancy.ratelimit.TenantRateLimiter`) implements this to
+    charge each arrival against its tenant's token bucket and quota; a
+    ``None`` filter admits everything.
+    """
+
+    def admit(self, request: Request, now: float) -> str | None:
+        """Return ``None`` to pass, or a deny reason to shed the request."""
+        ...
 
 
 class DeliveryNetwork(Protocol):
@@ -128,11 +143,32 @@ class PrefixAffinityPolicy(RoutingPolicy):
         return _least_loaded([replica for score, replica in scored if score == best])
 
 
+class TenantAffinityPolicy(RoutingPolicy):
+    """Pin each tenant to a home replica (soft multi-tenant isolation).
+
+    A tenant's requests land on ``crc32(tenant) mod replicas`` — CRC32, not
+    Python's per-process-seeded ``hash()``, so placement is deterministic
+    across runs.  Pinning concentrates each tenant's prefix reuse on one
+    cache and contains a noisy tenant's queueing damage to its home
+    replica.  When the home replica is unroutable (failed, draining, or the
+    modulus shifted with fleet size) the index wraps within the routable
+    set; untagged requests share the default tenant's home.
+    """
+
+    name = "tenant-affinity"
+
+    def choose(self, replicas: Sequence["Replica"], request: Request) -> "Replica":
+        tenant = request.tenant if request.tenant is not None else "default"
+        slot = zlib.crc32(tenant.encode("utf-8")) % len(replicas)
+        return replicas[slot]
+
+
 POLICIES: dict[str, type[RoutingPolicy]] = {
     RoundRobinPolicy.name: RoundRobinPolicy,
     LeastOutstandingPolicy.name: LeastOutstandingPolicy,
     LeastKVPressurePolicy.name: LeastKVPressurePolicy,
     PrefixAffinityPolicy.name: PrefixAffinityPolicy,
+    TenantAffinityPolicy.name: TenantAffinityPolicy,
 }
 
 
@@ -158,6 +194,7 @@ class Router:
         overhead: float = ROUTER_OVERHEAD,
         network_latency: float = NETWORK_LATENCY,
         retry: RetryPolicy | None = None,
+        ingress: IngressFilter | None = None,
     ) -> None:
         self.sim = sim
         self.fleet = fleet
@@ -166,12 +203,16 @@ class Router:
         self.overhead = overhead
         self.network_latency = network_latency
         self.retry = retry or RetryPolicy()
+        #: Optional per-tenant rate-limit/quota filter at the front door.
+        self.ingress = ingress
         #: Optional lossy-network model (fault injector installs itself).
         self.network: DeliveryNetwork | None = None
         self.queue: deque[Request] = deque()
         self.decisions = 0
         self.arrivals = 0
         self.requests_shed = 0
+        #: Sheds attributable to the ingress filter (subset of shed).
+        self.requests_rate_limited = 0
         self.requests_queued = 0
         self.requests_completed = 0
         self.requests_dropped = 0
@@ -200,6 +241,25 @@ class Router:
         if session in self._shed_sessions:
             self._shed(request, reason="session-shed")
             return
+        if self.ingress is not None:
+            denied = self.ingress.admit(request, self.sim.now)
+            if denied is not None:
+                self.requests_rate_limited += 1
+                tracer = self.sim.tracer
+                if tracer is not None and tracer.enabled:
+                    tracer.instant(
+                        TENANCY_TRACK,
+                        "ingress-deny",
+                        CAT_TENANCY,
+                        self.sim.now,
+                        {
+                            "request": request.request_id,
+                            "tenant": request.tenant or "default",
+                            "reason": denied,
+                        },
+                    )
+                self._shed(request, reason=denied)
+                return
         if turn > self._session_done.get(session, 0):
             # Predecessor still running somewhere in the fleet.
             self._held[(session, turn)] = request
@@ -208,9 +268,15 @@ class Router:
         self._admit(request)
 
     def _admit(self, request: Request) -> None:
-        decision = Decision.ADMIT if self.admission is None else self.admission.decide(self.fleet)
+        if self.admission is None:
+            decision = Decision.ADMIT
+            reason = "overload"
+        else:
+            decision = self.admission.decide(self.fleet, request)
+            reason = self.admission.last_reason or "overload"
         if decision is Decision.QUEUE and len(self.queue) >= self.admission.config.queue_limit:
             decision = Decision.SHED
+            reason = "queue-full"
         if self.admission is not None:
             self.admission.note(decision)
         if decision is Decision.ADMIT:
@@ -220,7 +286,7 @@ class Router:
             self.queue.append(request)
             self._trace_instant("queue", request)
         else:
-            self._shed(request, reason="overload")
+            self._shed(request, reason=reason)
 
     def _shed(self, request: Request, reason: str) -> None:
         self.requests_shed += 1

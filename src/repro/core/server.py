@@ -19,7 +19,6 @@ estimator, and the SLO-aware dispatcher:
 from __future__ import annotations
 
 import math
-from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.engine import MultiplexEngine
@@ -92,7 +91,7 @@ class MuxWiseServer(DecodeBatchMixin):
         self.engine = MultiplexEngine(
             sim, self.instance, cfg, decode_sms=self.partition_options[0], layerwise=layerwise
         )
-        self.waiting: deque[RequestState] = deque()
+        self.waiting = self.make_waiting_queue()
         self.running: list[RequestState] = []
         self.merge_ready: list[RequestState] = []
         self.active_job: PrefillJob | None = None
@@ -263,6 +262,14 @@ class MuxWiseServer(DecodeBatchMixin):
             return
         if self.preempted_job is not None or self._preemptor_state is not None:
             return
+        if self.cfg.tenancy is not None:
+            # QoS precedence: a lower-rank newcomer (e.g. batch) never
+            # preempts a prefill carrying higher-rank work (e.g.
+            # interactive) — its looser tier SLO is not worth the victim's
+            # restart.  Equal ranks fall through to the slack arithmetic.
+            newcomer_rank = self.qos_rank_for(newcomer.request)
+            if any(self.qos_rank_for(s.request) > newcomer_rank for s in job.states):
+                return
         prefill_sms = self._prefill_partition()
         new_items = [
             PrefillItem(
@@ -274,16 +281,18 @@ class MuxWiseServer(DecodeBatchMixin):
         t_active_total = self.estimator.solo_prefill(job.items, prefill_sms)
         t_active_remaining = t_active_total * job.remaining_layers / job.total_layers
         now = self.sim.now
-        slo = self.cfg.slo
-        newcomer_deadline = newcomer.request.arrival_time + slo.ttft_target(
-            newcomer.request.input_tokens
+        # Tier-aware deadlines: with tenancy enabled each request's TTFT
+        # target comes from its tier SLO, so an interactive newcomer has
+        # less slack (preempts sooner) and a batch newcomer more.
+        newcomer_deadline = newcomer.request.arrival_time + self.ttft_target_for(
+            newcomer.request
         )
         waits_too_long = now + t_active_remaining + t_newcomer > newcomer_deadline
         preemption_helps = now + t_newcomer <= newcomer_deadline
         if not (waits_too_long and preemption_helps):
             return
         victim_deadline = min(
-            s.request.arrival_time + slo.ttft_target(s.request.input_tokens)
+            s.request.arrival_time + self.ttft_target_for(s.request)
             for s in job.states
         )
         finish_with_preemption = now + t_newcomer + t_active_remaining

@@ -9,6 +9,7 @@ systems (MuxWise and the baselines) implement scheduling on top via
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
@@ -152,6 +153,38 @@ class ServingSystem(ABC):
         #: recompute-preempts its whole batch (see DecodeBatchMixin).
         self._storm_pending = False
         self.storm_preemptions = 0
+
+    def make_waiting_queue(self):
+        """Build this system's waiting queue per ``cfg.queue_policy``.
+
+        ``"fifo"`` returns a plain :class:`collections.deque` — the exact
+        structure every scheduler used before multi-tenancy, so the default
+        path is byte-identical.  ``"wfq"`` returns a
+        :class:`~repro.tenancy.wfq.WFQQueue` honouring ``cfg.tenancy``
+        weights; it is deque-compatible for every operation the schedulers
+        perform, so they need no changes.
+        """
+        if self.cfg.queue_policy == "wfq":
+            from repro.tenancy.wfq import WFQQueue
+
+            return WFQQueue(self.cfg.tenancy)
+        return deque()
+
+    def ttft_target_for(self, request: Request) -> float:
+        """TTFT deadline of ``request``: tier SLO when tenancy is on.
+
+        With ``cfg.tenancy is None`` this is exactly ``slo.ttft_target`` —
+        the pre-tenancy deadline — so untagged runs are unaffected.
+        """
+        if self.cfg.tenancy is not None:
+            return self.cfg.tenancy.ttft_target(request, self.cfg.slo)
+        return self.cfg.slo.ttft_target(request.input_tokens)
+
+    def qos_rank_for(self, request: Request) -> int:
+        """QoS precedence of ``request``'s tier (0 when tenancy is off)."""
+        if self.cfg.tenancy is not None:
+            return self.cfg.tenancy.rank_of(request)
+        return 0
 
     # ------------------------------------------------------------------ #
     # Workload intake

@@ -4,10 +4,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from repro.gpu.launch import LaunchModel
 from repro.gpu.specs import GPUSpec
 from repro.models.config import ModelConfig
 from repro.serving.slo import SLO, default_slo
+
+if TYPE_CHECKING:
+    # Import cycle: repro.tenancy reaches back into the cluster layer,
+    # which imports serving.base -> serving.config.  The annotation is
+    # enough here; consumers construct the TenancyConfig themselves.
+    from repro.tenancy.model import TenancyConfig
+
+#: Waiting-queue disciplines a serving system can be configured with.
+QUEUE_POLICIES = ("fifo", "wfq")
 
 
 @dataclass
@@ -29,6 +40,14 @@ class ServingConfig:
             from this config.  Fleet deployments run several systems on one
             simulator and use a per-replica prefix (``"r0/"``, ``"r1/"``, …)
             to keep device, host and cache trace tracks distinguishable.
+        queue_policy: Waiting-queue discipline — ``"fifo"`` (a plain deque,
+            the historical behaviour) or ``"wfq"`` (virtual-time weighted
+            fair queueing over prefill token cost, see
+            :class:`repro.tenancy.wfq.WFQQueue`).
+        tenancy: Multi-tenant QoS registry (tiers, weights, per-tier SLO
+            scaling).  ``None`` keeps every tenant-aware branch disabled —
+            the single-tenant fast path is byte-identical to the
+            pre-tenancy stack.
     """
 
     model: ModelConfig
@@ -41,10 +60,16 @@ class ServingConfig:
     max_prefill_batch_tokens: int = 8192
     launch: LaunchModel = field(default_factory=LaunchModel)
     name_prefix: str = ""
+    queue_policy: str = "fifo"
+    tenancy: "TenancyConfig | None" = None
 
     def __post_init__(self) -> None:
         if self.n_gpus < 1:
             raise ValueError("n_gpus must be >= 1")
+        if self.queue_policy not in QUEUE_POLICIES:
+            raise ValueError(
+                f"queue_policy must be one of {QUEUE_POLICIES}, got {self.queue_policy!r}"
+            )
         if self.slo is None:
             self.slo = default_slo(self.model)
 

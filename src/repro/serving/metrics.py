@@ -11,7 +11,7 @@ import math
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from itertools import repeat
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.serving.slo import SLO
 from repro.workloads.request import Request
@@ -208,6 +208,33 @@ class MetricsCollector:
     # ------------------------------------------------------------------ #
     # Aggregation
     # ------------------------------------------------------------------ #
+
+    def sliced(
+        self,
+        predicate: "Callable[[Request], bool]",
+        slo: SLO | None = None,
+        name: str | None = None,
+    ) -> "MetricsCollector":
+        """A sub-collector over the requests matching ``predicate``.
+
+        Records are shared (not copied) and the throughput counters are
+        recomputed from the surviving records.  The observation window is
+        the *parent's* window, so per-slice throughputs are shares of the
+        same elapsed time and sum to the parent's — the multi-tenant
+        accounting slices per tenant/tier this way.  ``slo`` substitutes a
+        different target (e.g. a tier SLO) for the slice's summary.
+        """
+        sub = MetricsCollector(slo if slo is not None else self.slo, name=name or self.name)
+        for request_id, record in self.records.items():
+            if not predicate(record.request):
+                continue
+            sub.records[request_id] = record
+            if record.first_token is not None:
+                sub._prefilled_tokens += record.prefilled_tokens
+                sub._useful_input_tokens += record.request.input_tokens
+        sub._start_time = self._start_time
+        sub._end_time = self._end_time
+        return sub
 
     @property
     def finished_records(self) -> list[RequestRecord]:

@@ -1,0 +1,64 @@
+"""Multi-tenant QoS: SLO tiers, fair queueing, ingress limits, accounting.
+
+The subsystem threads through every serving layer:
+
+* :mod:`repro.tenancy.model` — tenants, tiers (:data:`TIER_INTERACTIVE` /
+  :data:`TIER_STANDARD` / :data:`TIER_BATCH`) and the
+  :class:`TenancyConfig` registry.
+* :mod:`repro.tenancy.wfq` — the weighted-fair waiting queue schedulers
+  plug in via ``ServingConfig(queue_policy="wfq")``.
+* :mod:`repro.tenancy.ratelimit` — per-tenant token buckets and quotas at
+  the router's front door.
+* :mod:`repro.tenancy.admission` — tiered brownout (shed batch first).
+* :mod:`repro.tenancy.accounting` — per-tier SLO attainment, goodput and
+  Jain's fairness over a run's metrics.
+
+Untagged workloads resolve to one default tenant and, with the default
+``queue_policy="fifo"``, take a fast path byte-identical to the
+pre-tenancy stack — the fingerprint invariant
+(:mod:`repro.bench.perf`) guards this.
+"""
+
+from repro.tenancy.accounting import (
+    TierReport,
+    jain_fairness_index,
+    tenant_usage,
+    tier_report,
+    tier_reports,
+    weighted_fairness,
+)
+from repro.tenancy.admission import TieredAdmissionController
+from repro.tenancy.model import (
+    DEFAULT_TENANT,
+    TIER_BATCH,
+    TIER_INTERACTIVE,
+    TIER_STANDARD,
+    TenancyConfig,
+    Tenant,
+    TenantClass,
+    default_classes,
+)
+from repro.tenancy.ratelimit import TenantRateLimiter, TenantUsage, TokenBucket
+from repro.tenancy.wfq import WFQQueue
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "TIER_BATCH",
+    "TIER_INTERACTIVE",
+    "TIER_STANDARD",
+    "Tenant",
+    "TenantClass",
+    "TenancyConfig",
+    "TenantRateLimiter",
+    "TenantUsage",
+    "TierReport",
+    "TieredAdmissionController",
+    "TokenBucket",
+    "WFQQueue",
+    "default_classes",
+    "jain_fairness_index",
+    "tenant_usage",
+    "tier_report",
+    "tier_reports",
+    "weighted_fairness",
+]

@@ -1,0 +1,177 @@
+"""Per-tenant / per-tier goodput accounting and fairness indices.
+
+Slices one run's :class:`~repro.serving.metrics.MetricsCollector` by tier
+and by tenant — the per-class view the fleet-level summary cannot give.
+Each tier is judged against *its own* SLO (the tier-scaled deployment SLO),
+so a batch request streaming at 150 ms/token can be perfectly "good" while
+the same gap on an interactive request is an SLO miss.
+
+Definitions:
+
+* **Tier SLO attainment** — fraction of the tier's TBT samples within the
+  tier's TBT target, and fraction of its started requests whose TTFT made
+  the tier's (length-dependent) TTFT target.
+* **Tier goodput** — useful tokens/s (input + output of *finished*
+  requests) delivered inside the tier's SLO: a request only contributes if
+  it finished, its TTFT met the target, and its own P99 token gap met the
+  tier TBT.
+* **Jain's fairness index** — over per-tenant weight-normalised useful
+  service ``x_i = useful_tokens_i / weight_i``:
+  ``J = (Σx)² / (n·Σx²)`` ∈ (0, 1], 1 = perfectly weighted-fair.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.serving.metrics import MetricsCollector, RequestRecord, percentile
+from repro.serving.slo import SLO
+from repro.tenancy.model import TenancyConfig
+
+
+def jain_fairness_index(shares: list[float]) -> float:
+    """Jain's index of a list of non-negative service shares (NaN if empty)."""
+    if not shares:
+        return math.nan
+    total = sum(shares)
+    squares = sum(share * share for share in shares)
+    if squares == 0.0:
+        return 1.0
+    return (total * total) / (len(shares) * squares)
+
+
+@dataclass
+class TierReport:
+    """One tier's slice of a run."""
+
+    tier: str
+    slo: SLO
+    requests_total: int
+    requests_finished: int
+    ttft_p99: float
+    tbt_p99: float
+    tbt_attainment: float
+    ttft_attainment: float
+    goodput_tokens_per_s: float
+    useful_tokens: int
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "tier": self.tier,
+            "requests_total": self.requests_total,
+            "requests_finished": self.requests_finished,
+            "ttft_p99": self.ttft_p99,
+            "tbt_p99": self.tbt_p99,
+            "tbt_attainment": self.tbt_attainment,
+            "ttft_attainment": self.ttft_attainment,
+            "goodput_tokens_per_s": self.goodput_tokens_per_s,
+            "useful_tokens": self.useful_tokens,
+        }
+
+
+def _record_meets_slo(record: RequestRecord, slo: SLO) -> bool:
+    """Whether one finished request individually met ``slo``."""
+    target = slo.ttft_target(record.request.input_tokens)
+    if math.isnan(record.ttft) or record.ttft > target:
+        return False
+    if record.token_gaps:
+        gap_p99 = percentile(record.token_gaps, slo.attainment_percentile)
+        if gap_p99 > slo.tbt:
+            return False
+    return True
+
+
+def tier_report(
+    collector: MetricsCollector, tier: str, slo: SLO
+) -> TierReport:
+    """Summarise one (already tier-sliced) collector against a tier SLO."""
+    summary = collector.summarize()
+    started = [r for r in collector.records.values() if r.first_token is not None]
+    ttft_ok = sum(
+        1 for r in started if r.ttft <= slo.ttft_target(r.request.input_tokens)
+    )
+    good_tokens = 0
+    for record in collector.finished_records:
+        if _record_meets_slo(record, slo):
+            good_tokens += record.request.input_tokens + record.tokens_emitted
+    elapsed = 0.0
+    if collector._start_time is not None and collector._end_time is not None:
+        elapsed = max(1e-9, collector._end_time - collector._start_time)
+    useful = sum(
+        r.request.input_tokens + r.tokens_emitted for r in collector.finished_records
+    )
+    return TierReport(
+        tier=tier,
+        slo=slo,
+        requests_total=summary.requests_total,
+        requests_finished=summary.requests_finished,
+        ttft_p99=summary.ttft_p99,
+        tbt_p99=summary.tbt_p99,
+        tbt_attainment=summary.tbt_attainment,
+        ttft_attainment=ttft_ok / len(started) if started else math.nan,
+        goodput_tokens_per_s=good_tokens / elapsed if elapsed else 0.0,
+        useful_tokens=useful,
+    )
+
+
+def tier_reports(
+    collector: MetricsCollector, tenancy: TenancyConfig, base_slo: SLO
+) -> list[TierReport]:
+    """Per-tier reports of one run, highest QoS rank first.
+
+    Tiers with no traffic are omitted — a report full of NaN rows helps
+    nobody.  Each tier's slice is summarised against the tier-scaled SLO.
+    """
+    reports: list[TierReport] = []
+    for tier in tenancy.tier_names():
+        slo = tenancy.tier_slo(tier, base_slo)
+        sliced = collector.sliced(
+            lambda request, t=tier: tenancy.tier_of(request) == t,
+            slo=slo,
+            name=f"{collector.name}:{tier}",
+        )
+        if not sliced.records:
+            continue
+        reports.append(tier_report(sliced, tier, slo))
+    return reports
+
+
+def tenant_usage(
+    collector: MetricsCollector, tenancy: TenancyConfig
+) -> dict[str, int]:
+    """Useful tokens delivered per tenant (finished requests only)."""
+    usage: dict[str, int] = {}
+    for record in collector.finished_records:
+        tenant = tenancy.tenant_of(record.request)
+        usage[tenant] = (
+            usage.get(tenant, 0) + record.request.input_tokens + record.tokens_emitted
+        )
+    return usage
+
+
+def weighted_fairness(
+    collector: MetricsCollector, tenancy: TenancyConfig
+) -> float:
+    """Jain's index over weight-normalised per-tenant useful service.
+
+    Only tenants that received *any* service participate: a tenant whose
+    every request was shed contributes nothing here (its starvation shows
+    up in shed counts, not in the fairness of the service that was given).
+    """
+    usage = tenant_usage(collector, tenancy)
+    shares: list[float] = []
+    for tenant, tokens in sorted(usage.items()):
+        request = _TenantProbe(tenant)
+        shares.append(tokens / tenancy.weight_of(request))
+    return jain_fairness_index(shares)
+
+
+class _TenantProbe:
+    """Minimal request stand-in for tenant-keyed config lookups."""
+
+    __slots__ = ("tenant", "tier")
+
+    def __init__(self, tenant: str) -> None:
+        self.tenant = tenant
+        self.tier = None

@@ -1,0 +1,96 @@
+"""Tenant-aware fleet admission: tiered brownout instead of uniform shed.
+
+The base :class:`~repro.cluster.admission.AdmissionController` treats every
+arrival the same, so an overload sheds interactive chat and batch jobs with
+equal probability.  The tiered controller browns out *by QoS rank*: each
+rank gets a fraction of the fleet's in-flight budget, ascending with rank.
+As utilisation climbs, batch-tier arrivals hit their (lowest) threshold and
+are shed first, then standard, and interactive traffic keeps the full
+budget — exactly the degradation order an operator wants.
+
+Decision reasons (``last_reason``) distinguish the paths:
+``"tier-brownout:<tier>"`` for a tier shed above its fraction,
+``"ttft-divergence"`` and ``"capacity"`` as in the base controller.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cluster.admission import (
+    _TTFT_MIN_SAMPLES,
+    AdmissionConfig,
+    AdmissionController,
+    Decision,
+)
+from repro.tenancy.model import TenancyConfig
+
+if TYPE_CHECKING:
+    from repro.cluster.fleet import Fleet
+    from repro.workloads.request import Request
+
+#: Default fraction of the in-flight budget available to each QoS rank,
+#: lowest rank first.  Ranks beyond the list get the full budget (1.0).
+DEFAULT_TIER_FRACTIONS = (0.5, 0.8)
+
+
+class TieredAdmissionController(AdmissionController):
+    """Admission controller that sheds low-QoS tiers first.
+
+    Args:
+        config: Base capacity/TTFT tuning (shared with the plain controller).
+        tenancy: Tier registry used to rank each request.
+        tier_fractions: ``tier_fractions[rank]`` is the fraction of the
+            fleet budget rank-``rank`` traffic may occupy before being shed;
+            ranks past the end of the sequence are unrestricted.  Must be
+            non-decreasing — a higher QoS rank never gets less headroom.
+    """
+
+    def __init__(
+        self,
+        config: AdmissionConfig | None = None,
+        tenancy: TenancyConfig | None = None,
+        tier_fractions: tuple[float, ...] = DEFAULT_TIER_FRACTIONS,
+    ) -> None:
+        super().__init__(config)
+        self.tenancy = tenancy if tenancy is not None else TenancyConfig()
+        for fraction in tier_fractions:
+            if not 0.0 < fraction <= 1.0:
+                raise ValueError("tier_fractions must be in (0, 1]")
+        if any(a > b for a, b in zip(tier_fractions, tier_fractions[1:])):
+            raise ValueError("tier_fractions must be non-decreasing with rank")
+        self.tier_fractions = tier_fractions
+        #: Shed count per tier name (brownout accounting).
+        self.shed_by_tier: dict[str, int] = {}
+
+    def _fraction_for_rank(self, rank: int) -> float:
+        if 0 <= rank < len(self.tier_fractions):
+            return self.tier_fractions[rank]
+        return 1.0
+
+    def decide(self, fleet: "Fleet", request: "Request | None" = None) -> Decision:
+        if request is not None:
+            rank = self.tenancy.rank_of(request)
+            fraction = self._fraction_for_rank(rank)
+            if fraction < 1.0:
+                budget = max(1, int(self.capacity(fleet) * fraction))
+                if fleet.total_outstanding() >= budget:
+                    tier = self.tenancy.tier_of(request)
+                    self.last_reason = f"tier-brownout:{tier}"
+                    self.shed_by_tier[tier] = self.shed_by_tier.get(tier, 0) + 1
+                    return Decision.SHED
+            # Low-rank traffic also sheds (never queues) on TTFT divergence:
+            # queueing a batch job behind a diverging fleet only steals the
+            # recovery headroom from the tiers the brownout protects.
+            threshold = self.config.ttft_shed_threshold
+            if (
+                fraction < 1.0
+                and threshold is not None
+                and len(self._recent_ttfts) >= _TTFT_MIN_SAMPLES
+                and self.recent_ttft_p99() > threshold
+            ):
+                tier = self.tenancy.tier_of(request)
+                self.last_reason = f"tier-brownout:{tier}"
+                self.shed_by_tier[tier] = self.shed_by_tier.get(tier, 0) + 1
+                return Decision.SHED
+        return super().decide(fleet, request)

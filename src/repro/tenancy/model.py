@@ -1,0 +1,209 @@
+"""Tenant and SLO-tier model for multi-tenant QoS.
+
+A production fleet multiplexes many tenants with different service
+expectations: interactive chat needs tight TTFT/TBT, agent pipelines
+tolerate seconds, batch jobs only need eventual throughput.  This module
+gives those classes a first-class shape:
+
+* :class:`TenantClass` — one SLO *tier* (``interactive``/``standard``/
+  ``batch`` by default): a WFQ weight, a QoS rank (brownout sheds low ranks
+  first) and per-tier SLO scale factors applied to the deployment SLO.
+* :class:`Tenant` — one customer: its tier, an optional weight override and
+  optional ingress limits (token-bucket rate and absolute quota).
+* :class:`TenancyConfig` — the registry both the schedulers and the
+  accounting slice against.  Lookups accept *requests*: an untagged request
+  (``tenant is None``) resolves to :data:`DEFAULT_TENANT` in the default
+  tier, so single-tenant workloads flow through unchanged.
+
+The config is deliberately static and deterministic — it is part of the
+experiment definition, like :class:`~repro.serving.config.ServingConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.serving.slo import SLO
+
+if TYPE_CHECKING:
+    from repro.workloads.request import Request
+
+#: Canonical tier names.  Any string is a legal tier; these three are the
+#: defaults every study uses.
+TIER_INTERACTIVE = "interactive"
+TIER_STANDARD = "standard"
+TIER_BATCH = "batch"
+
+#: Tenant id every untagged request resolves to.
+DEFAULT_TENANT = "default"
+
+
+@dataclass(frozen=True)
+class TenantClass:
+    """One SLO tier shared by every tenant assigned to it.
+
+    Attributes:
+        name: Tier name (``"interactive"``, ``"batch"``, ...).
+        weight: Weighted-fair-queueing weight; service received is
+            proportional to this under contention.
+        rank: QoS precedence — tiered brownout sheds the lowest rank first,
+            and a lower-rank newcomer never preempts a higher-rank prefill.
+        tbt_scale: Tier TBT target as a multiple of the deployment SLO.
+        ttft_scale: Tier TTFT target as a multiple of the deployment SLO.
+    """
+
+    name: str
+    weight: float = 1.0
+    rank: int = 0
+    tbt_scale: float = 1.0
+    ttft_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("tier weight must be positive")
+        if self.tbt_scale <= 0 or self.ttft_scale <= 0:
+            raise ValueError("tier SLO scales must be positive")
+
+    def slo(self, base: SLO) -> SLO:
+        """This tier's SLO derived from the deployment SLO."""
+        if self.tbt_scale == 1.0 and self.ttft_scale == 1.0:
+            return base
+        return SLO(
+            tbt=base.tbt * self.tbt_scale,
+            ttft=base.ttft * self.ttft_scale,
+            ttft_per_token=(
+                None
+                if base.ttft_per_token is None
+                else base.ttft_per_token * self.ttft_scale
+            ),
+            attainment_percentile=base.attainment_percentile,
+        )
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One tenant: identity, tier membership and ingress limits.
+
+    Attributes:
+        name: Tenant id (matches ``Request.tenant`` tags).
+        tier: Tier this tenant belongs to.
+        weight: WFQ weight override; None inherits the tier weight.
+        rate_tokens_per_s: Token-bucket refill rate for ingress rate
+            limiting (input tokens per second); None means unlimited.
+        burst_tokens: Token-bucket depth; None defaults to one second of
+            refill.
+        quota_tokens: Absolute cap on admitted input tokens over a run
+            (billing-style hard quota); None means unlimited.
+    """
+
+    name: str
+    tier: str = TIER_STANDARD
+    weight: float | None = None
+    rate_tokens_per_s: float | None = None
+    burst_tokens: float | None = None
+    quota_tokens: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.weight is not None and self.weight <= 0:
+            raise ValueError("tenant weight must be positive")
+        if self.rate_tokens_per_s is not None and self.rate_tokens_per_s <= 0:
+            raise ValueError("rate_tokens_per_s must be positive")
+        if self.burst_tokens is not None and self.burst_tokens <= 0:
+            raise ValueError("burst_tokens must be positive")
+        if self.quota_tokens is not None and self.quota_tokens <= 0:
+            raise ValueError("quota_tokens must be positive")
+
+
+def default_classes() -> dict[str, TenantClass]:
+    """The canonical three-tier ladder.
+
+    Interactive outweighs standard outweighs batch 4:2:1; interactive gets
+    half the deployment TTFT target, batch gets a 4x TBT / 10x TTFT
+    allowance (it cares about completion, not streaming latency).
+    """
+    return {
+        TIER_INTERACTIVE: TenantClass(
+            TIER_INTERACTIVE, weight=4.0, rank=2, ttft_scale=0.5
+        ),
+        TIER_STANDARD: TenantClass(TIER_STANDARD, weight=2.0, rank=1),
+        TIER_BATCH: TenantClass(
+            TIER_BATCH, weight=1.0, rank=0, tbt_scale=4.0, ttft_scale=10.0
+        ),
+    }
+
+
+@dataclass
+class TenancyConfig:
+    """Registry of tiers and tenants for one deployment.
+
+    Unknown tenants (tags with no :class:`Tenant` entry) are legal — they
+    land in ``default_tier`` with the tier's weight, so a study can tag
+    requests without pre-registering every tenant.  Unknown *tiers* are an
+    error at construction time: a typo in a tier name must not silently
+    create an unweighted class.
+    """
+
+    classes: dict[str, TenantClass] = field(default_factory=default_classes)
+    tenants: dict[str, Tenant] = field(default_factory=dict)
+    default_tier: str = TIER_STANDARD
+
+    def __post_init__(self) -> None:
+        if self.default_tier not in self.classes:
+            raise ValueError(f"default_tier {self.default_tier!r} is not a class")
+        for name, cls in self.classes.items():
+            if name != cls.name:
+                raise ValueError(f"class key {name!r} != class name {cls.name!r}")
+        for name, tenant in self.tenants.items():
+            if name != tenant.name:
+                raise ValueError(f"tenant key {name!r} != tenant name {tenant.name!r}")
+            if tenant.tier not in self.classes:
+                raise ValueError(
+                    f"tenant {name!r} references unknown tier {tenant.tier!r}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Request resolution
+    # ------------------------------------------------------------------ #
+
+    def tenant_of(self, request: "Request") -> str:
+        """Effective tenant id (untagged → :data:`DEFAULT_TENANT`)."""
+        return request.tenant if request.tenant is not None else DEFAULT_TENANT
+
+    def tier_of(self, request: "Request") -> str:
+        """Effective tier: explicit tag, else tenant's tier, else default."""
+        if request.tier is not None and request.tier in self.classes:
+            return request.tier
+        tenant = self.tenants.get(self.tenant_of(request))
+        if tenant is not None:
+            return tenant.tier
+        return self.default_tier
+
+    def class_of(self, tier: str) -> TenantClass:
+        """The :class:`TenantClass` of ``tier`` (default class if unknown)."""
+        return self.classes.get(tier) or self.classes[self.default_tier]
+
+    def weight_of(self, request: "Request") -> float:
+        """WFQ weight: tenant override, else tier weight."""
+        tenant = self.tenants.get(self.tenant_of(request))
+        if tenant is not None and tenant.weight is not None:
+            return tenant.weight
+        return self.class_of(self.tier_of(request)).weight
+
+    def rank_of(self, request: "Request") -> int:
+        """QoS rank of the request's tier (brownout/preemption precedence)."""
+        return self.class_of(self.tier_of(request)).rank
+
+    def tier_slo(self, tier: str, base: SLO) -> SLO:
+        """Tier SLO derived from the deployment SLO."""
+        return self.class_of(tier).slo(base)
+
+    def ttft_target(self, request: "Request", base: SLO) -> float:
+        """TTFT deadline of one request under its tier's SLO."""
+        return self.tier_slo(self.tier_of(request), base).ttft_target(
+            request.input_tokens
+        )
+
+    def tier_names(self) -> list[str]:
+        """Tier names, highest QoS rank first (report row order)."""
+        return sorted(self.classes, key=lambda t: (-self.classes[t].rank, t))

@@ -1,0 +1,141 @@
+"""Weighted fair queueing over prefill token cost.
+
+Start-time fair queueing (SFQ) variant: each enqueued request gets a
+*start tag* ``S = max(V, F_tenant)`` and a *finish tag*
+``F = S + cost / weight`` where ``V`` is the queue's virtual time (the
+start tag of the last request dispatched), ``F_tenant`` the finish tag of
+the tenant's previous request, ``cost`` the request's prefill token cost
+(total input tokens) and ``weight`` the tenant's WFQ weight.  Requests
+dispatch in ascending finish-tag order, which bounds each tenant's service
+share to ``weight / Σ weights`` under backlog while letting idle tenants'
+unused share flow to the busy ones.
+
+Virtual time is driven by dispatches, not wall-clock, so the discipline is
+deterministic: the same arrival order always yields the same dispatch
+order (ties broken by enqueue sequence number).
+
+The class is deque-compatible for the subset of operations the serving
+systems use on their waiting queues (``append``/``appendleft``/
+``popleft``/``[0]``/``remove``/``in``/``len``/iteration), so it plugs into
+every scheduler without touching their dispatch loops.  ``appendleft`` is
+the schedulers' "put back at the head" operation (recompute-preemption,
+failed admission); those requests bypass the fair-queue heap via a front
+lane — they already won arbitration once and must not pay for it twice.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING, Iterator
+
+from repro.tenancy.model import TenancyConfig
+
+if TYPE_CHECKING:
+    from repro.serving.base import RequestState
+
+
+class WFQQueue:
+    """Virtual-time weighted-fair waiting queue of :class:`RequestState`."""
+
+    def __init__(self, tenancy: TenancyConfig | None = None) -> None:
+        self.tenancy = tenancy if tenancy is not None else TenancyConfig()
+        #: Re-queued (preempted / didn't-fit) requests, served before the heap.
+        self._front: deque["RequestState"] = deque()
+        #: Min-heap of (finish_tag, seq, start_tag, state).
+        self._heap: list[tuple[float, int, float, "RequestState"]] = []
+        #: Entries logically removed from the heap (lazy deletion).
+        self._removed: set[int] = set()
+        self._live = 0
+        self._seq = 0
+        self._virtual_time = 0.0
+        self._tenant_finish: dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # deque-compatible interface
+    # ------------------------------------------------------------------ #
+
+    def append(self, state: "RequestState") -> None:
+        """Enqueue a fresh request under its tenant's fair share."""
+        tenant = self.tenancy.tenant_of(state.request)
+        weight = self.tenancy.weight_of(state.request)
+        cost = max(1, state.request.input_tokens)
+        start = max(self._virtual_time, self._tenant_finish.get(tenant, 0.0))
+        finish = start + cost / weight
+        self._tenant_finish[tenant] = finish
+        heapq.heappush(self._heap, (finish, self._seq, start, state))
+        self._seq += 1
+        self._live += 1
+
+    def appendleft(self, state: "RequestState") -> None:
+        """Re-queue at the head (preemption put-back); bypasses arbitration."""
+        self._front.appendleft(state)
+        self._live += 1
+
+    def popleft(self) -> "RequestState":
+        """Dequeue the next request (front lane first, then min finish tag)."""
+        if self._front:
+            self._live -= 1
+            return self._front.popleft()
+        self._compact()
+        if not self._heap:
+            raise IndexError("pop from an empty WFQQueue")
+        finish, _, start, state = heapq.heappop(self._heap)
+        # SFQ virtual time: the start tag of the request entering service
+        # (max() keeps it monotone under same-finish ties).
+        self._virtual_time = max(self._virtual_time, start)
+        self._live -= 1
+        return state
+
+    def remove(self, state: "RequestState") -> None:
+        """Remove a specific queued request (used by targeted preemption)."""
+        try:
+            self._front.remove(state)
+            self._live -= 1
+            return
+        except ValueError:
+            pass
+        for entry in self._heap:
+            if entry[3] is state and entry[1] not in self._removed:
+                self._removed.add(entry[1])
+                self._live -= 1
+                return
+        raise ValueError("WFQQueue.remove(state): state not in queue")
+
+    def __getitem__(self, index: int) -> "RequestState":
+        if index != 0:
+            raise IndexError("WFQQueue only supports peeking at index 0")
+        if self._front:
+            return self._front[0]
+        self._compact()
+        if not self._heap:
+            raise IndexError("peek into an empty WFQQueue")
+        return self._heap[0][3]
+
+    def __contains__(self, state: object) -> bool:
+        if state in self._front:
+            return True
+        return any(
+            entry[3] is state and entry[1] not in self._removed for entry in self._heap
+        )
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def __iter__(self) -> Iterator["RequestState"]:
+        """Iterate in dispatch order (front lane, then ascending finish tag)."""
+        yield from self._front
+        for _, seq, _, state in sorted(self._heap, key=lambda e: (e[0], e[1])):
+            if seq not in self._removed:
+                yield state
+
+    # ------------------------------------------------------------------ #
+
+    def _compact(self) -> None:
+        """Drop lazily-removed entries sitting at the heap top."""
+        while self._heap and self._heap[0][1] in self._removed:
+            self._removed.discard(self._heap[0][1])
+            heapq.heappop(self._heap)

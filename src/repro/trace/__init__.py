@@ -34,6 +34,8 @@ from repro.trace.tracer import (
     CAT_LAUNCH,
     CAT_LIFECYCLE,
     CAT_SCHED,
+    CAT_TENANCY,
+    TENANCY_TRACK,
     TraceEvent,
     Tracer,
     bubble_ratio_from_spans,
@@ -48,6 +50,8 @@ __all__ = [
     "CAT_LAUNCH",
     "CAT_LIFECYCLE",
     "CAT_SCHED",
+    "CAT_TENANCY",
+    "TENANCY_TRACK",
     "TraceEvent",
     "Tracer",
     "bubble_ratio_from_spans",

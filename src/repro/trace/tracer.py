@@ -45,6 +45,11 @@ CAT_SCHED = "sched"
 CAT_BANDWIDTH = "bandwidth"
 CAT_ROUTER = "router"
 CAT_FAULT = "fault"
+CAT_TENANCY = "tenancy"
+
+#: Trace track carrying multi-tenant QoS occurrences (rate-limit denials,
+#: quota exhaustion, tiered-brownout sheds), one row for the whole fleet.
+TENANCY_TRACK = "fleet/tenancy"
 
 
 @dataclass(slots=True)

@@ -7,10 +7,12 @@ from repro.workloads.arrival import (
     profile_peak_to_mean,
 )
 from repro.workloads.distributions import BoundedLengths, sample_turns
-from repro.workloads.request import Request, Workload
+from repro.workloads.request import Request, Workload, request_id_allocator
 from repro.workloads.serialization import load_workload, save_records, save_workload
 from repro.workloads.stats import LengthStats, WorkloadStats, table1, workload_stats
 from repro.workloads.traces import (
+    TenantMix,
+    combine_workloads,
     conversation_workload,
     loogle_workload,
     mixed_workload,
@@ -18,6 +20,7 @@ from repro.workloads.traces import (
     poissonized,
     realworld_trace,
     sharegpt_workload,
+    tag_workload,
     toolagent_workload,
 )
 
@@ -28,7 +31,9 @@ __all__ = [
     "arrivals_from_profile",
     "LengthStats",
     "WorkloadStats",
+    "TenantMix",
     "bursty_rate_profile",
+    "combine_workloads",
     "conversation_workload",
     "loogle_workload",
     "mixed_workload",
@@ -37,7 +42,9 @@ __all__ = [
     "poissonized",
     "profile_peak_to_mean",
     "realworld_trace",
+    "request_id_allocator",
     "sharegpt_workload",
+    "tag_workload",
     "load_workload",
     "save_records",
     "save_workload",

@@ -14,7 +14,24 @@ from dataclasses import dataclass, field
 
 from repro.kvcache.radix import Segment, new_segment
 
+#: Fallback id source for requests built without an explicit ``request_id``
+#: (ad-hoc construction in tests and examples).  The trace generators do NOT
+#: use it: they allocate ids from a per-workload counter so that two
+#: identically-seeded workloads built back-to-back in one process get
+#: identical ids — workload construction order must never leak into results.
 _request_ids = itertools.count()
+
+
+def request_id_allocator() -> itertools.count:
+    """A fresh per-workload request-id counter (ids start at 0).
+
+    Every trace generator draws from its own allocator, making generated
+    workloads self-contained: the ids depend only on the generator's
+    arguments, not on what else the process built before.  Workloads with
+    overlapping id ranges must be renumbered before being served together —
+    see :func:`repro.workloads.traces.combine_workloads`.
+    """
+    return itertools.count()
 
 
 @dataclass
@@ -22,7 +39,7 @@ class Request:
     """One serving request (a single turn).
 
     Attributes:
-        request_id: Globally unique id.
+        request_id: Unique id within the workload being served.
         session_id: Conversation/session the turn belongs to.
         turn_index: 0-based turn number within the session.
         arrival_time: Absolute arrival time (seconds).
@@ -32,6 +49,11 @@ class Request:
         output_tokens: Number of tokens the model will generate.
         output_segment: Identity of the generated segment (length grows to
             ``output_tokens`` as decode proceeds; later turns reference it).
+        tenant: Owning tenant id (multi-tenant QoS); None means untagged,
+            which every serving layer treats as the default tenant.
+        tier: SLO tier name (e.g. ``"interactive"``/``"standard"``/
+            ``"batch"``); None falls back to the tenant's tier, or the
+            default tier for untagged traffic.
     """
 
     session_id: int
@@ -42,6 +64,8 @@ class Request:
     output_tokens: int
     request_id: int = field(default_factory=lambda: next(_request_ids))
     output_segment: Segment = field(default=None)  # type: ignore[assignment]
+    tenant: str | None = None
+    tier: str | None = None
 
     def __post_init__(self) -> None:
         if self.output_tokens < 1:

@@ -17,10 +17,20 @@ from typing import Iterable
 from repro.kvcache.radix import Segment
 from repro.workloads.request import Request, Workload
 
+#: Current on-disk schema.  v1 (implicit — headers without a ``schema``
+#: key) predates tenant tags; v2 adds optional ``tenant``/``tier`` fields.
+#: Loading stays backward compatible: missing fields mean the default
+#: (untagged) tenant.
+SCHEMA_VERSION = 2
+
 
 def request_to_dict(request: Request) -> dict:
-    """JSON-serialisable view of one request."""
-    return {
+    """JSON-serialisable view of one request.
+
+    Tenant tags are emitted only when set, so untagged workloads serialise
+    to exactly the bytes the pre-tenancy writer produced.
+    """
+    data = {
         "request_id": request.request_id,
         "session_id": request.session_id,
         "turn_index": request.turn_index,
@@ -30,10 +40,19 @@ def request_to_dict(request: Request) -> dict:
         "output_tokens": request.output_tokens,
         "output_segment": [request.output_segment.uid, request.output_segment.tokens],
     }
+    if request.tenant is not None:
+        data["tenant"] = request.tenant
+    if request.tier is not None:
+        data["tier"] = request.tier
+    return data
 
 
 def request_from_dict(data: dict) -> Request:
-    """Rebuild a request; segment uids are preserved verbatim."""
+    """Rebuild a request; segment uids are preserved verbatim.
+
+    Pre-v2 rows carry no tenant fields; they load as untagged (default
+    tenant) requests.
+    """
     return Request(
         session_id=data["session_id"],
         turn_index=data["turn_index"],
@@ -45,6 +64,8 @@ def request_from_dict(data: dict) -> Request:
         output_segment=Segment(
             uid=data["output_segment"][0], tokens=data["output_segment"][1]
         ),
+        tenant=data.get("tenant"),
+        tier=data.get("tier"),
     )
 
 
@@ -52,7 +73,9 @@ def save_workload(workload: Workload, path: str | Path) -> None:
     """Write a workload as JSONL (one request per line, header first)."""
     path = Path(path)
     with path.open("w") as handle:
-        handle.write(json.dumps({"workload": workload.name}) + "\n")
+        handle.write(
+            json.dumps({"workload": workload.name, "schema": SCHEMA_VERSION}) + "\n"
+        )
         for request in workload:
             handle.write(json.dumps(request_to_dict(request)) + "\n")
 
@@ -67,6 +90,12 @@ def load_workload(path: str | Path) -> Workload:
     header = json.loads(lines[0])
     if "workload" not in header:
         raise ValueError(f"{path}: missing workload header")
+    schema = header.get("schema", 1)
+    if not isinstance(schema, int) or schema < 1 or schema > SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported workload schema {schema!r} "
+            f"(this reader handles 1..{SCHEMA_VERSION})"
+        )
     requests = [request_from_dict(json.loads(line)) for line in lines[1:]]
     return Workload(name=header["workload"], requests=requests)
 

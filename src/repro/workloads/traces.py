@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import random
 
+from dataclasses import replace
+
 from repro.kvcache.radix import Segment, new_segment
 from repro.workloads import distributions as dist
 from repro.workloads.arrival import (
@@ -25,7 +27,7 @@ from repro.workloads.arrival import (
     bursty_rate_profile,
     poisson_arrivals,
 )
-from repro.workloads.request import Request, Workload
+from repro.workloads.request import Request, Workload, request_id_allocator
 
 #: Seconds per generated token assumed when spacing turns of a session
 #: (a user cannot reply before the previous answer streamed out).
@@ -37,6 +39,7 @@ THINK_TIME_MEAN = 8.0
 def sharegpt_workload(num_requests: int, rate: float, seed: int = 0) -> Workload:
     """Single-turn chatbot trace: moderate inputs and outputs."""
     rng = random.Random(seed)
+    ids = request_id_allocator()
     arrivals = poisson_arrivals(rng, rate, num_requests)
     requests = [
         Request(
@@ -46,6 +49,7 @@ def sharegpt_workload(num_requests: int, rate: float, seed: int = 0) -> Workload
             history=[],
             new_input=new_segment(dist.SHAREGPT_INPUT.sample(rng)),
             output_tokens=dist.SHAREGPT_OUTPUT.sample(rng),
+            request_id=next(ids),
         )
         for i, t in enumerate(arrivals)
     ]
@@ -55,6 +59,7 @@ def sharegpt_workload(num_requests: int, rate: float, seed: int = 0) -> Workload
 def loogle_workload(num_requests: int, rate: float, seed: int = 0) -> Workload:
     """Long-context understanding: ultra-long inputs, short outputs."""
     rng = random.Random(seed)
+    ids = request_id_allocator()
     arrivals = poisson_arrivals(rng, rate, num_requests)
     requests = [
         Request(
@@ -64,6 +69,7 @@ def loogle_workload(num_requests: int, rate: float, seed: int = 0) -> Workload:
             history=[],
             new_input=new_segment(dist.LOOGLE_INPUT.sample(rng)),
             output_tokens=dist.LOOGLE_OUTPUT.sample(rng),
+            request_id=next(ids),
         )
         for i, t in enumerate(arrivals)
     ]
@@ -73,6 +79,7 @@ def loogle_workload(num_requests: int, rate: float, seed: int = 0) -> Workload:
 def openthoughts_workload(num_requests: int, rate: float, seed: int = 0) -> Workload:
     """Reasoning trace: short inputs sharing a system prompt, long outputs."""
     rng = random.Random(seed)
+    ids = request_id_allocator()
     system_prompt = new_segment(dist.OPENTHOUGHTS_SYSTEM_PROMPT)
     arrivals = poisson_arrivals(rng, rate, num_requests)
     requests = [
@@ -83,6 +90,7 @@ def openthoughts_workload(num_requests: int, rate: float, seed: int = 0) -> Work
             history=[system_prompt],
             new_input=new_segment(dist.OPENTHOUGHTS_INPUT.sample(rng)),
             output_tokens=dist.OPENTHOUGHTS_OUTPUT.sample(rng),
+            request_id=next(ids),
         )
         for i, t in enumerate(arrivals)
     ]
@@ -98,6 +106,7 @@ def _multi_turn_sessions(
     rng: random.Random,
 ) -> Workload:
     requests: list[Request] = []
+    ids = request_id_allocator()
     for session_id, start in enumerate(session_starts):
         turns = dist.sample_turns(rng, mean_turns)
         history: list[Segment] = []
@@ -110,6 +119,7 @@ def _multi_turn_sessions(
                 history=list(history),
                 new_input=new_segment(new_input.sample(rng)),
                 output_tokens=output.sample(rng),
+                request_id=next(ids),
             )
             requests.append(request)
             history.extend([request.new_input, request.output_segment])
@@ -184,10 +194,36 @@ def realworld_trace(
     return workload
 
 
-def mixed_workload(num_requests: int, rate: float, seed: int = 0) -> Workload:
-    """50/50 ShareGPT + LooGLE mix used by the preemption study (Fig. 20)."""
+#: A tenant mix entry: (tenant id, tier name, sampling weight).
+TenantMix = list[tuple[str, str, float]]
+
+
+def mixed_workload(
+    num_requests: int,
+    rate: float,
+    seed: int = 0,
+    tenant_mix: TenantMix | None = None,
+) -> Workload:
+    """50/50 ShareGPT + LooGLE mix used by the preemption study (Fig. 20).
+
+    With ``tenant_mix`` each request is additionally tagged with a
+    ``(tenant, tier)`` drawn with the given weights — the multi-tenant QoS
+    studies use this to blend SLO tiers on one arrival process.  The
+    default (``None``) draws nothing extra from the RNG, so untagged mixes
+    are byte-identical to the pre-tenancy generator.
+    """
     rng = random.Random(seed)
+    ids = request_id_allocator()
     arrivals = poisson_arrivals(rng, rate, num_requests)
+    cumulative: list[tuple[float, str, str]] = []
+    if tenant_mix:
+        total = sum(weight for _, _, weight in tenant_mix)
+        if total <= 0:
+            raise ValueError("tenant_mix weights must sum to a positive value")
+        acc = 0.0
+        for tenant, tier, weight in tenant_mix:
+            acc += weight / total
+            cumulative.append((acc, tenant, tier))
     requests = []
     for i, t in enumerate(arrivals):
         if rng.random() < 0.5:
@@ -196,6 +232,15 @@ def mixed_workload(num_requests: int, rate: float, seed: int = 0) -> Workload:
         else:
             new_input = new_segment(dist.LOOGLE_INPUT.sample(rng))
             output = dist.LOOGLE_OUTPUT.sample(rng)
+        tenant = tier = None
+        if cumulative:
+            draw = rng.random()
+            for bound, mix_tenant, mix_tier in cumulative:
+                if draw <= bound:
+                    tenant, tier = mix_tenant, mix_tier
+                    break
+            else:
+                _, tenant, tier = cumulative[-1][0], cumulative[-1][1], cumulative[-1][2]
         requests.append(
             Request(
                 session_id=i,
@@ -204,6 +249,9 @@ def mixed_workload(num_requests: int, rate: float, seed: int = 0) -> Workload:
                 history=[],
                 new_input=new_input,
                 output_tokens=output,
+                request_id=next(ids),
+                tenant=tenant,
+                tier=tier,
             )
         )
     return Workload(name="ShareGPT+LooGLE", requests=requests)
@@ -214,6 +262,8 @@ def poissonized(workload: Workload, rate: float, seed: int = 0) -> Workload:
 
     Sessions keep their internal order: a turn never arrives before its
     predecessor's slot, so the request stream stays causally valid.
+    Request ids and tenant tags are preserved — the re-timed request is the
+    same logical request.
     """
     rng = random.Random(seed)
     arrivals = poisson_arrivals(rng, rate, len(workload.requests))
@@ -225,15 +275,48 @@ def poissonized(workload: Workload, rate: float, seed: int = 0) -> Workload:
         if previous is not None and t <= previous:
             t = previous + 1e-6
         last_turn_time[request.session_id] = t
-        requests.append(
-            Request(
-                session_id=request.session_id,
-                turn_index=request.turn_index,
-                arrival_time=t,
-                history=request.history,
-                new_input=request.new_input,
-                output_tokens=request.output_tokens,
-                output_segment=request.output_segment,
-            )
-        )
+        requests.append(replace(request, arrival_time=t, history=request.history))
     return Workload(name=f"{workload.name}@poisson", requests=requests)
+
+
+def tag_workload(workload: Workload, tenant: str, tier: str | None = None) -> Workload:
+    """Tag every request of ``workload`` with one tenant (and tier).
+
+    Returns a new workload sharing the original segments (prefix-sharing
+    structure is identity-based and must survive), with ids unchanged.
+    """
+    requests = [replace(request, tenant=tenant, tier=tier) for request in workload]
+    return Workload(name=workload.name, requests=requests)
+
+
+def combine_workloads(workloads: list[Workload], name: str = "combined") -> Workload:
+    """Merge several workloads into one coherent request stream.
+
+    Generated workloads are self-contained (ids and session ids both start
+    at 0), so serving two of them through one system would collide.  The
+    merge renumbers sessions per source workload and assigns fresh request
+    ids in deterministic ``(arrival_time, source, original id)`` order;
+    segments are shared with the sources, preserving prefix structure.
+    """
+    tagged: list[tuple[float, int, int, Request]] = []
+    session_base = 0
+    for source, workload in enumerate(workloads):
+        max_session = -1
+        for request in workload:
+            tagged.append((request.arrival_time, source, request.request_id, request))
+            max_session = max(max_session, request.session_id)
+        session_offsets = session_base
+        for i in range(len(tagged) - len(workload.requests), len(tagged)):
+            t, src, rid, request = tagged[i]
+            tagged[i] = (
+                t,
+                src,
+                rid,
+                replace(request, session_id=request.session_id + session_offsets),
+            )
+        session_base += max_session + 1
+    tagged.sort(key=lambda item: (item[0], item[1], item[2]))
+    requests = [
+        replace(request, request_id=new_id) for new_id, (_, _, _, request) in enumerate(tagged)
+    ]
+    return Workload(name=name, requests=requests)

@@ -36,6 +36,11 @@ GOLDEN_RESULTS = {
         "fingerprint": "c1147d43a9ad0a98eeef8693d9bc5feb57ac15554c615152ba75e42c708bfe4f",
         "peak_event_queue": 10,
     },
+    "tenancy_wfq_brownout": {
+        "events": 2806,
+        "fingerprint": "0d3c07560ed0e36b07a281602a663f8c4343045060824068a8e9ec902cf27f22",
+        "peak_event_queue": 24,
+    },
 }
 
 

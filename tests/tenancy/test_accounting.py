@@ -1,0 +1,150 @@
+"""Unit tests for per-tier/per-tenant accounting and fairness."""
+
+import math
+
+import pytest
+
+from repro.kvcache import new_segment
+from repro.serving import SLO, MetricsCollector
+from repro.tenancy import (
+    TIER_BATCH,
+    TIER_INTERACTIVE,
+    TIER_STANDARD,
+    TenancyConfig,
+    jain_fairness_index,
+    tenant_usage,
+    tier_reports,
+    weighted_fairness,
+)
+from repro.workloads import Request
+
+BASE_SLO = SLO(tbt=0.1, ttft=10.0, ttft_per_token=None)
+
+_ids = iter(range(10_000, 20_000))
+
+
+def make_request(tenant=None, tier=None, tokens=100, output_tokens=3) -> Request:
+    return Request(
+        session_id=0,
+        turn_index=0,
+        arrival_time=0.0,
+        history=[],
+        new_input=new_segment(tokens),
+        output_tokens=output_tokens,
+        request_id=next(_ids),
+        tenant=tenant,
+        tier=tier,
+    )
+
+
+def serve(metrics, request, ttft=0.5, gap=0.05):
+    """Drive one request through the collector with a fixed TTFT and TBT."""
+    metrics.on_arrival(request, 0.0)
+    metrics.on_prefill_done(request, ttft, request.input_tokens)
+    t = ttft
+    for _ in range(request.output_tokens - 1):
+        t += gap
+        metrics.on_tokens(request, t)
+    return request
+
+
+class TestJainIndex:
+    def test_empty_is_nan(self):
+        assert math.isnan(jain_fairness_index([]))
+
+    def test_equal_shares_are_perfectly_fair(self):
+        assert jain_fairness_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_share(self):
+        assert jain_fairness_index([42.0]) == pytest.approx(1.0)
+
+    def test_starved_shares_lower_the_index(self):
+        # One of two tenants got everything: J = 1/2.
+        assert jain_fairness_index([10.0, 0.0]) == pytest.approx(0.5)
+
+    def test_all_zero_is_fair(self):
+        assert jain_fairness_index([0.0, 0.0]) == pytest.approx(1.0)
+
+
+class TestTierReports:
+    def test_slices_by_tier_in_rank_order(self):
+        metrics = MetricsCollector(BASE_SLO)
+        serve(metrics, make_request(tier=TIER_BATCH))
+        serve(metrics, make_request(tier=TIER_INTERACTIVE))
+        reports = tier_reports(metrics, TenancyConfig(), BASE_SLO)
+        assert [r.tier for r in reports] == [TIER_INTERACTIVE, TIER_BATCH]
+        assert all(r.requests_total == 1 for r in reports)
+
+    def test_empty_tiers_omitted(self):
+        metrics = MetricsCollector(BASE_SLO)
+        serve(metrics, make_request(tier=TIER_STANDARD))
+        reports = tier_reports(metrics, TenancyConfig(), BASE_SLO)
+        assert [r.tier for r in reports] == [TIER_STANDARD]
+
+    def test_tier_judged_against_its_own_slo(self):
+        """A 150 ms gap misses the interactive TBT but fits batch's 4x."""
+        metrics = MetricsCollector(BASE_SLO)
+        serve(metrics, make_request(tier=TIER_INTERACTIVE, output_tokens=10), gap=0.15)
+        serve(metrics, make_request(tier=TIER_BATCH, output_tokens=10), gap=0.15)
+        reports = {r.tier: r for r in tier_reports(metrics, TenancyConfig(), BASE_SLO)}
+        assert reports[TIER_INTERACTIVE].tbt_attainment == pytest.approx(0.0)
+        assert reports[TIER_BATCH].tbt_attainment == pytest.approx(1.0)
+        assert reports[TIER_INTERACTIVE].goodput_tokens_per_s == 0.0
+        assert reports[TIER_BATCH].goodput_tokens_per_s > 0.0
+
+    def test_untagged_requests_land_in_default_tier(self):
+        metrics = MetricsCollector(BASE_SLO)
+        serve(metrics, make_request())
+        reports = tier_reports(metrics, TenancyConfig(), BASE_SLO)
+        assert [r.tier for r in reports] == [TIER_STANDARD]
+
+    def test_goodput_counts_only_finished_slo_met_requests(self):
+        metrics = MetricsCollector(BASE_SLO)
+        good = serve(metrics, make_request(tier=TIER_STANDARD))
+        # Unfinished request: prefill done, but not all tokens emitted.
+        straggler = make_request(tier=TIER_STANDARD, output_tokens=50)
+        metrics.on_arrival(straggler, 0.0)
+        metrics.on_prefill_done(straggler, 0.5, straggler.input_tokens)
+        reports = {r.tier: r for r in tier_reports(metrics, TenancyConfig(), BASE_SLO)}
+        report = reports[TIER_STANDARD]
+        assert report.requests_total == 2
+        assert report.requests_finished == 1
+        expected_useful = good.input_tokens + good.output_tokens
+        assert report.useful_tokens == expected_useful
+
+
+class TestWeightedFairness:
+    def test_usage_by_tenant(self):
+        metrics = MetricsCollector(BASE_SLO)
+        serve(metrics, make_request(tenant="a", tokens=100, output_tokens=10))
+        serve(metrics, make_request(tenant="b", tokens=50, output_tokens=10))
+        usage = tenant_usage(metrics, TenancyConfig())
+        assert usage == {"a": 110, "b": 60}
+
+    def _config(self) -> TenancyConfig:
+        from repro.tenancy import Tenant
+
+        return TenancyConfig(
+            tenants={
+                "fast": Tenant("fast", tier=TIER_INTERACTIVE),  # weight 4
+                "slow": Tenant("slow", tier=TIER_BATCH),  # weight 1
+            }
+        )
+
+    def test_weight_proportional_service_is_fair(self):
+        """4:1 service at 4:1 weights normalises to equal shares -> J = 1."""
+        config = self._config()
+        metrics = MetricsCollector(BASE_SLO)
+        for _ in range(4):
+            serve(metrics, make_request(tenant="fast", tier=TIER_INTERACTIVE))
+        serve(metrics, make_request(tenant="slow", tier=TIER_BATCH))
+        # fast: 4 x 103 useful tokens at weight 4; slow: 103 at weight 1.
+        assert weighted_fairness(metrics, config) == pytest.approx(1.0)
+
+    def test_starving_a_tenant_of_weighted_share_is_unfair(self):
+        config = self._config()
+        metrics = MetricsCollector(BASE_SLO)
+        serve(metrics, make_request(tenant="fast", tier=TIER_INTERACTIVE))
+        serve(metrics, make_request(tenant="slow", tier=TIER_BATCH))
+        # Equal raw service at 4:1 weights is *not* weighted-fair.
+        assert weighted_fairness(metrics, config) < 1.0

@@ -1,0 +1,161 @@
+"""Tests for decision reasons and tiered brownout admission.
+
+Covers the satellite requirement: base-controller QUEUE/SHED reasons at
+the capacity and TTFT-divergence boundaries, plus the tiered ordering —
+batch sheds while interactive still admits.
+"""
+
+import pytest
+
+from repro.cluster import AdmissionConfig, AdmissionController, Decision
+from repro.kvcache import new_segment
+from repro.tenancy import (
+    TIER_BATCH,
+    TIER_INTERACTIVE,
+    TIER_STANDARD,
+    TenancyConfig,
+    TieredAdmissionController,
+)
+from repro.workloads import Request
+
+
+class StubFleet:
+    """Replica-count + outstanding view the controller reads."""
+
+    def __init__(self, routable=2, outstanding=0):
+        self._routable = [object()] * routable
+        self._outstanding = outstanding
+
+    def routable_replicas(self):
+        return self._routable
+
+    def total_outstanding(self):
+        return self._outstanding
+
+    def degraded(self):
+        return False
+
+
+def make_request(tier=None, tenant=None) -> Request:
+    return Request(
+        session_id=0,
+        turn_index=0,
+        arrival_time=0.0,
+        history=[],
+        new_input=new_segment(100),
+        output_tokens=5,
+        tenant=tenant,
+        tier=tier,
+    )
+
+
+class TestBaseReasons:
+    def test_admit_reason_is_capacity(self):
+        controller = AdmissionController(AdmissionConfig(max_outstanding_per_replica=4))
+        assert controller.decide(StubFleet(outstanding=0)) is Decision.ADMIT
+        assert controller.last_reason == "capacity"
+
+    def test_queue_at_capacity_boundary(self):
+        controller = AdmissionController(AdmissionConfig(max_outstanding_per_replica=4))
+        # One below the fleet budget (2 replicas x 4): still admits.
+        assert controller.decide(StubFleet(outstanding=7)) is Decision.ADMIT
+        # Exactly at the budget: queues, attributed to capacity.
+        assert controller.decide(StubFleet(outstanding=8)) is Decision.QUEUE
+        assert controller.last_reason == "capacity"
+
+    def test_shed_at_capacity_boundary(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_outstanding_per_replica=4, mode="shed")
+        )
+        assert controller.decide(StubFleet(outstanding=8)) is Decision.SHED
+        assert controller.last_reason == "capacity"
+
+    def test_ttft_divergence_reason(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_outstanding_per_replica=64, ttft_shed_threshold=1.0)
+        )
+        for _ in range(7):
+            controller.observe_ttft(5.0)
+        # One sample short of the minimum: the signal is not trusted yet.
+        assert controller.decide(StubFleet()) is Decision.ADMIT
+        controller.observe_ttft(5.0)
+        assert controller.decide(StubFleet()) is Decision.SHED
+        assert controller.last_reason == "ttft-divergence"
+
+
+class TestTieredBrownout:
+    def controller(self, fractions=(0.5, 0.8), capacity=4, **cfg_kwargs):
+        return TieredAdmissionController(
+            AdmissionConfig(max_outstanding_per_replica=capacity, **cfg_kwargs),
+            tenancy=TenancyConfig(),
+            tier_fractions=fractions,
+        )
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            self.controller(fractions=(0.0, 0.5))
+        with pytest.raises(ValueError):
+            self.controller(fractions=(0.5, 1.5))
+        with pytest.raises(ValueError):
+            self.controller(fractions=(0.8, 0.5))  # decreasing with rank
+
+    def test_batch_sheds_first_interactive_keeps_admitting(self):
+        """The tiered ordering: at 50% occupancy batch browns out while
+        standard and interactive are still admitted."""
+        controller = self.controller()  # fleet budget 2x4=8; batch shed at 4
+        fleet = StubFleet(outstanding=4)
+        assert controller.decide(fleet, make_request(TIER_BATCH)) is Decision.SHED
+        assert controller.last_reason == f"tier-brownout:{TIER_BATCH}"
+        assert controller.decide(fleet, make_request(TIER_STANDARD)) is Decision.ADMIT
+        assert controller.decide(fleet, make_request(TIER_INTERACTIVE)) is Decision.ADMIT
+
+    def test_standard_sheds_at_its_own_fraction(self):
+        controller = self.controller()
+        fleet = StubFleet(outstanding=6)  # 6 >= int(8 * 0.8)
+        assert controller.decide(fleet, make_request(TIER_STANDARD)) is Decision.SHED
+        assert controller.last_reason == f"tier-brownout:{TIER_STANDARD}"
+        assert controller.decide(fleet, make_request(TIER_INTERACTIVE)) is Decision.ADMIT
+
+    def test_interactive_queues_at_full_capacity(self):
+        """Top rank gets the whole budget, then the base queue/shed rules."""
+        controller = self.controller()  # mode defaults to "queue"
+        fleet = StubFleet(outstanding=8)
+        assert controller.decide(fleet, make_request(TIER_INTERACTIVE)) is Decision.QUEUE
+        assert controller.last_reason == "capacity"
+
+    def test_below_every_threshold_admits_all_tiers(self):
+        controller = self.controller()
+        fleet = StubFleet(outstanding=3)
+        for tier in (TIER_BATCH, TIER_STANDARD, TIER_INTERACTIVE):
+            assert controller.decide(fleet, make_request(tier)) is Decision.ADMIT
+
+    def test_shed_by_tier_accounting(self):
+        controller = self.controller()
+        fleet = StubFleet(outstanding=6)
+        controller.decide(fleet, make_request(TIER_BATCH))
+        controller.decide(fleet, make_request(TIER_BATCH))
+        controller.decide(fleet, make_request(TIER_STANDARD))
+        assert controller.shed_by_tier == {TIER_BATCH: 2, TIER_STANDARD: 1}
+
+    def test_low_tier_sheds_on_ttft_divergence_even_with_headroom(self):
+        controller = self.controller(capacity=64, ttft_shed_threshold=1.0)
+        for _ in range(8):
+            controller.observe_ttft(5.0)
+        fleet = StubFleet(outstanding=0)
+        assert controller.decide(fleet, make_request(TIER_BATCH)) is Decision.SHED
+        assert controller.last_reason == f"tier-brownout:{TIER_BATCH}"
+        # Interactive hits the base rule instead.
+        assert controller.decide(fleet, make_request(TIER_INTERACTIVE)) is Decision.SHED
+        assert controller.last_reason == "ttft-divergence"
+
+    def test_untagged_request_treated_as_default_tier(self):
+        controller = self.controller()
+        fleet = StubFleet(outstanding=6)
+        # Untagged -> standard (rank 1, fraction 0.8): sheds at 6/8.
+        assert controller.decide(fleet, make_request()) is Decision.SHED
+        assert controller.last_reason == f"tier-brownout:{TIER_STANDARD}"
+
+    def test_no_request_falls_back_to_base_behaviour(self):
+        controller = self.controller()
+        assert controller.decide(StubFleet(outstanding=0)) is Decision.ADMIT
+        assert controller.decide(StubFleet(outstanding=8)) is Decision.QUEUE

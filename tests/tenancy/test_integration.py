@@ -1,0 +1,169 @@
+"""Integration tests: tenancy threaded through serving, routing and bench.
+
+The load-bearing invariant: an untagged workload on the default (FIFO)
+path must produce byte-identical results to the pre-tenancy stack, and the
+same workload under WFQ with no tenant tags must *still* match — a single
+tenant's fair queue degenerates to FIFO.
+"""
+
+from collections import deque
+
+import pytest
+
+from repro.baselines import ChunkedPrefillServer
+from repro.bench import run_system
+from repro.cluster import Fleet, FleetConfig, TenantAffinityPolicy
+from repro.serving.config import ServingConfig
+from repro.sim import Simulator
+from repro.tenancy import (
+    TIER_BATCH,
+    TIER_INTERACTIVE,
+    TenancyConfig,
+    Tenant,
+    TenantRateLimiter,
+    WFQQueue,
+)
+from repro.workloads import sharegpt_workload, tag_workload
+
+
+def chunked_factory(sim, cfg):
+    return ChunkedPrefillServer(sim, cfg, token_budget=256)
+
+
+class TestDefaultPath:
+    def test_fifo_policy_uses_plain_deque(self, sim, cfg_8b_single):
+        system = chunked_factory(sim, cfg_8b_single)
+        assert type(system.waiting) is deque
+
+    def test_ttft_target_reduces_to_slo_without_tenancy(self, sim, cfg_8b_single):
+        system = chunked_factory(sim, cfg_8b_single)
+        request = sharegpt_workload(1, rate=1.0, seed=0).requests[0]
+        assert system.ttft_target_for(request) == cfg_8b_single.slo.ttft_target(
+            request.input_tokens
+        )
+        assert system.qos_rank_for(request) == 0
+
+    def test_invalid_queue_policy_rejected(self, cfg_8b_single):
+        with pytest.raises(ValueError):
+            ServingConfig(
+                model=cfg_8b_single.model,
+                spec=cfg_8b_single.spec,
+                n_gpus=1,
+                queue_policy="lifo",
+            )
+
+
+class TestByteIdentity:
+    def test_untagged_wfq_matches_fifo_exactly(self, cfg_8b_single):
+        """One tenant's weighted-fair queue degenerates to FIFO, so the
+        whole run — every latency sample — must be identical."""
+        workload = sharegpt_workload(40, rate=8.0, seed=3)
+        fifo = run_system(chunked_factory, cfg_8b_single, workload)
+        wfq_cfg = ServingConfig(
+            model=cfg_8b_single.model,
+            spec=cfg_8b_single.spec,
+            n_gpus=1,
+            queue_policy="wfq",
+            tenancy=TenancyConfig(),
+        )
+        wfq = run_system(chunked_factory, wfq_cfg, workload)
+        assert fifo.summary.as_dict() == wfq.summary.as_dict()
+
+    def test_wfq_system_smoke_with_tags(self, cfg_8b_single):
+        tenancy = TenancyConfig(
+            tenants={
+                "chat": Tenant("chat", tier=TIER_INTERACTIVE),
+                "jobs": Tenant("jobs", tier=TIER_BATCH),
+            }
+        )
+        cfg = ServingConfig(
+            model=cfg_8b_single.model,
+            spec=cfg_8b_single.spec,
+            n_gpus=1,
+            queue_policy="wfq",
+            tenancy=tenancy,
+        )
+        workload = tag_workload(sharegpt_workload(30, rate=20.0, seed=1), "chat")
+        result = run_system(chunked_factory, cfg, workload)
+        assert result.summary.requests_finished == 30
+
+    def test_make_waiting_queue_respects_policy(self, sim, cfg_8b_single):
+        cfg = ServingConfig(
+            model=cfg_8b_single.model,
+            spec=cfg_8b_single.spec,
+            n_gpus=1,
+            queue_policy="wfq",
+            tenancy=TenancyConfig(),
+        )
+        system = chunked_factory(sim, cfg)
+        assert isinstance(system.waiting, WFQQueue)
+        assert system.waiting.tenancy is cfg.tenancy
+
+
+class TestRouterIngress:
+    def test_rate_limited_requests_are_shed_at_ingress(self, cfg_8b_single):
+        tenancy = TenancyConfig(
+            tenants={
+                "flood": Tenant(
+                    "flood", tier=TIER_BATCH, rate_tokens_per_s=1.0, burst_tokens=1.0
+                )
+            }
+        )
+        workload = tag_workload(sharegpt_workload(10, rate=50.0, seed=2), "flood")
+        sim = Simulator()
+        fleet = Fleet(
+            sim,
+            chunked_factory,
+            cfg_8b_single,
+            FleetConfig(replicas=1, ingress=TenantRateLimiter(tenancy)),
+        )
+        fleet.submit(workload)
+        sim.run(until=3600.0)
+        assert fleet.router.requests_rate_limited > 0
+        summary = fleet.summarize()
+        # Denied requests are shed, and conservation still holds.
+        assert fleet.router.requests_shed == fleet.router.requests_rate_limited
+        assert (
+            summary.requests_total + fleet.router.requests_shed == len(workload)
+        )
+
+    def test_unlimited_tenants_flow_through_ingress(self, cfg_8b_single):
+        tenancy = TenancyConfig()
+        workload = sharegpt_workload(10, rate=5.0, seed=2)
+        sim = Simulator()
+        fleet = Fleet(
+            sim,
+            chunked_factory,
+            cfg_8b_single,
+            FleetConfig(replicas=1, ingress=TenantRateLimiter(tenancy)),
+        )
+        fleet.submit(workload)
+        sim.run(until=3600.0)
+        assert fleet.router.requests_rate_limited == 0
+        assert fleet.summarize().requests_finished == len(workload)
+
+
+class TestTenantAffinity:
+    def test_same_tenant_same_replica(self, cfg_8b_single):
+        policy = TenantAffinityPolicy()
+        sim = Simulator()
+        fleet = Fleet(
+            sim, chunked_factory, cfg_8b_single, FleetConfig(replicas=4)
+        )
+        replicas = fleet.routable_replicas()
+        a = tag_workload(sharegpt_workload(5, rate=1.0, seed=0), "acme").requests
+        picks = {policy.choose(replicas, r).index for r in a}
+        assert len(picks) == 1
+
+    def test_different_tenants_can_spread(self, cfg_8b_single):
+        policy = TenantAffinityPolicy()
+        sim = Simulator()
+        fleet = Fleet(
+            sim, chunked_factory, cfg_8b_single, FleetConfig(replicas=4)
+        )
+        replicas = fleet.routable_replicas()
+        picks = set()
+        for tenant in ("a", "b", "c", "d", "e", "f"):
+            workload = tag_workload(sharegpt_workload(1, rate=1.0, seed=0), tenant)
+            picks.add(policy.choose(replicas, workload.requests[0]).index)
+        assert len(picks) > 1

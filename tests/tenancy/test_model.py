@@ -1,0 +1,127 @@
+"""Unit tests for the tenant/tier model."""
+
+import pytest
+
+from repro.kvcache import new_segment
+from repro.serving import SLO
+from repro.tenancy import (
+    DEFAULT_TENANT,
+    TIER_BATCH,
+    TIER_INTERACTIVE,
+    TIER_STANDARD,
+    TenancyConfig,
+    Tenant,
+    TenantClass,
+    default_classes,
+)
+from repro.workloads import Request
+
+
+def make_request(tenant=None, tier=None, tokens=100) -> Request:
+    return Request(
+        session_id=0,
+        turn_index=0,
+        arrival_time=0.0,
+        history=[],
+        new_input=new_segment(tokens),
+        output_tokens=5,
+        tenant=tenant,
+        tier=tier,
+    )
+
+
+class TestTenantClass:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            TenantClass("x", weight=0.0)
+        with pytest.raises(ValueError):
+            TenantClass("x", tbt_scale=0.0)
+        with pytest.raises(ValueError):
+            TenantClass("x", ttft_scale=-1.0)
+
+    def test_identity_scales_return_base_slo_object(self):
+        base = SLO(tbt=0.05)
+        assert TenantClass("x").slo(base) is base
+
+    def test_scaled_slo(self):
+        base = SLO(tbt=0.05, ttft=1.0, ttft_per_token=0.001)
+        scaled = TenantClass("x", tbt_scale=4.0, ttft_scale=10.0).slo(base)
+        assert scaled.tbt == pytest.approx(0.2)
+        assert scaled.ttft == pytest.approx(10.0)
+        assert scaled.ttft_per_token == pytest.approx(0.01)
+        assert scaled.attainment_percentile == base.attainment_percentile
+
+
+class TestTenant:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            Tenant("a", weight=0.0)
+        with pytest.raises(ValueError):
+            Tenant("a", rate_tokens_per_s=-1.0)
+        with pytest.raises(ValueError):
+            Tenant("a", burst_tokens=0.0)
+        with pytest.raises(ValueError):
+            Tenant("a", quota_tokens=0.0)
+
+
+class TestTenancyConfig:
+    def test_default_ladder(self):
+        classes = default_classes()
+        assert classes[TIER_INTERACTIVE].rank > classes[TIER_STANDARD].rank
+        assert classes[TIER_STANDARD].rank > classes[TIER_BATCH].rank
+        assert classes[TIER_INTERACTIVE].weight > classes[TIER_BATCH].weight
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenancyConfig(default_tier="nope")
+        with pytest.raises(ValueError):
+            TenancyConfig(tenants={"a": Tenant("b")})
+        with pytest.raises(ValueError):
+            TenancyConfig(tenants={"a": Tenant("a", tier="nope")})
+        with pytest.raises(ValueError):
+            TenancyConfig(classes={"x": TenantClass("y")})
+
+    def test_untagged_request_resolves_to_default(self):
+        config = TenancyConfig()
+        request = make_request()
+        assert config.tenant_of(request) == DEFAULT_TENANT
+        assert config.tier_of(request) == TIER_STANDARD
+        assert config.weight_of(request) == config.classes[TIER_STANDARD].weight
+        assert config.rank_of(request) == config.classes[TIER_STANDARD].rank
+
+    def test_tenant_membership_resolves_tier(self):
+        config = TenancyConfig(tenants={"acme": Tenant("acme", tier=TIER_BATCH)})
+        request = make_request(tenant="acme")
+        assert config.tier_of(request) == TIER_BATCH
+        assert config.rank_of(request) == 0
+
+    def test_explicit_tier_tag_wins(self):
+        config = TenancyConfig(tenants={"acme": Tenant("acme", tier=TIER_BATCH)})
+        request = make_request(tenant="acme", tier=TIER_INTERACTIVE)
+        assert config.tier_of(request) == TIER_INTERACTIVE
+
+    def test_unknown_tier_tag_falls_back(self):
+        config = TenancyConfig()
+        assert config.tier_of(make_request(tier="mystery")) == TIER_STANDARD
+
+    def test_unregistered_tenant_lands_in_default_tier(self):
+        config = TenancyConfig()
+        assert config.tier_of(make_request(tenant="stranger")) == TIER_STANDARD
+
+    def test_tenant_weight_override(self):
+        config = TenancyConfig(
+            tenants={"vip": Tenant("vip", tier=TIER_BATCH, weight=9.0)}
+        )
+        assert config.weight_of(make_request(tenant="vip")) == 9.0
+
+    def test_ttft_target_scales_with_tier(self):
+        config = TenancyConfig()
+        base = SLO(tbt=0.05, ttft=1.0, ttft_per_token=None)
+        interactive = make_request(tier=TIER_INTERACTIVE)
+        batch = make_request(tier=TIER_BATCH)
+        assert config.ttft_target(interactive, base) == pytest.approx(0.5)
+        assert config.ttft_target(batch, base) == pytest.approx(10.0)
+
+    def test_tier_names_rank_order(self):
+        config = TenancyConfig()
+        assert config.tier_names() == [TIER_INTERACTIVE, TIER_STANDARD, TIER_BATCH]

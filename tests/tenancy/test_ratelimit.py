@@ -1,0 +1,104 @@
+"""Unit tests for per-tenant ingress rate limiting and quotas."""
+
+import pytest
+
+from repro.kvcache import new_segment
+from repro.tenancy import TenancyConfig, Tenant, TenantRateLimiter, TokenBucket
+from repro.workloads import Request
+
+
+def make_request(tenant, tokens=100) -> Request:
+    return Request(
+        session_id=0,
+        turn_index=0,
+        arrival_time=0.0,
+        history=[],
+        new_input=new_segment(tokens),
+        output_tokens=5,
+        tenant=tenant,
+    )
+
+
+class TestTokenBucket:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, capacity=10.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, capacity=0.0)
+
+    def test_starts_full_and_drains(self):
+        bucket = TokenBucket(rate=10.0, capacity=100.0)
+        assert bucket.try_consume(60.0, now=0.0)
+        assert bucket.try_consume(40.0, now=0.0)
+        assert not bucket.try_consume(1.0, now=0.0)
+
+    def test_refills_over_time(self):
+        bucket = TokenBucket(rate=10.0, capacity=100.0)
+        assert bucket.try_consume(100.0, now=0.0)
+        assert not bucket.try_consume(50.0, now=1.0)  # only 10 back
+        assert bucket.try_consume(50.0, now=5.0)  # 50 back by t=5
+
+    def test_refill_caps_at_capacity(self):
+        bucket = TokenBucket(rate=1000.0, capacity=10.0)
+        bucket.try_consume(10.0, now=0.0)
+        bucket.try_consume(0.0, now=100.0)
+        assert bucket.tokens <= 10.0
+
+    def test_oversized_cost_allowed_from_full_via_debt(self):
+        """A request larger than the burst passes when the bucket is full
+        and drives the level negative (repaid through refill)."""
+        bucket = TokenBucket(rate=10.0, capacity=100.0)
+        assert bucket.try_consume(250.0, now=0.0)
+        assert bucket.tokens == pytest.approx(-150.0)
+        assert not bucket.try_consume(10.0, now=1.0)  # still in debt
+        assert bucket.try_consume(10.0, now=30.0)  # debt repaid
+
+
+class TestTenantRateLimiter:
+    def limiter(self, **tenant_kwargs) -> TenantRateLimiter:
+        tenancy = TenancyConfig(tenants={"acme": Tenant("acme", **tenant_kwargs)})
+        return TenantRateLimiter(tenancy)
+
+    def test_unlimited_tenant_passes(self):
+        limiter = self.limiter()
+        assert limiter.admit(make_request("acme"), now=0.0) is None
+        assert limiter.admit(make_request("someone-else"), now=0.0) is None
+        assert limiter.admit(make_request(None), now=0.0) is None
+
+    def test_rate_limit_denies_with_reason(self):
+        limiter = self.limiter(rate_tokens_per_s=100.0, burst_tokens=150.0)
+        assert limiter.admit(make_request("acme", tokens=150), now=0.0) is None
+        reason = limiter.admit(make_request("acme", tokens=150), now=0.0)
+        assert reason == "rate-limit:acme"
+        # Refill restores admission.
+        assert limiter.admit(make_request("acme", tokens=100), now=2.0) is None
+
+    def test_burst_defaults_to_one_second_of_refill(self):
+        limiter = self.limiter(rate_tokens_per_s=100.0)
+        assert limiter._buckets["acme"].capacity == pytest.approx(100.0)
+
+    def test_quota_denies_permanently(self):
+        limiter = self.limiter(quota_tokens=250.0)
+        assert limiter.admit(make_request("acme", tokens=200), now=0.0) is None
+        reason = limiter.admit(make_request("acme", tokens=100), now=1000.0)
+        assert reason == "quota:acme"
+        # Still room for a smaller request under the cap.
+        assert limiter.admit(make_request("acme", tokens=50), now=1000.0) is None
+
+    def test_usage_accounting(self):
+        limiter = self.limiter(rate_tokens_per_s=100.0, quota_tokens=150.0)
+        limiter.admit(make_request("acme", tokens=100), now=0.0)
+        limiter.admit(make_request("acme", tokens=100), now=0.0)  # quota deny
+        limiter.admit(make_request("acme", tokens=50), now=0.0)  # rate deny
+        usage = limiter.usage["acme"]
+        assert usage.admitted_requests == 1
+        assert usage.admitted_tokens == 100
+        assert usage.denied_quota == 1
+        assert usage.denied_rate == 1
+        assert usage.denied_requests == 2
+
+    def test_other_tenants_unaffected_by_one_tenants_limits(self):
+        limiter = self.limiter(rate_tokens_per_s=1.0, burst_tokens=1.0)
+        assert limiter.admit(make_request("acme", tokens=100), now=0.0) is None  # debt
+        assert limiter.admit(make_request("acme", tokens=100), now=1.0) is not None
+        assert limiter.admit(make_request("bystander", tokens=100), now=1.0) is None

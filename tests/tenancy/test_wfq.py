@@ -1,0 +1,169 @@
+"""Unit tests for the weighted-fair waiting queue."""
+
+import pytest
+
+from repro.kvcache import new_segment
+from repro.tenancy import TIER_BATCH, TIER_INTERACTIVE, TenancyConfig, Tenant, WFQQueue
+from repro.workloads import Request
+
+
+class StubState:
+    """Bare RequestState stand-in: the queue only reads ``.request``."""
+
+    def __init__(self, tenant, tokens=100, tier=None):
+        self.request = Request(
+            session_id=0,
+            turn_index=0,
+            arrival_time=0.0,
+            history=[],
+            new_input=new_segment(tokens),
+            output_tokens=5,
+            tenant=tenant,
+            tier=tier,
+        )
+
+    def __repr__(self):
+        return f"StubState({self.request.tenant})"
+
+
+def two_tenant_config() -> TenancyConfig:
+    return TenancyConfig(
+        tenants={
+            "fast": Tenant("fast", tier=TIER_INTERACTIVE),  # weight 4
+            "slow": Tenant("slow", tier=TIER_BATCH),  # weight 1
+        }
+    )
+
+
+class TestDequeCompatibility:
+    def test_fifo_within_one_tenant(self):
+        queue = WFQQueue()
+        states = [StubState("a") for _ in range(5)]
+        for state in states:
+            queue.append(state)
+        assert [queue.popleft() for _ in range(5)] == states
+
+    def test_len_bool_contains(self):
+        queue = WFQQueue()
+        assert not queue
+        state = StubState("a")
+        queue.append(state)
+        assert queue and len(queue) == 1
+        assert state in queue
+        assert StubState("a") not in queue
+        queue.popleft()
+        assert not queue and state not in queue
+
+    def test_peek_matches_popleft(self):
+        queue = WFQQueue(two_tenant_config())
+        for state in [StubState("slow"), StubState("fast")]:
+            queue.append(state)
+        head = queue[0]
+        assert queue.popleft() is head
+        with pytest.raises(IndexError):
+            queue[1]
+
+    def test_pop_empty_raises(self):
+        queue = WFQQueue()
+        with pytest.raises(IndexError):
+            queue.popleft()
+        with pytest.raises(IndexError):
+            queue[0]
+
+    def test_iteration_is_dispatch_order(self):
+        queue = WFQQueue(two_tenant_config())
+        states = [StubState("slow"), StubState("fast"), StubState("fast")]
+        for state in states:
+            queue.append(state)
+        order = list(queue)
+        assert order == [queue.popleft() for _ in range(3)]
+
+
+class TestFairness:
+    def test_heavier_tenant_dispatches_first_under_backlog(self):
+        queue = WFQQueue(two_tenant_config())
+        fast = [StubState("fast") for _ in range(4)]
+        slow = [StubState("slow") for _ in range(4)]
+        # Adversarial enqueue order: the slow tenant arrives first each round.
+        for s, f in zip(slow, fast):
+            queue.append(s)
+            queue.append(f)
+        order = [queue.popleft() for _ in range(8)]
+        # 4:1 weights, equal costs: the fast tenant owns the first 3 slots
+        # and gets 4 of the first 5 dispatches.
+        assert order[:3] == fast[:3]
+        assert sum(1 for s in order[:5] if s in fast) == 4
+
+    def test_equal_weights_interleave_by_arrival(self):
+        queue = WFQQueue()  # default tier for everyone -> equal weights
+        a = [StubState("a") for _ in range(3)]
+        b = [StubState("b") for _ in range(3)]
+        for x, y in zip(a, b):
+            queue.append(x)
+            queue.append(y)
+        order = [queue.popleft() for _ in range(6)]
+        assert order == [a[0], b[0], a[1], b[1], a[2], b[2]]
+
+    def test_cost_matters_cheap_requests_overtake(self):
+        queue = WFQQueue()
+        expensive = StubState("a", tokens=10_000)
+        cheap = StubState("b", tokens=10)
+        queue.append(expensive)
+        queue.append(cheap)
+        assert queue.popleft() is cheap
+
+    def test_past_service_carries_forward_per_tenant(self):
+        """A tenant that already consumed service re-enters behind its own
+        finish tag, so it cannot leapfrog a lighter backlog it just beat."""
+        queue = WFQQueue(two_tenant_config())
+        first = StubState("slow", tokens=1000)
+        queue.append(first)
+        assert queue.popleft() is first
+        late_slow = StubState("slow", tokens=100)
+        late_fast = StubState("fast", tokens=100)
+        queue.append(late_slow)
+        queue.append(late_fast)
+        assert queue.popleft() is late_fast  # by weight and history
+
+
+class TestFrontLane:
+    def test_appendleft_bypasses_arbitration(self):
+        queue = WFQQueue(two_tenant_config())
+        batch = StubState("slow")
+        queue.append(StubState("fast"))
+        queue.append(batch)
+        queue.appendleft(batch)  # put-back after preemption
+        assert queue[0] is batch
+        assert queue.popleft() is batch
+
+    def test_front_lane_is_lifo_like_a_deque_head(self):
+        queue = WFQQueue()
+        a, b = StubState("a"), StubState("b")
+        queue.appendleft(a)
+        queue.appendleft(b)
+        assert queue.popleft() is b
+        assert queue.popleft() is a
+
+
+class TestRemove:
+    def test_remove_from_heap(self):
+        queue = WFQQueue()
+        a, b = StubState("a"), StubState("b")
+        queue.append(a)
+        queue.append(b)
+        queue.remove(a)
+        assert len(queue) == 1
+        assert a not in queue
+        assert queue.popleft() is b
+
+    def test_remove_from_front_lane(self):
+        queue = WFQQueue()
+        a = StubState("a")
+        queue.appendleft(a)
+        queue.remove(a)
+        assert not queue
+
+    def test_remove_missing_raises(self):
+        queue = WFQQueue()
+        with pytest.raises(ValueError):
+            queue.remove(StubState("a"))

@@ -106,6 +106,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["run", "--workload", "nope", "--model", "8b", "--gpus", "1"])
 
+    def test_tenancy_command_small(self, capsys):
+        code = main(["tenancy", "--scale", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "isolated" in out
+        assert "wfq+brownout" in out
+        assert "interactive TBT attainment" in out
+
+    def test_tenancy_json_output(self, capsys):
+        import json as _json
+
+        code = main(["tenancy", "--scale", "0.1", "--json"])
+        assert code == 0
+        study = _json.loads(capsys.readouterr().out)
+        assert set(study["contended"]) == {"fifo", "wfq", "wfq+brownout"}
+        assert "degradation_pts" in study
+        tiers = {t["tier"] for t in study["contended"]["wfq+brownout"]["tiers"]}
+        assert "interactive" in tiers
+
     def test_all_aliases_resolve(self):
         parser = build_parser()
         assert parser is not None

@@ -1,0 +1,126 @@
+"""Schema-v2 serialisation: tenant tags, back-compat, id determinism."""
+
+import json
+
+import pytest
+
+from repro.workloads import (
+    combine_workloads,
+    load_workload,
+    mixed_workload,
+    save_workload,
+    sharegpt_workload,
+    tag_workload,
+)
+from repro.workloads.serialization import (
+    SCHEMA_VERSION,
+    request_from_dict,
+    request_to_dict,
+)
+
+
+class TestRequestIdDeterminism:
+    """Regression: request ids used to come from a process-global counter,
+    so the same seed produced different ids depending on what had been
+    generated earlier in the process."""
+
+    def test_same_seed_same_ids(self):
+        first = sharegpt_workload(20, rate=2.0, seed=7)
+        second = sharegpt_workload(20, rate=2.0, seed=7)
+        assert [r.request_id for r in first] == [r.request_id for r in second]
+
+    def test_ids_unaffected_by_prior_generation(self):
+        sharegpt_workload(50, rate=2.0, seed=1)  # churn the old global state
+        after_churn = sharegpt_workload(20, rate=2.0, seed=7)
+        fresh = sharegpt_workload(20, rate=2.0, seed=7)
+        assert [r.request_id for r in after_churn] == [r.request_id for r in fresh]
+
+    def test_combined_workloads_get_deterministic_fresh_ids(self):
+        def build():
+            a = sharegpt_workload(10, rate=2.0, seed=1)
+            b = sharegpt_workload(10, rate=3.0, seed=2)
+            return combine_workloads([a, b])
+
+        first, second = build(), build()
+        assert [r.request_id for r in first] == [r.request_id for r in second]
+        assert len({r.request_id for r in first}) == len(first)
+
+
+class TestTenantTagRoundTrip:
+    def test_tags_survive_round_trip(self, tmp_path):
+        workload = tag_workload(
+            sharegpt_workload(5, rate=1.0, seed=0), "acme", "interactive"
+        )
+        path = tmp_path / "wl.jsonl"
+        save_workload(workload, path)
+        loaded = load_workload(path)
+        assert all(r.tenant == "acme" for r in loaded)
+        assert all(r.tier == "interactive" for r in loaded)
+
+    def test_tenant_mix_round_trips(self, tmp_path):
+        workload = mixed_workload(
+            30,
+            rate=2.0,
+            seed=0,
+            tenant_mix=[("a", "interactive", 0.5), ("b", "batch", 0.5)],
+        )
+        path = tmp_path / "wl.jsonl"
+        save_workload(workload, path)
+        loaded = load_workload(path)
+        assert [(r.tenant, r.tier) for r in loaded] == [
+            (r.tenant, r.tier) for r in workload
+        ]
+
+    def test_untagged_rows_have_no_tenant_keys(self):
+        request = sharegpt_workload(1, rate=1.0, seed=0).requests[0]
+        data = request_to_dict(request)
+        assert "tenant" not in data
+        assert "tier" not in data
+
+    def test_header_carries_schema_version(self, tmp_path):
+        path = tmp_path / "wl.jsonl"
+        save_workload(sharegpt_workload(1, rate=1.0, seed=0), path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["schema"] == SCHEMA_VERSION
+
+
+class TestBackwardCompat:
+    def v1_fixture(self, tmp_path):
+        """A pre-tenancy (schema-1) file: no schema key, no tenant fields."""
+        workload = sharegpt_workload(3, rate=1.0, seed=5)
+        lines = [json.dumps({"workload": "legacy"})]
+        for request in workload:
+            row = request_to_dict(request)
+            row.pop("tenant", None)
+            row.pop("tier", None)
+            lines.append(json.dumps(row))
+        path = tmp_path / "v1.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return path, workload
+
+    def test_v1_file_loads_as_untagged(self, tmp_path):
+        path, original = self.v1_fixture(tmp_path)
+        loaded = load_workload(path)
+        assert loaded.name == "legacy"
+        assert len(loaded) == len(original)
+        assert all(r.tenant is None and r.tier is None for r in loaded)
+        assert [r.request_id for r in loaded] == [r.request_id for r in original]
+
+    def test_future_schema_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps({"workload": "x", "schema": 99}) + "\n")
+        with pytest.raises(ValueError, match="unsupported workload schema"):
+            load_workload(path)
+
+    def test_garbage_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"workload": "x", "schema": "two"}) + "\n")
+        with pytest.raises(ValueError):
+            load_workload(path)
+
+    def test_missing_tenant_fields_default_to_none(self):
+        request = sharegpt_workload(1, rate=1.0, seed=0).requests[0]
+        data = request_to_dict(request)
+        rebuilt = request_from_dict(data)
+        assert rebuilt.tenant is None
+        assert rebuilt.tier is None
