@@ -21,6 +21,7 @@ from collections import deque
 
 from repro.gpu.device import ExecTask
 from repro.kvcache.radix import Segment
+from repro.kvcache.transfer import TransferEngine
 from repro.serving.base import RequestState, build_instance
 from repro.serving.batching import DecodeBatchMixin
 from repro.serving.config import ServingConfig
@@ -32,7 +33,13 @@ class SGLangPDServer(DecodeBatchMixin):
 
     name = "SGLang-PD"
 
-    def __init__(self, sim: Simulator, cfg: ServingConfig, prefill_gpus: int | None = None) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: ServingConfig,
+        prefill_gpus: int | None = None,
+        transfer: TransferEngine | None = None,
+    ) -> None:
         super().__init__(sim, cfg)
         if cfg.n_gpus < 2:
             raise ValueError("disaggregation needs at least 2 GPUs")
@@ -42,6 +49,10 @@ class SGLangPDServer(DecodeBatchMixin):
         self.decode_inst = build_instance(
             sim, cfg, n_decode, name="pd-decode", cross_request_reuse=False
         )
+        #: Optional explicit interconnect model for prefill→decode KV
+        #: movement; ``None`` keeps the historical NVLink-derived cost.
+        #: The kv_tiers bandwidth sweep uses this as its lever.
+        self.transfer = transfer
         self.waiting = self.make_waiting_queue()
         self.running: list[RequestState] = []
         self._prefill_busy = False
@@ -107,14 +118,17 @@ class SGLangPDServer(DecodeBatchMixin):
         """Move the request's KV into the decode instance's pool."""
         path = self._decode_path(state)
         needed = sum(segment.tokens for segment in path)
-        if not self.decode_inst.cache.can_fit(needed):
+        if not self.decode_inst.cache.can_fit_path(path):
             # Decode pool full: the request stalls, backing up prefill.
             self._stalled_migrations.append(state)
             return
         lease = self.decode_inst.cache.acquire(path)
         self.decode_inst.cache.insert(lease, path)
         state.lease = lease
-        transfer = self.prefill_inst.cost_model.kv_transfer_time(needed)
+        if self.transfer is not None:
+            transfer = self.transfer.cost(needed)
+        else:
+            transfer = self.prefill_inst.cost_model.kv_transfer_time(needed)
         self.sim.schedule(transfer, lambda s=state: self._on_migrated(s))
 
     def _on_migrated(self, state: RequestState) -> None:

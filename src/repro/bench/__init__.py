@@ -10,6 +10,13 @@ from repro.bench.fleet import (
     run_fleet,
 )
 from repro.bench.goodput import GoodputResult, RatePoint, goodput_ratio, goodput_sweep
+from repro.bench.kv_tiers import (
+    BandwidthPoint,
+    KVTiersStudy,
+    bandwidth_sweep,
+    failover_restore_study,
+    run_kv_tiers_study,
+)
 from repro.bench.perf import SCENARIOS, PerfReport, ScenarioTiming, run_perf
 from repro.bench.runner import DRAIN_HORIZON, MAX_EVENTS, STABILITY_TTFT, RunResult, run_system
 from repro.bench.report import (
@@ -28,11 +35,13 @@ from repro.bench.tenancy import (
 )
 
 __all__ = [
+    "BandwidthPoint",
     "ChaosResult",
     "DRAIN_HORIZON",
     "FleetRunResult",
     "GoodputResult",
     "IsolationStudy",
+    "KVTiersStudy",
     "MAX_EVENTS",
     "PerfReport",
     "RatePoint",
@@ -41,11 +50,13 @@ __all__ = [
     "STABILITY_TTFT",
     "ScenarioTiming",
     "TenancyRunResult",
+    "bandwidth_sweep",
     "bar_chart",
     "cdf_chart",
     "compare_isolation",
     "compare_policies",
     "default_chaos_fleet",
+    "failover_restore_study",
     "fleet_goodput_sweep",
     "goodput_ratio",
     "goodput_sweep",
@@ -55,6 +66,7 @@ __all__ = [
     "replica_scaling",
     "run_chaos",
     "run_fleet",
+    "run_kv_tiers_study",
     "run_perf",
     "run_system",
     "run_tenancy_mode",

@@ -44,6 +44,10 @@ class ChaosResult:
     drained: bool
     extras: dict[str, float] = field(default_factory=dict)
     stability_ttft: float = STABILITY_TTFT
+    #: KV movement ledger (restored vs recomputed tokens).  None unless
+    #: the fleet ran with KV tiers or cross-replica transfer — the payload
+    #: must not grow keys on the byte-identical untiered path.
+    kv: dict[str, int] | None = None
 
     def conserved(self) -> bool:
         """Every arrival is in exactly one terminal bucket, none in flight."""
@@ -76,6 +80,8 @@ class ChaosResult:
             "drained": self.drained,
             "extras": _jsonable(self.extras),
         }
+        if self.kv is not None:
+            payload["kv"] = dict(self.kv)
         return json.dumps(payload, sort_keys=True, allow_nan=False)
 
 
@@ -153,4 +159,5 @@ def run_chaos(
         drained=sim.pending_productive == 0,
         extras=extras,
         stability_ttft=stability_ttft,
+        kv=cluster.kv_ledger(),
     )

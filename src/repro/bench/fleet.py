@@ -81,6 +81,10 @@ def run_fleet(
     if cluster.autoscaler is not None:
         extras["scale_ups"] = float(cluster.autoscaler.scale_ups)
         extras["scale_downs"] = float(cluster.autoscaler.scale_downs)
+    ledger = cluster.kv_ledger()
+    if ledger is not None:
+        for key, value in ledger.items():
+            extras[f"kv_{key}"] = float(value)
     return FleetRunResult(
         summary=cluster.summarize(),
         per_replica=cluster.per_replica_summaries(),

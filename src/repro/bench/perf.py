@@ -164,11 +164,24 @@ def _scenario_tenancy(scale: float):
     return result.as_dict(), result.extras
 
 
+def _scenario_kv_tiers(scale: float):
+    """Tiered-KV bandwidth sweep plus the failover-restore study.
+
+    Fingerprints the full study report: the mux-vs-disagg crossover points
+    and the restored-vs-recomputed failover ledger.
+    """
+    from repro.bench.kv_tiers import run_kv_tiers_study
+
+    study = run_kv_tiers_study(scale=scale, seed=0)
+    return study.as_dict(), study.extras
+
+
 SCENARIOS: dict[str, Callable] = {
     "single_goodput": _scenario_single,
     "fleet_4_replicas": _scenario_fleet,
     "chaos_4_replicas": _scenario_chaos,
     "tenancy_wfq_brownout": _scenario_tenancy,
+    "kv_tiers": _scenario_kv_tiers,
 }
 
 

@@ -400,6 +400,36 @@ def cmd_tenancy(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_kvtiers(args: argparse.Namespace) -> int:
+    """Tiered-KV study: mux-vs-disagg bandwidth sweep + failover restore.
+
+    Prints one row per interconnect bandwidth (useful throughput of
+    multiplexing vs disaggregation and the gap between them), then the
+    failover ledger proving the killed replica's surviving DRAM/NVMe tiers
+    restored prefixes instead of recomputing them.  ``--json`` emits the
+    full deterministic report — the CI kvtiers-smoke job runs it twice,
+    diffs the bytes, and asserts crossover and ``restored_tokens > 0``.
+    """
+    from repro.bench.kv_tiers import run_kv_tiers_study
+
+    bandwidths = tuple(args.bandwidths) if args.bandwidths else None
+    study = run_kv_tiers_study(bandwidths=bandwidths, scale=args.scale, seed=args.seed)
+    if args.json:
+        print(json.dumps(study.as_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"{'bandwidth':>12} {'mux tok/s':>12} {'disagg tok/s':>13} {'gap':>10}")
+    for point in study.points:
+        print(
+            f"{point.bandwidth / 1e9:>10.1f}GB {point.mux_useful_throughput:>12.1f} "
+            f"{point.disagg_useful_throughput:>13.1f} {point.gap:>10.1f}"
+        )
+    print(f"crossover: {'yes' if study.crossover else 'no'}")
+    print("failover ledger:")
+    for key, value in sorted(study.failover.items()):
+        print(f"  {key:<22} {value}")
+    return 0
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     seed = args.seed
     workloads = [
@@ -558,6 +588,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the full study as JSON (machine-readable)"
     )
     ten_p.set_defaults(func=cmd_tenancy)
+
+    kvt_p = sub.add_parser(
+        "kvtiers", help="tiered-KV bandwidth sweep + failover restore study"
+    )
+    kvt_p.add_argument(
+        "--bandwidths",
+        type=float,
+        nargs="+",
+        default=None,
+        help="interconnect bandwidths to sweep (bytes/sec)",
+    )
+    kvt_p.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
+    kvt_p.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    kvt_p.add_argument(
+        "--json", action="store_true", help="emit the full study as JSON (machine-readable)"
+    )
+    kvt_p.set_defaults(func=cmd_kvtiers)
 
     t1_p = sub.add_parser("table1", help="print Table-1 stats of the traces")
     t1_p.add_argument("--seed", type=int, default=0)

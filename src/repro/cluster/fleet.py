@@ -30,6 +30,8 @@ from repro.cluster.router import (
     make_policy,
 )
 from repro.kvcache.radix import Segment
+from repro.kvcache.tiers import TieredKVStore
+from repro.kvcache.transfer import TransferConfig, TransferEngine
 from repro.serving.base import ServingSystem, iter_instances
 from repro.serving.config import ServingConfig
 from repro.serving.metrics import MetricsCollector, Summary, merge_collectors
@@ -68,6 +70,12 @@ class FleetConfig:
         ingress: Front-door filter applied before routing (e.g. a
             :class:`~repro.tenancy.ratelimit.TenantRateLimiter`); None
             admits everything.
+        transfer: Cross-replica KV interconnect model (see
+            :mod:`repro.kvcache.transfer`).  When set, the router's
+            dispatch path may fetch a request's prefix from a
+            better-matching replica into the target before delivery,
+            making prefix affinity fleet-wide.  ``None`` (the default)
+            disables every cross-replica branch — byte-identical routing.
     """
 
     replicas: int = 2
@@ -79,6 +87,7 @@ class FleetConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     health: HealthConfig | None = None
     ingress: IngressFilter | None = None
+    transfer: TransferConfig | None = None
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -107,6 +116,15 @@ class Replica:
     #: Requests dispatched here and not yet completed, by request id.  The
     #: router's source of truth for what a failover must re-dispatch.
     inflight: dict[int, Request] = field(default_factory=dict)
+    #: Whether this replica's HBM KV cache holds anything worth reusing.
+    #: Set when a request completes here; cleared by a kill (the cache
+    #: died with the generation).  The autoscaler's reactivation path
+    #: prefers warm replicas — but only genuinely warm ones.
+    kv_warm: bool = False
+    #: DRAM/NVMe spill store owned by this replica *slot*.  Survives kills
+    #: and restarts: a new generation re-attaches the same store, which is
+    #: what makes failover restore (rather than recompute) prefixes.
+    tier_store: TieredKVStore | None = None
 
     @property
     def scope(self) -> str:
@@ -129,6 +147,24 @@ class Replica:
     def drained(self) -> bool:
         """Draining and idle: safe to deprovision."""
         return self.draining and self.outstanding == 0
+
+    @property
+    def responsive(self) -> bool:
+        """Not failed and no instance device stalled.
+
+        What a route-time liveness probe can observe *right now*, without
+        waiting for the health monitor's miss threshold.  A stalled device
+        is indistinguishable from a hung replica at probe time, so both
+        count as unresponsive.
+        """
+        if self.failed:
+            return False
+        return not any(inst.device.stalled for inst in iter_instances(self.system))
+
+    def prefix_match_tokens(self, path: list[Segment]) -> int:
+        """Most tokens of ``path`` cached in HBM by any instance here."""
+        counts = [inst.cache.match(path) for inst in iter_instances(self.system)]
+        return max(counts) if counts else 0
 
     def kv_utilization(self) -> float:
         """Pool pressure: utilisation of the replica's fullest KV pool."""
@@ -170,6 +206,12 @@ class Fleet:
         self.failures = 0
         self.restarts = 0
         self.autoscaler: Autoscaler | None = None
+        #: Cross-replica KV interconnect, shared by the whole fleet.
+        self.transfer: TransferEngine | None = (
+            TransferEngine(self.config.transfer, cfg.model.kv_bytes_per_token)
+            if self.config.transfer is not None
+            else None
+        )
         if self.config.admission is None:
             self.admission = None
         elif isinstance(self.config.admission, AdmissionController):
@@ -208,6 +250,14 @@ class Fleet:
         with self.sim.scope(f"replica/{name}/g0"):
             system = self.factory(self.sim, cfg)
         replica = Replica(index=index, name=name, system=system, created_at=self.sim.now)
+        if self.base_cfg.kv_tiers is not None:
+            replica.tier_store = TieredKVStore(
+                self.base_cfg.kv_tiers,
+                self.base_cfg.model.kv_bytes_per_token,
+                tracer=self.sim.tracer,
+                name=name,
+            )
+            system.attach_tiers(replica.tier_store)
         system.add_completion_listener(
             lambda state, rep=replica: self.router.on_completion(rep, state)
         )
@@ -220,11 +270,14 @@ class Fleet:
     def scale_up(self, max_replicas: int) -> Replica | None:
         """Add capacity: reactivate a draining replica (warm cache) or
         provision a new one while under the ``max_replicas`` budget."""
-        for replica in self.replicas:
-            if replica.draining and not replica.failed:
-                replica.draining = False
-                self._trace_size()
-                return replica
+        # Prefer a replica whose cache is actually warm: a drained replica
+        # that was killed and restarted while parked holds nothing (the
+        # kill cleared kv_warm), so it ranks behind genuinely warm peers.
+        candidates = [r for r in self.replicas if r.draining and not r.failed]
+        for replica in sorted(candidates, key=lambda r: not r.kv_warm):
+            replica.draining = False
+            self._trace_size()
+            return replica
         # Budget counts *live* replicas: corpses awaiting no restart do not
         # consume capacity the fleet can no longer use.
         if self.alive_count() >= max_replicas:
@@ -273,6 +326,13 @@ class Fleet:
         if replica.failed:
             return
         replica.failed = True
+        # The HBM cache died with the generation: whatever warmth the
+        # autoscaler remembered is gone.  (The DRAM/NVMe tier store, if
+        # any, survives — that is the point of it — but it is no longer
+        # *warm* in the reactivate-without-cost sense.)
+        replica.kv_warm = False
+        if replica.tier_store is not None:
+            replica.tier_store.mark_killed()
         self.failures += 1
         inflight = len(replica.inflight)
         # Mark the pending restart BEFORE failing over: the router decides
@@ -338,6 +398,11 @@ class Fleet:
         )
         with self.sim.scope(replica.scope):
             system = self.factory(self.sim, cfg)
+        if replica.tier_store is not None:
+            # The slot's DRAM/NVMe tiers survived the kill: the fresh
+            # generation spills into and promotes from the same store,
+            # restoring prefixes the dead generation demoted.
+            system.attach_tiers(replica.tier_store)
         system.add_completion_listener(
             lambda state, rep=replica: self.router.on_completion(rep, state)
         )
@@ -436,6 +501,36 @@ class Fleet:
     def per_replica_summaries(self) -> dict[str, Summary]:
         """Each replica's own summary, keyed by replica name."""
         return {r.name: r.system.metrics.summarize() for r in self.replicas}
+
+    def kv_ledger(self) -> dict[str, int] | None:
+        """Fleet-wide KV movement ledger (restored vs recomputed tokens).
+
+        ``None`` when neither tiers nor cross-replica transfer are enabled
+        — result payloads must not grow keys on the byte-identical path.
+        """
+        if self.base_cfg.kv_tiers is None and self.transfer is None:
+            return None
+        ledger = {
+            "demoted_tokens": 0,
+            "promoted_tokens": 0,
+            "dropped_tokens": 0,
+            "restored_tokens": 0,
+            "wasted_fetch_tokens": 0,
+        }
+        for replica in self.replicas:
+            store = replica.tier_store
+            if store is None:
+                continue
+            stats = store.stats
+            ledger["demoted_tokens"] += stats.demoted_tokens
+            ledger["promoted_tokens"] += stats.promoted_tokens
+            ledger["dropped_tokens"] += stats.dropped_tokens
+            ledger["restored_tokens"] += stats.restored_tokens
+            ledger["wasted_fetch_tokens"] += stats.wasted_fetch_tokens
+        ledger["fetches"] = self.router.kv_fetches
+        ledger["fetched_tokens"] = self.router.kv_fetched_tokens
+        ledger["recomputed_tokens"] = self.router.kv_recomputed_tokens
+        return ledger
 
     def cache_hit_rate(self) -> float:
         """Token-weighted KV-cache hit rate over the whole fleet."""

@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.serving.base import iter_instances
 from repro.sim import Simulator
 from repro.trace.tracer import CAT_FAULT
 
@@ -126,12 +125,14 @@ class HealthMonitor:
         return any(r.restart_at is not None for r in fleet.replicas)
 
     def responsive(self, replica: "Replica") -> bool:
-        """Whether a probe of ``replica`` would come back in time."""
-        if replica.failed:
-            return False
-        return not any(
-            inst.device.stalled for inst in iter_instances(replica.system)
-        )
+        """Whether a probe of ``replica`` would come back in time.
+
+        Delegates to :attr:`repro.cluster.fleet.Replica.responsive` — the
+        same observable the router's route-time liveness check uses, so
+        the watchdog and the routing policies can never disagree about
+        what "answers a probe" means.
+        """
+        return replica.responsive
 
     def _tick(self) -> None:
         cfg = self.config

@@ -27,9 +27,16 @@ from typing import TYPE_CHECKING, Protocol, Sequence
 
 from repro.cluster.admission import AdmissionController, Decision
 from repro.cluster.health import RetryPolicy
-from repro.serving.base import RequestState
+from repro.kvcache.radix import Segment
+from repro.serving.base import RequestState, ServingSystem, iter_instances
 from repro.sim import Simulator
-from repro.trace.tracer import CAT_FAULT, CAT_ROUTER, CAT_TENANCY, TENANCY_TRACK
+from repro.trace.tracer import (
+    CAT_FAULT,
+    CAT_KV_XFER,
+    CAT_ROUTER,
+    CAT_TENANCY,
+    TENANCY_TRACK,
+)
 from repro.workloads.request import Request
 
 if TYPE_CHECKING:
@@ -42,6 +49,25 @@ NETWORK_LATENCY = 2e-3
 
 #: Trace track carrying routing decisions and shed/hold/queue occurrences.
 ROUTER_TRACK = "fleet/router"
+
+#: Trace track carrying cross-replica KV prefix transfers.
+KV_XFER_TRACK = "fleet/kvxfer"
+
+
+def _responsive_subset(replicas: Sequence["Replica"]) -> Sequence["Replica"]:
+    """Replicas that answer a liveness probe right now, if any.
+
+    Scoring policies probe replica state (cache contents, queue depths) at
+    route time anyway, so they can — and should — notice a replica that
+    died or stalled before the health monitor's miss threshold trips.  In
+    that detection window the probe steers around the corpse.  When *no*
+    replica responds the original set is returned: parking or losing the
+    request is the dispatcher's call, not the policy's.
+    """
+    # getattr: routing tests drive policies with duck-typed replica stubs;
+    # anything not exposing a liveness signal counts as responsive.
+    live = [r for r in replicas if getattr(r, "responsive", True)]
+    return live if live else replicas
 
 
 class IngressFilter(Protocol):
@@ -106,7 +132,7 @@ class LeastOutstandingPolicy(RoutingPolicy):
     name = "least-outstanding"
 
     def choose(self, replicas: Sequence["Replica"], request: Request) -> "Replica":
-        return _least_loaded(replicas)
+        return _least_loaded(_responsive_subset(replicas))
 
 
 class LeastKVPressurePolicy(RoutingPolicy):
@@ -119,6 +145,7 @@ class LeastKVPressurePolicy(RoutingPolicy):
     name = "least-kv"
 
     def choose(self, replicas: Sequence["Replica"], request: Request) -> "Replica":
+        replicas = _responsive_subset(replicas)
         return min(replicas, key=lambda r: (r.kv_utilization(), r.outstanding, r.index))
 
 
@@ -130,11 +157,17 @@ class PrefixAffinityPolicy(RoutingPolicy):
     request's context path.  When no replica holds any of the prefix the
     request carries no locality signal, so the policy falls back to
     least-outstanding to keep the fleet balanced.
+
+    The probe only considers *responsive* replicas: in the window between
+    a kill and health-monitor detection, a dead replica's cache would
+    otherwise still score highest for the sessions it was serving —
+    exactly the requests that must now go elsewhere.
     """
 
     name = "prefix-affinity"
 
     def choose(self, replicas: Sequence["Replica"], request: Request) -> "Replica":
+        replicas = _responsive_subset(replicas)
         path = request.context_path
         scored = [(replica.prefix_affinity(path), replica) for replica in replicas]
         best = max(score for score, _ in scored)
@@ -229,6 +262,17 @@ class Router:
         self._first_arrival: dict[int, float] = {}
         #: Delivery attempts consumed per in-flight request id.
         self._attempts: dict[int, int] = {}
+        #: Request ids re-dispatched by a failover and not yet completed.
+        #: Their prefill on the replacement replica is *recomputed* work —
+        #: the ledger's counterweight to tier-restored tokens.
+        self._failover_ids: set[int] = set()
+        #: Cross-replica prefix transfers performed (fleet.transfer set).
+        self.kv_fetches = 0
+        self.kv_fetched_tokens = 0
+        #: Tokens the target replica seeded from transfers (<= fetched).
+        self.kv_seeded_tokens = 0
+        #: Prefill tokens paid by failover re-dispatches that finished.
+        self.kv_recomputed_tokens = 0
 
     # ------------------------------------------------------------------ #
     # Intake
@@ -336,6 +380,10 @@ class Router:
                 return
         else:
             extra_delay = 0.0
+        if self.fleet.transfer is not None:
+            seed_path, xfer_delay = self._plan_prefix_fetch(request, replica, now)
+        else:
+            seed_path, xfer_delay = None, 0.0
         tracer = self.sim.tracer
         if tracer is not None and tracer.enabled:
             tracer.complete(
@@ -357,11 +405,12 @@ class Router:
         replica.dispatched += 1
         replica.inflight[request.request_id] = request
         replica.system.expect_turn(request.session_id, request.turn_index)
-        delay = self.overhead + self.network_latency + extra_delay
+        delay = self.overhead + self.network_latency + extra_delay + xfer_delay
         # TTFT anchor: the *nominal* first delivery time.  Injected network
-        # delay (extra_delay) and any later failover re-dispatch deliver
-        # after this anchor, so fault-induced latency lands in TTFT instead
-        # of being silently re-based away.
+        # delay (extra_delay), cross-replica prefix transfer time
+        # (xfer_delay) and any later failover re-dispatch deliver after
+        # this anchor, so fault-induced and transfer-induced latency lands
+        # in TTFT instead of being silently re-based away.
         arrival = self._first_arrival.setdefault(
             request.request_id, now + self.overhead + self.network_latency
         )
@@ -370,11 +419,89 @@ class Router:
         # replica's failure scope so a kill cancels in-transit deliveries
         # along with everything else — fail_over() re-dispatches them.
         system = replica.system
-        self.sim.schedule(
-            delay,
-            lambda: system.inject(request, arrival_time=arrival),
-            scope=replica.scope,
+        if seed_path is None:
+            deliver = lambda: system.inject(request, arrival_time=arrival)
+        else:
+            deliver = lambda: self._deliver_with_prefix(
+                system, request, arrival, seed_path
+            )
+        self.sim.schedule(delay, deliver, scope=replica.scope)
+
+    def _plan_prefix_fetch(
+        self, request: Request, target: "Replica", now: float
+    ) -> tuple[list[Segment] | None, float]:
+        """Arrange a cross-replica prefix transfer into ``target``, if any.
+
+        Scans the fleet for a live replica whose HBM cache covers at least
+        ``min_fetch_tokens`` more of the request's context than the target
+        already holds.  On a hit, the donor's covered prefix is scheduled
+        to be seeded into the target at delivery time and the transfer's
+        modelled cost is added to the delivery delay (it lands in TTFT).
+        Returns ``(seed path, transfer delay)`` or ``(None, 0.0)``.
+        """
+        engine = self.fleet.transfer
+        link = engine.select()
+        if link is None:
+            return None, 0.0
+        path = request.context_path
+        target_tokens = target.prefix_match_tokens(path)
+        best: "Replica | None" = None
+        best_tokens = target_tokens + engine.config.min_fetch_tokens - 1
+        for replica in self.fleet.replicas:
+            if replica is target or replica.failed:
+                continue
+            tokens = replica.prefix_match_tokens(path)
+            if tokens > best_tokens:
+                best = replica
+                best_tokens = tokens
+        if best is None:
+            return None, 0.0
+        donor_cache = max(
+            (inst.cache for inst in iter_instances(best.system)),
+            key=lambda cache: cache.match(path),
         )
+        chain = donor_cache.match_chain(path)
+        seed_path = [
+            Segment(uid=path[i].uid, tokens=chain[i]) for i in range(len(chain))
+        ]
+        moved = best_tokens - target_tokens
+        delay = engine.cost(moved, link)
+        engine.record(link, moved)
+        self.kv_fetches += 1
+        self.kv_fetched_tokens += moved
+        if engine.config.migrate:
+            donor_cache.touch(now)
+            donor_cache.evict_path(path)
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.complete(
+                KV_XFER_TRACK,
+                f"fetch:{link.name}",
+                CAT_KV_XFER,
+                now,
+                now + delay,
+                {
+                    "request": request.request_id,
+                    "donor": best.name,
+                    "target": target.name,
+                    "tokens": moved,
+                },
+            )
+        return seed_path, delay
+
+    def _deliver_with_prefix(
+        self,
+        system: ServingSystem,
+        request: Request,
+        arrival: float,
+        seed_path: list[Segment],
+    ) -> None:
+        """Seed the fetched prefix into the target, then deliver."""
+        inst = next(iter_instances(system), None)
+        if inst is not None:
+            inst.cache.touch(self.sim.now)
+            self.kv_seeded_tokens += inst.cache.seed(seed_path)
+        system.inject(request, arrival_time=arrival)
 
     def _retry_delivery(self, request: Request, attempt: int) -> None:
         """A delivery was dropped in flight: back off and re-dispatch."""
@@ -421,6 +548,7 @@ class Router:
                 self._lose(request, reason=f"failover-exhausted:{reason}")
                 continue
             self.requests_retried += 1
+            self._failover_ids.add(request.request_id)
             redispatched += 1
             self._trace_instant(
                 "failover",
@@ -436,6 +564,7 @@ class Router:
         self.requests_lost += 1
         self._first_arrival.pop(request.request_id, None)
         self._attempts.pop(request.request_id, None)
+        self._failover_ids.discard(request.request_id)
         self._shed_sessions.add(request.session_id)
         self._trace_instant("lost", request, {"reason": reason}, cat=CAT_FAULT)
         self._flush_held(request.session_id)
@@ -451,8 +580,16 @@ class Router:
         replica.inflight.pop(request.request_id, None)
         self._first_arrival.pop(request.request_id, None)
         self._attempts.pop(request.request_id, None)
+        was_failover = request.request_id in self._failover_ids
+        if was_failover:
+            self._failover_ids.discard(request.request_id)
         if state.record.finished:
             self.requests_completed += 1
+            # This replica's HBM cache now holds a finished request's
+            # prefixes — warm for the autoscaler's reactivation heuristic.
+            replica.kv_warm = True
+            if was_failover:
+                self.kv_recomputed_tokens += state.prefill_tokens
         else:
             self.requests_dropped += 1
         done = self._session_done.get(request.session_id, 0)

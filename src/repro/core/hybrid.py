@@ -126,7 +126,7 @@ class HybridPDServer(MuxWiseServer):
             Segment(uid=state.request.output_segment.uid, tokens=state.generated),
         ]
         needed = sum(segment.tokens for segment in path)
-        if not self.instance.cache.can_fit(needed):
+        if not self.instance.cache.can_fit_path(path):
             # Decode pool full: retry after the next decode iteration frees
             # pages (rare at hybrid scale; modelled as a short backoff).
             self.sim.schedule(0.05, lambda s=state: self._migrate(s))

@@ -1,14 +1,44 @@
-"""KV-cache substrate: paged pool and radix-tree prefix cache."""
+"""KV-cache substrate: paged pool, radix prefix cache, tiers, transfer."""
 
 from repro.kvcache.pool import KVCachePool, PoolExhaustedError
 from repro.kvcache.radix import CacheStats, Lease, RadixCache, Segment, new_segment
+from repro.kvcache.tiers import (
+    DRAM_TIER,
+    NVME_TIER,
+    KVTierConfig,
+    TieredKVStore,
+    TierSpec,
+    TierStats,
+    default_tier_config,
+)
+from repro.kvcache.transfer import (
+    NVLINK_LINK,
+    RDMA_LINK,
+    TCP_LINK,
+    TransferConfig,
+    TransferEngine,
+    TransferLink,
+)
 
 __all__ = [
     "CacheStats",
+    "DRAM_TIER",
     "KVCachePool",
+    "KVTierConfig",
     "Lease",
+    "NVLINK_LINK",
+    "NVME_TIER",
     "PoolExhaustedError",
+    "RDMA_LINK",
     "RadixCache",
     "Segment",
+    "TCP_LINK",
+    "TieredKVStore",
+    "TierSpec",
+    "TierStats",
+    "TransferConfig",
+    "TransferEngine",
+    "TransferLink",
+    "default_tier_config",
     "new_segment",
 ]

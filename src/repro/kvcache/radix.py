@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.kvcache.pool import KVCachePool, PoolExhaustedError
 from repro.trace.tracer import CAT_CACHE
@@ -123,6 +123,14 @@ class RadixCache:
         #: callers advance with :meth:`touch` before mutating the cache).
         self.tracer = tracer
         self.trace_track = f"kvcache/{name}"
+        #: Optional demotion hook, called as ``spill(path_uids, tokens,
+        #: clock)`` for every node evicted *for capacity* (not for nodes
+        #: dropped by ``release(keep_cached=False)``, which were never
+        #: meant to be reusable).  Wired to
+        #: :meth:`repro.kvcache.tiers.TieredKVStore.demote`; None (the
+        #: default) keeps the eviction path byte-identical to the
+        #: pre-tier code.
+        self.spill: Callable[[tuple[int, ...], int, float], None] | None = None
 
     # ------------------------------------------------------------------ #
     # Lookup
@@ -146,6 +154,31 @@ class RadixCache:
             covered += child.tokens
             node = child
         return covered
+
+    def match_chain(self, segments: list[Segment]) -> list[int]:
+        """Per-node token counts along the longest cached prefix.
+
+        ``match_chain(p) == [n1, n2]`` means the first two segments of
+        ``p`` are cached, holding ``n1`` and ``n2`` tokens (the tail node
+        may cover fewer tokens than its segment while decode is growing
+        it).  No pinning, no statistics — this is the donor-side probe of
+        the cross-replica transfer path.
+        """
+        if not self.enable_prefix_sharing:
+            return []
+        node = self._root
+        chain: list[int] = []
+        for segment in segments:
+            child = node.children.get(segment.uid)
+            if child is None:
+                break
+            chain.append(child.tokens)
+            node = child
+        return chain
+
+    def match_depth(self, segments: list[Segment]) -> int:
+        """Number of leading segments of ``segments`` cached here."""
+        return len(self.match_chain(segments))
 
     def prefix_affinity(self, segments: list[Segment]) -> float:
         """Fraction of ``segments``' tokens already cached here (no pinning).
@@ -277,7 +310,96 @@ class RadixCache:
             return True
         return needed <= self.pool.free_pages + self._evictable_leaf_pages()
 
+    def can_fit_path(self, segments: list[Segment]) -> bool:
+        """True if inserting ``segments`` (full context path) cannot fail.
+
+        The segment-aware twin of :meth:`can_fit`, mirroring what
+        acquire+insert will actually do: segments already cached cost
+        nothing but become *pinned* (so their pages stop being evictable),
+        and each missing segment pays its own page ceiling (the sum of
+        per-segment ceilings, not one ceiling over the total).
+        """
+        node = self._root
+        chain: list[_Node] = []
+        index = 0
+        for segment in segments:
+            child = node.children.get(segment.uid)
+            if child is None:
+                break
+            chain.append(child)
+            node = child
+            index += 1
+        needed = sum(self.pool.pages_for(s.tokens) for s in segments[index:])
+        if needed <= self.pool.free_pages:
+            return True
+        return needed <= self.pool.free_pages + self._evictable_leaf_pages(chain)
+
+    def seed(self, segments: list[Segment], require_cached: int = 0) -> int:
+        """Insert ``segments`` without a lease, pinning nothing.
+
+        The promotion path of the tier store: restored segments re-enter
+        the tree as ordinary unpinned cached data.  The first
+        ``require_cached`` segments must already be cached — they are the
+        HBM anchor the fetch was planned against; if any is missing
+        (evicted while the fetch was in flight) seeding stops rather than
+        attach segments below a hole.  Stops early (returning what was
+        added so far) if the pool cannot fit a segment even after
+        eviction.  Returns the number of newly added tokens.
+        """
+        node = self._root
+        added = 0
+        for index, segment in enumerate(segments):
+            child = node.children.get(segment.uid)
+            if child is not None:
+                child.last_access = self._clock
+                node = child
+                continue
+            if index < require_cached:
+                return added
+            pages = self.pool.pages_for(segment.tokens)
+            # Guard-pin the attach parent: eviction inside
+            # _ensure_free_pages must not pick a just-seeded, still
+            # unpinned ancestor while making room for its child.
+            node.ref_count += 1
+            try:
+                self._ensure_free_pages(pages)
+            except PoolExhaustedError:
+                return added
+            finally:
+                node.ref_count -= 1
+            self.pool.allocate(segment.tokens)
+            new_node = _Node(segment.uid, segment.tokens, pages, node)
+            new_node.last_access = self._clock
+            node.children[segment.uid] = new_node
+            node = new_node
+            added += segment.tokens
+        return added
+
+    def evict_path(self, segments: list[Segment]) -> int:
+        """Drop the cached tail of ``segments`` without spilling (migrate).
+
+        Used when a cross-replica transfer *moves* a prefix: the donor
+        frees its copy deepest-first, stopping at the first pinned or
+        branching node.  Returns the number of tokens dropped.
+        """
+        node = self._root
+        chain: list[_Node] = []
+        for segment in segments:
+            child = node.children.get(segment.uid)
+            if child is None:
+                break
+            chain.append(child)
+            node = child
+        dropped = 0
+        for victim in reversed(chain):
+            if victim.ref_count > 0 or victim.children:
+                break
+            self._drop(victim)
+            dropped += victim.tokens
+        return dropped
+
     def _ensure_free_pages(self, pages: int) -> None:
+        spill = self.spill
         while self.pool.free_pages < pages:
             victim = self._pick_victim()
             if victim is None:
@@ -285,6 +407,14 @@ class RadixCache:
                     f"need {pages} pages, {self.pool.free_pages} free and "
                     "nothing evictable"
                 )
+            if spill is not None:
+                key: list[int] = []
+                node = victim
+                while node.parent is not None:
+                    key.append(node.segment_uid)
+                    node = node.parent
+                key.reverse()
+                spill(tuple(key), victim.tokens, self._clock)
             self._drop(victim)
             self.stats.evictions += 1
             self.stats.evicted_tokens += victim.tokens
@@ -327,13 +457,24 @@ class RadixCache:
             yield node
             stack.extend(node.children.values())
 
-    def _evictable_leaf_pages(self) -> int:
-        """Pages in subtrees containing no pinned node (freeable leaf-first)."""
+    def _evictable_leaf_pages(self, extra_pinned: Iterable[_Node] = ()) -> int:
+        """Pages in subtrees containing no pinned node (freeable leaf-first).
+
+        Nodes in ``extra_pinned`` are treated as if they held a reference:
+        :meth:`can_fit_path` passes the existing prefix chain a pending
+        insert is about to pin, so its pages are not double-counted as
+        reclaimable.
+        """
         total = 0
+        pinned: set[int] | None = (
+            {id(node) for node in extra_pinned} if extra_pinned else None
+        )
 
         def walk(node: _Node) -> bool:
             nonlocal total
-            fully_unpinned = node.ref_count == 0
+            fully_unpinned = node.ref_count == 0 and (
+                pinned is None or id(node) not in pinned
+            )
             subtree_pages = node.pages
             for child in node.children.values():
                 child_unpinned = walk(child)

@@ -1,0 +1,155 @@
+"""Cross-replica KV transfer cost model with availability-based fallback.
+
+Models the interconnect a fleet uses to move KV pages between replicas —
+the llmserve transfer-engine design (NIXL → UCX → NCCL fallback) mapped
+onto physical links: NVLink when both ends share a node, RDMA over the
+cluster fabric, plain TCP as the always-there floor.  The
+:class:`TransferEngine` picks the fastest *available* link at each
+transfer; callers (the router's prefix-fetch path, the disaggregated
+baselines) charge ``cost(tokens)`` of simulated delay per movement.
+
+Links are config (frozen); availability is engine state, so a fault
+injector can degrade the fabric mid-run (``set_available("rdma", False)``)
+and the fallback order takes over deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TransferLink:
+    """One interconnect option.
+
+    Attributes:
+        name: Link name, unique within a config (``"nvlink"``, ...).
+        bandwidth: Payload bandwidth in bytes/s.
+        latency: Per-transfer setup latency in seconds.
+        available: Whether the link starts the run usable.
+    """
+
+    name: str
+    bandwidth: float
+    latency: float
+    available: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+
+
+#: Intra-node NVLink: only present when replicas share a host.
+NVLINK_LINK = TransferLink(name="nvlink", bandwidth=300e9, latency=10e-6)
+
+#: Cluster RDMA fabric (RoCE/IB class).
+RDMA_LINK = TransferLink(name="rdma", bandwidth=25e9, latency=30e-6)
+
+#: TCP floor — always reachable, slow.
+TCP_LINK = TransferLink(name="tcp", bandwidth=3e9, latency=200e-6)
+
+
+@dataclass(frozen=True)
+class TransferConfig:
+    """Fleet interconnect: links in preference order, fetch policy knobs.
+
+    ``links`` are tried first-to-last; the first available one carries the
+    transfer (availability-based fallback).  The default order models a
+    cross-node fleet: NVLink is listed but marked unavailable, so RDMA
+    carries traffic and TCP is the fallback.
+    """
+
+    links: tuple[TransferLink, ...] = (
+        TransferLink(
+            name=NVLINK_LINK.name,
+            bandwidth=NVLINK_LINK.bandwidth,
+            latency=NVLINK_LINK.latency,
+            available=False,
+        ),
+        RDMA_LINK,
+        TCP_LINK,
+    )
+    #: Do not bother fetching fewer than this many prefix tokens from a
+    #: remote replica — recompute locally instead.
+    min_fetch_tokens: int = 64
+    #: When True, a cross-replica fetch *moves* the prefix (the donor
+    #: evicts its copy); when False it copies, leaving the donor warm.
+    migrate: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.links:
+            raise ValueError("at least one link is required")
+        names = [link.name for link in self.links]
+        if len(set(names)) != len(names):
+            raise ValueError(f"link names must be unique, got {names}")
+        if self.min_fetch_tokens < 1:
+            raise ValueError("min_fetch_tokens must be >= 1")
+
+
+class TransferEngine:
+    """Charges simulated delay for cross-replica KV movement.
+
+    One engine serves the whole fleet (the fabric is shared); per-link
+    availability is mutable engine state seeded from the config.
+    """
+
+    def __init__(self, config: TransferConfig, kv_bytes_per_token: float) -> None:
+        if kv_bytes_per_token <= 0:
+            raise ValueError("kv_bytes_per_token must be positive")
+        self.config = config
+        self.kv_bytes_per_token = kv_bytes_per_token
+        self._available = {link.name: link.available for link in config.links}
+        #: Per-link transfer counters: name -> [transfers, tokens].
+        self._per_link: dict[str, list[int]] = {
+            link.name: [0, 0] for link in config.links
+        }
+
+    # ------------------------------------------------------------------ #
+    # Link selection
+    # ------------------------------------------------------------------ #
+
+    def select(self) -> TransferLink | None:
+        """First available link in config preference order, else None."""
+        for link in self.config.links:
+            if self._available[link.name]:
+                return link
+        return None
+
+    def set_available(self, name: str, available: bool) -> None:
+        """Flip one link's availability (fault injection / topology)."""
+        if name not in self._available:
+            raise KeyError(f"unknown link {name!r}")
+        self._available[name] = available
+
+    # ------------------------------------------------------------------ #
+    # Cost + accounting
+    # ------------------------------------------------------------------ #
+
+    def cost(self, tokens: int, link: TransferLink | None = None) -> float:
+        """Seconds to move ``tokens`` tokens of KV over ``link``.
+
+        With ``link=None`` the currently selected link is used; moving
+        anything with no link available is a configuration error.
+        """
+        if tokens <= 0:
+            return 0.0
+        if link is None:
+            link = self.select()
+        if link is None:
+            raise RuntimeError("no transfer link available")
+        return link.latency + tokens * self.kv_bytes_per_token / link.bandwidth
+
+    def record(self, link: TransferLink, tokens: int) -> None:
+        """Account one completed transfer of ``tokens`` over ``link``."""
+        counters = self._per_link[link.name]
+        counters[0] += 1
+        counters[1] += tokens
+
+    def counters(self) -> dict[str, dict[str, int]]:
+        """Per-link ``{"transfers": n, "tokens": t}`` (deterministic order)."""
+        return {
+            name: {"transfers": pair[0], "tokens": pair[1]}
+            for name, pair in self._per_link.items()
+        }

@@ -17,11 +17,12 @@ from repro.gpu.device import Device, OutOfMemoryError
 from repro.gpu.host import HostThread
 from repro.kvcache.pool import KVCachePool, PoolExhaustedError
 from repro.kvcache.radix import Lease, RadixCache, Segment
+from repro.kvcache.tiers import TierFetchPlan, TieredKVStore
 from repro.models.costs import CostModel, PrefillItem
 from repro.serving.config import ServingConfig
 from repro.serving.metrics import MetricsCollector, RequestRecord
 from repro.sim import Simulator
-from repro.trace.tracer import CAT_LIFECYCLE
+from repro.trace.tracer import CAT_KV_XFER, CAT_LIFECYCLE
 from repro.workloads.request import Request, Workload
 
 
@@ -60,6 +61,8 @@ def build_instance(
         raise OutOfMemoryError(f"{name}: no memory left for activations")
     device.alloc_memory(reserve)
     pool_bytes = device.mem_free
+    if cfg.kv_pool_limit_bytes is not None:
+        pool_bytes = min(pool_bytes, cfg.kv_pool_limit_bytes)
     pool = KVCachePool(pool_bytes, cfg.model.kv_bytes_per_token, cfg.page_tokens)
     cache = RadixCache(
         pool, enable_prefix_sharing=cross_request_reuse, tracer=sim.tracer, name=name
@@ -153,6 +156,11 @@ class ServingSystem(ABC):
         #: recompute-preempts its whole batch (see DecodeBatchMixin).
         self._storm_pending = False
         self.storm_preemptions = 0
+        #: DRAM/NVMe spill store behind this system's HBM caches.  None
+        #: unless ``cfg.kv_tiers`` is set (attached lazily) or a fleet
+        #: hands an existing store over via :meth:`attach_tiers` — e.g.
+        #: after a restart, so surviving tiers outlive the dead system.
+        self.tier_store: TieredKVStore | None = None
 
     def make_waiting_queue(self):
         """Build this system's waiting queue per ``cfg.queue_policy``.
@@ -244,7 +252,7 @@ class ServingSystem(ABC):
         self.trace_lifecycle(state, "queued", instant="arrival")
         next_turn = self._session_next_turn.setdefault(request.session_id, 0)
         if request.turn_index == next_turn:
-            self.on_request_ready(state)
+            self._ready(state)
         else:
             # A turn cannot start before its predecessor finished streaming.
             self._deferred[(request.session_id, request.turn_index)] = state
@@ -256,13 +264,112 @@ class ServingSystem(ABC):
             self._session_next_turn[session] = next_turn
         follower = self._deferred.pop((session, next_turn), None)
         if follower is not None:
-            self.on_request_ready(follower)
+            self._ready(follower)
         for listener in self._completion_listeners:
             listener(state)
 
     @abstractmethod
     def on_request_ready(self, state: RequestState) -> None:
         """A request is admissible (its session predecessor finished)."""
+
+    # ------------------------------------------------------------------ #
+    # KV tiers (promotion on the admission path)
+    # ------------------------------------------------------------------ #
+
+    def attach_tiers(self, store: TieredKVStore) -> None:
+        """Put ``store`` behind this system's caches (spill on eviction)."""
+        self.tier_store = store
+        for inst in iter_instances(self):
+            inst.cache.spill = store.demote
+
+    def _attach_default_tiers(self) -> None:
+        store = TieredKVStore(
+            self.cfg.kv_tiers,
+            self.cfg.model.kv_bytes_per_token,
+            tracer=self.sim.tracer,
+            name=f"{self.cfg.name_prefix}{self.name}",
+        )
+        self.attach_tiers(store)
+
+    def _ready(self, state: RequestState) -> None:
+        """Admission gate: promote any down-tier prefix before scheduling.
+
+        With no tier store this is exactly ``on_request_ready`` — the
+        untiered path stays byte-identical.  With one, a request whose
+        context continues past the HBM-cached prefix into DRAM/NVMe pays
+        the modelled fetch delay, is seeded back into HBM, and only then
+        reaches the scheduler.
+        """
+        if self.tier_store is None:
+            if self.cfg.kv_tiers is None:
+                self.on_request_ready(state)
+                return
+            self._attach_default_tiers()
+        store = self.tier_store
+        inst = next(iter_instances(self), None)
+        if store.is_empty() or inst is None:
+            self.on_request_ready(state)
+            return
+        path = state.request.context_path
+        depth = inst.cache.match_depth(path)
+        plan = store.plan_fetch(path, depth)
+        if plan is None:
+            self.on_request_ready(state)
+            return
+        start = self.sim.now
+        self.sim.schedule(
+            plan.delay,
+            lambda: self._finish_promotion(state, inst, path, depth, plan, start),
+        )
+
+    def _finish_promotion(
+        self,
+        state: RequestState,
+        inst: Instance,
+        path: list[Segment],
+        depth: int,
+        plan: TierFetchPlan,
+        start: float,
+    ) -> None:
+        """The modelled fetch completed: seed restored segments into HBM.
+
+        Entries are re-checked at completion time — an entry cascaded out
+        (or a required HBM anchor evicted) while the fetch was in flight
+        counts as wasted fetch work, never as conjured KV.
+        """
+        store = self.tier_store
+        cache = inst.cache
+        cache.touch(self.sim.now)
+        taken = 0
+        got_chain: list[tuple[tuple[int, ...], int]] = []
+        for key, tokens, _spec in plan.chain:
+            got = store.take(key)
+            if got is None:
+                store.stats.wasted_fetch_tokens += tokens
+                break
+            got_chain.append((key, got))
+            taken += got
+        seeded = 0
+        if got_chain:
+            seed_path = list(path[:depth]) + [
+                Segment(uid=key[-1], tokens=got) for key, got in got_chain
+            ]
+            seeded = cache.seed(seed_path, require_cached=depth)
+            if seeded:
+                store.note_promoted(seeded)
+            if taken > seeded:
+                store.stats.wasted_fetch_tokens += taken - seeded
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.complete(
+                store.trace_track,
+                "promote",
+                CAT_KV_XFER,
+                start,
+                self.sim.now,
+                {"tokens": seeded, "planned": plan.tokens},
+            )
+        self.on_request_ready(state)
 
     # ------------------------------------------------------------------ #
     # Tracing
@@ -322,8 +429,7 @@ class ServingSystem(ABC):
             raise ValueError("plan_prefill must run first")
         path = state.cache_path()
         missing = path[state.lease.depth :]
-        needed = sum(segment.tokens for segment in missing)
-        if not instance.cache.can_fit(needed):
+        if not instance.cache.can_fit_path(path):
             return False
         instance.cache.touch(self.sim.now)
         try:

@@ -15,6 +15,7 @@ if TYPE_CHECKING:
     # Import cycle: repro.tenancy reaches back into the cluster layer,
     # which imports serving.base -> serving.config.  The annotation is
     # enough here; consumers construct the TenancyConfig themselves.
+    from repro.kvcache.tiers import KVTierConfig
     from repro.tenancy.model import TenancyConfig
 
 #: Waiting-queue disciplines a serving system can be configured with.
@@ -48,6 +49,14 @@ class ServingConfig:
             scaling).  ``None`` keeps every tenant-aware branch disabled —
             the single-tenant fast path is byte-identical to the
             pre-tenancy stack.
+        kv_tiers: DRAM/NVMe spill hierarchy behind the HBM radix cache
+            (see :mod:`repro.kvcache.tiers`).  ``None`` (the default)
+            keeps every tier-aware branch disabled — the untiered path is
+            byte-identical to the pre-tier stack.
+        kv_pool_limit_bytes: Optional hard cap on the HBM KV pool, below
+            what device memory would allow.  Used by capacity studies to
+            force eviction pressure; ``None`` keeps the historical
+            memory-derived pool size.
     """
 
     model: ModelConfig
@@ -62,6 +71,8 @@ class ServingConfig:
     name_prefix: str = ""
     queue_policy: str = "fifo"
     tenancy: "TenancyConfig | None" = None
+    kv_tiers: "KVTierConfig | None" = None
+    kv_pool_limit_bytes: float | None = None
 
     def __post_init__(self) -> None:
         if self.n_gpus < 1:

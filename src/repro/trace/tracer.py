@@ -46,6 +46,7 @@ CAT_BANDWIDTH = "bandwidth"
 CAT_ROUTER = "router"
 CAT_FAULT = "fault"
 CAT_TENANCY = "tenancy"
+CAT_KV_XFER = "kvxfer"
 
 #: Trace track carrying multi-tenant QoS occurrences (rate-limit denials,
 #: quota exhaustion, tiered-brownout sheds), one row for the whole fleet.

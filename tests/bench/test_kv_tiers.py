@@ -1,0 +1,77 @@
+"""Tests for the KV-tier bandwidth sweep and failover-restore study."""
+
+import json
+
+from repro.bench.kv_tiers import (
+    DEFAULT_BANDWIDTHS,
+    BandwidthPoint,
+    KVTiersStudy,
+    failover_restore_study,
+    run_kv_tiers_study,
+)
+
+SCALE = 0.05
+
+
+def make_point(bandwidth, mux=100.0, disagg=80.0) -> BandwidthPoint:
+    return BandwidthPoint(
+        bandwidth=bandwidth,
+        mux_useful_throughput=mux,
+        disagg_useful_throughput=disagg,
+        mux_ttft_p50=0.1,
+        disagg_ttft_p50=0.2,
+    )
+
+
+class TestStudyShape:
+    def test_crossover_requires_narrowing_gap(self):
+        study = KVTiersStudy(
+            points=[make_point(1e9, disagg=50.0), make_point(1e11, disagg=90.0)],
+            failover={},
+        )
+        assert study.crossover
+        widening = KVTiersStudy(
+            points=[make_point(1e9, disagg=90.0), make_point(1e11, disagg=50.0)],
+            failover={},
+        )
+        assert not widening.crossover
+        assert not KVTiersStudy(points=[make_point(1e9)], failover={}).crossover
+
+    def test_gap_sign_convention(self):
+        assert make_point(1e9, mux=100.0, disagg=80.0).gap == 20.0
+
+    def test_as_dict_is_json_serialisable(self):
+        study = KVTiersStudy(
+            points=[make_point(1e9)], failover={"restored_tokens": 5}, extras={"x": 1.0}
+        )
+        round_trip = json.loads(json.dumps(study.as_dict(), sort_keys=True))
+        assert round_trip["crossover"] is True or round_trip["crossover"] is False
+        assert round_trip["failover"]["restored_tokens"] == 5
+
+
+class TestEndToEnd:
+    def test_study_demonstrates_crossover_and_restore(self):
+        """The acceptance run: mux wins at low bandwidth, the gap narrows
+        as bandwidth rises, and the killed replica's surviving tiers
+        restore at least one prefix."""
+        study = run_kv_tiers_study(scale=SCALE, seed=0)
+        assert len(study.points) == len(DEFAULT_BANDWIDTHS)
+        assert study.crossover
+        assert study.points[0].gap > 0
+        assert study.points[-1].gap < study.points[0].gap
+        assert study.failover["restored_tokens"] > 0
+        assert study.failover["drained"] == 1
+        # Bandwidths come out sorted ascending regardless of input order.
+        bws = [p.bandwidth for p in study.points]
+        assert bws == sorted(bws)
+
+    def test_study_is_deterministic(self):
+        first = run_kv_tiers_study(scale=SCALE, seed=0).as_dict()
+        second = run_kv_tiers_study(scale=SCALE, seed=0).as_dict()
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+    def test_failover_ledger_conserves_demotions(self):
+        ledger = failover_restore_study(scale=SCALE, seed=0)
+        # Everything promoted (restored included) was first demoted.
+        assert ledger["promoted_tokens"] <= ledger["demoted_tokens"]
+        assert ledger["restored_tokens"] <= ledger["promoted_tokens"]

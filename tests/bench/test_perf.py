@@ -26,6 +26,11 @@ GOLDEN_RESULTS = {
         "fingerprint": "0466757058bcb74566302cb60693bbbe0b1b9c0ac42b58431d8458fdecbeeb11",
         "peak_event_queue": 15,
     },
+    "kv_tiers": {
+        "events": 81928,
+        "fingerprint": "69e278e426f781611af12a42bc0a131f6f5898dc9eaaac49d316d30cc27b0bdd",
+        "peak_event_queue": 65,
+    },
     "fleet_4_replicas": {
         "events": 6102,
         "fingerprint": "99a44a988cf062e2850b88100238a330e4fc5bcf6db1882fbebc9803b870d196",

@@ -1,0 +1,107 @@
+"""Cross-replica prefix transfer: router fetch, seeding, migration, ledger."""
+
+from repro.baselines import ChunkedPrefillServer
+from repro.cluster import Fleet, FleetConfig
+from repro.kvcache import RDMA_LINK, TransferConfig, default_tier_config
+from repro.serving.config import ServingConfig
+from repro.sim import Simulator
+from repro.workloads import conversation_workload
+
+
+def chunked_factory(sim, cfg):
+    return ChunkedPrefillServer(sim, cfg, token_budget=256)
+
+
+def run_fleet(cfg, fleet_cfg, sessions=16, rate=3.0, seed=9):
+    sim = Simulator()
+    fleet = Fleet(sim, chunked_factory, cfg, fleet_cfg)
+    workload = conversation_workload(sessions, request_rate=rate, seed=seed)
+    fleet.submit(workload)
+    sim.run(until=workload.requests[-1].arrival_time + 3600.0)
+    assert fleet.summarize().requests_finished == len(workload)
+    return fleet
+
+
+class TestRouterFetch:
+    def test_round_robin_with_transfer_fetches_prefixes(self, cfg_8b_single):
+        """Round-robin sends a session's next turn to the *other* replica;
+        with a transfer engine the router ships the prefix instead of
+        recomputing it."""
+        fleet = run_fleet(
+            cfg_8b_single,
+            FleetConfig(replicas=2, policy="round-robin", transfer=TransferConfig()),
+        )
+        router = fleet.router
+        assert router.kv_fetches > 0
+        assert router.kv_fetched_tokens > 0
+        assert router.kv_seeded_tokens > 0
+        counters = fleet.transfer.counters()
+        # The default config models a cross-node fleet: RDMA carries.
+        assert counters[RDMA_LINK.name]["transfers"] == router.kv_fetches
+        assert counters[RDMA_LINK.name]["tokens"] == router.kv_fetched_tokens
+
+    def test_fetch_raises_cache_hit_rate(self, cfg_8b_single):
+        base = run_fleet(
+            cfg_8b_single, FleetConfig(replicas=2, policy="round-robin")
+        )
+        with_xfer = run_fleet(
+            cfg_8b_single,
+            FleetConfig(replicas=2, policy="round-robin", transfer=TransferConfig()),
+        )
+        assert with_xfer.cache_hit_rate() > base.cache_hit_rate()
+
+    def test_prefix_affinity_needs_no_fetches(self, cfg_8b_single):
+        """Affinity already lands turns on the replica holding the prefix:
+        the transfer engine should sit idle, not churn."""
+        fleet = run_fleet(
+            cfg_8b_single,
+            FleetConfig(replicas=2, policy="prefix-affinity", transfer=TransferConfig()),
+        )
+        assert fleet.router.kv_fetches == 0
+
+    def test_migrate_mode_evicts_donor_copy(self, cfg_8b_single):
+        fleet = run_fleet(
+            cfg_8b_single,
+            FleetConfig(
+                replicas=2,
+                policy="round-robin",
+                transfer=TransferConfig(migrate=True),
+            ),
+        )
+        assert fleet.router.kv_fetches > 0
+
+    def test_no_transfer_config_means_no_ledger(self, cfg_8b_single):
+        fleet = run_fleet(cfg_8b_single, FleetConfig(replicas=2, policy="round-robin"))
+        assert fleet.transfer is None
+        assert fleet.kv_ledger() is None
+
+    def test_ledger_keys_with_transfer(self, cfg_8b_single):
+        fleet = run_fleet(
+            cfg_8b_single,
+            FleetConfig(replicas=2, policy="round-robin", transfer=TransferConfig()),
+        )
+        ledger = fleet.kv_ledger()
+        assert ledger is not None
+        assert ledger["fetches"] == fleet.router.kv_fetches
+        assert ledger["fetched_tokens"] == fleet.router.kv_fetched_tokens
+
+
+class TestTieredFleet:
+    def test_tiers_demote_and_promote_under_pressure(self, cfg_8b_single):
+        """A clamped HBM pool spills into the DRAM tier and later turns
+        promote the spilled prefixes back instead of recomputing."""
+        cfg = ServingConfig(
+            model=cfg_8b_single.model,
+            spec=cfg_8b_single.spec,
+            n_gpus=1,
+            kv_tiers=default_tier_config(),
+            kv_pool_limit_bytes=3 * 1024**3,
+        )
+        fleet = run_fleet(cfg, FleetConfig(replicas=2, policy="prefix-affinity"))
+        ledger = fleet.kv_ledger()
+        assert ledger is not None
+        assert ledger["demoted_tokens"] > 0
+        assert ledger["promoted_tokens"] > 0
+        assert ledger["restored_tokens"] == 0  # nothing was killed
+        for replica in fleet.replicas:
+            assert replica.tier_store is not None

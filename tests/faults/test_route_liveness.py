@@ -1,0 +1,113 @@
+"""Regression: routing policies must not pick an unresponsive replica.
+
+The window: a hang (stalled device) leaves ``Replica.failed`` False until
+the health watchdog accumulates enough missed probes — but the replica's
+radix cache still scores highest for the sessions it was serving, so
+prefix-affinity kept routing exactly the requests that most needed to go
+elsewhere into the wedge.  The fix is a route-time liveness check: scoring
+policies only consider *responsive* replicas (not failed, no stalled
+device) — the same observable the watchdog probes, so the two can never
+disagree.
+"""
+
+from repro.cluster import Fleet, FleetConfig, HealthConfig
+from repro.serving.base import iter_instances
+from repro.sim import Simulator
+from repro.workloads import conversation_workload
+
+from tests.faults.conftest import chunked_factory
+
+STALL_AT = 60.0
+
+
+def spy_on_choices(sim, fleet):
+    """Record every (time, replica) the routing policy picks."""
+    chosen: list[tuple[float, str]] = []
+    orig = fleet.router.policy.choose
+
+    def choose(replicas, request):
+        replica = orig(replicas, request)
+        chosen.append((sim.now, replica.name))
+        return replica
+
+    fleet.router.policy.choose = choose
+    return chosen
+
+
+class TestStallWindow:
+    def test_no_dispatch_to_stalled_replica_before_detection(self, cfg_8b_single):
+        """Kill the watchdog's teeth (huge misses_to_fail) so the stall is
+        never *declared* a failure: the whole trace runs inside the
+        detection window, and only the route-time check protects it."""
+        sim = Simulator()
+        fleet_cfg = FleetConfig(
+            replicas=2,
+            policy="prefix-affinity",
+            health=HealthConfig(misses_to_fail=1_000_000, restart_after=None),
+        )
+        fleet = Fleet(sim, chunked_factory, cfg_8b_single, fleet_cfg)
+        chosen = spy_on_choices(sim, fleet)
+        workload = conversation_workload(24, request_rate=3.0, seed=5)
+        fleet.submit(workload)
+
+        def stall_r0():
+            for inst in iter_instances(fleet.replicas[0].system):
+                inst.device.stall(100_000.0)
+
+        sim.schedule_at(STALL_AT, stall_r0)
+        sim.run(until=workload.requests[-1].arrival_time + 120.0)
+
+        before = [name for t, name in chosen if t < STALL_AT]
+        after = [name for t, name in chosen if t >= STALL_AT]
+        # Validity: the replica was earning affinity before the stall and
+        # traffic kept arriving during the window.
+        assert "r0" in before
+        assert after
+        # The regression: every post-stall decision avoids the wedged
+        # replica even though it is not (yet) marked failed.
+        assert all(name == "r1" for name in after)
+        assert not fleet.replicas[0].failed  # still inside the window
+
+    def test_stalled_replica_is_unresponsive_not_failed(self, cfg_8b_single):
+        sim = Simulator()
+        fleet = Fleet(
+            sim,
+            chunked_factory,
+            cfg_8b_single,
+            FleetConfig(replicas=2, health=HealthConfig(misses_to_fail=1_000_000)),
+        )
+        replica = fleet.replicas[0]
+        assert replica.responsive
+        for inst in iter_instances(replica.system):
+            inst.device.stall(5.0)
+        assert not replica.responsive
+        assert not replica.failed
+
+
+class TestKillWindow:
+    def test_no_dispatch_to_killed_replica_until_restart(self, cfg_8b_single):
+        sim = Simulator()
+        fleet = Fleet(
+            sim,
+            chunked_factory,
+            cfg_8b_single,
+            FleetConfig(replicas=2, policy="prefix-affinity", health=HealthConfig()),
+        )
+        chosen = spy_on_choices(sim, fleet)
+        workload = conversation_workload(24, request_rate=3.0, seed=5)
+        fleet.submit(workload)
+        restart_after = 5.0
+        sim.schedule_at(
+            STALL_AT,
+            lambda: fleet.fail_replica(
+                fleet.replicas[0], reason="test-kill", restart_after=restart_after
+            ),
+        )
+        sim.run(until=workload.requests[-1].arrival_time + 3600.0)
+        dead_window = [
+            name for t, name in chosen if STALL_AT <= t < STALL_AT + restart_after
+        ]
+        assert all(name == "r1" for name in dead_window)
+        # After restart the slot is routable again and the run drains.
+        assert fleet.replicas[0].generation == 1
+        assert fleet.router.requests_lost == 0

@@ -1,0 +1,75 @@
+"""Regression: a kill invalidates the autoscaler's warm-cache signal.
+
+The bug: ``Replica.kv_warm`` is set when a replica finishes work and the
+autoscaler's ``scale_up`` prefers reactivating warm draining replicas.  A
+replica killed while parked (or killed and restarted) holds a *cold* fresh
+cache, but nothing cleared the flag — so reactivation ranked a gutted
+replica ahead of a genuinely warm peer and "warm reactivation" recomputed
+every prefix.  ``fail_replica`` must clear ``kv_warm`` atomically with the
+cache-destroying scope cancellation.
+"""
+
+from repro.cluster import FleetConfig, HealthConfig
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+from repro.workloads import sharegpt_workload
+
+
+def kill_plan(at: float, target: str = "r0", restart_after: float = 0.5) -> FaultPlan:
+    return FaultPlan(
+        specs=(
+            FaultSpec(
+                at=at, kind=FaultKind.REPLICA_KILL, target=target, restart_after=restart_after
+            ),
+        )
+    )
+
+
+class TestWarmFlagInvalidation:
+    def test_completions_mark_replica_warm(self, chaos_fleet):
+        sim, fleet, _ = chaos_fleet(FaultPlan(), FleetConfig(replicas=2))
+        workload = sharegpt_workload(8, rate=8.0, seed=7)
+        fleet.submit(workload)
+        sim.run(until=workload.requests[-1].arrival_time + 3600.0)
+        assert fleet.summarize().requests_finished == len(workload)
+        assert any(r.kv_warm for r in fleet.replicas)
+
+    def test_kill_clears_warm_flag(self, chaos_fleet):
+        """The regression: pre-fix, kv_warm survived the kill even though
+        the generation's whole radix cache died with its scope."""
+        sim, fleet, _ = chaos_fleet(
+            kill_plan(at=60.0), FleetConfig(replicas=2, health=HealthConfig())
+        )
+        workload = sharegpt_workload(12, rate=4.0, seed=7)
+        fleet.submit(workload)
+        warm_at_kill: list[bool] = []
+        sim.schedule_at(59.9, lambda: warm_at_kill.append(fleet.replicas[0].kv_warm))
+        sim.run(until=workload.requests[-1].arrival_time + 3600.0)
+        # The kill hit a replica that had genuinely earned its warm flag.
+        assert warm_at_kill == [True]
+        replica = fleet.replicas[0]
+        # Restarted (fresh cold generation) and nothing completed since late
+        # traffic all matched the survivor's cache: the flag must be off.
+        assert not replica.failed
+        assert replica.generation == 1
+        assert not replica.kv_warm
+
+    def test_scale_up_prefers_genuinely_warm_replica(self, chaos_fleet):
+        """Reactivation order: a kill-invalidated replica ranks behind a
+        warm peer even though both are draining candidates."""
+        sim, fleet, _ = chaos_fleet(
+            kill_plan(at=60.0), FleetConfig(replicas=3, health=HealthConfig())
+        )
+        workload = sharegpt_workload(18, rate=6.0, seed=7)
+        fleet.submit(workload)
+        sim.run(until=workload.requests[-1].arrival_time + 3600.0)
+        r0, r1, r2 = fleet.replicas
+        assert not r0.kv_warm and r1.kv_warm and r2.kv_warm
+        # Park everything, then ask for capacity back: the warm survivors
+        # must be reactivated before the cold restarted slot.
+        for replica in fleet.replicas:
+            replica.draining = True
+        first = fleet.scale_up(max_replicas=3)
+        second = fleet.scale_up(max_replicas=3)
+        third = fleet.scale_up(max_replicas=3)
+        assert {first.name, second.name} == {"r1", "r2"}
+        assert third.name == "r0"

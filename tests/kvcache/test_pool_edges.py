@@ -1,0 +1,86 @@
+"""Edge-case tests for KVCachePool: zero capacity, empty allocations, bounds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvcache import KVCachePool, PoolExhaustedError
+
+
+class TestZeroCapacity:
+    def test_zero_capacity_pool_is_valid_but_full(self):
+        pool = KVCachePool(0.0, kv_bytes_per_token=10.0)
+        assert pool.capacity_pages == 0
+        assert pool.capacity_tokens == 0
+        assert pool.free_pages == 0
+        assert pool.utilization() == 0.0
+
+    def test_zero_capacity_rejects_any_allocation(self):
+        pool = KVCachePool(0.0, kv_bytes_per_token=10.0)
+        assert not pool.can_allocate(1)
+        with pytest.raises(PoolExhaustedError):
+            pool.allocate(1)
+
+    def test_zero_capacity_accepts_empty_allocation(self):
+        pool = KVCachePool(0.0, kv_bytes_per_token=10.0)
+        assert pool.allocate(0) == 0
+
+
+class TestEmptyAllocation:
+    def test_allocate_zero_reserves_nothing(self):
+        pool = KVCachePool(1000.0, kv_bytes_per_token=10.0, page_tokens=16)
+        assert pool.allocate(0) == 0
+        assert pool.used_pages == 0
+
+    def test_negative_allocation_rejected(self):
+        pool = KVCachePool(1000.0, kv_bytes_per_token=10.0)
+        with pytest.raises(ValueError):
+            pool.allocate(-1)
+
+
+class TestReleaseAfterExhaustion:
+    def test_release_restores_capacity_after_exhaustion(self):
+        pool = KVCachePool(160.0, kv_bytes_per_token=1.0, page_tokens=16)
+        pages = pool.allocate(pool.capacity_tokens)
+        with pytest.raises(PoolExhaustedError):
+            pool.allocate(1)
+        pool.release_pages(pages)
+        assert pool.free_pages == pool.capacity_pages
+        assert pool.allocate(1) == 1  # usable again
+
+    def test_release_more_than_allocated_rejected(self):
+        pool = KVCachePool(160.0, kv_bytes_per_token=1.0, page_tokens=16)
+        pool.allocate(16)
+        with pytest.raises(ValueError):
+            pool.release_pages(2)
+        with pytest.raises(ValueError):
+            pool.release_pages(-1)
+
+
+class TestUtilizationBounds:
+    """utilization() tracks a reference counter and never leaves [0, 1]."""
+
+    @given(
+        capacity_pages=st.integers(min_value=0, max_value=64),
+        ops=st.lists(st.integers(min_value=0, max_value=40 * 16), max_size=30),
+    )
+    @settings(max_examples=200)
+    def test_utilization_matches_reference_counter(self, capacity_pages, ops):
+        pool = KVCachePool(
+            capacity_pages * 16.0, kv_bytes_per_token=1.0, page_tokens=16
+        )
+        held: list[int] = []  # reference ledger of outstanding page counts
+        for tokens in ops:
+            if held and tokens % 3 == 0:  # deterministic mix of release ops
+                pool.release_pages(held.pop())
+            else:
+                try:
+                    held.append(pool.allocate(tokens))
+                except PoolExhaustedError:
+                    assert pool.pages_for(tokens) > pool.free_pages
+            assert pool.used_pages == sum(held)
+            assert 0.0 <= pool.utilization() <= 1.0
+        for pages in held:
+            pool.release_pages(pages)
+        assert pool.used_pages == 0
+        assert pool.utilization() == 0.0

@@ -1,0 +1,149 @@
+"""Unit tests for the DRAM/NVMe tier store: demotion, promotion, survival."""
+
+import pytest
+
+from repro.kvcache import (
+    DRAM_TIER,
+    NVME_TIER,
+    KVTierConfig,
+    TieredKVStore,
+    TierSpec,
+    default_tier_config,
+)
+
+KV_BYTES = 1024.0
+
+
+def make_store(dram_tokens: int = 1000, nvme_tokens: int = 4000, **kwargs) -> TieredKVStore:
+    config = KVTierConfig(
+        tiers=(
+            TierSpec("dram", dram_tokens * KV_BYTES, 25e9, 25e9, 100e-6),
+            TierSpec("nvme", nvme_tokens * KV_BYTES, 7e9, 3e9, 1.2e-3),
+        ),
+        **kwargs,
+    )
+    return TieredKVStore(config, KV_BYTES)
+
+
+class TestTierSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TierSpec("bad", -1.0, 1e9, 1e9, 0.0)
+        with pytest.raises(ValueError):
+            TierSpec("bad", 1e9, 0.0, 1e9, 0.0)
+        with pytest.raises(ValueError):
+            TierSpec("bad", 1e9, 1e9, 1e9, -0.1)
+
+    def test_duplicate_tier_names_rejected(self):
+        with pytest.raises(ValueError):
+            KVTierConfig(tiers=(DRAM_TIER, DRAM_TIER))
+
+    def test_default_config_orders_dram_before_nvme(self):
+        config = default_tier_config()
+        assert [t.name for t in config.tiers] == ["dram", "nvme"]
+        assert config.tiers[0].capacity_bytes < NVME_TIER.capacity_bytes
+
+
+class TestDemotion:
+    def test_demote_then_plan_fetch_roundtrip(self):
+        store = make_store()
+        store.demote((1,), 100, now=0.0)
+        assert not store.is_empty()
+        assert store.resident_tokens() == 100
+
+        class Seg:
+            def __init__(self, uid, tokens):
+                self.uid, self.tokens = uid, tokens
+
+        plan = store.plan_fetch([Seg(1, 100)], start_depth=0)
+        assert plan is not None
+        assert plan.tokens == 100
+        # Delay covers at least the tier's read latency.
+        assert plan.delay >= 100e-6
+
+    def test_oversized_entry_cascades_to_nvme(self):
+        store = make_store(dram_tokens=50, nvme_tokens=4000)
+        store.demote((1,), 100, now=0.0)  # too big for DRAM
+        util = store.tier_utilization()
+        assert util["dram"] == 0.0
+        assert util["nvme"] > 0.0
+
+    def test_lru_cascade_on_dram_pressure(self):
+        store = make_store(dram_tokens=100, nvme_tokens=4000)
+        store.demote((1,), 60, now=0.0)
+        store.demote((2,), 60, now=1.0)  # pushes (1,) down to NVMe
+        assert store.resident_tokens() == 120
+        util = store.tier_utilization()
+        assert util["dram"] <= 1.0
+        assert util["nvme"] > 0.0
+
+    def test_overflow_past_last_tier_is_dropped(self):
+        store = make_store(dram_tokens=50, nvme_tokens=50)
+        store.demote((1,), 40, now=0.0)
+        store.demote((2,), 40, now=1.0)
+        store.demote((3,), 40, now=2.0)
+        assert store.stats.dropped_tokens > 0
+        assert store.resident_tokens() <= 100
+
+    def test_redemote_replaces_existing_entry(self):
+        store = make_store()
+        store.demote((1,), 100, now=0.0)
+        store.demote((1,), 150, now=1.0)
+        assert store.resident_tokens() == 150
+
+
+class TestPromotion:
+    class Seg:
+        def __init__(self, uid, tokens):
+            self.uid, self.tokens = uid, tokens
+
+    def test_plan_fetch_respects_start_depth(self):
+        store = make_store()
+        store.demote((1,), 50, now=0.0)
+        store.demote((1, 2), 70, now=0.0)
+        path = [self.Seg(1, 50), self.Seg(2, 70)]
+        plan = store.plan_fetch(path, start_depth=1)
+        assert plan is not None
+        assert plan.tokens == 70  # only the second segment
+
+    def test_plan_fetch_stops_at_first_miss(self):
+        store = make_store()
+        store.demote((1,), 50, now=0.0)
+        store.demote((1, 2, 3), 30, now=0.0)  # (1, 2) missing
+        path = [self.Seg(1, 50), self.Seg(2, 20), self.Seg(3, 30)]
+        plan = store.plan_fetch(path, start_depth=0)
+        assert plan is not None
+        assert plan.tokens == 50
+
+    def test_plan_fetch_is_non_destructive_and_take_pops(self):
+        store = make_store()
+        store.demote((1,), 50, now=0.0)
+        path = [self.Seg(1, 50)]
+        assert store.plan_fetch(path, 0) is not None
+        assert store.plan_fetch(path, 0) is not None  # still there
+        assert store.take((1,)) == 50
+        assert store.take((1,)) is None  # destructive
+        assert store.plan_fetch(path, 0) is None
+
+    def test_min_promote_tokens_gate(self):
+        store = make_store(min_promote_tokens=100)
+        store.demote((1,), 50, now=0.0)
+        assert store.plan_fetch([self.Seg(1, 50)], 0) is None
+
+    def test_note_promoted_counts_restored_after_kill(self):
+        store = make_store()
+        store.demote((1,), 50, now=0.0)
+        store.note_promoted(50)
+        assert store.stats.promoted_tokens == 50
+        assert store.stats.restored_tokens == 0
+        store.mark_killed()
+        store.note_promoted(30)
+        assert store.stats.restored_tokens == 30
+
+    def test_stats_survive_mark_killed(self):
+        """The store is slot-owned: a kill must not wipe its contents."""
+        store = make_store()
+        store.demote((1,), 80, now=0.0)
+        store.mark_killed()
+        assert store.resident_tokens() == 80
+        assert store.plan_fetch([self.Seg(1, 80)], 0) is not None

@@ -1,0 +1,84 @@
+"""Unit tests for the cross-replica transfer cost model and link fallback."""
+
+import pytest
+
+from repro.kvcache import (
+    NVLINK_LINK,
+    RDMA_LINK,
+    TCP_LINK,
+    TransferConfig,
+    TransferEngine,
+    TransferLink,
+)
+
+KV_BYTES = 1000.0
+
+
+def make_engine(links=None, **kwargs) -> TransferEngine:
+    config = TransferConfig(links=links, **kwargs) if links else TransferConfig(**kwargs)
+    return TransferEngine(config, KV_BYTES)
+
+
+class TestLinkSelection:
+    def test_default_selects_rdma_not_nvlink(self):
+        """The default fleet is cross-node: NVLink is present but unavailable."""
+        engine = make_engine()
+        link = engine.select()
+        assert link is not None
+        assert link.name == RDMA_LINK.name
+
+    def test_fallback_to_tcp_when_rdma_down(self):
+        engine = make_engine()
+        engine.set_available(RDMA_LINK.name, False)
+        assert engine.select().name == TCP_LINK.name
+
+    def test_no_link_available_returns_none(self):
+        engine = make_engine()
+        engine.set_available(RDMA_LINK.name, False)
+        engine.set_available(TCP_LINK.name, False)
+        assert engine.select() is None
+
+    def test_nvlink_can_be_enabled(self):
+        engine = make_engine()
+        engine.set_available(NVLINK_LINK.name, True)
+        assert engine.select().name == NVLINK_LINK.name
+
+    def test_unknown_link_raises(self):
+        engine = make_engine()
+        with pytest.raises(KeyError):
+            engine.set_available("infiniband9000", True)
+
+
+class TestCostModel:
+    def test_cost_is_latency_plus_bytes_over_bandwidth(self):
+        link = TransferLink("test", 1e9, 1e-3)
+        engine = make_engine(links=(link,))
+        # 1000 tokens * 1000 B/token = 1 MB over 1 GB/s = 1 ms, plus 1 ms latency.
+        assert engine.cost(1000, link) == pytest.approx(2e-3)
+
+    def test_zero_tokens_costs_nothing(self):
+        engine = make_engine()
+        assert engine.cost(0) == 0.0
+
+    def test_faster_link_is_cheaper(self):
+        engine = make_engine()
+        tokens = 10_000
+        assert engine.cost(tokens, NVLINK_LINK) < engine.cost(tokens, RDMA_LINK)
+        assert engine.cost(tokens, RDMA_LINK) < engine.cost(tokens, TCP_LINK)
+
+    def test_cost_without_any_link_raises(self):
+        engine = make_engine()
+        engine.set_available(RDMA_LINK.name, False)
+        engine.set_available(TCP_LINK.name, False)
+        with pytest.raises(RuntimeError):
+            engine.cost(100)
+
+
+class TestAccounting:
+    def test_record_accumulates_per_link(self):
+        engine = make_engine()
+        link = engine.select()
+        engine.record(link, 500)
+        engine.record(link, 250)
+        counters = engine.counters()
+        assert counters[link.name] == {"transfers": 2, "tokens": 750}

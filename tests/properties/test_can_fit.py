@@ -1,0 +1,79 @@
+"""Property test: RadixCache.can_fit_path is a true promise.
+
+The admission bugfix this pins down: ``can_fit`` checked one page ceiling
+over the *total* missing tokens against free + evictable pages, while the
+actual insert allocates per-segment ceilings **and pins the existing prefix
+chain** (shrinking the evictable set).  Either divergence let admission say
+"fits" and the allocation then raise :class:`PoolExhaustedError` mid-flight.
+``can_fit_path`` mirrors the acquire+insert sequence exactly; this property
+drives randomized workloads through both and asserts the promise holds.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvcache import KVCachePool, PoolExhaustedError, RadixCache, Segment
+
+#: Small uid/token spaces so paths collide and the tree grows shared prefixes.
+segment_lists = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=50)),
+    min_size=1,
+    max_size=4,
+)
+
+
+def build_path(pairs) -> list[Segment]:
+    return [Segment(uid=uid, tokens=tokens) for uid, tokens in pairs]
+
+
+class TestCanFitPathPromise:
+    @given(
+        capacity_pages=st.integers(min_value=1, max_value=12),
+        requests=st.lists(segment_lists, min_size=1, max_size=12),
+        keep=st.lists(st.booleans(), min_size=12, max_size=12),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_can_fit_path_true_implies_insert_never_raises(
+        self, capacity_pages, requests, keep
+    ):
+        pool = KVCachePool(capacity_pages * 16.0, kv_bytes_per_token=1.0, page_tokens=16)
+        cache = RadixCache(pool)
+        leases = []
+        for i, pairs in enumerate(requests):
+            path = build_path(pairs)
+            # Mirror ServingSystem.allocate_context exactly: acquire pins the
+            # cached prefix, admission checks the full path, insert adds only
+            # the segments beyond the lease's depth.
+            lease = cache.acquire(path)
+            if not cache.can_fit_path(path):
+                cache.release(lease, keep_cached=True)
+                continue
+            try:
+                cache.insert(lease, path[lease.depth :])
+            except PoolExhaustedError as exc:  # pragma: no cover
+                raise AssertionError(
+                    f"can_fit_path promised admission but insert raised: {exc}"
+                ) from exc
+            leases.append((lease, keep[i % len(keep)]))
+            # Occasionally release to mix pinned/unpinned tree shapes.
+            if len(leases) >= 2 and i % 2:
+                done, keep_cached = leases.pop(0)
+                cache.release(done, keep_cached=keep_cached)
+        for lease, keep_cached in leases:
+            cache.release(lease, keep_cached=keep_cached)
+
+    @given(
+        capacity_pages=st.integers(min_value=1, max_value=8),
+        pairs=segment_lists,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_can_fit_path_false_means_genuinely_oversized_when_idle(
+        self, capacity_pages, pairs
+    ):
+        """On an empty cache, a rejection must mean the path truly exceeds
+        capacity — per-segment page ceilings, not the one-ceiling total."""
+        pool = KVCachePool(capacity_pages * 16.0, kv_bytes_per_token=1.0, page_tokens=16)
+        cache = RadixCache(pool)
+        path = build_path(pairs)
+        needed = sum(pool.pages_for(tokens) for _, tokens in pairs)
+        assert cache.can_fit_path(path) == (needed <= pool.capacity_pages)
