@@ -126,7 +126,7 @@ class ChunkedPrefillServer(DecodeBatchMixin):
         cost = PhaseCost(0.0, 0.0, 0.0, 0.0)
         completes_prefill = False
         if decode_batch:
-            cost = cost + model.decode_iter(self.decode_context_lens(decode_batch))
+            cost = cost + self.decode_step_cost(self.instance, decode_batch)
         if prefill_state is not None and chunk_tokens > 0:
             # The chunk attends to the reused prefix plus all earlier chunks.
             item = PrefillItem(

@@ -155,7 +155,7 @@ class LoongServeServer(DecodeBatchMixin):
         if not batch:
             return
         self._decode_inflight = True
-        cost = self.instance.cost_model.decode_iter(self.decode_context_lens(batch))
+        cost = self.decode_step_cost(self.instance, batch)
         task = self._subset_task(
             cost,
             self._decode_gpus(),

@@ -44,11 +44,10 @@ class NanoFlowServer(ChunkedPrefillServer):
         completes_prefill = False
 
         if decode_batch:
-            lens = self.decode_context_lens(decode_batch)
-            decode_cost = model.decode_iter(lens)
+            decode_cost = self.decode_step_cost(self.instance, decode_batch)
             # Each nano-batch re-streams the weights it touches.
             duplicate_load = (NANO_BATCHES - 1) * float(
-                cfg_model.num_layers * model._layer_weight_bytes_touched(len(lens))
+                cfg_model.num_layers * model._layer_weight_bytes_touched(len(decode_batch))
             )
             decode_cost = PhaseCost(
                 flops=decode_cost.flops,

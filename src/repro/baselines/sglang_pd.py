@@ -126,7 +126,7 @@ class SGLangPDServer(DecodeBatchMixin):
         self.decode_inst.cache.insert(lease, path)
         state.lease = lease
         if self.transfer is not None:
-            transfer = self.transfer.cost(needed)
+            transfer = self.transfer.acquire(self.sim.now, needed)
         else:
             transfer = self.prefill_inst.cost_model.kv_transfer_time(needed)
         self.sim.schedule(transfer, lambda s=state: self._on_migrated(s))
@@ -155,7 +155,7 @@ class SGLangPDServer(DecodeBatchMixin):
         if not batch:
             return
         self._decode_inflight = True
-        cost = self.decode_inst.cost_model.decode_iter(self.decode_context_lens(batch))
+        cost = self.decode_step_cost(self.decode_inst, batch)
         task = ExecTask(
             flops=cost.flops,
             bytes=cost.bytes,

@@ -97,7 +97,7 @@ class WindServeServer(DecodeBatchMixin):
         if not batch:
             return
         self._decode_inflight = True
-        cost = self.instance.cost_model.decode_iter(self.decode_context_lens(batch))
+        cost = self.decode_step_cost(self.instance, batch)
 
         def do_submit() -> None:
             handle = self.decode_stream.submit(cost.work(tag="wind-decode"))
@@ -174,7 +174,7 @@ class TemporalMuxServer(DecodeBatchMixin):
         decode_cost = None
         decode_time = 0.0
         if batch:
-            decode_cost = cost_model.decode_iter(self.decode_context_lens(batch))
+            decode_cost = self.decode_step_cost(self.instance, batch)
             decode_time = phase_latency(decode_cost, device, device.total_sms)
 
         layers = 0

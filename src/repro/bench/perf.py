@@ -176,12 +176,26 @@ def _scenario_kv_tiers(scale: float):
     return study.as_dict(), study.extras
 
 
+def _scenario_spec(scale: float):
+    """Speculative-decoding acceptance × draft-length sweep.
+
+    Fingerprints the full study report: the spec-off baseline, every grid
+    point's accepted-tokens/step and throughputs, and the
+    ``accepted_monotone`` / ``gap_shift`` verdicts.
+    """
+    from repro.bench.spec import run_spec_study
+
+    study = run_spec_study(scale=scale, seed=0)
+    return study.as_dict(), study.extras
+
+
 SCENARIOS: dict[str, Callable] = {
     "single_goodput": _scenario_single,
     "fleet_4_replicas": _scenario_fleet,
     "chaos_4_replicas": _scenario_chaos,
     "tenancy_wfq_brownout": _scenario_tenancy,
     "kv_tiers": _scenario_kv_tiers,
+    "spec_decoding": _scenario_spec,
 }
 
 

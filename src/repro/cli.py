@@ -430,6 +430,48 @@ def cmd_kvtiers(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_spec(args: argparse.Namespace) -> int:
+    """Speculative-decoding study: acceptance × draft-length sweep.
+
+    Prints a spec-off mux/disagg baseline, then one row per grid point
+    (expected and observed accepted-tokens/step, useful throughput of both
+    systems, the mux-minus-disagg gap, and MuxWise's mean decode-SM split).
+    ``--json`` emits the full deterministic report — the CI spec-smoke job
+    runs it twice, diffs the bytes, and asserts ``accepted_monotone`` and
+    ``gap_shift``.
+    """
+    from repro.bench.spec import run_spec_study
+
+    rates = tuple(args.rates) if args.rates else None
+    draft_lens = tuple(args.draft_lens) if args.draft_lens else None
+    study = run_spec_study(
+        rates=rates, draft_lens=draft_lens, scale=args.scale, seed=args.seed
+    )
+    if args.json:
+        print(json.dumps(study.as_dict(), indent=2, sort_keys=True))
+        return 0
+    base = study.baseline
+    print(
+        f"baseline (spec off): mux {base['mux_useful_throughput']:.1f} tok/s, "
+        f"disagg {base['disagg_useful_throughput']:.1f} tok/s, "
+        f"decode SMs {base['mux_decode_sms']:.1f}"
+    )
+    print(
+        f"{'k':>3} {'accept':>7} {'E[tok]':>7} {'acc/step':>9} "
+        f"{'mux tok/s':>10} {'disagg tok/s':>13} {'gap':>9} {'dec SMs':>8}"
+    )
+    for point in study.points:
+        print(
+            f"{point.draft_len:>3} {point.rate:>7.2f} {point.expected_tokens:>7.2f} "
+            f"{point.mux_accepted_per_step:>9.2f} {point.mux_useful_throughput:>10.1f} "
+            f"{point.disagg_useful_throughput:>13.1f} {point.gap:>9.1f} "
+            f"{point.mux_decode_sms:>8.1f}"
+        )
+    print(f"accepted_monotone: {'yes' if study.accepted_monotone else 'no'}")
+    print(f"gap_shift: {'yes' if study.gap_shift else 'no'}")
+    return 0
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     seed = args.seed
     workloads = [
@@ -605,6 +647,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the full study as JSON (machine-readable)"
     )
     kvt_p.set_defaults(func=cmd_kvtiers)
+
+    spec_p = sub.add_parser(
+        "spec", help="speculative-decoding acceptance x draft-length study"
+    )
+    spec_p.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=None,
+        help="draft-token acceptance rates to sweep (in [0, 1])",
+    )
+    spec_p.add_argument(
+        "--draft-lens",
+        type=int,
+        nargs="+",
+        default=None,
+        help="draft lengths (k) to sweep",
+    )
+    spec_p.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
+    spec_p.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    spec_p.add_argument(
+        "--json", action="store_true", help="emit the full study as JSON (machine-readable)"
+    )
+    spec_p.set_defaults(func=cmd_spec)
 
     t1_p = sub.add_parser("table1", help="print Table-1 stats of the traces")
     t1_p.add_argument("--seed", type=int, default=0)

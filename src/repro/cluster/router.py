@@ -465,7 +465,7 @@ class Router:
             Segment(uid=path[i].uid, tokens=chain[i]) for i in range(len(chain))
         ]
         moved = best_tokens - target_tokens
-        delay = engine.cost(moved, link)
+        delay = engine.acquire(now, moved, link)
         engine.record(link, moved)
         self.kv_fetches += 1
         self.kv_fetched_tokens += moved

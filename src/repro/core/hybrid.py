@@ -50,6 +50,7 @@ class HybridPDServer(MuxWiseServer):
             max_decode_batch=cfg.max_decode_batch,
             max_prefill_batch_tokens=cfg.max_prefill_batch_tokens,
             launch=cfg.launch,
+            spec_decode=cfg.spec_decode,
         )
         super().__init__(sim, decode_cfg)
         self.prefill_inst = build_instance(sim, cfg, n_prefill, name="hybrid-prefill")

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from repro.core.engine import MultiplexEngine
 from repro.core.estimator import ContentionTolerantEstimator
 from repro.gpu.specs import decode_partition_options
-from repro.models.costs import PrefillItem
+from repro.models.costs import PhaseCost, PrefillItem, phase_latency
 from repro.serving.base import RequestState, build_instance
 from repro.serving.batching import DecodeBatchMixin
 from repro.serving.config import ServingConfig
@@ -351,6 +351,25 @@ class MuxWiseServer(DecodeBatchMixin):
                 return sm_count
         return self.partition_options[-1]
 
+    def _choose_spec_partition(self, cost: PhaseCost) -> int:
+        """Best-fit decode partition for a speculative draft+verify step.
+
+        The contention estimator's decode predictor models the plain
+        memory-bound iteration, not verification, so the spec path sizes
+        the partition directly from the step's cost.  One step emits
+        ``E = expected_tokens_per_step`` tokens, so the per-step budget is
+        the per-token TBT SLO scaled by ``E`` — verification is allowed to
+        take longer than one decode iteration exactly in proportion to the
+        tokens it yields, which is what frees SMs back to prefill.
+        """
+        scale = self.spec_decode.expected_tokens_per_step()
+        budget = self.cfg.slo.tbt * scale * self.slo_margin - self.cfg.launch.decode_launch()
+        device = self.instance.device
+        for sm_count in self.partition_options:
+            if phase_latency(cost, device, sm_count) <= budget:
+                return sm_count
+        return self.partition_options[-1]
+
     def _maybe_start_decode(self) -> None:
         if self._decode_inflight or self._merge_blocked():
             return
@@ -361,12 +380,16 @@ class MuxWiseServer(DecodeBatchMixin):
         if not batch:
             return
         lens = self.decode_context_lens(batch)
-        sum_context = float(sum(lens))
-        decode_sms = self._choose_decode_partition(len(batch), sum_context)
+        if self.spec_decode is None:
+            sum_context = float(sum(lens))
+            decode_sms = self._choose_decode_partition(len(batch), sum_context)
+            cost = self.instance.cost_model.decode_iter(lens)
+        else:
+            cost = self.decode_step_cost(self.instance, batch)
+            decode_sms = self._choose_spec_partition(cost)
         if decode_sms != self.engine.decode_sms:
             self.engine.set_partition(decode_sms)
             self._log_partition()
-        cost = self.instance.cost_model.decode_iter(lens)
         work = cost.work(tag="decode-iter")
         self._decode_inflight = True
         submit_time = self.sim.now
@@ -386,7 +409,9 @@ class MuxWiseServer(DecodeBatchMixin):
     ) -> None:
         self._decode_inflight = False
         observed = self.sim.now - submit_time - self.cfg.launch.decode_launch()
-        if job is not None and job.new_tokens > 0:
+        # The estimator's decode predictor models the plain iteration;
+        # draft+verify samples would poison its contention fit.
+        if job is not None and job.new_tokens > 0 and self.spec_decode is None:
             self.estimator.observe_decode(
                 len(batch),
                 float(sum(lens)),

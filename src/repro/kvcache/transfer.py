@@ -77,6 +77,11 @@ class TransferConfig:
     #: When True, a cross-replica fetch *moves* the prefix (the donor
     #: evicts its copy); when False it copies, leaving the donor warm.
     migrate: bool = False
+    #: When True, each link is a FIFO pipe: overlapping transfers are
+    #: serialized in arrival order and the queueing delay lands in the
+    #: modeled cost (see :meth:`TransferEngine.acquire`).  ``False`` keeps
+    #: the historical contention-free model, byte-identical.
+    congestion: bool = False
 
     def __post_init__(self) -> None:
         if not self.links:
@@ -104,6 +109,12 @@ class TransferEngine:
         #: Per-link transfer counters: name -> [transfers, tokens].
         self._per_link: dict[str, list[int]] = {
             link.name: [0, 0] for link in config.links
+        }
+        #: FIFO congestion state: when each link's pipe drains (sim time).
+        self._busy_until: dict[str, float] = {link.name: 0.0 for link in config.links}
+        #: name -> [queued transfers, total queueing delay] (congestion only).
+        self._queued: dict[str, list[float]] = {
+            link.name: [0, 0.0] for link in config.links
         }
 
     # ------------------------------------------------------------------ #
@@ -141,6 +152,34 @@ class TransferEngine:
             raise RuntimeError("no transfer link available")
         return link.latency + tokens * self.kv_bytes_per_token / link.bandwidth
 
+    def acquire(self, now: float, tokens: int, link: TransferLink | None = None) -> float:
+        """Delay from ``now`` until a transfer of ``tokens`` completes.
+
+        With ``config.congestion`` off this is exactly :meth:`cost` — the
+        historical contention-free model, byte-identical.  With it on, each
+        link is a FIFO pipe: a transfer issued while the link is busy waits
+        for every earlier transfer to drain (arrival-order queueing), and
+        the wait is part of the returned delay.  Callers charge the full
+        returned delay of simulated time, so the queueing lands in TTFT.
+        """
+        if tokens <= 0:
+            return 0.0
+        if link is None:
+            link = self.select()
+        if link is None:
+            raise RuntimeError("no transfer link available")
+        duration = self.cost(tokens, link)
+        if not self.config.congestion:
+            return duration
+        busy_until = self._busy_until[link.name]
+        wait = busy_until - now if busy_until > now else 0.0
+        if wait > 0.0:
+            queued = self._queued[link.name]
+            queued[0] += 1
+            queued[1] += wait
+        self._busy_until[link.name] = now + wait + duration
+        return wait + duration
+
     def record(self, link: TransferLink, tokens: int) -> None:
         """Account one completed transfer of ``tokens`` over ``link``."""
         counters = self._per_link[link.name]
@@ -148,8 +187,20 @@ class TransferEngine:
         counters[1] += tokens
 
     def counters(self) -> dict[str, dict[str, int]]:
-        """Per-link ``{"transfers": n, "tokens": t}`` (deterministic order)."""
-        return {
+        """Per-link ``{"transfers": n, "tokens": t}`` (deterministic order).
+
+        With congestion enabled each link also reports ``queued`` (transfers
+        that waited) and ``queue_delay_us`` (their total wait, rounded to
+        whole microseconds so the ledger stays integer-valued).  The keys
+        are added only in congestion mode to keep historical ledgers — and
+        the fingerprints derived from them — byte-identical.
+        """
+        out = {
             name: {"transfers": pair[0], "tokens": pair[1]}
             for name, pair in self._per_link.items()
         }
+        if self.config.congestion:
+            for name, queued in self._queued.items():
+                out[name]["queued"] = int(queued[0])
+                out[name]["queue_delay_us"] = int(round(queued[1] * 1e6))
+        return out

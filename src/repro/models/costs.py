@@ -321,6 +321,47 @@ class CostModel:
         )
 
     # ------------------------------------------------------------------ #
+    # Speculative decoding
+    # ------------------------------------------------------------------ #
+
+    def verify_iter(self, context_lens: list[int], spec_tokens: int) -> PhaseCost:
+        """Cost of one speculative *verification* step of the target model.
+
+        Each request scores ``spec_tokens`` candidate tokens (the draft
+        chain plus the bonus position) against its ``r`` cached context
+        tokens in a single batched forward pass.  That is exactly a
+        micro-prefill — ``spec_tokens`` new tokens attending to ``r``
+        reused ones per request — so it is priced on the prefill path:
+        the GEMM saturation ramp rewards the extra tokens in flight and
+        FlashAttention re-reads the KV prefix, which is what pulls decode
+        off the memory-bound floor and into (partial) compute-boundedness.
+        """
+        if spec_tokens < 1:
+            raise ValueError("spec_tokens must be >= 1")
+        if not context_lens:
+            return PhaseCost(0.0, 0.0, 0.0, 0.0)
+        batch = [PrefillItem(new=spec_tokens, reused=ctx) for ctx in context_lens]
+        layers = self.prefill_layer(batch).scaled(self.model.num_layers)
+        return layers + self.prefill_head(len(batch))
+
+    def draft_chain(self, context_lens: list[int], draft_len: int) -> PhaseCost:
+        """Cost of autoregressively drafting ``draft_len`` tokens per request.
+
+        The draft model (``self``) runs ``draft_len`` sequential decode
+        iterations; iteration ``i`` sees each request's context grown by
+        the ``i`` tokens it already drafted.  The iterations cannot batch
+        with each other — the chain is serial — so the cost is their sum.
+        """
+        if draft_len < 1:
+            raise ValueError("draft_len must be >= 1")
+        if not context_lens:
+            return PhaseCost(0.0, 0.0, 0.0, 0.0)
+        total = self.decode_iter(context_lens)
+        for i in range(1, draft_len):
+            total = total + self.decode_iter([ctx + i for ctx in context_lens])
+        return total
+
+    # ------------------------------------------------------------------ #
     # KV transfer (disaggregated serving)
     # ------------------------------------------------------------------ #
 

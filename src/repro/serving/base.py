@@ -115,6 +115,9 @@ class RequestState:
         # Tracing: current lifecycle phase and when it started.
         self.trace_phase: str | None = None
         self.trace_phase_start = 0.0
+        #: Speculative-decoding session (RNG + base acceptance rate); None
+        #: when speculation is off or this request's tier is gated out.
+        self.spec_session = None
 
     @property
     def remaining_output(self) -> int:
@@ -161,6 +164,15 @@ class ServingSystem(ABC):
         #: hands an existing store over via :meth:`attach_tiers` — e.g.
         #: after a restart, so surviving tiers outlive the dead system.
         self.tier_store: TieredKVStore | None = None
+        #: Speculative-decoding runtime (sessions, draft cost models,
+        #: acceptance accounting).  None unless ``cfg.spec_decode`` is set,
+        #: keeping the plain-decode path byte-identical.
+        if cfg.spec_decode is not None:
+            from repro.spec.runtime import SpecRuntime
+
+            self.spec_decode: "SpecRuntime | None" = SpecRuntime(cfg)
+        else:
+            self.spec_decode = None
 
     def make_waiting_queue(self):
         """Build this system's waiting queue per ``cfg.queue_policy``.
@@ -248,6 +260,10 @@ class ServingSystem(ABC):
         arrival = self.sim.now if arrival_time is None else arrival_time
         record = self.metrics.on_arrival(request, arrival)
         state = RequestState(request, record)
+        if self.spec_decode is not None and self.spec_decode.wants(request):
+            # Sessions are numbered in arrival order — deterministic for a
+            # fixed workload, so runs replay byte-identically.
+            state.spec_session = self.spec_decode.session()
         self.states[request.request_id] = state
         self.trace_lifecycle(state, "queued", instant="arrival")
         next_turn = self._session_next_turn.setdefault(request.session_id, 0)

@@ -6,11 +6,21 @@ module centralises token emission, retirement, and the recompute-preemption
 fallback used when the KV pool is exhausted mid-decode (vLLM-style: the
 youngest request is evicted and later re-prefills its context plus the
 tokens it already generated).
+
+With speculative decoding enabled (``cfg.spec_decode``), a decode step
+becomes draft + verify: the draft model proposes ``k`` tokens per
+speculating request, the target model scores all ``k + 1`` candidate
+positions in one micro-prefill-priced pass, and the step emits the
+accepted prefix plus one bonus token.  :meth:`DecodeBatchMixin.decode_step_cost`
+prices the step and :meth:`DecodeBatchMixin.emit_decode_iteration` samples
+the accepted counts — both collapse to the historical single-token path
+when speculation is off.
 """
 
 from __future__ import annotations
 
 from repro.kvcache.pool import PoolExhaustedError
+from repro.models.costs import PhaseCost, phase_latency
 from repro.serving.base import Instance, RequestState, ServingSystem
 
 
@@ -22,6 +32,66 @@ class DecodeBatchMixin(ServingSystem):
         # context_len() unrolled: this runs for every running request on
         # every decode iteration.
         return [state._input_tokens + state.generated for state in batch]
+
+    def decode_step_cost(self, instance: Instance, batch: list[RequestState]) -> PhaseCost:
+        """Cost of one decode step of ``batch`` on ``instance``.
+
+        With speculation off this is exactly
+        ``instance.cost_model.decode_iter(...)`` — the historical cost.
+        With it on, speculating requests pay draft + verification instead
+        of one memory-bound decode token, and tier-gated (non-speculating)
+        requests ride along as a plain decode sub-batch.
+        """
+        runtime = self.spec_decode
+        if runtime is None:
+            return instance.cost_model.decode_iter(self.decode_context_lens(batch))
+        spec_lens = []
+        plain_lens = []
+        for state in batch:
+            ctx = state._input_tokens + state.generated
+            if state.spec_session is not None:
+                spec_lens.append(ctx)
+            else:
+                plain_lens.append(ctx)
+        if not spec_lens:
+            return instance.cost_model.decode_iter(plain_lens)
+        return self._spec_step_cost(instance, runtime, plain_lens, spec_lens)
+
+    def _spec_step_cost(
+        self,
+        instance: Instance,
+        runtime,
+        plain_lens: list[int],
+        spec_lens: list[int],
+    ) -> PhaseCost:
+        """Draft + verify cost of one speculative step.
+
+        Verification scores ``k + 1`` candidate tokens per request in one
+        batched target-model pass priced as a micro-prefill; any plain
+        (tier-gated) requests decode alongside it.  The draft chain runs
+        on the draft model: serialized before the verify pass by default,
+        or on a dedicated ``draft_sms`` partition where drafting for the
+        *next* step pipelines under the current verify pass and only its
+        overflow lands on the critical path as serialized time.
+        """
+        spec = runtime.spec
+        cost = instance.cost_model.verify_iter(spec_lens, spec.draft_len + 1)
+        if plain_lens:
+            cost = cost + instance.cost_model.decode_iter(plain_lens)
+        draft = runtime.draft_cost_model(instance).draft_chain(spec_lens, spec.draft_len)
+        if spec.draft_sms is None:
+            return cost + draft
+        device = instance.device
+        draft_sms = min(spec.draft_sms, device.total_sms - 1)
+        draft_time = phase_latency(draft, device, draft_sms)
+        verify_time = phase_latency(cost, device, device.total_sms - draft_sms)
+        overflow = max(0.0, draft_time - verify_time)
+        return PhaseCost(
+            flops=cost.flops,
+            raw_flops=cost.raw_flops,
+            bytes=cost.bytes,
+            comm_time=cost.comm_time + overflow,
+        )
 
     def emit_decode_iteration(
         self, instance: Instance, batch: list[RequestState]
@@ -35,6 +105,10 @@ class DecodeBatchMixin(ServingSystem):
         requests keep their emitted tokens and TTFT and later re-prefill
         their context plus partial output, so the fault costs time, never
         correctness.
+
+        A speculating request emits its sampled accepted-prefix length plus
+        the bonus token (clamped to its remaining output): KV grows by the
+        emitted count and the whole step gap lands on the first token.
         """
         storm = self._storm_pending
         self._storm_pending = False
@@ -50,19 +124,26 @@ class DecodeBatchMixin(ServingSystem):
         cache.touch(now)
         extend = cache.extend
         on_tokens = self.metrics.on_tokens_record
+        runtime = self.spec_decode
         for state in batch:
             if state.finished:
                 continue
             if storm:
                 preempted.append(state)
                 continue
+            tokens = 1
+            if runtime is not None and state.spec_session is not None:
+                remaining = state.request.output_tokens - state.generated
+                tokens = state.spec_session.sample_step(runtime.spec, remaining)
             try:
-                extend(state.lease, 1)
+                extend(state.lease, tokens)
             except PoolExhaustedError:
                 preempted.append(state)
                 continue
-            state.generated += 1
-            on_tokens(state.record, now, 1)
+            if runtime is not None and state.spec_session is not None:
+                runtime.note_step(tokens)
+            state.generated += tokens
+            on_tokens(state.record, now, tokens)
             if state.generated >= state.request.output_tokens:
                 finished.append(state)
         if storm:

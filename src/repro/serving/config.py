@@ -16,6 +16,7 @@ if TYPE_CHECKING:
     # which imports serving.base -> serving.config.  The annotation is
     # enough here; consumers construct the TenancyConfig themselves.
     from repro.kvcache.tiers import KVTierConfig
+    from repro.spec.config import SpecConfig
     from repro.tenancy.model import TenancyConfig
 
 #: Waiting-queue disciplines a serving system can be configured with.
@@ -57,6 +58,10 @@ class ServingConfig:
             what device memory would allow.  Used by capacity studies to
             force eviction pressure; ``None`` keeps the historical
             memory-derived pool size.
+        spec_decode: Speculative-decoding mode (draft model, draft length,
+            acceptance-rate model — see :mod:`repro.spec`).  ``None`` (the
+            default) keeps every speculation-aware branch disabled — the
+            plain-decode path is byte-identical to the pre-spec stack.
     """
 
     model: ModelConfig
@@ -73,6 +78,7 @@ class ServingConfig:
     tenancy: "TenancyConfig | None" = None
     kv_tiers: "KVTierConfig | None" = None
     kv_pool_limit_bytes: float | None = None
+    spec_decode: "SpecConfig | None" = None
 
     def __post_init__(self) -> None:
         if self.n_gpus < 1:

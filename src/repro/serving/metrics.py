@@ -174,11 +174,13 @@ class MetricsCollector:
         last = record.last_token
         if last is None:
             raise ValueError("tokens before first token")
-        if count == 1:
-            # x / 1 is exactly x for every float, so the division is skipped.
-            record.token_gaps.append(time - last)
-        else:
-            record.token_gaps.extend(repeat((time - last) / count, count))
+        record.token_gaps.append(time - last)
+        if count > 1:
+            # A step that emits several tokens (speculative verification)
+            # stalled the stream for the whole step: the first token carries
+            # the full gap and the rest arrive with it.  Smearing the gap
+            # evenly would hide the stall from P99 TBT and SLO attainment.
+            record.token_gaps.extend(repeat(0.0, count - 1))
         record.tokens_emitted += count
         record.last_token = time
         end = self._end_time

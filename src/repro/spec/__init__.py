@@ -1,0 +1,36 @@
+"""Speculative decoding as a first-class execution mode.
+
+A draft model proposes ``draft_len`` tokens per decode step; the target
+model verifies them in one batched forward pass (priced like a
+micro-prefill) and emits the accepted prefix plus one bonus token.  The
+acceptance-rate model is a workload property — constant, per-request, or
+position-dependent — and the accepted-token count is sampled from a seeded
+RNG so every run is deterministic.
+
+Enable it with ``ServingConfig(spec_decode=SpecConfig(...))``; with the
+default ``spec_decode=None`` every spec-aware branch is dormant and the
+serving stack is byte-identical to the pre-spec code.
+"""
+
+from repro.spec.config import (
+    DRAFT_LLAMA_1B,
+    AcceptanceModel,
+    ConstantAcceptance,
+    PerRequestAcceptance,
+    PositionAcceptance,
+    SpecConfig,
+    expected_tokens_per_step,
+)
+from repro.spec.runtime import SpecRuntime, SpecSession
+
+__all__ = [
+    "DRAFT_LLAMA_1B",
+    "AcceptanceModel",
+    "ConstantAcceptance",
+    "PerRequestAcceptance",
+    "PositionAcceptance",
+    "SpecConfig",
+    "SpecRuntime",
+    "SpecSession",
+    "expected_tokens_per_step",
+]

@@ -1,0 +1,191 @@
+"""Speculative-decoding configuration: draft model and acceptance models.
+
+The acceptance-rate model decides, per draft position, how likely the
+target model is to accept the draft's token.  One verify step emits the
+accepted prefix plus one bonus token (the target's own sample at the first
+rejected position, or the extra token after a fully accepted draft), so a
+step emits between 1 and ``draft_len + 1`` tokens.
+
+Three acceptance shapes cover the literature's common assumptions:
+
+* :class:`ConstantAcceptance` — one i.i.d. acceptance probability.
+* :class:`PerRequestAcceptance` — the probability is a *request* property
+  (easy prompts draft well, hard ones do not), drawn once per request from
+  a seeded RNG (LLM-Emu's profile-driven-sampling motivation).
+* :class:`PositionAcceptance` — acceptance decays with draft position:
+  the further the draft runs ahead, the more it compounds its own errors.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.models.config import ModelConfig
+
+#: Llama-3.2-1B-class draft model: 16 layers, d=2048, 32/8 GQA heads.
+#: Shares the Llama-3 vocabulary with the target models, as speculative
+#: decoding requires.
+DRAFT_LLAMA_1B = ModelConfig(
+    name="Draft-Llama-1B",
+    num_layers=16,
+    hidden_dim=2048,
+    num_heads=32,
+    num_kv_heads=8,
+    head_dim=64,
+    ffn_dim=8192,
+    vocab_size=128256,
+)
+
+
+class AcceptanceModel:
+    """How likely each draft position is to be accepted.
+
+    Subclasses implement :meth:`request_rate` (the per-request base
+    probability, possibly sampled from ``rng``) and :meth:`position_rate`
+    (the probability at draft position ``i`` given that base).
+    """
+
+    def request_rate(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+    def position_rate(self, base: float, position: int) -> float:
+        raise NotImplementedError
+
+    def mean_rate(self) -> float:
+        """Expected base rate (used by analytic expectations)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantAcceptance(AcceptanceModel):
+    """Every draft token is accepted independently with probability ``rate``."""
+
+    rate: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+
+    def request_rate(self, rng: random.Random) -> float:
+        return self.rate
+
+    def position_rate(self, base: float, position: int) -> float:
+        return base
+
+    def mean_rate(self) -> float:
+        return self.rate
+
+
+@dataclass(frozen=True)
+class PerRequestAcceptance(AcceptanceModel):
+    """Acceptance probability is a request property: drawn once per request,
+    uniform in ``[mean - spread, mean + spread]`` clamped to ``[0, 1]``."""
+
+    mean: float = 0.7
+    spread: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mean <= 1.0:
+            raise ValueError("mean must be in [0, 1]")
+        if self.spread < 0.0:
+            raise ValueError("spread must be non-negative")
+
+    def request_rate(self, rng: random.Random) -> float:
+        rate = rng.uniform(self.mean - self.spread, self.mean + self.spread)
+        return min(1.0, max(0.0, rate))
+
+    def position_rate(self, base: float, position: int) -> float:
+        return base
+
+    def mean_rate(self) -> float:
+        return self.mean
+
+
+@dataclass(frozen=True)
+class PositionAcceptance(AcceptanceModel):
+    """Acceptance decays geometrically with draft position:
+    ``P(accept position i) = base * decay ** i``."""
+
+    base: float = 0.8
+    decay: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.base <= 1.0:
+            raise ValueError("base must be in [0, 1]")
+        if not 0.0 <= self.decay <= 1.0:
+            raise ValueError("decay must be in [0, 1]")
+
+    def request_rate(self, rng: random.Random) -> float:
+        return self.base
+
+    def position_rate(self, base: float, position: int) -> float:
+        return base * self.decay**position
+
+    def mean_rate(self) -> float:
+        return self.base
+
+
+def expected_tokens_per_step(model: AcceptanceModel, draft_len: int) -> float:
+    """Expected tokens one verify step emits.
+
+    A step emits ``1 + (number of leading accepted draft tokens)``, so
+
+    ``E = 1 + sum_{i=0}^{k-1} prod_{j<=i} p_j``
+
+    where ``p_j`` is the acceptance probability at draft position ``j``.
+    For a constant rate ``a`` this collapses to the classic geometric sum
+    ``(1 - a^(k+1)) / (1 - a)``: exactly 1 at ``a=0``, exactly ``k+1`` at
+    ``a=1``, and strictly monotone in between.
+    """
+    if draft_len < 0:
+        raise ValueError("draft_len must be non-negative")
+    base = model.mean_rate()
+    expected = 1.0
+    survive = 1.0
+    for i in range(draft_len):
+        survive *= model.position_rate(base, i)
+        expected += survive
+    return expected
+
+
+@dataclass(frozen=True)
+class SpecConfig:
+    """Speculative-decoding deployment knobs (``ServingConfig.spec_decode``).
+
+    Attributes:
+        draft_model: The small autoregressive drafter (must share the
+            target's vocabulary).
+        draft_len: Tokens drafted per verify step (``k``).  A step emits
+            between 1 and ``k + 1`` tokens.
+        acceptance: Acceptance-rate model (a workload property).
+        seed: Base seed of the per-request acceptance RNGs; the same seed
+            yields byte-identical runs.
+        draft_sms: ``None`` runs the draft chain on the same partition as
+            verification (serialized).  A positive SM count models a
+            dedicated draft partition: drafting pipelines under the verify
+            pass and only its overflow lands on the critical path.
+        tiers: Tenancy gate — speculate only for requests in these tiers
+            (e.g. ``("interactive",)``), a goodput lever: the batch tier
+            keeps plain decode and its memory-bound cost.  ``None``
+            speculates for every request.
+    """
+
+    draft_model: ModelConfig = DRAFT_LLAMA_1B
+    draft_len: int = 4
+    acceptance: AcceptanceModel = ConstantAcceptance(0.7)
+    seed: int = 0
+    draft_sms: int | None = None
+    tiers: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.draft_len < 1:
+            raise ValueError("draft_len must be >= 1")
+        if self.draft_sms is not None and self.draft_sms < 1:
+            raise ValueError("draft_sms must be >= 1 when set")
+        if self.tiers is not None and not self.tiers:
+            raise ValueError("tiers must be None or a non-empty tuple")
+
+    def expected_tokens_per_step(self) -> float:
+        """Analytic expected tokens per verify step for this config."""
+        return expected_tokens_per_step(self.acceptance, self.draft_len)

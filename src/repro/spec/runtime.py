@@ -1,0 +1,149 @@
+"""Per-system speculative-decoding runtime: sessions, RNG, counters.
+
+A :class:`SpecRuntime` is attached to a serving system when its config sets
+``spec_decode``; it owns the draft-model cost models (one per instance
+width), the tenancy gate, and the acceptance accounting.  Each speculating
+request gets a :class:`SpecSession` holding its own :class:`random.Random`
+seeded from ``(config seed, per-system session index)`` — the index is
+assigned in deterministic scheduler order, so the same seed and workload
+shape replay byte-identically even though raw request ids are
+process-global counters.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.models.costs import CostModel
+from repro.spec.config import SpecConfig
+
+if TYPE_CHECKING:
+    from repro.serving.base import Instance
+    from repro.serving.config import ServingConfig
+    from repro.workloads.request import Request
+
+#: Knuth's multiplicative-hash constant; spreads consecutive session
+#: indices across the seed space so neighbouring sessions decorrelate.
+_SESSION_SEED_MIX = 2654435761
+
+
+class SpecSession:
+    """One request's speculative state: its RNG and base acceptance rate."""
+
+    __slots__ = ("rng", "base_rate")
+
+    def __init__(self, spec: SpecConfig, index: int) -> None:
+        self.rng = random.Random((spec.seed << 32) ^ (index * _SESSION_SEED_MIX))
+        self.base_rate = spec.acceptance.request_rate(self.rng)
+
+    def sample_step(self, spec: SpecConfig, max_emit: int) -> int:
+        """Sample tokens emitted by one verify step, in ``[1, draft_len+1]``.
+
+        Walks the draft positions in order; the first rejection stops the
+        accepted prefix and the step emits ``accepted + 1`` tokens (the
+        bonus token is the target's own sample).  The count is clamped to
+        ``max_emit`` so a request never over-runs its output length, but
+        the RNG always consumes the same draws — clamping must not shift
+        later samples.
+        """
+        accepted = 0
+        rejected = False
+        rng_random = self.rng.random
+        acceptance = spec.acceptance
+        base = self.base_rate
+        for i in range(spec.draft_len):
+            if not rejected and rng_random() < acceptance.position_rate(base, i):
+                accepted += 1
+            else:
+                rejected = True
+                rng_random()  # burn the draw: fixed k draws per step
+        if max_emit < 1:
+            raise ValueError("max_emit must be >= 1")
+        return min(accepted + 1, max_emit)
+
+
+class SpecRuntime:
+    """Speculation state shared by one serving system's schedulers."""
+
+    def __init__(self, cfg: "ServingConfig") -> None:
+        if cfg.spec_decode is None:
+            raise ValueError("SpecRuntime requires cfg.spec_decode")
+        self.cfg = cfg
+        self.spec: SpecConfig = cfg.spec_decode
+        #: Draft-model cost models keyed by instance width (a hybrid system
+        #: runs instances of different n_gpus).
+        self._draft_models: dict[int, CostModel] = {}
+        self._next_session = 0
+        #: Accounting: verify steps taken, draft tokens proposed/accepted,
+        #: tokens emitted (accepted + bonus).
+        self.steps = 0
+        self.proposed = 0
+        self.accepted = 0
+        self.emitted = 0
+
+    # ------------------------------------------------------------------ #
+    # Cost-model plumbing
+    # ------------------------------------------------------------------ #
+
+    def draft_cost_model(self, instance: "Instance") -> CostModel:
+        """The draft model's cost model on ``instance``'s GPU group."""
+        model = self._draft_models.get(instance.n_gpus)
+        if model is None:
+            model = CostModel(
+                self.spec.draft_model,
+                n_gpus=instance.n_gpus,
+                nvlink_bandwidth=self.cfg.spec.nvlink_bandwidth,
+            )
+            self._draft_models[instance.n_gpus] = model
+        return model
+
+    # ------------------------------------------------------------------ #
+    # Gating + sessions
+    # ------------------------------------------------------------------ #
+
+    def wants(self, request: "Request") -> bool:
+        """Whether ``request`` speculates (the tenancy tier gate)."""
+        tiers = self.spec.tiers
+        if tiers is None:
+            return True
+        if self.cfg.tenancy is not None:
+            return self.cfg.tenancy.tier_of(request) in tiers
+        return request.tier is not None and request.tier in tiers
+
+    def session(self) -> SpecSession:
+        """Create the next request's session (deterministic index order)."""
+        index = self._next_session
+        self._next_session = index + 1
+        return SpecSession(self.spec, index)
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+
+    def note_step(self, emitted: int) -> None:
+        """Record one verify step that emitted ``emitted`` tokens."""
+        self.steps += 1
+        self.proposed += self.spec.draft_len
+        self.accepted += emitted - 1
+        self.emitted += emitted
+
+    def accepted_per_step(self) -> float:
+        """Observed mean tokens emitted per verify step."""
+        if self.steps == 0:
+            return 0.0
+        return self.emitted / self.steps
+
+    def expected_tokens_per_step(self) -> float:
+        """Analytic expectation for the configured acceptance model."""
+        return self.spec.expected_tokens_per_step()
+
+    def counters(self) -> dict[str, float]:
+        """Deterministic accounting snapshot (bench extras)."""
+        return {
+            "spec_steps": float(self.steps),
+            "spec_proposed": float(self.proposed),
+            "spec_accepted": float(self.accepted),
+            "spec_emitted": float(self.emitted),
+            "spec_accepted_per_step": self.accepted_per_step(),
+        }

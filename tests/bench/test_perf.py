@@ -41,6 +41,11 @@ GOLDEN_RESULTS = {
         "fingerprint": "c1147d43a9ad0a98eeef8693d9bc5feb57ac15554c615152ba75e42c708bfe4f",
         "peak_event_queue": 10,
     },
+    "spec_decoding": {
+        "events": 7788,
+        "fingerprint": "3e889eebf87da1b5fbdc2bbd9396292bcfa05880a632da8232b156d78c7f1ce3",
+        "peak_event_queue": 8,
+    },
     "tenancy_wfq_brownout": {
         "events": 2806,
         "fingerprint": "0d3c07560ed0e36b07a281602a663f8c4343045060824068a8e9ec902cf27f22",

@@ -1,0 +1,73 @@
+"""Tests for the speculative-decoding bench study (repro.bench.spec)."""
+
+import json
+
+import pytest
+
+from repro.bench.spec import SpecPoint, SpecStudy, run_spec_study
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def study() -> SpecStudy:
+    return run_spec_study(scale=SCALE, seed=0)
+
+
+class TestStudyShape:
+    def test_full_grid_present(self, study):
+        assert len(study.points) == 3 * 2  # default rates x draft lens
+        assert {p.draft_len for p in study.points} == {2, 4}
+
+    def test_accepted_tokens_rise_with_acceptance_rate(self, study):
+        assert study.accepted_monotone
+        for draft_len in (2, 4):
+            row = study.points_for(draft_len)
+            observed = [p.mux_accepted_per_step for p in row]
+            assert observed == sorted(observed)
+            for point in row:
+                assert point.mux_accepted_per_step == pytest.approx(
+                    point.expected_tokens, rel=0.25
+                )
+
+    def test_gap_shifts_toward_disaggregation(self, study):
+        """Verification makes decode compute-bound, so the disaggregated
+        decode instance (idle compute under plain decode) gains more than
+        the multiplexed node: the mux-minus-disagg gap must shrink from its
+        spec-off baseline at high acceptance."""
+        assert study.gap_shift
+        base_gap = (
+            study.baseline["mux_useful_throughput"]
+            - study.baseline["disagg_useful_throughput"]
+        )
+        for draft_len in (2, 4):
+            assert study.points_for(draft_len)[-1].gap < base_gap
+
+    def test_deterministic_payload(self, study):
+        again = run_spec_study(scale=SCALE, seed=0)
+        assert json.dumps(study.as_dict(), sort_keys=True) == json.dumps(
+            again.as_dict(), sort_keys=True
+        )
+
+
+class TestStudyHelpers:
+    def test_gap_sign_convention(self):
+        point = SpecPoint(
+            rate=0.5,
+            draft_len=2,
+            expected_tokens=1.75,
+            mux_accepted_per_step=1.7,
+            disagg_accepted_per_step=1.7,
+            mux_useful_throughput=300.0,
+            disagg_useful_throughput=200.0,
+            mux_tbt_p99=0.01,
+            disagg_tbt_p99=0.01,
+            mux_decode_sms=16.0,
+        )
+        assert point.gap == 100.0
+        assert point.as_dict()["gap"] == 100.0
+
+    def test_custom_grid_is_respected(self):
+        study = run_spec_study(rates=(0.3, 0.9), draft_lens=(3,), scale=0.02, seed=1)
+        assert len(study.points) == 2
+        assert all(p.draft_len == 3 for p in study.points)

@@ -82,3 +82,65 @@ class TestAccounting:
         engine.record(link, 250)
         counters = engine.counters()
         assert counters[link.name] == {"transfers": 2, "tokens": 750}
+
+
+class TestCongestion:
+    """Regression for PR 6's follow-on: overlapping fetches on one link used
+    to each get full bandwidth; FIFO congestion serializes them."""
+
+    LINK = TransferLink("pipe", 1e9, 1e-3)
+
+    def test_off_by_default_and_identical_to_cost(self):
+        engine = make_engine(links=(self.LINK,))
+        assert engine.config.congestion is False
+        # acquire() must be bit-identical to cost() when congestion is off,
+        # including when transfers overlap.
+        a = engine.acquire(0.0, 1000, self.LINK)
+        b = engine.acquire(0.0, 1000, self.LINK)
+        assert a == engine.cost(1000, self.LINK)
+        assert b == a
+
+    def test_overlapping_transfers_queue_fifo(self):
+        engine = make_engine(links=(self.LINK,), congestion=True)
+        first = engine.acquire(0.0, 1000, self.LINK)  # 2 ms pipe occupancy
+        assert first == pytest.approx(2e-3)
+        # Issued 0.5 ms in: waits 1.5 ms for the pipe, then its own 2 ms.
+        second = engine.acquire(0.5e-3, 1000, self.LINK)
+        assert second == pytest.approx(1.5e-3 + 2e-3)
+        # Third arrives after both drained: no queueing delay.
+        third = engine.acquire(10.0, 1000, self.LINK)
+        assert third == pytest.approx(2e-3)
+
+    def test_queueing_delay_is_arrival_ordered(self):
+        engine = make_engine(links=(self.LINK,), congestion=True)
+        done = []
+        now = 0.0
+        for _ in range(3):
+            done.append(now + engine.acquire(now, 1000, self.LINK))
+        # Same-instant arrivals drain back-to-back: 2, 4, 6 ms.
+        assert done == pytest.approx([2e-3, 4e-3, 6e-3])
+
+    def test_counters_report_queueing_only_in_congestion_mode(self):
+        plain = make_engine(links=(self.LINK,))
+        plain.acquire(0.0, 1000, self.LINK)
+        plain.acquire(0.0, 1000, self.LINK)
+        assert "queued" not in plain.counters()["pipe"]
+
+        engine = make_engine(links=(self.LINK,), congestion=True)
+        engine.acquire(0.0, 1000, self.LINK)
+        engine.acquire(0.0, 1000, self.LINK)
+        counters = engine.counters()["pipe"]
+        assert counters["queued"] == 1
+        assert counters["queue_delay_us"] == 2000  # waited one 2 ms transfer
+
+    def test_per_link_pipes_are_independent(self):
+        other = TransferLink("other", 1e9, 1e-3)
+        engine = make_engine(links=(self.LINK, other), congestion=True)
+        engine.acquire(0.0, 1000, self.LINK)
+        # A different link is idle: no queueing behind the first pipe.
+        assert engine.acquire(0.0, 1000, other) == pytest.approx(2e-3)
+
+    def test_zero_tokens_never_occupy_the_pipe(self):
+        engine = make_engine(links=(self.LINK,), congestion=True)
+        assert engine.acquire(0.0, 0, self.LINK) == 0.0
+        assert engine.acquire(0.0, 1000, self.LINK) == pytest.approx(2e-3)

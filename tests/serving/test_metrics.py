@@ -101,14 +101,37 @@ class TestMetricsCollector:
         assert record.token_gaps == pytest.approx([0.05, 0.10])
         assert record.finished
 
-    def test_batched_token_emission_splits_gap(self):
+    def test_batched_token_emission_keeps_step_gap(self):
+        """A step emitting N tokens stalled the stream for the whole step:
+        the first token carries the full gap, the other N-1 arrive with it.
+
+        The old accounting smeared (time - last) / N over N gaps, which hid
+        the stall from P99 TBT — a 200 ms verify step emitting 4 tokens
+        looked like four comfortable 50 ms gaps.
+        """
         metrics = self.make()
         request = make_request(output_tokens=5)
         metrics.on_arrival(request, 0.0)
         metrics.on_prefill_done(request, 1.0, 100)
         metrics.on_tokens(request, 1.2, count=4)
         record = metrics.records[request.request_id]
-        assert record.token_gaps == pytest.approx([0.05] * 4)
+        assert record.token_gaps == pytest.approx([0.2, 0.0, 0.0, 0.0])
+        assert record.tokens_emitted == 5
+
+    def test_multi_token_stall_lands_in_p99_and_attainment(self):
+        """Regression: a verify-path step slower than the TBT SLO must show
+        up as an SLO violation even though the *average* gap is fine."""
+        metrics = self.make()  # SLO tbt = 0.1
+        request = make_request(output_tokens=4)
+        metrics.on_arrival(request, 0.0)
+        metrics.on_prefill_done(request, 1.0, 100)
+        # One 0.3 s decode step emits 3 tokens: per-token average 0.1 s
+        # would pass the SLO, but the stream actually stalled for 0.3 s.
+        metrics.on_tokens(request, 1.3, count=3)
+        summary = metrics.summarize()
+        assert summary.tbt_p99 == pytest.approx(0.3, rel=0.05)
+        assert summary.tbt_attainment == pytest.approx(2 / 3)
+        assert not summary.slo_met
 
     def test_tpot(self):
         metrics = self.make()

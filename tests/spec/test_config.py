@@ -1,0 +1,93 @@
+"""Unit tests for the speculative-decoding config and acceptance models."""
+
+import random
+
+import pytest
+
+from repro.spec import (
+    DRAFT_LLAMA_1B,
+    ConstantAcceptance,
+    PerRequestAcceptance,
+    PositionAcceptance,
+    SpecConfig,
+    expected_tokens_per_step,
+)
+
+
+class TestSpecConfigValidation:
+    def test_defaults_are_valid(self):
+        spec = SpecConfig()
+        assert spec.draft_model is DRAFT_LLAMA_1B
+        assert spec.draft_len == 4
+        assert spec.draft_sms is None
+        assert spec.tiers is None
+
+    def test_draft_len_must_be_positive(self):
+        with pytest.raises(ValueError, match="draft_len"):
+            SpecConfig(draft_len=0)
+
+    def test_draft_sms_must_be_positive_when_set(self):
+        with pytest.raises(ValueError, match="draft_sms"):
+            SpecConfig(draft_sms=0)
+
+    def test_tiers_must_be_none_or_non_empty(self):
+        with pytest.raises(ValueError, match="tiers"):
+            SpecConfig(tiers=())
+
+    def test_acceptance_rates_validated(self):
+        with pytest.raises(ValueError):
+            ConstantAcceptance(rate=1.5)
+        with pytest.raises(ValueError):
+            PerRequestAcceptance(mean=-0.1)
+        with pytest.raises(ValueError):
+            PerRequestAcceptance(spread=-0.1)
+        with pytest.raises(ValueError):
+            PositionAcceptance(base=2.0)
+        with pytest.raises(ValueError):
+            PositionAcceptance(decay=-0.5)
+
+
+class TestAcceptanceModels:
+    def test_constant_is_position_independent(self):
+        model = ConstantAcceptance(0.6)
+        assert model.position_rate(0.6, 0) == model.position_rate(0.6, 9) == 0.6
+
+    def test_per_request_rate_is_clamped_and_seeded(self):
+        model = PerRequestAcceptance(mean=0.95, spread=0.2)
+        rng = random.Random(0)
+        rates = [model.request_rate(rng) for _ in range(200)]
+        assert all(0.0 <= r <= 1.0 for r in rates)
+        assert any(r == 1.0 for r in rates)  # the clamp actually engaged
+        # Same seed → same draws.
+        again = random.Random(0)
+        assert rates == [model.request_rate(again) for _ in range(200)]
+
+    def test_position_acceptance_decays_geometrically(self):
+        model = PositionAcceptance(base=0.8, decay=0.5)
+        assert model.position_rate(0.8, 0) == pytest.approx(0.8)
+        assert model.position_rate(0.8, 1) == pytest.approx(0.4)
+        assert model.position_rate(0.8, 2) == pytest.approx(0.2)
+
+
+class TestExpectedTokensPerStep:
+    def test_constant_rate_matches_geometric_closed_form(self):
+        for rate in (0.1, 0.5, 0.9):
+            for k in (1, 3, 6):
+                expected = expected_tokens_per_step(ConstantAcceptance(rate), k)
+                closed = (1.0 - rate ** (k + 1)) / (1.0 - rate)
+                assert expected == pytest.approx(closed)
+
+    def test_position_decay_lowers_expectation(self):
+        flat = expected_tokens_per_step(ConstantAcceptance(0.8), 4)
+        decaying = expected_tokens_per_step(PositionAcceptance(base=0.8, decay=0.5), 4)
+        assert decaying < flat
+
+    def test_negative_draft_len_rejected(self):
+        with pytest.raises(ValueError, match="draft_len"):
+            expected_tokens_per_step(ConstantAcceptance(0.5), -1)
+
+    def test_config_method_agrees_with_function(self):
+        spec = SpecConfig(draft_len=3, acceptance=ConstantAcceptance(0.7))
+        assert spec.expected_tokens_per_step() == pytest.approx(
+            expected_tokens_per_step(ConstantAcceptance(0.7), 3)
+        )

@@ -1,0 +1,79 @@
+"""Unit tests for the draft/verify cost model extensions."""
+
+import pytest
+
+from repro.models.config import LLAMA_8B
+from repro.models.costs import CostModel, PrefillItem
+from repro.spec import DRAFT_LLAMA_1B
+
+
+@pytest.fixture(scope="module")
+def target() -> CostModel:
+    return CostModel(LLAMA_8B, n_gpus=1)
+
+
+@pytest.fixture(scope="module")
+def draft() -> CostModel:
+    return CostModel(DRAFT_LLAMA_1B, n_gpus=1)
+
+
+class TestVerifyIter:
+    def test_is_priced_as_micro_prefill(self, target):
+        """Verification of k+1 tokens per request == the equivalent prefill."""
+        lens = [512, 1024]
+        spec_tokens = 5
+        got = target.verify_iter(lens, spec_tokens)
+        want = target.prefill_full(
+            [PrefillItem(new=spec_tokens, reused=ctx) for ctx in lens]
+        )
+        assert got == want
+
+    def test_more_compute_bound_than_plain_decode(self, target):
+        """Per emitted token, verification shifts work from bytes to flops.
+
+        This is the study's mechanism: plain decode is memory-bound, so a
+        disaggregated decode instance idles its compute; verification
+        spends that compute, raising the flops-per-byte ratio.
+        """
+        lens = [2048] * 8
+        decode = target.decode_iter(lens)
+        verify = target.verify_iter(lens, 5)
+        assert verify.flops / verify.bytes > decode.flops / decode.bytes
+
+    def test_empty_batch_is_free(self, target):
+        cost = target.verify_iter([], 5)
+        assert cost.flops == cost.bytes == cost.comm_time == 0.0
+
+    def test_spec_tokens_must_be_positive(self, target):
+        with pytest.raises(ValueError, match="spec_tokens"):
+            target.verify_iter([128], 0)
+
+
+class TestDraftChain:
+    def test_is_sum_of_growing_decode_iters(self, draft):
+        lens = [300, 700]
+        k = 3
+        got = draft.draft_chain(lens, k)
+        want = draft.decode_iter(lens)
+        for i in range(1, k):
+            want = want + draft.decode_iter([ctx + i for ctx in lens])
+        assert got == want
+
+    def test_longer_chain_costs_more(self, draft):
+        lens = [1024] * 4
+        short = draft.draft_chain(lens, 2)
+        long = draft.draft_chain(lens, 6)
+        assert long.flops > short.flops
+        assert long.bytes > short.bytes
+
+    def test_draft_model_is_cheaper_than_target(self, target, draft):
+        lens = [1024] * 4
+        assert draft.draft_chain(lens, 4).bytes < target.draft_chain(lens, 4).bytes
+
+    def test_empty_batch_is_free(self, draft):
+        cost = draft.draft_chain([], 4)
+        assert cost.flops == cost.bytes == cost.comm_time == 0.0
+
+    def test_draft_len_must_be_positive(self, draft):
+        with pytest.raises(ValueError, match="draft_len"):
+            draft.draft_chain([128], 0)

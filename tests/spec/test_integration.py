@@ -1,0 +1,161 @@
+"""Integration tests: speculation threaded through the serving systems.
+
+The load-bearing invariants:
+
+* **Dormancy.**  With ``spec_decode=None`` no runtime is attached and the
+  step cost is exactly ``decode_iter`` — the golden perf fingerprints
+  (tests/bench/test_perf.py) pin the byte-identity of full runs.
+* **Determinism.**  The same config and seed replay byte-identically,
+  including across workload regenerations in one process (session RNGs are
+  keyed by a per-system counter, not the process-global request ids).
+* **Honest accounting.**  Spec runs finish their requests, emit exactly the
+  requested output tokens, and observed accepted-tokens/step tracks the
+  acceptance model's analytic expectation.
+"""
+
+import pytest
+
+from repro.baselines import ChunkedPrefillServer, SGLangPDServer
+from repro.bench import run_system
+from repro.core import MuxWiseServer
+from repro.core.hybrid import HybridPDServer
+from repro.gpu.specs import A100
+from repro.models import LLAMA_8B
+from repro.serving.config import ServingConfig
+from repro.sim import Simulator
+from repro.spec import ConstantAcceptance, PerRequestAcceptance, SpecConfig
+from repro.tenancy import TIER_BATCH, TIER_INTERACTIVE, TenancyConfig, Tenant
+from repro.workloads import combine_workloads, sharegpt_workload, tag_workload
+
+
+def make_cfg(spec_decode=None, n_gpus=2, **kwargs) -> ServingConfig:
+    return ServingConfig(
+        model=LLAMA_8B, spec=A100, n_gpus=n_gpus, spec_decode=spec_decode, **kwargs
+    )
+
+
+def run_server(factory, cfg, n_requests=30, rate=4.0, seed=7):
+    sim = Simulator()
+    server = factory(sim, cfg)
+    server.submit(sharegpt_workload(n_requests, rate=rate, seed=seed))
+    sim.run(until=3600.0)
+    return server
+
+
+class TestDormantPath:
+    def test_no_runtime_without_config(self):
+        server = run_server(MuxWiseServer, make_cfg(), n_requests=2)
+        assert server.spec_decode is None
+        assert all(s.spec_session is None for s in server.states.values())
+
+    def test_step_cost_reduces_to_decode_iter(self):
+        sim = Simulator()
+        server = MuxWiseServer(sim, make_cfg())
+        server.submit(sharegpt_workload(4, rate=100.0, seed=0))
+        sim.run(until=0.5)
+        batch = [s for s in server.states.values() if not s.finished]
+        assert batch
+        got = server.decode_step_cost(server.instance, batch)
+        want = server.instance.cost_model.decode_iter(server.decode_context_lens(batch))
+        assert got == want
+
+
+SPEC = SpecConfig(draft_len=4, acceptance=ConstantAcceptance(0.8), seed=0)
+
+
+class TestSpecRuns:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            MuxWiseServer,
+            SGLangPDServer,
+            HybridPDServer,
+            lambda sim, cfg: ChunkedPrefillServer(sim, cfg, token_budget=256),
+        ],
+        ids=["muxwise", "sglang-pd", "hybrid", "chunked"],
+    )
+    def test_all_systems_finish_and_conserve_tokens(self, factory):
+        server = run_server(factory, make_cfg(spec_decode=SPEC))
+        summary = server.metrics.summarize()
+        assert summary.requests_finished == summary.requests_total == 30
+        # Exactly the requested output, never an over-run from the clamp.
+        for state in server.states.values():
+            assert state.generated == state.request.output_tokens
+
+    def test_accepted_per_step_tracks_expectation(self):
+        server = run_server(MuxWiseServer, make_cfg(spec_decode=SPEC), n_requests=60)
+        runtime = server.spec_decode
+        assert runtime.steps > 0
+        assert runtime.accepted_per_step() == pytest.approx(
+            SPEC.expected_tokens_per_step(), rel=0.15
+        )
+
+    def test_same_seed_is_byte_identical(self):
+        cfg = make_cfg(
+            spec_decode=SpecConfig(acceptance=PerRequestAcceptance(0.7, 0.2), seed=3)
+        )
+        # Two full runs in one process: request ids differ across workload
+        # regenerations, so this fails if session RNGs key on request_id.
+        a = run_system(MuxWiseServer, cfg, sharegpt_workload(40, rate=4.0, seed=5))
+        b = run_system(MuxWiseServer, cfg, sharegpt_workload(40, rate=4.0, seed=5))
+        assert a.summary.as_dict() == b.summary.as_dict()
+
+    def test_spec_counters_accounting(self):
+        server = run_server(MuxWiseServer, make_cfg(spec_decode=SPEC))
+        counters = server.spec_decode.counters()
+        assert counters["spec_proposed"] == counters["spec_steps"] * SPEC.draft_len
+        assert counters["spec_emitted"] == counters["spec_accepted"] + counters["spec_steps"]
+        assert 0.0 <= counters["spec_accepted_per_step"] <= SPEC.draft_len + 1
+
+    def test_dedicated_draft_partition_runs(self):
+        spec = SpecConfig(acceptance=ConstantAcceptance(0.8), draft_sms=16)
+        server = run_server(MuxWiseServer, make_cfg(spec_decode=spec))
+        assert server.metrics.summarize().requests_finished == 30
+
+
+class TestTierGate:
+    def test_only_gated_tiers_speculate(self):
+        tenancy = TenancyConfig(
+            tenants={
+                "chat": Tenant("chat", tier=TIER_INTERACTIVE),
+                "jobs": Tenant("jobs", tier=TIER_BATCH),
+            }
+        )
+        spec = SpecConfig(
+            acceptance=ConstantAcceptance(0.8), tiers=(TIER_INTERACTIVE,)
+        )
+        cfg = make_cfg(spec_decode=spec, tenancy=tenancy)
+        sim = Simulator()
+        server = MuxWiseServer(sim, cfg)
+        interactive = tag_workload(sharegpt_workload(10, rate=4.0, seed=1), "chat")
+        batch = tag_workload(sharegpt_workload(10, rate=4.0, seed=2), "jobs")
+        server.submit(combine_workloads([interactive, batch]))
+        sim.run(until=3600.0)
+        by_tenant = {"chat": [], "jobs": []}
+        for state in server.states.values():
+            by_tenant[state.request.tenant].append(state)
+        assert all(s.spec_session is not None for s in by_tenant["chat"])
+        assert all(s.spec_session is None for s in by_tenant["jobs"])
+        assert server.metrics.summarize().requests_finished == 20
+
+    def test_raw_tier_tag_gates_without_tenancy(self):
+        spec = SpecConfig(tiers=(TIER_INTERACTIVE,))
+        sim = Simulator()
+        server = MuxWiseServer(sim, make_cfg(spec_decode=spec))
+        untagged = sharegpt_workload(2, rate=10.0, seed=0)
+        server.submit(untagged)
+        sim.run(until=3600.0)
+        assert all(s.spec_session is None for s in server.states.values())
+
+
+class TestHybridForwarding:
+    def test_decode_side_inherits_spec_config(self):
+        sim = Simulator()
+        server = HybridPDServer(sim, make_cfg(spec_decode=SPEC, n_gpus=4))
+        assert server.cfg.spec_decode is SPEC
+        assert server.spec_decode is not None
+
+    def test_decode_side_dormant_without_spec(self):
+        sim = Simulator()
+        server = HybridPDServer(sim, make_cfg(n_gpus=4))
+        assert server.spec_decode is None

@@ -1,0 +1,100 @@
+"""Property tests for speculative-decoding expectations and sampling.
+
+The analytic expectation ``expected_tokens_per_step`` is the scheduler's
+budget lever (MuxWise scales its per-step TBT budget by it), so its shape
+matters: bounded by ``[1, k + 1]``, monotone in the acceptance rate, and
+exact at the endpoints.  The sampler must agree with it in distribution and
+be bit-reproducible from its seed — the byte-identity of every spec run
+rests on that.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spec import (
+    ConstantAcceptance,
+    PositionAcceptance,
+    SpecConfig,
+    SpecSession,
+    expected_tokens_per_step,
+)
+
+rates = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+draft_lens = st.integers(min_value=1, max_value=16)
+
+
+class TestExpectationProperties:
+    @given(rate=rates, k=draft_lens)
+    def test_bounded_by_one_and_k_plus_one(self, rate, k):
+        expected = expected_tokens_per_step(ConstantAcceptance(rate), k)
+        assert 1.0 <= expected <= k + 1
+
+    @given(lo=rates, hi=rates, k=draft_lens)
+    def test_monotone_in_acceptance_rate(self, lo, hi, k):
+        if lo > hi:
+            lo, hi = hi, lo
+        e_lo = expected_tokens_per_step(ConstantAcceptance(lo), k)
+        e_hi = expected_tokens_per_step(ConstantAcceptance(hi), k)
+        assert e_lo <= e_hi
+        if hi - lo > 1e-6:
+            assert e_hi > e_lo
+
+    @given(k=draft_lens)
+    def test_exact_at_zero_and_one(self, k):
+        assert expected_tokens_per_step(ConstantAcceptance(0.0), k) == 1.0
+        assert expected_tokens_per_step(ConstantAcceptance(1.0), k) == k + 1
+
+    @given(base=rates, decay=rates, k=draft_lens)
+    def test_position_decay_never_exceeds_flat_rate(self, base, decay, k):
+        flat = expected_tokens_per_step(ConstantAcceptance(base), k)
+        decaying = expected_tokens_per_step(PositionAcceptance(base=base, decay=decay), k)
+        assert 1.0 <= decaying <= flat + 1e-12
+
+
+class TestSamplerProperties:
+    @given(rate=rates, k=draft_lens, index=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=50)
+    def test_samples_bounded(self, rate, k, index):
+        spec = SpecConfig(draft_len=k, acceptance=ConstantAcceptance(rate))
+        session = SpecSession(spec, index)
+        for _ in range(20):
+            emitted = session.sample_step(spec, max_emit=k + 1)
+            assert 1 <= emitted <= k + 1
+
+    @given(rate=rates, k=draft_lens, seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=50)
+    def test_same_seed_same_sequence(self, rate, k, seed):
+        spec = SpecConfig(draft_len=k, acceptance=ConstantAcceptance(rate), seed=seed)
+        a = SpecSession(spec, 3)
+        b = SpecSession(spec, 3)
+        assert [a.sample_step(spec, k + 1) for _ in range(30)] == [
+            b.sample_step(spec, k + 1) for _ in range(30)
+        ]
+
+    @given(k=draft_lens)
+    def test_degenerate_rates_are_exact(self, k):
+        never = SpecConfig(draft_len=k, acceptance=ConstantAcceptance(0.0))
+        always = SpecConfig(draft_len=k, acceptance=ConstantAcceptance(1.0))
+        assert SpecSession(never, 0).sample_step(never, k + 1) == 1
+        assert SpecSession(always, 0).sample_step(always, k + 1) == k + 1
+
+    def test_clamp_does_not_shift_later_draws(self):
+        # Two sessions with identical RNGs; one is clamped hard on the first
+        # step.  Every subsequent step must still agree: the sampler burns
+        # a fixed k draws per step regardless of clamping.
+        spec = SpecConfig(draft_len=4, acceptance=ConstantAcceptance(0.6))
+        free = SpecSession(spec, 7)
+        clamped = SpecSession(spec, 7)
+        free.sample_step(spec, max_emit=5)
+        clamped.sample_step(spec, max_emit=1)
+        assert [free.sample_step(spec, 5) for _ in range(50)] == [
+            clamped.sample_step(spec, 5) for _ in range(50)
+        ]
+
+    def test_empirical_mean_tracks_expectation(self):
+        spec = SpecConfig(draft_len=4, acceptance=ConstantAcceptance(0.7))
+        session = SpecSession(spec, 0)
+        n = 20_000
+        mean = sum(session.sample_step(spec, 5) for _ in range(n)) / n
+        assert mean == pytest.approx(spec.expected_tokens_per_step(), rel=0.02)
