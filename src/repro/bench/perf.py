@@ -198,6 +198,16 @@ SCENARIOS: dict[str, Callable] = {
     "spec_decoding": _scenario_spec,
 }
 
+#: The two fastest scenarios — what the scale tiers (and the CI
+#: ``scale-smoke`` job) run, so a 10x workload still finishes in seconds.
+SMOKE_SCENARIOS: tuple[str, ...] = ("single_goodput", "tenancy_wfq_brownout")
+
+#: Named workload-scale tiers.  The ``"10"`` tier's envelope is committed
+#: to ``BENCH_perf.json`` (under ``tiers``) and diffed by CI; the
+#: ``"100"`` tier exists for by-hand scaling studies and is never
+#: committed — at that size wall-clock is the only interesting output.
+TIER_SCALES: dict[str, float] = {"10": 10.0, "100": 100.0}
+
 
 # --------------------------------------------------------------------- #
 # Results
@@ -224,10 +234,17 @@ class ScenarioTiming:
 
 @dataclass
 class PerfReport:
-    """Outcome of one harness invocation."""
+    """Outcome of one harness invocation.
+
+    ``tiers`` holds nested reports for additional workload scales (see
+    :data:`TIER_SCALES`); they appear in :meth:`to_json` under a
+    ``"tiers"`` key and are compared tier-by-tier by
+    :meth:`compare_results` / :meth:`compare_timings`.
+    """
 
     scenarios: dict[str, ScenarioTiming] = field(default_factory=dict)
     scale: float = 1.0
+    tiers: dict[str, "PerfReport"] = field(default_factory=dict)
 
     def fingerprints(self) -> dict[str, dict]:
         """The deterministic view: identical bytes for identical results."""
@@ -247,10 +264,8 @@ class PerfReport:
             sort_keys=True,
         )
 
-    def to_json(self, indent: int = 2) -> str:
-        """Full report: fingerprints plus machine-dependent timings."""
+    def _payload(self) -> dict:
         payload = {
-            "schema": SCHEMA_VERSION,
             "scale": self.scale,
             "results": self.fingerprints(),
             "timings": {
@@ -261,10 +276,23 @@ class PerfReport:
                 for name, s in sorted(self.scenarios.items())
             },
         }
+        if self.tiers:
+            payload["tiers"] = {
+                name: tier._payload() for name, tier in sorted(self.tiers.items())
+            }
+        return payload
+
+    def to_json(self, indent: int = 2) -> str:
+        """Full report: fingerprints plus machine-dependent timings."""
+        payload = {"schema": SCHEMA_VERSION, **self._payload()}
         return json.dumps(payload, sort_keys=True, indent=indent) + "\n"
 
     def compare_results(self, baseline: dict) -> list[str]:
-        """Fingerprint mismatches against a parsed baseline report."""
+        """Fingerprint mismatches against a parsed baseline report.
+
+        Tiers present in both reports are compared recursively; a tier
+        only in the baseline is reported missing wholesale.
+        """
         problems = []
         ours = self.fingerprints()
         for name, theirs in sorted(baseline.get("results", {}).items()):
@@ -273,6 +301,12 @@ class PerfReport:
                 problems.append(f"{name}: scenario missing from this run")
             elif mine != theirs:
                 problems.append(f"{name}: result fingerprint changed: {theirs} -> {mine}")
+        for name, tier_baseline in sorted(baseline.get("tiers", {}).items()):
+            tier = self.tiers.get(name)
+            if tier is None:
+                problems.append(f"tier {name}: missing from this run")
+            else:
+                problems += [f"tier {name}: {p}" for p in tier.compare_results(tier_baseline)]
         return problems
 
     def compare_timings(self, baseline: dict, max_regression: float) -> list[str]:
@@ -288,6 +322,13 @@ class PerfReport:
                     f"{name}: wall-clock {mine.wall_s:.2f}s exceeds "
                     f"{max_regression:.1f}x baseline {base_wall:.2f}s"
                 )
+        for name, tier_baseline in sorted(baseline.get("tiers", {}).items()):
+            tier = self.tiers.get(name)
+            if tier is not None:
+                problems += [
+                    f"tier {name}: {p}"
+                    for p in tier.compare_timings(tier_baseline, max_regression)
+                ]
         return problems
 
 
@@ -295,6 +336,8 @@ def run_perf(
     scenarios: list[str] | None = None,
     scale: float = 1.0,
     repeats: int = 1,
+    tiers: list[str] | None = None,
+    tier_scenarios: tuple[str, ...] = SMOKE_SCENARIOS,
 ) -> PerfReport:
     """Time the canonical scenarios and fingerprint their results.
 
@@ -302,9 +345,16 @@ def run_perf(
     small scale); ``repeats`` re-runs each scenario and keeps the fastest
     wall-clock (fingerprints must agree across repeats — a mismatch means
     the simulation is non-deterministic, which is itself a bug).
+    ``tiers`` names entries of :data:`TIER_SCALES` to additionally run at
+    their scale, restricted to ``tier_scenarios`` (the fast ones — tiers
+    exist to measure how throughput holds up as workloads grow, not to
+    re-run the slowest studies 10x larger).
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    for tier in tiers or []:
+        if tier not in TIER_SCALES:
+            raise ValueError(f"unknown tier {tier!r}; choose from {sorted(TIER_SCALES)}")
     names = list(SCENARIOS) if scenarios is None else scenarios
     report = PerfReport(scale=scale)
     for name in names:
@@ -333,4 +383,8 @@ def run_perf(
                 best = timing
         assert best is not None
         report.scenarios[name] = best
+    for tier in tiers or []:
+        report.tiers[tier] = run_perf(
+            scenarios=list(tier_scenarios), scale=TIER_SCALES[tier], repeats=repeats
+        )
     return report

@@ -1,0 +1,111 @@
+"""Streaming record sinks: flat-memory output for scaled runs.
+
+The 10x/100x perf tiers produce millions of trace events and token-gap
+samples; accumulating them in lists makes peak memory O(trace length).  A
+sink receives records one at a time, holds at most ``batch`` serialized
+lines, and flushes them to its backing file — peak memory is O(batch)
+regardless of run length (``tests/bench/test_sinks.py`` pins this with
+``tracemalloc`` over a million-event stream).
+
+Producers that stream:
+
+* :class:`repro.trace.Tracer` forwards events to a ``sink`` instead of
+  accumulating them (see :class:`repro.trace.exporters.StreamingTraceWriter`),
+* :class:`repro.serving.metrics.MetricsCollector` taps every per-request
+  token gap into an optional sink — the per-request metric *stream* the
+  fast-path equivalence suite diffs, in emission order.
+
+Both are opt-in; with no sink attached behaviour (and every fingerprint)
+is unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any
+
+
+class RecordSink:
+    """Interface: accept records one at a time, flush incrementally."""
+
+    def emit(self, record: dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def __enter__(self) -> "RecordSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class JsonlSink(RecordSink):
+    """Write records as JSON lines, buffering at most ``batch`` of them.
+
+    ``destination`` is a path (opened and owned by the sink) or an open
+    text stream (flushed but not closed).  Records are serialized at
+    ``emit`` time, so the buffer holds short strings, never object graphs.
+    """
+
+    def __init__(self, destination: str | IO[str], batch: int = 1024) -> None:
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        self.batch = batch
+        self.records_emitted = 0
+        self._buffer: list[str] = []
+        if isinstance(destination, str):
+            self._fh: IO[str] = open(destination, "w", encoding="utf-8")
+            self._owns_fh = True
+        else:
+            self._fh = destination
+            self._owns_fh = False
+        self._closed = False
+
+    def emit(self, record: dict[str, Any]) -> None:
+        if self._closed:
+            raise ValueError("sink is closed")
+        self._buffer.append(json.dumps(record))
+        self.records_emitted += 1
+        if len(self._buffer) >= self.batch:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._buffer:
+            self._fh.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        if self._owns_fh:
+            self._fh.close()
+        self._closed = True
+
+
+class CountingSink(RecordSink):
+    """Drop every record, keeping only the count (tests, dry runs)."""
+
+    def __init__(self) -> None:
+        self.records_emitted = 0
+
+    def emit(self, record: dict[str, Any]) -> None:
+        self.records_emitted += 1
+
+
+class ListSink(RecordSink):
+    """Accumulate records in memory — for tests that diff small streams.
+
+    Deliberately NOT flat-memory; never attach to a scaled run.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, Any]] = []
+
+    def emit(self, record: dict[str, Any]) -> None:
+        self.records.append(record)
+
+
+__all__ = ["CountingSink", "JsonlSink", "ListSink", "RecordSink"]

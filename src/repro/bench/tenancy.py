@@ -34,7 +34,7 @@ from repro.gpu.specs import A100
 from repro.models.config import LLAMA_8B
 from repro.serving.config import ServingConfig
 from repro.serving.metrics import Summary, merge_collectors
-from repro.sim import Simulator
+from repro.sim import Simulator, make_sim
 from repro.tenancy import (
     TIER_BATCH,
     TIER_INTERACTIVE,
@@ -176,9 +176,10 @@ def run_tenancy_mode(
     fleet: FleetConfig,
     mode: str,
     drain_horizon: float = 3600.0,
+    sim_factory: Callable[[], Simulator] | None = None,
 ) -> TenancyRunResult:
     """Run one configuration and slice the results by tier."""
-    sim = Simulator()
+    sim = sim_factory() if sim_factory is not None else make_sim()
     cluster = Fleet(sim, factory, cfg, fleet)
     cluster.submit(workload)
     last_arrival = workload.requests[-1].arrival_time if len(workload) else 0.0

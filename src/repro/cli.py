@@ -323,14 +323,19 @@ def cmd_perf(args: argparse.Namespace) -> int:
     the committed report or wall-clock regresses beyond
     ``--max-regression`` times the baseline.
     """
-    from repro.bench.perf import SCENARIOS, run_perf
+    from repro.bench.perf import SCENARIOS, TIER_SCALES, run_perf
 
     names = args.scenarios.split(",") if args.scenarios else None
     if names is not None:
         for name in names:
             if name not in SCENARIOS:
                 raise SystemExit(f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}")
-    report = run_perf(scenarios=names, scale=args.scale, repeats=args.repeats)
+    tiers = args.tiers.split(",") if args.tiers else None
+    if tiers is not None:
+        for tier in tiers:
+            if tier not in TIER_SCALES:
+                raise SystemExit(f"unknown tier {tier!r}; choose from {sorted(TIER_SCALES)}")
+    report = run_perf(scenarios=names, scale=args.scale, repeats=args.repeats, tiers=tiers)
     if args.fingerprint:
         print(report.fingerprint_json())
     else:
@@ -340,6 +345,13 @@ def cmd_perf(args: argparse.Namespace) -> int:
                 f"{name:<20} {s.events:>10} {s.peak_event_queue:>10} "
                 f"{s.wall_s:>9.3f} {s.events_per_sec:>12.0f}"
             )
+        for tier_name, tier in sorted(report.tiers.items()):
+            print(f"-- tier {tier_name} (scale {tier.scale:g}) --")
+            for name, s in sorted(tier.scenarios.items()):
+                print(
+                    f"{name:<20} {s.events:>10} {s.peak_event_queue:>10} "
+                    f"{s.wall_s:>9.3f} {s.events_per_sec:>12.0f}"
+                )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(report.to_json())
@@ -349,14 +361,22 @@ def cmd_perf(args: argparse.Namespace) -> int:
         with open(args.baseline, encoding="utf-8") as fh:
             baseline = json.load(fh)
         if baseline.get("scale") != report.scale:
-            print(
-                f"perf regression: scale mismatch: baseline ran at "
-                f"--scale {baseline.get('scale')}, this run at --scale "
-                f"{report.scale} (fingerprints are only comparable at the "
-                "same scale)",
-                file=sys.stderr,
-            )
-            return 1
+            # A run at a tier's scale compares against that committed tier
+            # (the CI scale-smoke job runs --scale 10 against the "10"
+            # tier of BENCH_perf.json).
+            for tier in baseline.get("tiers", {}).values():
+                if tier.get("scale") == report.scale:
+                    baseline = tier
+                    break
+            else:
+                print(
+                    f"perf regression: scale mismatch: baseline ran at "
+                    f"--scale {baseline.get('scale')}, this run at --scale "
+                    f"{report.scale} (fingerprints are only comparable at the "
+                    "same scale)",
+                    file=sys.stderr,
+                )
+                return 1
         problems = report.compare_results(baseline)
         problems += report.compare_timings(baseline, args.max_regression)
         for problem in problems:
@@ -605,6 +625,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     perf_p.add_argument(
         "--repeats", type=int, default=1, help="runs per scenario; fastest wall-clock is kept"
+    )
+    perf_p.add_argument(
+        "--tiers",
+        default=None,
+        help="comma-separated scale tiers (10, 100) to additionally run on the smoke scenarios",
     )
     perf_p.add_argument("--output", default=None, metavar="PATH", help="write BENCH_perf.json here")
     perf_p.add_argument(

@@ -258,8 +258,18 @@ class CostModel:
         ``context_lens`` holds each request's cached context length ``r``;
         each request generates exactly one new token.
         """
+        return self.decode_layer_totals(len(context_lens), sum(context_lens))
+
+    def decode_layer_totals(self, batch_size: int, total_ctx: int) -> PhaseCost:
+        """:meth:`decode_layer` from pre-reduced totals.
+
+        The decode cost depends on the batch only through its size and the
+        integer sum of context lengths, so callers that track the totals
+        incrementally (the decode fast path advances ``total_ctx`` by the
+        batch size per emitted token) skip the per-request reduction.
+        Bit-identical to :meth:`decode_layer`: integer summation is exact.
+        """
         model = self.model
-        batch_size = len(context_lens)
         if batch_size == 0:
             return PhaseCost(0.0, 0.0, 0.0, 0.0)
 
@@ -278,7 +288,6 @@ class CostModel:
             )
         linear_raw, weight_bytes, kv_write, activations, comm_time = fixed
 
-        total_ctx = sum(context_lens)
         # Factored form of sum(4.0 * (r + 1) * q_dim for r in ...): every
         # per-term product and partial sum is an integer below 2**53, so
         # both expressions produce the exact same float.
@@ -308,8 +317,13 @@ class CostModel:
 
     def decode_iter(self, context_lens: list[int]) -> PhaseCost:
         """Cost of one full decode iteration (all layers + LM head)."""
-        layer = self.decode_layer(context_lens)
-        head = self.decode_head(len(context_lens))
+        return self.decode_iter_totals(len(context_lens), sum(context_lens))
+
+    def decode_iter_totals(self, batch_size: int, total_ctx: int) -> PhaseCost:
+        """:meth:`decode_iter` from pre-reduced totals (see
+        :meth:`decode_layer_totals`)."""
+        layer = self.decode_layer_totals(batch_size, total_ctx)
+        head = self.decode_head(batch_size)
         num_layers = self.model.num_layers
         # ``layer.scaled(num_layers) + head`` with a single PhaseCost
         # construction; each field is the same multiply-then-add.

@@ -124,12 +124,23 @@ class Summary:
 
 
 class MetricsCollector:
-    """Accumulates per-request records and produces run summaries."""
+    """Accumulates per-request records and produces run summaries.
 
-    def __init__(self, slo: SLO, name: str = "") -> None:
+    ``sink`` (any :class:`repro.bench.sinks.RecordSink`) taps the
+    per-token gap stream: every decode emission also produces a record
+    ``{"req": <arrival index>, "ts": <time>, "gaps": [..]}`` in emission
+    order.  The tap is opt-in and purely additive — summaries and
+    fingerprints are computed from the records exactly as without it; the
+    fast-path equivalence suite diffs these streams between the elided
+    and scalar paths.
+    """
+
+    def __init__(self, slo: SLO, name: str = "", sink=None) -> None:
         self.slo = slo
         self.name = name
+        self.sink = sink
         self.records: dict[int, RequestRecord] = {}
+        self._arrival_index: dict[int, int] = {}
         self._prefilled_tokens = 0
         self._useful_input_tokens = 0
         self._start_time: float | None = None
@@ -143,6 +154,11 @@ class MetricsCollector:
         """Register a request's arrival."""
         record = RequestRecord(request=request, arrival=time)
         self.records[request.request_id] = record
+        if request.request_id not in self._arrival_index:
+            # Stable per-collector index: raw request ids are process-global
+            # counters, so streamed records identify requests by arrival
+            # order, which is invariant across runs in one process.
+            self._arrival_index[request.request_id] = len(self._arrival_index)
         if self._start_time is None or time < self._start_time:
             self._start_time = time
         return record
@@ -183,6 +199,14 @@ class MetricsCollector:
             record.token_gaps.extend(repeat(0.0, count - 1))
         record.tokens_emitted += count
         record.last_token = time
+        if self.sink is not None:
+            self.sink.emit(
+                {
+                    "req": self._arrival_index.get(record.request.request_id, -1),
+                    "ts": time,
+                    "gaps": record.token_gaps[-count:],
+                }
+            )
         end = self._end_time
         if end is None or time > end:
             self._end_time = time

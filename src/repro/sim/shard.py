@@ -1,0 +1,398 @@
+"""Sharded optimistic simulation with deterministic, rollback-free merge.
+
+:class:`ShardedSimulator` partitions the event queue into one *main* heap
+(request arrivals, timers, transfers, task completions — anything whose
+callback may interact with shared state) plus one sub-heap per *shard*.  A
+shard is a :class:`repro.gpu.device.Device`: the only events it routes to
+its sub-heap are the device's own rolling phase-change updates, whose
+callbacks touch nothing but that device's integrals.
+
+Ordinary execution is **byte-identical** to the flat simulator: every pop
+selects the globally minimal entry across all heaps under the exact
+``(time, priority, seq)`` key, so the merged firing order — and therefore
+every float, counter and fingerprint — matches :class:`Simulator` entry for
+entry.  The sharding pays off through the decode fast path
+(:mod:`repro.sim.fastpath`): a chain may be elided past *other* shards'
+internal updates, because those commute with everything the chain touches.
+What it may never be elided past:
+
+* any main-heap event (the conservative interaction frontier),
+* any *pending completion* of another device.  A completion event is only
+  scheduled once its task's final phase change fires, so mid-task it is
+  invisible to the heaps; :meth:`fastpath_note_submit` closes that window
+  by registering, at submit time, a lower bound on the completion instant
+  (duration at nominal full-device rates plus the fixed epilogue — valid
+  under any later multiplexing, stall or degradation, which only slow a
+  task down),
+* any cancelled entry anywhere (tracked by a monotone watermark): the
+  scalar loop drops cancelled entries exactly when they reach the merged
+  head, and eliding past one would change the queue-depth trajectory,
+* the optional ``lookahead`` horizon — a conservative window after ``now``
+  past which a shard never runs ahead.  Shrinking it only flushes chains
+  back to the scalar path earlier, so results are invariant across any
+  lookahead (``tests/faults/test_determinism.py`` checks this under
+  chaos), i.e. the merge is rollback-free by construction.
+
+Replica kills (``cancel_scope``) cancel a dead device's update and
+completion events but its registered completion bounds remain; stale
+bounds are conservative (they only suppress elision), never incorrect.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import os
+from typing import Any, Callable, Hashable
+
+from repro.sim.events import PRIORITY_NORMAL, Event
+from repro.sim.simulator import INHERIT_SCOPE, SimulationError, Simulator
+
+_sharded_enabled = os.environ.get("REPRO_SHARDED", "0").strip().lower() in {
+    "1",
+    "on",
+    "true",
+    "yes",
+}
+
+
+def sharding_enabled() -> bool:
+    """Whether :func:`repro.sim.make_sim` hands out sharded simulators.
+
+    Opt-in (``REPRO_SHARDED=1``): the merged-head scan plus the per-submit
+    completion-bound registration cost ~25–35% per event on the committed
+    scenarios, more than the extra elision the relaxed bound buys, so the
+    flat simulator with the decode fast path is the default.  The sharded
+    queue stays byte-identical either way (golden fingerprints and the
+    determinism suite run it explicitly) — it is the scaffolding for a
+    future rollback-based optimistic mode, not a win at scale=1.
+    """
+    return _sharded_enabled
+
+
+def set_sharding_enabled(on: bool) -> bool:
+    """Toggle sharded construction; returns the previous setting."""
+    global _sharded_enabled
+    previous = _sharded_enabled
+    _sharded_enabled = bool(on)
+    return previous
+
+
+class ShardedSimulator(Simulator):
+    """A :class:`Simulator` whose event queue is sharded per device.
+
+    Drop-in compatible: identical clock, counters, scopes, cancellation
+    and run semantics.  ``lookahead`` caps how far (in simulated seconds
+    past ``now``) the decode fast path may run a shard ahead of the merge
+    frontier; ``inf`` means the derived interaction bounds alone decide.
+    """
+
+    def __init__(self, start_time: float = 0.0, lookahead: float = math.inf) -> None:
+        super().__init__(start_time)
+        if lookahead < 0:
+            raise ValueError("lookahead must be >= 0")
+        self.lookahead = lookahead
+        #: Shard key -> sub-heap of that shard's internal events.
+        self._shard_heaps: dict[Hashable, list[tuple[float, int, int, Event]]] = {}
+        #: Registration order of shards — iteration order for merges.  The
+        #: merged pop order is independent of it (full-key minimum), which
+        #: the determinism suite asserts by permuting registrations.
+        self._shard_list: list[Hashable] = []
+        #: The sub-heaps in registration order — a parallel alias so the
+        #: run loop's merged-head scan skips the dict lookups.
+        self._shard_heap_list: list[list[tuple[float, int, int, Event]]] = []
+        #: Shard key -> {task_id: completion-time lower bound} for tasks
+        #: whose completion event is not yet scheduled.
+        self._pending_lbs: dict[Hashable, dict[int, float]] = {}
+        #: Total entries across the main heap and every sub-heap; the
+        #: analogue of ``len(self._heap)`` in the flat simulator, so the
+        #: queue high-water mark and compaction trigger match it exactly.
+        self._qtotal = 0
+        #: Earliest time of any cancelled-but-still-queued entry.  Stale
+        #: after drops (reset only when the cancelled count hits zero) —
+        #: conservative: a too-small watermark only suppresses elision.
+        self._min_cancelled = math.inf
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+
+    def _ensure_shard(self, shard: Hashable) -> list[tuple[float, int, int, Event]]:
+        heap = self._shard_heaps.get(shard)
+        if heap is None:
+            heap = self._shard_heaps[shard] = []
+            self._shard_list.append(shard)
+            self._shard_heap_list.append(heap)
+            self._pending_lbs.setdefault(shard, {})
+        return heap
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        priority: int = PRIORITY_NORMAL,
+        daemon: bool = False,
+        scope: str | None | Any = INHERIT_SCOPE,
+        shard: Hashable | None = None,
+    ) -> Event:
+        return self.schedule_at(self.now + delay, callback, priority, daemon, scope, shard)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        priority: int = PRIORITY_NORMAL,
+        daemon: bool = False,
+        scope: str | None | Any = INHERIT_SCOPE,
+        shard: Hashable | None = None,
+    ) -> Event:
+        now = self.now
+        if time < now - self.TIME_EPSILON:
+            raise SimulationError(
+                f"cannot schedule at {time:.9f}; clock is at {now:.9f}"
+            )
+        if time <= now:
+            time = now
+        event_scope = self._current_scope if scope is INHERIT_SCOPE else scope
+        event = Event(time, priority, None, callback, False, self, daemon, event_scope)
+        heap = self._heap if shard is None else self._ensure_shard(shard)
+        heapq.heappush(heap, (time, priority, event.seq, event))
+        self._qtotal += 1
+        if event_scope is not None:
+            bucket = self._scope_index.get(event_scope)
+            if bucket is None:
+                bucket = self._scope_index[event_scope] = set()
+            bucket.add(event)
+        if daemon:
+            self._daemon_count += 1
+        if self._qtotal > self._max_queue:
+            self._max_queue = self._qtotal
+        return event
+
+    # ------------------------------------------------------------------ #
+    # Merged selection
+    # ------------------------------------------------------------------ #
+
+    def _select(self) -> tuple[list[tuple[float, int, int, Event]], tuple[float, int, int, Event]] | None:
+        """Drop cancelled entries at the merged head; return (heap, entry)
+        of the live global minimum, or None when every heap is empty.
+
+        Full-tuple comparison: ``seq`` is unique, so ordering is exactly
+        the flat heap's ``(time, priority, seq)`` order and the
+        :class:`Event` element is never compared.
+        """
+        shard_heaps = self._shard_heap_list
+        while True:
+            heap = self._heap
+            best_heap = heap if heap else None
+            best = heap[0] if heap else None
+            for sub in shard_heaps:
+                if sub:
+                    front = sub[0]
+                    if best is None or front < best:
+                        best_heap = sub
+                        best = front
+            if best is None:
+                return None
+            if best[3].cancelled:
+                heapq.heappop(best_heap)
+                best[3].owner = None
+                self._cancelled_count -= 1
+                self._qtotal -= 1
+                if self._cancelled_count == 0:
+                    self._min_cancelled = math.inf
+                continue
+            return best_heap, best
+
+    def peek_time(self) -> float | None:
+        selected = self._select()
+        return selected[1][0] if selected is not None else None
+
+    def step(self) -> bool:
+        selected = self._select()
+        if selected is None:
+            return False
+        heap, entry = selected
+        heapq.heappop(heap)
+        self._qtotal -= 1
+        event = entry[3]
+        event.owner = None
+        if event.scope is not None:
+            bucket = self._scope_index.get(event.scope)
+            if bucket is not None:
+                bucket.discard(event)
+        if event.daemon:
+            self._daemon_count -= 1
+        self.now = event.time
+        self._event_count += 1
+        previous_scope = self._current_scope
+        self._current_scope = event.scope
+        try:
+            event.fire()
+        finally:
+            self._current_scope = previous_scope
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Merged-order run loop; see :meth:`Simulator.run` for semantics."""
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        stopped_at_until = False
+        heappop = heapq.heappop
+        scope_index = self._scope_index
+        until_cap = math.inf if until is None else until
+        fired_cap = math.inf if max_events is None else max_events
+        self._run_until = until_cap
+        self._run_cap = fired_cap
+        self._fired_in_run = 0
+        main = self._heap
+        shard_heaps = self._shard_heap_list
+        try:
+            while True:
+                if self._fired_in_run >= fired_cap:
+                    break
+                # Merged-head selection, inlined from _select: the dominant
+                # per-event cost, so no function call, no dict lookups.
+                best = main[0] if main else None
+                best_heap = main
+                for sub in shard_heaps:
+                    if sub:
+                        front = sub[0]
+                        if best is None or front < best:
+                            best = front
+                            best_heap = sub
+                if best is None:
+                    break
+                event = best[3]
+                if event.cancelled:
+                    heappop(best_heap)
+                    event.owner = None
+                    self._cancelled_count -= 1
+                    self._qtotal -= 1
+                    if self._cancelled_count == 0:
+                        self._min_cancelled = math.inf
+                    continue
+                if self._qtotal - self._cancelled_count - self._daemon_count <= 0:
+                    break
+                if best[0] > until_cap:
+                    stopped_at_until = True
+                    break
+                heappop(best_heap)
+                self._qtotal -= 1
+                event.owner = None
+                scope = event.scope
+                if scope is not None:
+                    bucket = scope_index.get(scope)
+                    if bucket is not None:
+                        bucket.discard(event)
+                if event.daemon:
+                    self._daemon_count -= 1
+                self.now = event.time
+                self._event_count += 1
+                self._fired_in_run += 1
+                previous_scope = self._current_scope
+                self._current_scope = scope
+                try:
+                    if not event.cancelled and event.callback is not None:
+                        event.callback()
+                finally:
+                    self._current_scope = previous_scope
+        finally:
+            self._running = False
+            self._run_until = math.inf
+            self._run_cap = math.inf
+        if stopped_at_until and self.now < until:
+            self.now = until
+
+    # ------------------------------------------------------------------ #
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pending_events(self) -> int:
+        return self._qtotal - self._cancelled_count
+
+    def _note_cancelled(self, event: Event) -> None:
+        self._cancelled_count += 1
+        if event.time < self._min_cancelled:
+            self._min_cancelled = event.time
+        if event.daemon:
+            self._daemon_count -= 1
+        if event.scope is not None:
+            bucket = self._scope_index.get(event.scope)
+            if bucket is not None:
+                bucket.discard(event)
+        # Same trigger as the flat simulator, with the total entry count
+        # standing in for len(heap) so compaction fires at identical points.
+        if self._qtotal >= self.COMPACT_MIN_SIZE and self._cancelled_count * 2 > self._qtotal:
+            self._compact()
+
+    def _compact(self) -> None:
+        removed = 0
+        for heap in [self._heap, *self._shard_heaps.values()]:
+            live = []
+            for entry in heap:
+                if entry[3].cancelled:
+                    entry[3].owner = None
+                    removed += 1
+                else:
+                    live.append(entry)
+            heap[:] = live
+            heapq.heapify(heap)
+        self._qtotal -= removed
+        self._cancelled_count = 0
+        self._min_cancelled = math.inf
+
+    # ------------------------------------------------------------------ #
+    # Fast-path surface
+    # ------------------------------------------------------------------ #
+
+    def fastpath_note_submit(self, shard: Hashable, task: Any, lower_bound: float) -> None:
+        """Register a pending completion's lower bound for ``shard``.
+
+        Called by :meth:`repro.gpu.device.Device.submit`; the bound stays
+        until :meth:`fastpath_note_retire`, when the actual completion
+        event (main heap) takes over as the binding constraint.
+        """
+        if shard not in self._shard_heaps:
+            self._ensure_shard(shard)
+        self._pending_lbs[shard][task.task_id] = lower_bound
+
+    def fastpath_note_retire(self, shard: Hashable, task: Any) -> None:
+        """Drop ``task``'s completion bound (its completion is now queued)."""
+        pending = self._pending_lbs.get(shard)
+        if pending is not None:
+            pending.pop(task.task_id, None)
+
+    def _fastpath_head_time(self, shard: Hashable | None = None) -> float:
+        """Elision bound for ``shard``: earliest instant it must not pass.
+
+        The minimum of the main-heap front, every *other* shard's pending
+        completion bounds, the shard's own sub-heap front (stale entries
+        there force a flush), the cancelled-entry watermark, and the
+        lookahead horizon.  Other shards' live internal updates are
+        excluded — that exclusion is the entire point of sharding.
+        """
+        heap = self._heap
+        bound = heap[0][0] if heap else math.inf
+        if self._min_cancelled < bound:
+            bound = self._min_cancelled
+        horizon = self.now + self.lookahead
+        if horizon < bound:
+            bound = horizon
+        shard_heaps = self._shard_heaps
+        pending_lbs = self._pending_lbs
+        for key in self._shard_list:
+            if key is shard:
+                sub = shard_heaps[key]
+                if sub and sub[0][0] < bound:
+                    bound = sub[0][0]
+                continue
+            for lb in pending_lbs[key].values():
+                if lb < bound:
+                    bound = lb
+        return bound
+
+    def _fastpath_queue_len(self) -> int:
+        return self._qtotal

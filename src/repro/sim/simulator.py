@@ -91,6 +91,14 @@ class Simulator:
         #: Optional tracing sink; components emit through ``sim.tracer``
         #: when it is attached and enabled (see :mod:`repro.trace`).
         self.tracer: Tracer | None = None
+        # Live bounds of the current run() invocation, exposed so the
+        # vectorized decode fast path (:mod:`repro.sim.fastpath`) can elide
+        # whole event chains while honouring ``until``/``max_events``
+        # byte-identically: an elided chain counts toward the fired-event
+        # budget exactly as if each event had been popped and fired.
+        self._run_until = math.inf
+        self._run_cap = math.inf
+        self._fired_in_run = 0
 
     def attach_tracer(self, tracer: "Tracer | None") -> None:
         """Attach (or detach, with ``None``) a :class:`repro.trace.Tracer`."""
@@ -151,10 +159,15 @@ class Simulator:
         priority: int = PRIORITY_NORMAL,
         daemon: bool = False,
         scope: str | None | Any = INHERIT_SCOPE,
+        shard: Any = None,
     ) -> Event:
         """Schedule ``callback`` to fire ``delay`` seconds from now.
 
         Returns the :class:`Event`, which the caller may ``cancel()``.
+        ``shard`` is a queue-placement hint for
+        :class:`repro.sim.shard.ShardedSimulator` (an event whose callback
+        touches only that shard's private state); the flat simulator
+        ignores it.
         """
         return self.schedule_at(self.now + delay, callback, priority, daemon, scope)
 
@@ -165,6 +178,7 @@ class Simulator:
         priority: int = PRIORITY_NORMAL,
         daemon: bool = False,
         scope: str | None | Any = INHERIT_SCOPE,
+        shard: Any = None,
     ) -> Event:
         """Schedule ``callback`` at absolute simulation ``time``."""
         now = self.now
@@ -267,10 +281,17 @@ class Simulator:
         scope_index = self._scope_index
         until_cap = math.inf if until is None else until
         fired_cap = math.inf if max_events is None else max_events
+        # The fired counter and caps live on the instance for the duration
+        # of the run so the decode fast path can charge elided chain events
+        # against the same budget the scalar loop would have (see
+        # repro.sim.fastpath).  The counter is bumped at pop time, before
+        # the callback, so in-callback code sees the current event counted.
+        self._run_until = until_cap
+        self._run_cap = fired_cap
+        self._fired_in_run = 0
         try:
-            fired = 0
             while True:
-                if fired >= fired_cap:
+                if self._fired_in_run >= fired_cap:
                     break
                 while heap and heap[0][3].cancelled:
                     heappop(heap)[3].owner = None
@@ -293,6 +314,7 @@ class Simulator:
                     self._daemon_count -= 1
                 self.now = event.time
                 self._event_count += 1
+                self._fired_in_run += 1
                 previous_scope = self._current_scope
                 self._current_scope = scope
                 try:
@@ -300,11 +322,36 @@ class Simulator:
                         event.callback()
                 finally:
                     self._current_scope = previous_scope
-                fired += 1
         finally:
             self._running = False
+            self._run_until = math.inf
+            self._run_cap = math.inf
         if stopped_at_until and self.now < until:
             self.now = until
+
+    def _fastpath_head_time(self, shard: Any = None) -> float:
+        """Raw time of the queue head (cancelled entries included), or +inf.
+
+        Used by the decode fast path as the conservative bound on how far a
+        chain may be elided.  Cancelled entries are deliberately *not*
+        skipped: doing so would pop them earlier than the scalar run loop
+        does and change the queue-depth high-water mark.  A cancelled head
+        simply forces a flush back to the scalar path, which drops it with
+        exact fidelity.  Subclasses with a different queue layout (e.g.
+        :class:`repro.sim.shard.ShardedSimulator`) override this.
+        """
+        heap = self._heap
+        return heap[0][0] if heap else math.inf
+
+    def _fastpath_queue_len(self) -> int:
+        """Current queue length (cancelled entries included).
+
+        The fast path uses ``len + 1`` as its high-water-mark candidate:
+        the scalar chain keeps at most one in-flight event queued at any
+        instant (update XOR completion), so one candidate per elided
+        iteration reproduces ``max_event_queue`` exactly.
+        """
+        return len(self._heap)
 
     def _drop_cancelled_head(self) -> None:
         while self._heap and self._heap[0][3].cancelled:

@@ -31,11 +31,18 @@ _SESSION_SEED_MIX = 2654435761
 class SpecSession:
     """One request's speculative state: its RNG and base acceptance rate."""
 
-    __slots__ = ("rng", "base_rate")
+    __slots__ = ("rng", "base_rate", "position_rates")
 
     def __init__(self, spec: SpecConfig, index: int) -> None:
         self.rng = random.Random((spec.seed << 32) ^ (index * _SESSION_SEED_MIX))
         self.base_rate = spec.acceptance.request_rate(self.rng)
+        #: ``position_rate`` is pure in (base, position) and the base is
+        #: fixed for the session's lifetime, so the per-position thresholds
+        #: are computed once — every verify step reuses the same floats.
+        acceptance = spec.acceptance
+        self.position_rates = tuple(
+            acceptance.position_rate(self.base_rate, i) for i in range(spec.draft_len)
+        )
 
     def sample_step(self, spec: SpecConfig, max_emit: int) -> int:
         """Sample tokens emitted by one verify step, in ``[1, draft_len+1]``.
@@ -50,10 +57,8 @@ class SpecSession:
         accepted = 0
         rejected = False
         rng_random = self.rng.random
-        acceptance = spec.acceptance
-        base = self.base_rate
-        for i in range(spec.draft_len):
-            if not rejected and rng_random() < acceptance.position_rate(base, i):
+        for rate in self.position_rates:
+            if not rejected and rng_random() < rate:
                 accepted += 1
             else:
                 rejected = True

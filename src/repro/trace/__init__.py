@@ -20,8 +20,10 @@ reduce to one ``is not None`` test and allocate nothing.
 """
 
 from repro.trace.exporters import (
+    StreamingTraceWriter,
     chrome_trace_events,
     export,
+    jsonl_record,
     phase_summary,
     write_chrome_trace,
     write_jsonl,
@@ -51,9 +53,11 @@ __all__ = [
     "CAT_LIFECYCLE",
     "CAT_SCHED",
     "CAT_TENANCY",
+    "StreamingTraceWriter",
     "TENANCY_TRACK",
     "TraceEvent",
     "Tracer",
+    "jsonl_record",
     "bubble_ratio_from_spans",
     "busy_seconds",
     "chrome_trace_events",

@@ -113,30 +113,68 @@ def write_chrome_trace(tracer: Tracer, destination: str | IO[str]) -> None:
         json.dump(payload, destination)
 
 
+def jsonl_record(event: TraceEvent) -> dict:
+    """The flat-JSONL dict for one event (timestamps in seconds)."""
+    record = {
+        "seq": event.seq,
+        "ts": event.ts,
+        "ph": event.ph,
+        "track": event.track,
+        "name": event.name,
+        "cat": event.cat,
+    }
+    if event.ph == PH_COMPLETE:
+        record["dur"] = event.dur
+    if event.args:
+        record["args"] = event.args
+    return record
+
+
 def write_jsonl(tracer: Tracer, destination: str | IO[str]) -> None:
     """Write one JSON object per event (timestamps in seconds)."""
 
     def dump(fh: IO[str]) -> None:
         for event in tracer.events:
-            record = {
-                "seq": event.seq,
-                "ts": event.ts,
-                "ph": event.ph,
-                "track": event.track,
-                "name": event.name,
-                "cat": event.cat,
-            }
-            if event.ph == PH_COMPLETE:
-                record["dur"] = event.dur
-            if event.args:
-                record["args"] = event.args
-            fh.write(json.dumps(record) + "\n")
+            fh.write(json.dumps(jsonl_record(event)) + "\n")
 
     if isinstance(destination, str):
         with open(destination, "w", encoding="utf-8") as fh:
             dump(fh)
     else:
         dump(destination)
+
+
+class StreamingTraceWriter:
+    """Incremental JSONL trace export with O(batch) memory.
+
+    Attach as a :class:`~repro.trace.tracer.Tracer` sink: the tracer
+    forwards each event here instead of accumulating it, the writer
+    serializes immediately and flushes every ``batch`` lines — a scaled
+    run's trace never lives in memory (the batch-export path buffers the
+    entire event list first).  The file matches :func:`write_jsonl` line
+    for line.
+    """
+
+    def __init__(self, destination: str | IO[str], batch: int = 1024) -> None:
+        from repro.bench.sinks import JsonlSink
+
+        self._sink = JsonlSink(destination, batch=batch)
+
+    @property
+    def events_written(self) -> int:
+        return self._sink.records_emitted
+
+    def write(self, event: TraceEvent) -> None:
+        self._sink.emit(jsonl_record(event))
+
+    def close(self) -> None:
+        self._sink.close()
+
+    def __enter__(self) -> "StreamingTraceWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
 
 def phase_summary(tracer: Tracer, width: int = 72) -> str:
@@ -215,8 +253,10 @@ def export(tracer: Tracer, path: str) -> str:
 
 
 __all__ = [
+    "StreamingTraceWriter",
     "chrome_trace_events",
     "export",
+    "jsonl_record",
     "phase_summary",
     "write_chrome_trace",
     "write_jsonl",

@@ -86,17 +86,24 @@ class Tracer:
     Attach to a :class:`~repro.sim.Simulator` with
     :meth:`Simulator.attach_tracer`; instrumented components look the tracer
     up through the simulator and emit only when it is present and enabled.
+
+    With a ``sink`` (any object with a ``write(TraceEvent)`` method, e.g.
+    :class:`repro.trace.exporters.StreamingTraceWriter`), events are
+    forwarded instead of accumulated: ``events`` stays empty and memory
+    stays flat no matter how long the run — the streaming mode scaled
+    traces need.  Batch exporters require the accumulating mode.
     """
 
-    __slots__ = ("enabled", "events", "_seq")
+    __slots__ = ("enabled", "events", "sink", "_seq")
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, sink: Any = None) -> None:
         self.enabled = enabled
         self.events: list[TraceEvent] = []
+        self.sink = sink
         self._seq = 0
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self.events) if self.sink is None else self._seq
 
     # ------------------------------------------------------------------ #
     # Emission
@@ -112,7 +119,11 @@ class Tracer:
         cat: str,
         args: dict[str, Any] | None,
     ) -> None:
-        self.events.append(TraceEvent(self._seq, ts, dur, ph, track, name, cat, args))
+        event = TraceEvent(self._seq, ts, dur, ph, track, name, cat, args)
+        if self.sink is not None:
+            self.sink.write(event)
+        else:
+            self.events.append(event)
         self._seq += 1
 
     def complete(

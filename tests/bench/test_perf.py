@@ -11,7 +11,14 @@ import json
 
 import pytest
 
-from repro.bench.perf import SCENARIOS, PerfReport, ScenarioTiming, run_perf
+from repro.bench.perf import (
+    SCENARIOS,
+    SMOKE_SCENARIOS,
+    TIER_SCALES,
+    PerfReport,
+    ScenarioTiming,
+    run_perf,
+)
 
 #: Scale used for the golden run; small enough for a unit test, large
 #: enough that every scenario exercises batching, caching and faults.
@@ -54,6 +61,23 @@ GOLDEN_RESULTS = {
 }
 
 
+#: Deterministic results of the smoke scenarios at the committed "10"
+#: tier — the CI ``scale-smoke`` contract.  Regenerate with
+#: ``python -m repro perf --scale 10 --scenarios single_goodput,tenancy_wfq_brownout --fingerprint``.
+GOLDEN_RESULTS_SCALE_10 = {
+    "single_goodput": {
+        "events": 63754,
+        "fingerprint": "a937e6a5a8cd6c422d6f987251f17b8da98f9bf416f6422ced343104cd259220",
+        "peak_event_queue": 2000,
+    },
+    "tenancy_wfq_brownout": {
+        "events": 47150,
+        "fingerprint": "69b259a59d2cee9df6fa82c92d5e5c0f43efb1948bd3b68776639903bfd02878",
+        "peak_event_queue": 1250,
+    },
+}
+
+
 @pytest.fixture(scope="module")
 def golden_run() -> PerfReport:
     return run_perf(scale=GOLDEN_SCALE)
@@ -73,6 +97,111 @@ class TestGoldenFingerprints:
         assert report.scenarios["single_goodput"].fingerprint == (
             GOLDEN_RESULTS["single_goodput"]["fingerprint"]
         )
+
+
+class TestScaleTiers:
+    def test_scale10_smoke_fingerprints(self):
+        """The committed "10" tier: smoke scenarios at 10x workload."""
+        report = run_perf(scenarios=list(SMOKE_SCENARIOS), scale=TIER_SCALES["10"])
+        assert report.fingerprints() == GOLDEN_RESULTS_SCALE_10
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError, match="unknown tier"):
+            run_perf(scenarios=["single_goodput"], scale=GOLDEN_SCALE, tiers=["7"])
+
+    def test_tier_payload_layout(self):
+        report = PerfReport(scale=1.0)
+        report.scenarios["s"] = ScenarioTiming(
+            name="s", fingerprint="f", events=10, peak_event_queue=5, wall_s=1.0
+        )
+        tier = PerfReport(scale=10.0)
+        tier.scenarios["s"] = ScenarioTiming(
+            name="s", fingerprint="g", events=100, peak_event_queue=50, wall_s=4.0
+        )
+        report.tiers["10"] = tier
+        payload = json.loads(report.to_json())
+        assert payload["schema"] == 1
+        assert payload["tiers"]["10"]["scale"] == 10.0
+        assert payload["tiers"]["10"]["results"]["s"]["fingerprint"] == "g"
+        # Tier-aware comparison: a changed tier fingerprint is flagged.
+        baseline = json.loads(report.to_json())
+        baseline["tiers"]["10"]["results"]["s"]["fingerprint"] = "0" * 64
+        problems = report.compare_results(baseline)
+        assert len(problems) == 1 and problems[0].startswith("tier 10:")
+        # ... and a slow tier run is flagged by the timing comparison.
+        baseline = json.loads(report.to_json())
+        baseline["tiers"]["10"]["timings"]["s"]["wall_s"] = 1.0
+        problems = report.compare_timings(baseline, max_regression=2.0)
+        assert len(problems) == 1 and problems[0].startswith("tier 10:")
+
+    def test_missing_tier_flagged(self):
+        report = PerfReport(scale=1.0)
+        problems = report.compare_results({"tiers": {"10": {"results": {}}}})
+        assert problems == ["tier 10: missing from this run"]
+
+
+class TestSpecMemoization:
+    """Regression guard for the spec hot path: position rates are derived
+    once per session, not once per verify step."""
+
+    def test_position_rates_computed_once_per_session(self):
+        from repro.spec.config import PositionAcceptance, SpecConfig
+        from repro.spec.runtime import SpecSession
+
+        calls = []
+
+        class CountingAcceptance(PositionAcceptance):
+            def position_rate(self, base, position):
+                calls.append(position)
+                return super().position_rate(base, position)
+
+        spec = SpecConfig(acceptance=CountingAcceptance(base=0.8, decay=0.9), draft_len=4)
+        session = SpecSession(spec, index=0)
+        assert calls == [0, 1, 2, 3]  # derived once, at session creation
+        for _ in range(200):
+            session.sample_step(spec, max_emit=5)
+        assert calls == [0, 1, 2, 3]  # sample_step never re-derives
+
+    def test_memoized_rates_match_direct_derivation(self):
+        from repro.spec.config import PositionAcceptance, SpecConfig
+        from repro.spec.runtime import SpecSession
+
+        acceptance = PositionAcceptance(base=0.8, decay=0.9)
+        spec = SpecConfig(acceptance=acceptance, draft_len=6)
+        session = SpecSession(spec, index=3)
+        assert session.position_rates == tuple(
+            acceptance.position_rate(session.base_rate, i) for i in range(6)
+        )
+
+    def test_rng_stream_unchanged_by_memoization(self):
+        """Bit-exact contract: same seed, same emitted-token sequence."""
+        import random
+
+        from repro.spec.config import PositionAcceptance, SpecConfig
+        from repro.spec.runtime import SpecSession, _SESSION_SEED_MIX
+
+        acceptance = PositionAcceptance(base=0.8, decay=0.9)
+        spec = SpecConfig(acceptance=acceptance, draft_len=4, seed=7)
+        session = SpecSession(spec, index=2)
+        # Reference: the pre-memoization per-step derivation, replayed on
+        # an identical RNG.
+        rng = random.Random((spec.seed << 32) ^ (2 * _SESSION_SEED_MIX))
+        base = acceptance.request_rate(rng)
+        assert session.base_rate == base
+
+        def reference_step():
+            accepted = 0
+            rejected = False
+            for i in range(spec.draft_len):
+                if not rejected and rng.random() < acceptance.position_rate(base, i):
+                    accepted += 1
+                else:
+                    rejected = True
+                    rng.random()
+            return min(accepted + 1, 5)
+
+        for _ in range(500):
+            assert session.sample_step(spec, max_emit=5) == reference_step()
 
 
 class TestHarnessMechanics:

@@ -1,0 +1,145 @@
+"""Property: a planned decode chain IS the scalar heap's event sequence.
+
+For random batch compositions (context lengths, batch sizes, idle gaps,
+start times), :func:`repro.sim.fastpath.plan_chain` must predict exactly
+what the scalar simulator does when the same task goes through the real
+heap: the same number of fired events, the same per-event times, the same
+completion instant, and bit-equal device accounting integrals.  No
+tolerance anywhere — the fast path's contract is byte-identity, so every
+float must match with ``==``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.device import Device, ExecTask
+from repro.gpu.specs import A100
+from repro.models.config import LLAMA_8B
+from repro.models.costs import CostModel
+from repro.sim import Simulator
+from repro.sim.fastpath import commit_chain, plan_chain
+
+#: One cost model for the whole module; its per-batch-size caches make
+#: repeated examples cheap, exactly as in the serving loops.
+MODEL = CostModel(LLAMA_8B, n_gpus=1)
+
+#: Decode launch overhead used by the serving configs (seconds).
+LAUNCH = 0.45e-3
+
+batch_compositions = st.lists(
+    st.integers(min_value=1, max_value=8192), min_size=1, max_size=48
+)
+start_times = st.floats(
+    min_value=0.0, max_value=30.0, allow_nan=False, allow_infinity=False
+)
+
+
+def _scalar_run(flops, bytes_, fixed, t0):
+    """Drive the real device through the real heap; record the timeline."""
+    sim = Simulator()
+    device = Device(sim, A100, 1)
+    completions = []
+    task = ExecTask(
+        flops=flops,
+        bytes=bytes_,
+        sm_count=device.total_sms,
+        fixed_time=fixed,
+        tag="prop",
+        on_complete=lambda _t: completions.append(sim.now),
+    )
+    sim.schedule(t0, lambda: device.submit(task))
+    times = []
+    while sim.step():
+        times.append(sim.now)
+    assert len(completions) == 1
+    # times[0] is the submit trigger; the rest are the chain's events.
+    return {
+        "event_times": times[1:],
+        "completion": completions[0],
+        "sm_seconds": device._sm_seconds,
+        "bw_capacity_seconds": device._bw_capacity_seconds,
+        "bw_bytes_served": device._bw_bytes_served,
+        "last_advance": device._last_advance,
+    }
+
+
+@settings(max_examples=250, deadline=None)
+@given(ctx_lens=batch_compositions, t0=start_times)
+def test_chain_plan_equals_scalar_heap_sequence(ctx_lens, t0):
+    cost = MODEL.decode_iter(ctx_lens)
+    fixed = cost.comm_time + LAUNCH
+    scalar = _scalar_run(cost.flops, cost.bytes, fixed, t0)
+
+    sim = Simulator()
+    device = Device(sim, A100, 1)
+    sim.now = t0
+    plan = plan_chain(device, cost.flops, cost.bytes, fixed, sim.now)
+    assert plan is not None, "a real decode cost must be plannable"
+
+    # The plan predicts the scalar heap's exact event sequence.
+    assert plan.events == len(scalar["event_times"])
+    assert plan.completion == scalar["completion"]
+    assert plan.completion == scalar["event_times"][-1]
+    assert plan.retire_time == scalar["last_advance"]
+
+    # Committing replays the scalar chain's accounting bit for bit.
+    commit_chain(sim, device, plan)
+    assert sim.now == scalar["completion"]
+    assert sim.processed_events == plan.events
+    assert device._sm_seconds == scalar["sm_seconds"]
+    assert device._bw_capacity_seconds == scalar["bw_capacity_seconds"]
+    assert device._bw_bytes_served == scalar["bw_bytes_served"]
+    assert device._last_advance == scalar["last_advance"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ctx_lens=st.lists(st.integers(min_value=1, max_value=2048), min_size=1, max_size=16),
+    t0=start_times,
+    rounds=st.integers(min_value=2, max_value=5),
+)
+def test_consecutive_chains_match_scalar(ctx_lens, t0, rounds):
+    """A run of decode iterations — the fast loop's shape — stays exact.
+
+    Each iteration grows every request's context by one token, exactly as
+    ``_decode_fast_loop`` advances ``total_ctx`` by the batch size.
+    """
+    sim_s = Simulator()
+    dev_s = Device(sim_s, A100, 1)
+    sim_f = Simulator()
+    dev_f = Device(sim_f, A100, 1)
+    sim_f.now = t0
+
+    scalar_events = 0
+    clock = t0
+    for i in range(rounds):
+        lens = [ctx + i for ctx in ctx_lens]
+        cost = MODEL.decode_iter(lens)
+        fixed = cost.comm_time + LAUNCH
+
+        completions = []
+        task = ExecTask(
+            flops=cost.flops,
+            bytes=cost.bytes,
+            sm_count=dev_s.total_sms,
+            fixed_time=fixed,
+            tag="prop",
+            on_complete=lambda _t: completions.append(sim_s.now),
+        )
+        sim_s.schedule_at(clock, lambda t=task: dev_s.submit(t))
+        fired = 0
+        while sim_s.step():
+            fired += 1
+        scalar_events += fired - 1  # minus the submit trigger
+        clock = completions[0]
+
+        plan = plan_chain(dev_f, cost.flops, cost.bytes, fixed, sim_f.now)
+        assert plan is not None
+        commit_chain(sim_f, dev_f, plan)
+
+    assert sim_f.now == clock
+    assert sim_f.processed_events == scalar_events
+    assert dev_f._sm_seconds == dev_s._sm_seconds
+    assert dev_f._bw_capacity_seconds == dev_s._bw_capacity_seconds
+    assert dev_f._bw_bytes_served == dev_s._bw_bytes_served
+    assert dev_f._last_advance == dev_s._last_advance

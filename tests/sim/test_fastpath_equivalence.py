@@ -1,0 +1,119 @@
+"""Differential equivalence: decode fast path vs scalar reference.
+
+Every canonical perf scenario runs twice — elision on, elision off — and
+the full result payloads must be byte-identical: same summaries, same
+utilisation integrals, same event counts, same queue high-water marks.
+The golden tests in ``tests/bench/test_perf.py`` pin the *values*; this
+suite pins the *contract* that produced them: the fast path is an
+optimisation, never a model change.
+
+A second layer diffs the per-request metric streams (every token gap, in
+emission order, tapped through a metrics sink) so a compensating error —
+two deviations cancelling in an aggregate — cannot hide.
+
+A third layer runs the sharded simulator against the flat one: the merged
+pop order is the same total order, so results must again match byte for
+byte.
+"""
+
+import pytest
+
+from repro.baselines import ChunkedPrefillServer
+from repro.bench.perf import SCENARIOS, _digest
+from repro.bench.runner import run_system
+from repro.bench.sinks import ListSink
+from repro.gpu.specs import A100
+from repro.models.config import LLAMA_8B
+from repro.serving.config import ServingConfig
+from repro.sim import ShardedSimulator, fastpath
+from repro.workloads import sharegpt_workload
+
+#: Same scale as the golden fingerprints: small enough to run every
+#: scenario twice, large enough to exercise batching, caching and faults.
+SCALE = 0.05
+
+
+def _run_scenario(name: str):
+    payload, extras = SCENARIOS[name](SCALE)
+    return (
+        _digest(payload),
+        int(extras.get("events_processed", 0)),
+        int(extras.get("peak_event_queue", 0)),
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_fastpath_equivalence(name):
+    with fastpath.enabled():
+        fast = _run_scenario(name)
+    with fastpath.disabled():
+        scalar = _run_scenario(name)
+    # Fingerprint, processed-event count (elided events are charged), and
+    # queue high-water mark all byte-identical.
+    assert fast == scalar
+
+
+class _StreamedRun:
+    """One single-system run with the per-token metric stream tapped."""
+
+    def __init__(self, sim_factory=None):
+        self.sink = ListSink()
+
+        def factory(sim, cfg):
+            server = ChunkedPrefillServer(sim, cfg, token_budget=256)
+            server.metrics.sink = self.sink
+            return server
+
+        cfg = ServingConfig(model=LLAMA_8B, spec=A100, n_gpus=1)
+        workload = sharegpt_workload(40, rate=6.0, seed=13)
+        self.result = run_system(factory, cfg, workload, sim_factory=sim_factory)
+
+
+class TestMetricStreamEquivalence:
+    def test_per_request_token_streams_identical(self):
+        with fastpath.enabled():
+            fast = _StreamedRun()
+        with fastpath.disabled():
+            scalar = _StreamedRun()
+        assert len(fast.sink.records) > 100
+        # The full stream — request identity, emission time, exact gap
+        # floats, emission order — not just aggregates.
+        assert fast.sink.records == scalar.sink.records
+        assert fast.result.summary.as_dict() == scalar.result.summary.as_dict()
+
+    def test_streaming_tap_does_not_perturb_results(self):
+        with fastpath.enabled():
+            tapped = _StreamedRun()
+
+            def factory(sim, cfg):
+                return ChunkedPrefillServer(sim, cfg, token_budget=256)
+
+            cfg = ServingConfig(model=LLAMA_8B, spec=A100, n_gpus=1)
+            workload = sharegpt_workload(40, rate=6.0, seed=13)
+            untapped = run_system(factory, cfg, workload)
+        assert tapped.result.summary.as_dict() == untapped.summary.as_dict()
+
+
+class TestShardedEquivalence:
+    #: Scenarios the sharded merge is exercised against end to end; chaos
+    #: covers scope cancellation (replica kills) against the sub-heaps.
+    NAMES = ("single_goodput", "fleet_4_replicas", "chaos_4_replicas")
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_sharded_matches_flat(self, name):
+        import repro.sim.shard as shard
+
+        with fastpath.enabled():
+            flat = _run_scenario(name)
+            previous = shard.set_sharding_enabled(True)
+            try:
+                sharded = _run_scenario(name)
+            finally:
+                shard.set_sharding_enabled(previous)
+        assert sharded == flat
+
+    def test_sharded_metric_streams_identical(self):
+        with fastpath.enabled():
+            flat = _StreamedRun()
+            sharded = _StreamedRun(sim_factory=ShardedSimulator)
+        assert sharded.sink.records == flat.sink.records
