@@ -91,6 +91,14 @@ def run_fleet(
     if ledger is not None:
         for key, value in ledger.items():
             extras[f"kv_{key}"] = float(value)
+    # Cost extras only for explicitly mixed-SKU fleets: homogeneous runs
+    # must keep their result payload (and fingerprints) byte-identical.
+    if cluster.config.skus is not None:
+        cost = cluster.cost_ledger()
+        extras["cost_usd"] = float(cost["usd"])
+        extras["cost_kwh"] = float(cost["kwh"])
+        extras["cost_replica_seconds"] = float(cost["replica_seconds"])
+        extras["cost_hourly"] = float(cost["hourly_cost"])
     return FleetRunResult(
         summary=cluster.summarize(),
         per_replica=cluster.per_replica_summaries(),

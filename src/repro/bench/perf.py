@@ -189,6 +189,19 @@ def _scenario_spec(scale: float):
     return study.as_dict(), study.extras
 
 
+def _scenario_hetero(scale: float):
+    """Equal-budget SKU-mix study (homogeneous H100/L40S vs mixed).
+
+    Fingerprints the full study report: every plan's tier goodput, cost
+    integrals, and the ``equal_budget`` / ``mixed_wins_per_dollar`` /
+    ``mixed_wins_per_kwh`` verdicts.
+    """
+    from repro.bench.hetero import run_hetero_study
+
+    study = run_hetero_study(scale=scale, seed=0)
+    return study.as_dict(), study.extras
+
+
 SCENARIOS: dict[str, Callable] = {
     "single_goodput": _scenario_single,
     "fleet_4_replicas": _scenario_fleet,
@@ -196,6 +209,7 @@ SCENARIOS: dict[str, Callable] = {
     "tenancy_wfq_brownout": _scenario_tenancy,
     "kv_tiers": _scenario_kv_tiers,
     "spec_decoding": _scenario_spec,
+    "hetero_fleet": _scenario_hetero,
 }
 
 #: The two fastest scenarios — what the scale tiers (and the CI

@@ -86,6 +86,7 @@ GPU_ALIASES = {
     "a100": "A100-80GB",
     "h100": "H100-SXM5-80GB",
     "h200": "H200-SXM5-141GB",
+    "l40s": "L40S-48GB",
 }
 
 
@@ -450,6 +451,41 @@ def cmd_kvtiers(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_hetero(args: argparse.Namespace) -> int:
+    """Heterogeneous-fleet cost study: goodput/$ across SKU mixes.
+
+    Prints one row per equal-budget fleet plan (homogeneous H100,
+    homogeneous L40S, and the H200+L40S mix with tier pins) with its
+    tenancy-aware goodput, goodput per dollar, and goodput per kWh, then
+    the verdicts.  ``--json`` emits the full deterministic report — the CI
+    hetero-smoke job runs it twice, diffs the bytes, and asserts
+    ``equal_budget`` and ``mixed_wins_per_dollar``.
+    """
+    from repro.bench.hetero import run_hetero_study
+
+    study = run_hetero_study(scale=args.scale, seed=args.seed)
+    if args.json:
+        print(json.dumps(study.as_dict(), indent=2, sort_keys=True))
+        return 0
+    header = (
+        f"{'fleet':>8} {'$/hr':>6} {'kW':>6} {'fin':>5} "
+        f"{'goodput':>10} {'tok/$':>12} {'tok/kWh':>12}"
+    )
+    print(header)
+    for point in study.points:
+        print(
+            f"{point.name:>8} {point.hourly_cost:>6.2f} {point.power_kw:>6.2f} "
+            f"{point.requests_finished:>5d} {point.goodput:>10.1f} "
+            f"{point.goodput_per_dollar:>12.0f} {point.goodput_per_kwh:>12.0f}"
+        )
+        for tier, goodput in sorted(point.tier_goodput.items()):
+            print(f"{'':>8}   {tier:<12} {goodput:>10.1f} tok/s in-SLO")
+    print(f"equal budget: {'yes' if study.equal_budget else 'no'}")
+    print(f"mixed wins per dollar: {'yes' if study.mixed_wins_per_dollar else 'no'}")
+    print(f"mixed wins per kWh: {'yes' if study.mixed_wins_per_kwh else 'no'}")
+    return 0
+
+
 def cmd_spec(args: argparse.Namespace) -> int:
     """Speculative-decoding study: acceptance × draft-length sweep.
 
@@ -672,6 +708,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the full study as JSON (machine-readable)"
     )
     kvt_p.set_defaults(func=cmd_kvtiers)
+
+    het_p = sub.add_parser(
+        "hetero", help="heterogeneous-fleet goodput-per-dollar study"
+    )
+    het_p.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
+    het_p.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    het_p.add_argument(
+        "--json", action="store_true", help="emit the full study as JSON (machine-readable)"
+    )
+    het_p.set_defaults(func=cmd_hetero)
 
     spec_p = sub.add_parser(
         "spec", help="speculative-decoding acceptance x draft-length study"

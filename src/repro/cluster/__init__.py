@@ -8,7 +8,7 @@ policy-driven front-end router.  See :class:`Fleet` for the entry point and
 
 from repro.cluster.admission import AdmissionConfig, AdmissionController, Decision
 from repro.cluster.autoscaler import AUTOSCALER_TRACK, Autoscaler, AutoscalerConfig
-from repro.cluster.fleet import Fleet, FleetConfig, Replica
+from repro.cluster.fleet import Fleet, FleetConfig, Replica, resolve_sku
 from repro.cluster.health import (
     HEALTH_TRACK,
     HealthConfig,
@@ -20,6 +20,7 @@ from repro.cluster.router import (
     POLICIES,
     ROUTER_OVERHEAD,
     ROUTER_TRACK,
+    CostAwareRoutingPolicy,
     DeliveryNetwork,
     IngressFilter,
     LeastKVPressurePolicy,
@@ -38,6 +39,7 @@ __all__ = [
     "AdmissionController",
     "Autoscaler",
     "AutoscalerConfig",
+    "CostAwareRoutingPolicy",
     "Decision",
     "DeliveryNetwork",
     "Fleet",
@@ -60,4 +62,5 @@ __all__ = [
     "RoutingPolicy",
     "TenantAffinityPolicy",
     "make_policy",
+    "resolve_sku",
 ]

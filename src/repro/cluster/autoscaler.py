@@ -15,9 +15,10 @@ GPU activity in an exported trace.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Sequence
 
+from repro.gpu.specs import GPUSpec
 from repro.sim import Simulator
 from repro.trace.tracer import CAT_ROUTER
 
@@ -40,6 +41,13 @@ class AutoscalerConfig:
             (router queue included) above which a replica is added.
         scale_down_outstanding: Load below which one replica is drained.
         cooldown: Minimum seconds between two scaling actions.
+        sku_pool: GPU SKUs (specs or registry names) the autoscaler may
+            provision from.  Scale-ups pick the *cheapest* SKU that can
+            still hold the model (positive KV pool after weights and
+            reserve); scale-downs already retire the most expensive idle
+            replica (see :meth:`repro.cluster.fleet.Fleet.drain_one`).
+            ``None`` (the default) provisions the base config's SKU,
+            byte-identically to the homogeneous autoscaler.
     """
 
     interval: float = 5.0
@@ -48,6 +56,7 @@ class AutoscalerConfig:
     scale_up_outstanding: float = 32.0
     scale_down_outstanding: float = 4.0
     cooldown: float = 10.0
+    sku_pool: "Sequence[GPUSpec | str] | None" = None
 
     def __post_init__(self) -> None:
         if self.interval <= 0:
@@ -102,7 +111,14 @@ class Autoscaler:
             self._trace_action("replace-failed", replacement.name, load)
         if now - self._last_action >= cfg.cooldown:
             if load > cfg.scale_up_outstanding:
-                replica = fleet.scale_up(cfg.max_replicas)
+                spec = self._scale_up_spec()
+                # Only pass the SKU when the pool picked one: callers (and
+                # test stubs) without mixed-SKU support keep the old shape.
+                replica = (
+                    fleet.scale_up(cfg.max_replicas)
+                    if spec is None
+                    else fleet.scale_up(cfg.max_replicas, spec=spec)
+                )
                 if replica is not None:
                     self.scale_ups += 1
                     self._last_action = now
@@ -117,6 +133,30 @@ class Autoscaler:
         # whether the simulation is drained, so sampling can continue
         # unconditionally without ever holding termination hostage.
         self.sim.schedule(cfg.interval, self._tick, daemon=True, scope=None)
+
+    def _scale_up_spec(self) -> GPUSpec | None:
+        """Cheapest SKU from the pool that can still hold the model.
+
+        Feasibility is a capacity check: the candidate server must keep a
+        positive KV pool after the weight replica and activation reserve —
+        a SKU that fits zero KV pages would thrash, not serve.  ``None``
+        (no pool, or nothing feasible) provisions the base config's SKU.
+        """
+        pool = self.config.sku_pool
+        if pool is None:
+            return None
+        from repro.cluster.fleet import resolve_sku
+
+        base = self.fleet.base_cfg
+        candidates = sorted(
+            (resolve_sku(sku) for sku in pool),
+            key=lambda s: (s.price_per_hour, s.name),
+        )
+        for spec in candidates:
+            cfg = replace(base, spec=spec)
+            if cfg.kv_pool_bytes(cfg.n_gpus) > 0:
+                return spec
+        return None
 
     def _trace_action(self, action: str, replica: str, load: float) -> None:
         tracer = self.sim.tracer

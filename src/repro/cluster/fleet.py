@@ -16,7 +16,7 @@ percentiles are computed over the pooled per-request samples.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable
+from typing import Callable, Mapping, Sequence
 
 from repro.cluster.admission import AdmissionConfig, AdmissionController
 from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
@@ -29,6 +29,7 @@ from repro.cluster.router import (
     RoutingPolicy,
     make_policy,
 )
+from repro.gpu.specs import SPECS_BY_NAME, GPUSpec
 from repro.kvcache.radix import Segment
 from repro.kvcache.tiers import TieredKVStore
 from repro.kvcache.transfer import TransferConfig, TransferEngine
@@ -43,6 +44,37 @@ SystemFactory = Callable[[Simulator, ServingConfig], ServingSystem]
 
 #: Trace track sampling the fleet's replica count.
 FLEET_TRACK = "fleet/replicas"
+
+
+def resolve_sku(sku: "GPUSpec | str") -> GPUSpec:
+    """A :class:`GPUSpec` from a spec instance or a registry name."""
+    if isinstance(sku, GPUSpec):
+        return sku
+    try:
+        return SPECS_BY_NAME[sku]
+    except KeyError:
+        raise ValueError(f"unknown GPU SKU {sku!r}; choose from {sorted(SPECS_BY_NAME)}")
+
+
+def _normalize_skus(
+    skus: "Sequence[GPUSpec | str] | Mapping[GPUSpec | str, int]",
+) -> tuple[GPUSpec, ...]:
+    """Flatten a per-replica SKU list or a ``{sku: count}`` map.
+
+    Map insertion order is preserved (replica ``r0`` gets the first SKU's
+    first slot), so the same literal always yields the same placement.
+    """
+    if isinstance(skus, Mapping):
+        flat: list[GPUSpec] = []
+        for sku, count in skus.items():
+            if count < 1:
+                raise ValueError(f"SKU count must be >= 1, got {count} for {sku!r}")
+            flat.extend([resolve_sku(sku)] * count)
+    else:
+        flat = [resolve_sku(sku) for sku in skus]
+    if not flat:
+        raise ValueError("skus must provision at least one replica")
+    return tuple(flat)
 
 
 @dataclass
@@ -76,6 +108,14 @@ class FleetConfig:
             better-matching replica into the target before delivery,
             making prefix affinity fleet-wide.  ``None`` (the default)
             disables every cross-replica branch — byte-identical routing.
+        skus: Mixed-SKU fleet shape: a per-replica GPU list (specs or
+            registry names, e.g. ``["H200-SXM5-141GB", "L40S-48GB"]``) or
+            a ``{sku: count}`` map.  When set it *overrides* ``replicas``
+            (one replica per entry) and each replica's serving system is
+            built with its own GPU spec — everything else of the base
+            :class:`~repro.serving.config.ServingConfig` is shared.
+            ``None`` (the default) keeps the historical homogeneous fleet:
+            every replica runs the base config's spec, byte-identically.
     """
 
     replicas: int = 2
@@ -88,8 +128,12 @@ class FleetConfig:
     health: HealthConfig | None = None
     ingress: IngressFilter | None = None
     transfer: TransferConfig | None = None
+    skus: "Sequence[GPUSpec | str] | Mapping[GPUSpec | str, int] | None" = None
 
     def __post_init__(self) -> None:
+        if self.skus is not None:
+            self.skus = _normalize_skus(self.skus)
+            self.replicas = len(self.skus)
         if self.replicas < 1:
             raise ValueError("a fleet needs at least one replica")
         if self.router_overhead < 0 or self.network_latency < 0:
@@ -125,6 +169,40 @@ class Replica:
     #: and restarts: a new generation re-attaches the same store, which is
     #: what makes failover restore (rather than recompute) prefixes.
     tier_store: TieredKVStore | None = None
+    #: The serving config this slot's systems are built from.  In a
+    #: mixed-SKU fleet each slot carries its own spec; restarts rebuild
+    #: from this config, so a slot never changes SKU across generations.
+    cfg: ServingConfig | None = None
+    #: Seconds this slot has been alive (not failed) in *completed* alive
+    #: stretches; the open stretch is tracked by ``active_since``.  The
+    #: cost ledger integrates billable replica-time from these.
+    active_seconds: float = 0.0
+    #: Start of the current alive stretch (None while failed).
+    active_since: float | None = 0.0
+
+    @property
+    def spec(self) -> GPUSpec:
+        """The GPU SKU this slot is provisioned with."""
+        assert self.cfg is not None, "replica built outside a Fleet has no config"
+        return self.cfg.spec
+
+    def note_failed(self, now: float) -> None:
+        """Close the open alive stretch (the slot stops billing)."""
+        if self.active_since is not None:
+            self.active_seconds += now - self.active_since
+            self.active_since = None
+
+    def note_restored(self, now: float) -> None:
+        """Open a new alive stretch (the slot bills again)."""
+        if self.active_since is None:
+            self.active_since = now
+
+    def uptime(self, now: float) -> float:
+        """Total alive (billable) seconds of this slot up to ``now``."""
+        up = self.active_seconds
+        if self.active_since is not None:
+            up += now - self.active_since
+        return up
 
     @property
     def scope(self) -> str:
@@ -228,8 +306,10 @@ class Fleet:
             retry=self.config.retry,
             ingress=self.config.ingress,
         )
-        for _ in range(self.config.replicas):
-            self.add_replica()
+        for index in range(self.config.replicas):
+            self.add_replica(
+                spec=self.config.skus[index] if self.config.skus is not None else None
+            )
         if self.config.autoscaler is not None:
             self.autoscaler = Autoscaler(sim, self, self.config.autoscaler)
         self.health = (
@@ -242,18 +322,33 @@ class Fleet:
     # Topology
     # ------------------------------------------------------------------ #
 
-    def add_replica(self) -> Replica:
-        """Provision one more replica (usable immediately)."""
+    def add_replica(self, spec: GPUSpec | None = None) -> Replica:
+        """Provision one more replica (usable immediately).
+
+        ``spec`` overrides the base config's GPU SKU for this slot (mixed
+        fleets and SKU-aware autoscaling); ``None`` keeps the base SKU.
+        """
         index = len(self.replicas)
         name = f"r{index}"
-        cfg = replace(self.base_cfg, name_prefix=f"{self.base_cfg.name_prefix}r{index}/")
+        cfg = replace(
+            self.base_cfg,
+            name_prefix=f"{self.base_cfg.name_prefix}r{index}/",
+            **({} if spec is None else {"spec": spec}),
+        )
         with self.sim.scope(f"replica/{name}/g0"):
             system = self.factory(self.sim, cfg)
-        replica = Replica(index=index, name=name, system=system, created_at=self.sim.now)
-        if self.base_cfg.kv_tiers is not None:
+        replica = Replica(
+            index=index,
+            name=name,
+            system=system,
+            created_at=self.sim.now,
+            cfg=cfg,
+            active_since=self.sim.now,
+        )
+        if cfg.kv_tiers is not None:
             replica.tier_store = TieredKVStore(
-                self.base_cfg.kv_tiers,
-                self.base_cfg.model.kv_bytes_per_token,
+                cfg.kv_tiers,
+                cfg.model.kv_bytes_per_token,
                 tracer=self.sim.tracer,
                 name=name,
             )
@@ -267,9 +362,15 @@ class Fleet:
         self.router._drain_queue()
         return replica
 
-    def scale_up(self, max_replicas: int) -> Replica | None:
+    def scale_up(self, max_replicas: int, spec: GPUSpec | None = None) -> Replica | None:
         """Add capacity: reactivate a draining replica (warm cache) or
-        provision a new one while under the ``max_replicas`` budget."""
+        provision a new one while under the ``max_replicas`` budget.
+
+        ``spec`` is the SKU a *newly provisioned* replica gets (SKU-aware
+        autoscaling picks the cheapest feasible one); reactivation keeps
+        the draining replica's own SKU — its warm cache outweighs a
+        cheaper cold slot.
+        """
         # Prefer a replica whose cache is actually warm: a drained replica
         # that was killed and restarted while parked holds nothing (the
         # kill cleared kv_warm), so it ranks behind genuinely warm peers.
@@ -282,14 +383,23 @@ class Fleet:
         # consume capacity the fleet can no longer use.
         if self.alive_count() >= max_replicas:
             return None
-        return self.add_replica()
+        return self.add_replica(spec=spec)
 
     def drain_one(self) -> Replica | None:
-        """Start draining the least-loaded routable replica (if >1 remain)."""
+        """Start draining one routable replica (if more than one remains).
+
+        The victim is the least-loaded replica; among equally idle ones
+        the *most expensive* SKU retires first — scaling down should shed
+        dollars, not just capacity.  Homogeneous fleets (equal prices)
+        keep the historical highest-index tie-break byte-identically.
+        """
         candidates = [r for r in self.replicas if r.routable]
         if len(candidates) <= 1:
             return None
-        victim = min(candidates, key=lambda r: (r.outstanding, -r.index))
+        victim = min(
+            candidates,
+            key=lambda r: (r.outstanding, -r.cfg.hourly_cost, -r.index),
+        )
         victim.draining = True
         self._trace_size()
         return victim
@@ -326,6 +436,8 @@ class Fleet:
         if replica.failed:
             return
         replica.failed = True
+        # A dead slot stops billing: close its open alive stretch.
+        replica.note_failed(self.sim.now)
         # The HBM cache died with the generation: whatever warmth the
         # autoscaler remembered is gone.  (The DRAM/NVMe tier store, if
         # any, survives — that is the point of it — but it is no longer
@@ -392,8 +504,11 @@ class Fleet:
         self._retired_collectors.append(replica.system.metrics)
         replica.generation += 1
         self.restarts += 1
+        # Rebuild from the slot's own config, not the base: a mixed-SKU
+        # slot keeps its GPU spec across generations (homogeneous fleets
+        # see the identical config either way).
         cfg = replace(
-            self.base_cfg,
+            replica.cfg if replica.cfg is not None else self.base_cfg,
             name_prefix=f"{self.base_cfg.name_prefix}r{replica.index}g{replica.generation}/",
         )
         with self.sim.scope(replica.scope):
@@ -411,6 +526,7 @@ class Fleet:
         replica.draining = False
         replica.restart_at = None
         replica.created_at = self.sim.now
+        replica.note_restored(self.sim.now)
         tracer = self.sim.tracer
         if tracer is not None and tracer.enabled:
             tracer.instant(
@@ -433,11 +549,17 @@ class Fleet:
 
     def replace_failed(self, max_replicas: int) -> Replica | None:
         """Provision a substitute for a failed replica with no scheduled
-        restart (autoscaler path; bypasses scaling cooldown)."""
+        restart (autoscaler path; bypasses scaling cooldown).
+
+        The substitute is like-for-like: it gets the dead slot's SKU, so a
+        fleet's SKU mix is stable under churn.  (Homogeneous fleets build
+        the identical config either way.)
+        """
         abandoned = [r for r in self.replicas if r.failed and r.restart_at is None]
         if not abandoned or self.alive_count() >= max_replicas:
             return None
-        return self.add_replica()
+        dead = abandoned[0]
+        return self.add_replica(spec=dead.spec if dead.cfg is not None else None)
 
     def recovery_pending(self) -> bool:
         """Whether lost capacity will come back without outside help.
@@ -531,6 +653,50 @@ class Fleet:
         ledger["fetched_tokens"] = self.router.kv_fetched_tokens
         ledger["recomputed_tokens"] = self.router.kv_recomputed_tokens
         return ledger
+
+    @property
+    def heterogeneous(self) -> bool:
+        """Whether the fleet currently runs more than one GPU SKU."""
+        return len({r.spec.name for r in self.replicas}) > 1
+
+    def cost_ledger(self) -> dict:
+        """Dollar and energy accounting for the fleet, up to ``sim.now``.
+
+        Billable time is *alive* time: a slot bills from provisioning
+        until it fails, and again from restart — draining replicas are
+        still provisioned and still bill.  Dollars integrate
+        ``replica-seconds x $/hr`` per slot; energy integrates board TDP
+        over the same stretches (a deliberate upper bound, mirroring how
+        datacenter capacity is billed).  Fleet totals are the sum of the
+        per-replica rows — conservation the tests assert exactly.
+        """
+        now = self.sim.now
+        per_replica: dict[str, dict] = {}
+        total_usd = total_kwh = total_seconds = 0.0
+        for r in self.replicas:
+            assert r.cfg is not None
+            up = r.uptime(now)
+            hours = up / 3600.0
+            usd = hours * r.cfg.hourly_cost
+            kwh = hours * r.cfg.power_watts / 1000.0
+            per_replica[r.name] = {
+                "sku": r.spec.name,
+                "active_seconds": up,
+                "usd": usd,
+                "kwh": kwh,
+            }
+            total_usd += usd
+            total_kwh += kwh
+            total_seconds += up
+        return {
+            "per_replica": per_replica,
+            "replica_seconds": total_seconds,
+            "usd": total_usd,
+            "kwh": total_kwh,
+            "hourly_cost": sum(
+                r.cfg.hourly_cost for r in self.replicas if not r.failed
+            ),
+        }
 
     def cache_hit_rate(self) -> float:
         """Token-weighted KV-cache hit rate over the whole fleet."""

@@ -23,7 +23,7 @@ import math
 import zlib
 from abc import ABC, abstractmethod
 from collections import deque
-from typing import TYPE_CHECKING, Protocol, Sequence
+from typing import TYPE_CHECKING, Mapping, Protocol, Sequence
 
 from repro.cluster.admission import AdmissionController, Decision
 from repro.cluster.health import RetryPolicy
@@ -109,7 +109,14 @@ class RoutingPolicy(ABC):
 
 
 class RoundRobinPolicy(RoutingPolicy):
-    """Cycle through replicas regardless of load or cache state."""
+    """Cycle through replicas regardless of load or cache state.
+
+    The rotation runs over the *responsive* subset: round-robin ignores
+    load and cache signals by design, but liveness is not a scoring signal
+    — delivering every Nth request into a stalled replica during the
+    kill→detection window loses exactly the work the scoring policies
+    steer around.
+    """
 
     name = "round-robin"
 
@@ -117,6 +124,7 @@ class RoundRobinPolicy(RoutingPolicy):
         self._next = 0
 
     def choose(self, replicas: Sequence["Replica"], request: Request) -> "Replica":
+        replicas = _responsive_subset(replicas)
         choice = replicas[self._next % len(replicas)]
         self._next += 1
         return choice
@@ -179,21 +187,104 @@ class PrefixAffinityPolicy(RoutingPolicy):
 class TenantAffinityPolicy(RoutingPolicy):
     """Pin each tenant to a home replica (soft multi-tenant isolation).
 
-    A tenant's requests land on ``crc32(tenant) mod replicas`` — CRC32, not
-    Python's per-process-seeded ``hash()``, so placement is deterministic
-    across runs.  Pinning concentrates each tenant's prefix reuse on one
+    A tenant's home is assigned on first sight — ``crc32(tenant) mod
+    routable`` (CRC32, not Python's per-process-seeded ``hash()``, so
+    placement is deterministic across runs) — and then remembered *by
+    replica name*.  Pinning concentrates each tenant's prefix reuse on one
     cache and contains a noisy tenant's queueing damage to its home
-    replica.  When the home replica is unroutable (failed, draining, or the
-    modulus shifted with fleet size) the index wraps within the routable
-    set; untagged requests share the default tenant's home.
+    replica; that only works if the home is sticky, so a fleet resize
+    (autoscaler add/drain, a failure) must not reshuffle tenants whose
+    home is still routable.  Only when a tenant's own home drops out of
+    the routable set does *that* tenant fall back — deterministically,
+    by rehashing into the current set — and it returns home as soon as
+    the home replica is routable again.  Untagged requests share the
+    default tenant's home.
     """
 
     name = "tenant-affinity"
 
+    def __init__(self) -> None:
+        #: Sticky tenant → home replica *name* map.  Names are stable for
+        #: a slot across restarts and resizes (unlike positions in the
+        #: routable list), which is what keeps unaffected tenants pinned.
+        self._homes: dict[str, str] = {}
+
     def choose(self, replicas: Sequence["Replica"], request: Request) -> "Replica":
         tenant = request.tenant if request.tenant is not None else "default"
         slot = zlib.crc32(tenant.encode("utf-8")) % len(replicas)
+        home = self._homes.setdefault(tenant, replicas[slot].name)
+        for replica in replicas:
+            if replica.name == home:
+                return replica
+        # Home unroutable right now: deterministic fallback for this
+        # tenant only.  The sticky entry is left untouched so the tenant
+        # snaps back the moment its home returns.
         return replicas[slot]
+
+
+class CostAwareRoutingPolicy(RoutingPolicy):
+    """Route by estimated marginal latency on each replica's GPU SKU.
+
+    In a mixed-SKU fleet the replicas are not interchangeable: prefill is
+    compute-bound (a prefill-heavy request finishes sooner on a
+    high-TFLOPS part) while decode is bandwidth-bound (a decode-heavy
+    request wants HBM bandwidth, not FLOPs).  This policy scores every
+    responsive replica with a roofline estimate of the *marginal* latency
+    the request would see there —
+
+    - prefill: ``2 * active_params * input_tokens`` FLOPs over the
+      replica's effective FLOP/s,
+    - decode: ``output_tokens`` iterations, each streaming the weights
+      (amortised over the work already batched there) plus the request's
+      own KV, over effective bytes/s,
+
+    penalised by the replica's queue depth — and picks the minimum.  On a
+    homogeneous fleet every spec term is identical, so the policy degrades
+    to queue-aware least-loaded routing.
+
+    ``tier_pins`` optionally maps a workload tier to a SKU name (e.g.
+    ``{"batch": "L40S-48GB", "interactive": "H200-SXM5-141GB"}``): a
+    pinned request only considers replicas of that SKU while at least one
+    is responsive, steering cheap throughput traffic onto cheap parts and
+    latency traffic onto the big-HBM parts.
+    """
+
+    name = "cost-aware"
+
+    def __init__(self, tier_pins: Mapping[str, str] | None = None) -> None:
+        self._tier_pins = dict(tier_pins) if tier_pins is not None else {}
+
+    @staticmethod
+    def _marginal_latency(replica: "Replica", request: Request) -> float:
+        cfg = replica.cfg
+        assert cfg is not None
+        model, spec = cfg.model, cfg.spec
+        flops = spec.effective_flops * cfg.n_gpus
+        bandwidth = spec.effective_bandwidth * cfg.n_gpus
+        prefill_s = 2.0 * model.active_params * request.input_tokens / flops
+        # Weight streaming amortises over whatever is already decoding
+        # there; the request's own KV read does not.
+        weight_share = model.weight_bytes / (replica.outstanding + 1)
+        kv_read = model.kv_bytes_per_token * request.input_tokens
+        decode_s = request.output_tokens * (weight_share + kv_read) / bandwidth
+        return (prefill_s + decode_s) * (1 + replica.outstanding)
+
+    def choose(self, replicas: Sequence["Replica"], request: Request) -> "Replica":
+        replicas = _responsive_subset(replicas)
+        pinned_sku = self._tier_pins.get(request.tier) if request.tier is not None else None
+        if pinned_sku is not None:
+            pinned = [
+                r
+                for r in replicas
+                if getattr(r, "cfg", None) is not None and r.cfg.spec.name == pinned_sku
+            ]
+            if pinned:
+                replicas = pinned
+        # Duck-typed stubs (and replicas built outside a Fleet) carry no
+        # config to cost against: fall back to queue-aware routing.
+        if any(getattr(r, "cfg", None) is None for r in replicas):
+            return _least_loaded(replicas)
+        return min(replicas, key=lambda r: (self._marginal_latency(r, request), r.index))
 
 
 POLICIES: dict[str, type[RoutingPolicy]] = {
@@ -202,6 +293,7 @@ POLICIES: dict[str, type[RoutingPolicy]] = {
     LeastKVPressurePolicy.name: LeastKVPressurePolicy,
     PrefixAffinityPolicy.name: PrefixAffinityPolicy,
     TenantAffinityPolicy.name: TenantAffinityPolicy,
+    CostAwareRoutingPolicy.name: CostAwareRoutingPolicy,
 }
 
 

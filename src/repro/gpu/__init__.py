@@ -10,6 +10,7 @@ from repro.gpu.specs import (
     H100,
     H200,
     H200_NVL,
+    L40S,
     SPECS_BY_NAME,
     TFLOPS,
     GPUSpec,
@@ -30,6 +31,7 @@ __all__ = [
     "H200",
     "H200_NVL",
     "HostThread",
+    "L40S",
     "LaunchModel",
     "OpHandle",
     "OutOfMemoryError",

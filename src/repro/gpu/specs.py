@@ -42,6 +42,13 @@ class GPUSpec:
             to ``kappa * other_sm_fraction`` of its achieved bandwidth when
             co-running.  Calibrated so peak decode slowdown is ~20 % on A100
             and ~30 % on H100 (paper Fig. 11 / §3.3.2).
+        price_per_hour: On-demand rental price of one GPU (USD/hr).  Round
+            cloud-market numbers — the heterogeneous-fleet studies care
+            about the *ratios* between SKUs, not any provider's exact
+            sticker price.
+        tdp_watts: Board power limit of one GPU (watts).  Energy accounting
+            integrates TDP over provisioned time — a deliberate upper
+            bound, mirroring how datacenter capacity is billed.
     """
 
     name: str
@@ -57,6 +64,8 @@ class GPUSpec:
     greenctx_reconfig_time: float = 5e-6
     sm_granularity: int = 16
     contention_kappa: float = 0.16
+    price_per_hour: float = 2.0
+    tdp_watts: float = 400.0
 
     @property
     def effective_flops(self) -> float:
@@ -81,6 +90,8 @@ A100 = GPUSpec(
     mem_bandwidth=2039 * GB,
     mem_bytes=80 * GiB,
     nvlink_bandwidth=300 * GB,
+    price_per_hour=2.0,
+    tdp_watts=400.0,
 )
 
 #: NVIDIA H100-SXM5-80GB: 132 SMs, 989 TFLOPS BF16 dense, 3.35 TB/s HBM3.
@@ -92,6 +103,8 @@ H100 = GPUSpec(
     mem_bytes=80 * GiB,
     nvlink_bandwidth=450 * GB,
     contention_kappa=0.20,
+    price_per_hour=4.0,
+    tdp_watts=700.0,
 )
 
 #: NVIDIA H200-SXM5-141GB: H100 compute with 4.8 TB/s HBM3e and 141 GB.
@@ -103,6 +116,8 @@ H200 = GPUSpec(
     mem_bytes=141 * GiB,
     nvlink_bandwidth=450 * GB,
     contention_kappa=0.20,
+    price_per_hour=6.0,
+    tdp_watts=700.0,
 )
 
 #: NVIDIA H200 NVL (artifact appendix testbed): 132 SMs, 140 GB.
@@ -114,9 +129,27 @@ H200_NVL = GPUSpec(
     mem_bytes=140 * GiB,
     nvlink_bandwidth=300 * GB,
     contention_kappa=0.20,
+    price_per_hour=5.5,
+    tdp_watts=600.0,
 )
 
-SPECS_BY_NAME = {spec.name: spec for spec in (A100, H100, H200, H200_NVL)}
+#: NVIDIA L40S: the cheap, bandwidth-poor SKU of the heterogeneous-fleet
+#: studies.  142 SMs (deliberately not a granule multiple), 91.6 TFLOPS
+#: BF16 dense, 864 GB/s GDDR6 (no HBM), 48 GB, PCIe-only interconnect.
+#: Strong compute-per-dollar for prefill, weak bandwidth for decode.
+L40S = GPUSpec(
+    name="L40S-48GB",
+    sms=142,
+    peak_flops=91.6 * TFLOPS,
+    mem_bandwidth=864 * GB,
+    mem_bytes=48 * GiB,
+    nvlink_bandwidth=64 * GB,
+    contention_kappa=0.12,
+    price_per_hour=1.0,
+    tdp_watts=350.0,
+)
+
+SPECS_BY_NAME = {spec.name: spec for spec in (A100, H100, H200, H200_NVL, L40S)}
 
 
 def decode_partition_options(spec: GPUSpec) -> list[int]:
@@ -125,7 +158,17 @@ def decode_partition_options(spec: GPUSpec) -> list[int]:
     The paper partitions at 16-SM granularity, "yielding 6 configurations for
     A100 and 7 for H100": every multiple of 16 that still leaves at least half
     a granule of SMs for the prefill partition (A100: 16..96 -> 6 options;
-    H100/H200: 16..112 -> 7 options).
+    H100/H200: 16..112 -> 7 options).  SM counts that are not granule
+    multiples (L40S: 142) walk the same ladder — the remainder SMs pad the
+    prefill partition.  GPUs too small for the ladder (fewer than one and a
+    half granules, reachable via ``with_overrides``) fall back to a single
+    midpoint split rather than silently yielding no options: a serving
+    system with an empty option list could never run decode at all.
     """
     step = spec.sm_granularity
-    return [n for n in range(step, spec.sms, step) if spec.sms - n >= step // 2]
+    options = [n for n in range(step, spec.sms, step) if spec.sms - n >= step // 2]
+    if options:
+        return options
+    if spec.sms < 2:
+        raise ValueError(f"{spec.name}: need at least 2 SMs to partition")
+    return [spec.sms // 2]

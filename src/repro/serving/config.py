@@ -90,6 +90,16 @@ class ServingConfig:
         if self.slo is None:
             self.slo = default_slo(self.model)
 
+    @property
+    def hourly_cost(self) -> float:
+        """Rental price of this deployment (USD/hr, all GPUs)."""
+        return self.spec.price_per_hour * self.n_gpus
+
+    @property
+    def power_watts(self) -> float:
+        """Provisioned board power of this deployment (watts, all GPUs)."""
+        return self.spec.tdp_watts * self.n_gpus
+
     def kv_pool_bytes(self, instance_gpus: int, extra_reserved: float = 0.0) -> float:
         """KV-cache pool size for an instance spanning ``instance_gpus`` GPUs.
 

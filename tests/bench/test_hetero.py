@@ -1,0 +1,126 @@
+"""Tests for the heterogeneous-fleet goodput-per-dollar study."""
+
+import json
+
+from repro.bench.hetero import (
+    BUDGET_USD_PER_HOUR,
+    FLEET_PLANS,
+    REALTIME_TBT_SCALE,
+    FleetPlan,
+    HeteroPoint,
+    HeteroStudy,
+    hetero_workload,
+    run_hetero_study,
+    study_tenancy,
+)
+from repro.gpu.specs import H100, H200, L40S
+
+#: Small but past the trace floor — still the steady-state regime.
+SCALE = 0.1
+
+
+def make_point(name, skus, hourly, kw, tier_goodput) -> HeteroPoint:
+    return HeteroPoint(
+        name=name,
+        skus=skus,
+        hourly_cost=hourly,
+        power_kw=kw,
+        requests_finished=10,
+        tier_goodput=tier_goodput,
+        usd_spent=1.0,
+        kwh_spent=0.5,
+    )
+
+
+def make_study(mixed_goodput: float, homogeneous_goodput: float) -> HeteroStudy:
+    return HeteroStudy(
+        points=[
+            make_point("h100x2", ("H100",), 8.0, 1.4, {"batch": homogeneous_goodput}),
+            make_point("l40sx8", ("L40S",), 8.0, 2.8, {"batch": 10.0}),
+            make_point("mixed", ("H200", "L40S"), 8.0, 1.4, {"batch": mixed_goodput}),
+        ]
+    )
+
+
+class TestStudyShape:
+    def test_plans_cost_exactly_the_budget(self):
+        for plan in FLEET_PLANS:
+            assert plan.hourly_cost == BUDGET_USD_PER_HOUR
+
+    def test_mixed_plan_pins_tiers_to_skus(self):
+        mixed = next(p for p in FLEET_PLANS if p.name == "mixed")
+        assert H200 in mixed.skus and L40S in mixed.skus
+        assert mixed.tier_pins == {"batch": L40S.name, "interactive": H200.name}
+        homogeneous = [p for p in FLEET_PLANS if p.name != "mixed"]
+        assert {s for p in homogeneous for s in p.skus} == {H100, L40S}
+
+    def test_plan_power_sums_tdp(self):
+        plan = FleetPlan("two-h100", (H100, H100))
+        assert plan.power_kw == 2 * H100.tdp_watts / 1000.0
+
+    def test_win_verdicts_require_strict_improvement(self):
+        assert make_study(100.0, 50.0).mixed_wins_per_dollar
+        assert not make_study(50.0, 50.0).mixed_wins_per_dollar
+        assert not make_study(40.0, 50.0).mixed_wins_per_dollar
+
+    def test_equal_budget_detects_mismatch(self):
+        study = make_study(100.0, 50.0)
+        assert study.equal_budget
+        cheap = make_point("cheap", ("L40S",), 1.0, 0.35, {"batch": 1.0})
+        assert not HeteroStudy(points=[*study.points, cheap]).equal_budget
+
+    def test_as_dict_is_json_round_trippable(self):
+        payload = json.loads(json.dumps(make_study(100.0, 50.0).as_dict(), sort_keys=True))
+        assert payload["mixed_wins_per_dollar"] is True
+        assert {p["name"] for p in payload["points"]} == {"h100x2", "l40sx8", "mixed"}
+
+
+class TestWorkload:
+    def test_same_seed_same_shapes(self):
+        a = hetero_workload(scale=SCALE, seed=3)
+        b = hetero_workload(scale=SCALE, seed=3)
+        assert [r.arrival_time for r in a.requests] == [r.arrival_time for r in b.requests]
+        assert [r.input_tokens for r in a.requests] == [r.input_tokens for r in b.requests]
+        assert [r.tier for r in a.requests] == [r.tier for r in b.requests]
+
+    def test_both_tiers_present(self):
+        tiers = {r.tier for r in hetero_workload(scale=SCALE, seed=0).requests}
+        assert tiers == {"interactive", "batch"}
+
+
+class TestStudyTenancy:
+    def test_realtime_interactive_tighter_than_default(self):
+        tenancy = study_tenancy()
+        assert tenancy.classes["interactive"].tbt_scale == REALTIME_TBT_SCALE
+        assert REALTIME_TBT_SCALE < 1.0
+        assert tenancy.classes["batch"].tbt_scale == 4.0
+
+
+class TestEndToEnd:
+    def test_mixed_fleet_wins_at_equal_budget(self):
+        """The acceptance run: at equal $/hr the mixed fleet beats the
+        best homogeneous fleet on goodput per dollar (and per kWh) —
+        only the H200 can serve realtime-TBT tokens, and the L40S pair
+        serves batch cheaper than the H100s."""
+        study = run_hetero_study(scale=SCALE, seed=0)
+        assert study.equal_budget
+        assert study.mixed_wins_per_dollar
+        assert study.mixed_wins_per_kwh
+        for point in study.points:
+            assert point.requests_finished == len(hetero_workload(SCALE, 0))
+        assert study.point("l40sx8").tier_goodput["interactive"] == 0.0
+        assert study.point("mixed").tier_goodput["interactive"] > 0.0
+
+    def test_report_is_byte_stable_across_runs(self):
+        blob_a = json.dumps(run_hetero_study(scale=SCALE, seed=0).as_dict(), sort_keys=True)
+        blob_b = json.dumps(run_hetero_study(scale=SCALE, seed=0).as_dict(), sort_keys=True)
+        assert blob_a == blob_b
+
+    def test_cost_integrals_follow_plan_prices(self):
+        study = run_hetero_study(scale=SCALE, seed=0)
+        h100, mixed = study.point("h100x2"), study.point("mixed")
+        # Same workload, same $/hr: the slower-draining fleet spends more.
+        assert h100.usd_spent > 0 and mixed.usd_spent > 0
+        # l40sx8 burns 2x the wattage of the other plans per hour.
+        l40s = study.point("l40sx8")
+        assert l40s.power_kw == 2 * h100.power_kw

@@ -1,0 +1,276 @@
+"""Mixed-SKU fleets: construction, cost ledger, cost-aware routing, scaling."""
+
+import pytest
+
+from repro.baselines import ChunkedPrefillServer
+from repro.cluster import (
+    Autoscaler,
+    AutoscalerConfig,
+    CostAwareRoutingPolicy,
+    Fleet,
+    FleetConfig,
+    make_policy,
+    resolve_sku,
+)
+from repro.gpu import A100, H100, H200, H200_NVL, L40S
+from repro.models import LLAMA_8B, LLAMA_70B
+from repro.serving import ServingConfig
+from repro.sim import Simulator
+from repro.workloads import sharegpt_workload
+from repro.workloads.request import Request
+from repro.kvcache.radix import new_segment
+
+
+def chunked_factory(sim, cfg):
+    return ChunkedPrefillServer(sim, cfg, token_budget=256)
+
+
+def build_fleet(cfg, fleet_cfg):
+    sim = Simulator()
+    return sim, Fleet(sim, chunked_factory, cfg, fleet_cfg)
+
+
+class TestSkuNormalization:
+    def test_resolve_sku_accepts_spec_and_name(self):
+        assert resolve_sku(L40S) is L40S
+        assert resolve_sku("L40S-48GB") is L40S
+        with pytest.raises(ValueError):
+            resolve_sku("GTX-9090")
+
+    def test_sku_list_overrides_replica_count(self):
+        cfg = FleetConfig(replicas=7, skus=["H100-SXM5-80GB", L40S, L40S])
+        assert cfg.replicas == 3
+        assert cfg.skus == (H100, L40S, L40S)
+
+    def test_sku_map_expands_in_insertion_order(self):
+        cfg = FleetConfig(skus={H200: 1, "L40S-48GB": 2})
+        assert cfg.skus == (H200, L40S, L40S)
+        assert cfg.replicas == 3
+
+    def test_rejects_empty_and_nonpositive_counts(self):
+        with pytest.raises(ValueError):
+            FleetConfig(skus=[])
+        with pytest.raises(ValueError):
+            FleetConfig(skus={L40S: 0})
+
+
+class TestMixedFleet:
+    def test_replicas_carry_their_own_sku(self, cfg_8b_single):
+        _, fleet = build_fleet(
+            cfg_8b_single, FleetConfig(skus=[H200, L40S], policy="least-outstanding")
+        )
+        assert [r.spec.name for r in fleet.replicas] == [H200.name, L40S.name]
+        assert fleet.heterogeneous
+        # The base config's spec (A100) appears nowhere: skus override it.
+        assert all(r.cfg.spec is not A100 for r in fleet.replicas)
+
+    def test_homogeneous_fleet_is_not_heterogeneous(self, cfg_8b_single):
+        _, fleet = build_fleet(cfg_8b_single, FleetConfig(replicas=2))
+        assert not fleet.heterogeneous
+        assert all(r.spec is A100 for r in fleet.replicas)
+
+    def test_restart_keeps_the_slot_sku(self, cfg_8b_single):
+        sim, fleet = build_fleet(cfg_8b_single, FleetConfig(skus=[H200, L40S]))
+        l40s_slot = fleet.replicas[1]
+        fleet.fail_replica(l40s_slot, restart_after=None)
+        fleet.restart_replica(l40s_slot)
+        assert l40s_slot.spec is L40S
+        assert l40s_slot.cfg.spec is L40S
+
+    def test_replacement_is_like_for_like(self, cfg_8b_single):
+        sim, fleet = build_fleet(cfg_8b_single, FleetConfig(skus=[H200, L40S]))
+        fleet.fail_replica(fleet.replicas[1], restart_after=None)
+        substitute = fleet.replace_failed(max_replicas=8)
+        assert substitute is not None
+        assert substitute.spec is L40S
+
+    def test_drain_retires_most_expensive_idle_replica(self, cfg_8b_single):
+        _, fleet = build_fleet(cfg_8b_single, FleetConfig(skus=[L40S, H200, L40S]))
+        victim = fleet.drain_one()
+        assert victim is fleet.replicas[1]  # the H200: priciest idle SKU
+
+    def test_mixed_fleet_serves_a_workload(self, cfg_8b_single):
+        sim, fleet = build_fleet(
+            cfg_8b_single,
+            FleetConfig(skus={H100: 1, L40S: 2}, policy="cost-aware"),
+        )
+        workload = sharegpt_workload(16, rate=8.0, seed=7)
+        fleet.submit(workload)
+        sim.run(until=workload.requests[-1].arrival_time + 3600.0)
+        assert fleet.summarize().requests_finished == 16
+
+
+class TestCostLedger:
+    def test_totals_are_the_sum_of_per_replica_rows(self, cfg_8b_single):
+        sim, fleet = build_fleet(cfg_8b_single, FleetConfig(skus=[H200, L40S, L40S]))
+        workload = sharegpt_workload(12, rate=6.0, seed=8)
+        fleet.submit(workload)
+        sim.run(until=workload.requests[-1].arrival_time + 3600.0)
+        ledger = fleet.cost_ledger()
+        rows = ledger["per_replica"].values()
+        assert ledger["usd"] == pytest.approx(sum(row["usd"] for row in rows), abs=0.0)
+        assert ledger["kwh"] == pytest.approx(sum(row["kwh"] for row in rows), abs=0.0)
+        assert ledger["replica_seconds"] == pytest.approx(
+            sum(row["active_seconds"] for row in rows), abs=0.0
+        )
+        assert ledger["usd"] > 0
+
+    def test_dollars_track_price_and_uptime(self, cfg_8b_single):
+        sim, fleet = build_fleet(cfg_8b_single, FleetConfig(skus=[H200, L40S]))
+        sim.schedule(3600.0, lambda: None)
+        sim.run()
+        ledger = fleet.cost_ledger()
+        assert ledger["per_replica"]["r0"]["usd"] == pytest.approx(H200.price_per_hour)
+        assert ledger["per_replica"]["r1"]["usd"] == pytest.approx(L40S.price_per_hour)
+        assert ledger["per_replica"]["r1"]["kwh"] == pytest.approx(L40S.tdp_watts / 1000.0)
+        assert ledger["hourly_cost"] == pytest.approx(
+            H200.price_per_hour + L40S.price_per_hour
+        )
+
+    def test_failed_replica_stops_billing(self, cfg_8b_single):
+        sim, fleet = build_fleet(cfg_8b_single, FleetConfig(replicas=2))
+        sim.schedule(100.0, lambda: fleet.fail_replica(fleet.replicas[0]))
+        sim.schedule(3600.0, lambda: None)
+        sim.run()
+        ledger = fleet.cost_ledger()
+        assert ledger["per_replica"]["r0"]["active_seconds"] == pytest.approx(100.0)
+        assert ledger["per_replica"]["r1"]["active_seconds"] == pytest.approx(3600.0)
+        # Dead capacity drops out of the going rate.
+        assert ledger["hourly_cost"] == pytest.approx(A100.price_per_hour)
+
+    def test_restart_resumes_billing(self, cfg_8b_single):
+        sim, fleet = build_fleet(cfg_8b_single, FleetConfig(replicas=1))
+        sim.schedule(100.0, lambda: fleet.fail_replica(fleet.replicas[0], restart_after=50.0))
+        sim.schedule(400.0, lambda: None)
+        sim.run()
+        row = fleet.cost_ledger()["per_replica"]["r0"]
+        # Billed 0..100 and 150..400; the 50 s outage is free.
+        assert row["active_seconds"] == pytest.approx(350.0)
+
+
+class CostStub:
+    """Replica stub with a real config for cost scoring."""
+
+    def __init__(self, index, spec, outstanding=0, model=LLAMA_8B):
+        self.index = index
+        self.name = f"r{index}"
+        self.outstanding = outstanding
+        self.cfg = ServingConfig(model=model, spec=spec, n_gpus=1)
+
+
+def shaped_request(input_tokens, output_tokens, tier=None):
+    request = Request(
+        session_id=0, turn_index=0, arrival_time=0.0,
+        history=[], new_input=new_segment(input_tokens), output_tokens=output_tokens,
+    )
+    request.tier = tier
+    return request
+
+
+class TestCostAwarePolicy:
+    def test_registered_by_name(self):
+        assert isinstance(make_policy("cost-aware"), CostAwareRoutingPolicy)
+
+    def test_prefill_heavy_prefers_high_tflops_sku(self):
+        # H100 out-computes the H200 NVL (989 vs 835 TFLOPS) but has less
+        # bandwidth — a compute-bound request belongs on the H100.
+        policy = CostAwareRoutingPolicy()
+        replicas = [CostStub(0, H200_NVL), CostStub(1, H100)]
+        choice = policy.choose(replicas, shaped_request(8192, 1))
+        assert choice.cfg.spec is H100
+
+    def test_decode_heavy_prefers_high_bandwidth_sku(self):
+        # Same pair, inverted workload: decode streams weights and KV, so
+        # the NVL's 4.8 TB/s beats the H100's FLOP advantage.
+        policy = CostAwareRoutingPolicy()
+        replicas = [CostStub(0, H100), CostStub(1, H200_NVL)]
+        choice = policy.choose(replicas, shaped_request(64, 512))
+        assert choice.cfg.spec is H200_NVL
+
+    def test_homogeneous_fleet_degrades_to_queue_aware(self):
+        policy = CostAwareRoutingPolicy()
+        replicas = [CostStub(0, H100, outstanding=6), CostStub(1, H100, outstanding=1)]
+        assert policy.choose(replicas, shaped_request(256, 64)).index == 1
+
+    def test_tier_pins_steer_tenancy_classes(self):
+        policy = CostAwareRoutingPolicy(
+            tier_pins={"batch": L40S.name, "interactive": H200.name}
+        )
+        replicas = [CostStub(0, H200), CostStub(1, L40S)]
+        batch = policy.choose(replicas, shaped_request(2048, 32, tier="batch"))
+        interactive = policy.choose(replicas, shaped_request(64, 256, tier="interactive"))
+        assert batch.cfg.spec is L40S
+        assert interactive.cfg.spec is H200
+
+    def test_pin_falls_back_when_pinned_sku_absent(self):
+        policy = CostAwareRoutingPolicy(tier_pins={"batch": L40S.name})
+        replicas = [CostStub(0, H200), CostStub(1, H100)]
+        choice = policy.choose(replicas, shaped_request(2048, 32, tier="batch"))
+        assert choice in replicas
+
+    def test_skips_unresponsive_replicas(self):
+        policy = CostAwareRoutingPolicy()
+        replicas = [CostStub(0, H200), CostStub(1, L40S)]
+        replicas[0].responsive = False
+        assert policy.choose(replicas, shaped_request(64, 512)) is replicas[1]
+
+    def test_configless_stubs_fall_back_to_least_loaded(self):
+        class Bare:
+            def __init__(self, index, outstanding):
+                self.index = index
+                self.outstanding = outstanding
+
+        policy = CostAwareRoutingPolicy()
+        replicas = [Bare(0, 5), Bare(1, 2)]
+        assert policy.choose(replicas, shaped_request(64, 64)).index == 1
+
+
+class TestSkuAwareAutoscaler:
+    def test_scale_up_provisions_cheapest_feasible_sku(self, cfg_8b_single):
+        sim, fleet = build_fleet(cfg_8b_single, FleetConfig(replicas=1))
+        scaler = Autoscaler(
+            sim, fleet, AutoscalerConfig(sku_pool=[H200, "L40S-48GB", H100])
+        )
+        assert scaler._scale_up_spec() is L40S  # cheapest, and 8B fits in 48 GB
+        replica = fleet.scale_up(max_replicas=4, spec=scaler._scale_up_spec())
+        assert replica is not None and replica.spec is L40S
+
+    def test_infeasible_cheap_sku_is_skipped(self):
+        # 70B weights (140 GB) cannot fit 2x48 GB L40S after the
+        # activation reserve; the pool must fall through to the H200.
+        sim = Simulator()
+        cfg = ServingConfig(model=LLAMA_70B, spec=A100, n_gpus=2)
+        fleet = Fleet(sim, chunked_factory, cfg, FleetConfig(replicas=1))
+        scaler = Autoscaler(sim, fleet, AutoscalerConfig(sku_pool=[L40S, H200]))
+        assert scaler._scale_up_spec() is H200
+
+    def test_no_pool_keeps_base_sku(self, cfg_8b_single):
+        sim, fleet = build_fleet(cfg_8b_single, FleetConfig(replicas=1))
+        scaler = Autoscaler(sim, fleet, AutoscalerConfig())
+        assert scaler._scale_up_spec() is None
+        replica = fleet.scale_up(max_replicas=4)
+        assert replica is not None and replica.spec is A100
+
+    def test_burst_grows_fleet_with_cheap_sku(self, cfg_8b_single):
+        sim = Simulator()
+        fleet_cfg = FleetConfig(
+            replicas=1,
+            policy="cost-aware",
+            autoscaler=AutoscalerConfig(
+                interval=0.5,
+                cooldown=0.0,
+                min_replicas=1,
+                max_replicas=3,
+                scale_up_outstanding=4.0,
+                scale_down_outstanding=0.5,
+                sku_pool=[L40S, H100],
+            ),
+        )
+        fleet = Fleet(sim, chunked_factory, cfg_8b_single, fleet_cfg)
+        workload = sharegpt_workload(60, rate=40.0, seed=6)
+        fleet.submit(workload)
+        sim.run(until=workload.requests[-1].arrival_time + 3600.0)
+        assert fleet.autoscaler.scale_ups > 0
+        grown = [r for r in fleet.replicas if r.index > 0]
+        assert grown and all(r.spec is L40S for r in grown)
+        assert fleet.summarize().requests_finished == len(workload)

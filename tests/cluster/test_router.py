@@ -11,6 +11,7 @@ from repro.cluster import (
     PrefixAffinityPolicy,
     RoundRobinPolicy,
     ROUTER_TRACK,
+    TenantAffinityPolicy,
     make_policy,
 )
 from repro.sim import Simulator
@@ -86,12 +87,94 @@ class TestPolicies:
         replicas = [StubReplica(0, outstanding=4, affinity=0.0), StubReplica(1, outstanding=1, affinity=0.0)]
         assert policy.choose(replicas, stub_request()).index == 1
 
+    def test_round_robin_skips_unresponsive_replicas(self):
+        # Mirror of the scoring-policy liveness contract: a stalled (but
+        # not yet failed) replica must drop out of the rotation.
+        policy = RoundRobinPolicy()
+        replicas = [StubReplica(i) for i in range(3)]
+        replicas[1].responsive = False
+        picks = [policy.choose(replicas, stub_request()).index for _ in range(4)]
+        assert 1 not in picks
+        # Recovery: once responsive again, the replica rejoins the cycle.
+        replicas[1].responsive = True
+        picks = [policy.choose(replicas, stub_request()).index for _ in range(6)]
+        assert set(picks) == {0, 1, 2}
+
     def test_make_policy_resolves_names_and_instances(self):
         assert isinstance(make_policy("round-robin"), RoundRobinPolicy)
         policy = PrefixAffinityPolicy()
         assert make_policy(policy) is policy
         with pytest.raises(ValueError):
             make_policy("nope")
+
+
+def tenant_request(tenant):
+    request = stub_request()
+    request.tenant = tenant
+    return request
+
+
+class TestTenantPinningStability:
+    """Regression: a tenant's home replica must survive fleet resizes.
+
+    The old implementation hashed into *the routable list passed in*
+    (``crc32(tenant) % len(replicas)``), so adding, draining, or failing
+    any replica reshuffled every tenant's home — defeating the cache
+    locality and noisy-neighbor containment the policy exists for.
+    """
+
+    def homes(self, policy, replicas, tenants):
+        return {t: policy.choose(replicas, tenant_request(t)).name for t in tenants}
+
+    def test_homes_survive_scale_up(self):
+        policy = TenantAffinityPolicy()
+        replicas = [StubReplica(i) for i in range(4)]
+        tenants = [f"tenant-{i}" for i in range(12)]
+        before = self.homes(policy, replicas, tenants)
+        # The autoscaler provisions a fifth replica mid-run.
+        grown = replicas + [StubReplica(4)]
+        after = self.homes(policy, grown, tenants)
+        # Every existing tenant keeps its home: their replicas are all
+        # still routable, so nothing about *their* placement changed.
+        assert after == before
+
+    def test_only_affected_tenants_move_on_drain(self):
+        policy = TenantAffinityPolicy()
+        replicas = [StubReplica(i) for i in range(4)]
+        tenants = [f"user-{i}" for i in range(16)]
+        before = self.homes(policy, replicas, tenants)
+        # Replica r2 drains out of the routable set.
+        shrunk = [r for r in replicas if r.name != "r2"]
+        after = self.homes(policy, shrunk, tenants)
+        affected = {t for t, home in before.items() if home == "r2"}
+        assert affected  # validity: someone was homed on r2
+        for tenant in tenants:
+            if tenant in affected:
+                assert after[tenant] != "r2"  # deterministic fallback
+            else:
+                assert after[tenant] == before[tenant]
+        # Fallback is itself deterministic across calls.
+        assert after == self.homes(policy, shrunk, tenants)
+
+    def test_affected_tenant_returns_home_after_reactivation(self):
+        policy = TenantAffinityPolicy()
+        replicas = [StubReplica(i) for i in range(4)]
+        tenants = [f"acct-{i}" for i in range(16)]
+        before = self.homes(policy, replicas, tenants)
+        affected = {t for t, home in before.items() if home == "r1"}
+        assert affected
+        shrunk = [r for r in replicas if r.name != "r1"]
+        self.homes(policy, shrunk, tenants)  # everyone routed while r1 is out
+        # r1 comes back: its tenants return, nobody else moved meanwhile.
+        assert self.homes(policy, replicas, tenants) == before
+
+    def test_untagged_requests_share_default_home(self):
+        policy = TenantAffinityPolicy()
+        replicas = [StubReplica(i) for i in range(3)]
+        first = policy.choose(replicas, tenant_request(None))
+        assert all(
+            policy.choose(replicas, tenant_request(None)) is first for _ in range(4)
+        )
 
 
 def chunked_factory(sim, cfg):

@@ -84,6 +84,41 @@ class TestStallWindow:
         assert not replica.failed
 
 
+class TestRoundRobinStallWindow:
+    def test_round_robin_skips_stalled_replica_before_detection(self, cfg_8b_single):
+        """Round-robin is not a scoring policy, but the stall window is the
+        same: during kill→detection it must not keep delivering every Nth
+        request into the wedge while the scoring policies steer around it."""
+        sim = Simulator()
+        fleet_cfg = FleetConfig(
+            replicas=2,
+            policy="round-robin",
+            health=HealthConfig(misses_to_fail=1_000_000, restart_after=None),
+        )
+        fleet = Fleet(sim, chunked_factory, cfg_8b_single, fleet_cfg)
+        chosen = spy_on_choices(sim, fleet)
+        workload = conversation_workload(24, request_rate=3.0, seed=5)
+        fleet.submit(workload)
+
+        def stall_r0():
+            for inst in iter_instances(fleet.replicas[0].system):
+                inst.device.stall(100_000.0)
+
+        sim.schedule_at(STALL_AT, stall_r0)
+        sim.run(until=workload.requests[-1].arrival_time + 120.0)
+
+        before = [name for t, name in chosen if t < STALL_AT]
+        after = [name for t, name in chosen if t >= STALL_AT]
+        # Validity: both replicas were in rotation before the stall and
+        # traffic kept arriving during the window.
+        assert "r0" in before and "r1" in before
+        assert after
+        # The regression: every post-stall decision avoids the wedged
+        # replica even though it is not (yet) marked failed.
+        assert all(name == "r1" for name in after)
+        assert not fleet.replicas[0].failed  # still inside the window
+
+
 class TestKillWindow:
     def test_no_dispatch_to_killed_replica_until_restart(self, cfg_8b_single):
         sim = Simulator()

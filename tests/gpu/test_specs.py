@@ -1,8 +1,10 @@
 """Unit tests for GPU specifications and partition options."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.gpu import A100, H100, H200, H200_NVL, SPECS_BY_NAME, decode_partition_options
+from repro.gpu import A100, H100, H200, H200_NVL, L40S, SPECS_BY_NAME, decode_partition_options
 
 
 class TestSpecs:
@@ -21,8 +23,30 @@ class TestSpecs:
         assert H200.mem_bandwidth > H100.mem_bandwidth
 
     def test_registry_contains_all_specs(self):
-        for spec in (A100, H100, H200, H200_NVL):
+        for spec in (A100, H100, H200, H200_NVL, L40S):
             assert SPECS_BY_NAME[spec.name] is spec
+
+    def test_l40s_is_cheap_and_bandwidth_poor(self):
+        assert L40S.sms == 142
+        assert L40S.sms % L40S.sm_granularity != 0  # the odd-granule SKU
+        assert L40S.price_per_hour < A100.price_per_hour
+        assert L40S.mem_bandwidth < A100.mem_bandwidth
+        # Compute per dollar is the L40S's selling point over its own
+        # bandwidth per dollar being the weakest of the fleet SKUs.
+        assert L40S.peak_flops / L40S.price_per_hour > 0
+
+    def test_every_spec_has_positive_cost_model(self):
+        for spec in SPECS_BY_NAME.values():
+            assert spec.price_per_hour > 0
+            assert spec.tdp_watts > 0
+
+    def test_price_ordering_tracks_capability(self):
+        assert (
+            L40S.price_per_hour
+            < A100.price_per_hour
+            < H100.price_per_hour
+            < H200.price_per_hour
+        )
 
     def test_effective_rates_discounted(self):
         assert A100.effective_flops < A100.peak_flops
@@ -55,3 +79,33 @@ class TestPartitionOptions:
         for spec in (A100, H100, H200):
             for sm in decode_partition_options(spec):
                 assert spec.sms - sm >= spec.sm_granularity // 2
+
+    def test_l40s_non_granule_sm_count_walks_the_ladder(self):
+        # 142 SMs is not a multiple of 16; the ladder must still be
+        # non-empty and every rung must leave prefill SMs.
+        options = decode_partition_options(L40S)
+        assert options == [16, 32, 48, 64, 80, 96, 112, 128]
+        assert all(0 < sm < L40S.sms for sm in options)
+
+    def test_sub_two_granule_gpu_gets_midpoint_fallback(self):
+        # 16..23 SMs: the granule walk is empty (16 reachable only when
+        # 8+ SMs remain for prefill); the old arithmetic silently returned
+        # no options at all.
+        for sms in range(16, 24):
+            tiny = A100.with_overrides(sms=sms)
+            options = decode_partition_options(tiny)
+            assert options == [sms // 2]
+
+    def test_single_sm_gpu_is_rejected(self):
+        with pytest.raises(ValueError):
+            decode_partition_options(A100.with_overrides(sms=1))
+
+    @given(sms=st.integers(min_value=16, max_value=256))
+    @settings(max_examples=120, deadline=None)
+    def test_options_valid_for_any_sm_count(self, sms):
+        spec = A100.with_overrides(sms=sms)
+        options = decode_partition_options(spec)
+        assert options, f"no decode partitions for {sms} SMs"
+        assert options == sorted(set(options))
+        for sm in options:
+            assert 0 < sm < sms  # decode and prefill both get SMs

@@ -111,3 +111,71 @@ class TestFleetAggregation:
         assert pooled_gaps == shard_gaps
 
         assert fleet_summary.requests_finished == len(workload)
+
+
+class TestMixedConfigAggregation:
+    """Same aggregation invariants when replicas run *different* configs."""
+
+    def _mixed_fleet(self, cfg_8b_single):
+        from repro.gpu.specs import H100, H200, L40S
+
+        sim = Simulator()
+        fleet = Fleet(
+            sim,
+            lambda s, c: ChunkedPrefillServer(s, c, token_budget=256),
+            cfg_8b_single,
+            FleetConfig(skus=(H200, H100, L40S), policy="least-outstanding"),
+        )
+        workload = sharegpt_workload(24, rate=10.0, seed=11)
+        fleet.submit(workload)
+        sim.run(until=workload.requests[-1].arrival_time + 3600.0)
+        return fleet, workload
+
+    def test_summary_is_merge_across_different_serving_configs(self, cfg_8b_single):
+        fleet, workload = self._mixed_fleet(cfg_8b_single)
+        assert fleet.heterogeneous
+        assert len({r.spec.name for r in fleet.replicas}) == 3
+
+        collectors = [r.system.metrics for r in fleet.replicas]
+        remerged = merge_collectors(collectors, cfg_8b_single.slo)
+        assert fleet.summarize().as_dict() == remerged.summarize().as_dict()
+
+        pooled = Counter(remerged.ttft_values())
+        shards = Counter()
+        for collector in collectors:
+            shards.update(collector.ttft_values())
+        assert pooled == shards
+        assert fleet.summarize().requests_finished == len(workload)
+
+    def test_per_replica_attribution_keeps_sku_identity(self, cfg_8b_single):
+        fleet, workload = self._mixed_fleet(cfg_8b_single)
+        per_replica = fleet.per_replica_summaries()
+        assert set(per_replica) == {r.name for r in fleet.replicas}
+        assert (
+            sum(s.requests_finished for s in per_replica.values())
+            == fleet.summarize().requests_finished
+        )
+        # Every replica's summary reflects only requests it actually served.
+        for replica in fleet.replicas:
+            assert per_replica[replica.name].requests_total == len(
+                replica.system.metrics.records
+            )
+
+    def test_cost_ledger_conserves_per_replica_dollars(self, cfg_8b_single):
+        fleet, _ = self._mixed_fleet(cfg_8b_single)
+        ledger = fleet.cost_ledger()
+        rows = ledger["per_replica"]
+        assert set(rows) == {r.name for r in fleet.replicas}
+        assert ledger["usd"] == sum(row["usd"] for row in rows.values())
+        assert ledger["kwh"] == sum(row["kwh"] for row in rows.values())
+        assert ledger["replica_seconds"] == sum(
+            row["active_seconds"] for row in rows.values()
+        )
+        # Each row independently recomputes from uptime x that SKU's price.
+        now = fleet.sim.now
+        for replica in fleet.replicas:
+            row = rows[replica.name]
+            assert row["sku"] == replica.spec.name
+            hours = replica.uptime(now) / 3600.0
+            assert row["usd"] == pytest.approx(hours * replica.cfg.hourly_cost)
+            assert row["kwh"] == pytest.approx(hours * replica.cfg.power_watts / 1000.0)
