@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Agentic & RAG workloads + profile-calibrated cost replay.
+
+Four demonstrations of the new workload subsystem:
+
+1. Anatomy of an agentic session: scaffold sharing, tool pauses carried
+   on ``Request.tool_pause``, sub-agent fan-out branching the prefix.
+2. RAG prefix reuse: Zipf-popular shared documents, and what
+   prefix-affinity routing buys a fleet serving them.
+3. The instant/paused contract: two agentic workloads differing only in
+   ``tool_delay_mean`` carry identical token shapes.
+4. Profile capture → replay: fit an empirical latency profile from a
+   roofline run (observation-only) and replay it through every
+   scheduler via ``ServingConfig(cost_profile=...)``.
+
+Usage:
+    python examples/agentic_rag.py [scale]   # default: 0.25
+"""
+
+import sys
+from collections import Counter
+
+from repro.baselines import ChunkedPrefillServer
+from repro.bench import run_fleet, run_system
+from repro.cluster import FleetConfig
+from repro.gpu import A100
+from repro.models import LLAMA_8B
+from repro.profiles import capture_profile
+from repro.serving import ServingConfig
+from repro.workloads import agentic_workload, rag_workload, sharegpt_workload
+
+
+def _chunked(sim, cfg):
+    return ChunkedPrefillServer(sim, cfg, token_budget=256)
+
+
+def session_anatomy() -> None:
+    print("=== 1. agentic session anatomy ===")
+    workload = agentic_workload(6, request_rate=2.0, seed=0, fanout_prob=0.5)
+    sessions = {}
+    for request in workload:
+        sessions.setdefault(request.session_id, []).append(request)
+    scaffold = workload.requests[0].history[0]
+    print(f"{len(workload)} requests in {len(sessions)} sessions "
+          f"(shared scaffold: {scaffold.tokens} tokens)")
+    for sid in sorted(sessions)[:3]:
+        turns = sorted(sessions[sid], key=lambda r: r.turn_index)
+        kind = "branch" if sid >= 6 else "chain"
+        for r in turns:
+            pause = f" pause {r.tool_pause:5.1f}s" if r.tool_pause else ""
+            print(f"  s{sid:<3} [{kind}] turn {r.turn_index}: "
+                  f"t={r.arrival_time:7.2f}s  in {r.input_tokens:5d} "
+                  f"(reused {sum(s.tokens for s in r.history):5d})  "
+                  f"out {r.output_tokens:4d}{pause}")
+    print()
+
+
+def rag_reuse(scale: float) -> None:
+    print("=== 2. RAG prefix reuse across a fleet ===")
+    n = max(24, int(160 * scale))
+    cfg = ServingConfig(model=LLAMA_8B, spec=A100, n_gpus=1)
+    sample = rag_workload(n, rate=6.0, seed=0)
+    counts = Counter(doc for r in sample for doc in r.docs)
+    head = ", ".join(f"doc{d}x{c}" for d, c in counts.most_common(4))
+    print(f"{n} queries, 64-doc Zipf corpus; hottest: {head}")
+    for policy in ("round-robin", "prefix-affinity"):
+        # Regenerate per run: segment identity is what the cache shares.
+        workload = rag_workload(n, rate=6.0, seed=0)
+        result = run_fleet(_chunked, cfg, workload, FleetConfig(replicas=4, policy=policy))
+        print(f"  {policy:<16} cache hit {result.cache_hit_rate * 100:5.1f}%  "
+              f"useful {result.summary.useful_throughput:8.1f} tok/s  "
+              f"TTFT p50 {result.summary.ttft_p50:6.2f}s")
+    print()
+
+
+def pause_contract(scale: float) -> None:
+    print("=== 3. instant vs paused: one trace, re-paced ===")
+    n = max(8, int(36 * scale))
+    instant = agentic_workload(n, 2.0, seed=0, tool_delay_mean=0.0)
+    paused = agentic_workload(n, 2.0, seed=0, tool_delay_mean=4.0)
+    shape = lambda w: sorted((r.request_id, r.input_tokens, r.output_tokens) for r in w)
+    assert shape(instant) == shape(paused)
+    span = lambda w: w.requests[-1].arrival_time
+    print(f"token shapes identical: True ({len(instant)} requests)")
+    print(f"trace span {span(instant):7.1f}s instant -> {span(paused):7.1f}s paused")
+    cfg = ServingConfig(model=LLAMA_8B, spec=A100, n_gpus=2)
+    for name, workload in (("instant", instant), ("paused", paused)):
+        result = run_system(_chunked, cfg, workload)
+        print(f"  {name:<8} useful {result.summary.useful_throughput:8.1f} tok/s  "
+              f"TTFT p99 {result.summary.ttft_p99:6.2f}s")
+    print()
+
+
+def profile_replay(scale: float) -> None:
+    print("=== 4. profile capture -> replay ===")
+    n = max(16, int(80 * scale))
+    cfg = ServingConfig(model=LLAMA_8B, spec=A100, n_gpus=1)
+    capture = capture_profile(_chunked, cfg, sharegpt_workload(n, rate=4.0, seed=0))
+    counts = ", ".join(f"{k}:{v}" for k, v in sorted(capture.sample_counts.items()))
+    print(f"captured {counts} samples (run byte-identical to roofline)")
+    replay_cfg = ServingConfig(
+        model=LLAMA_8B, spec=A100, n_gpus=1, cost_profile=capture.profile
+    )
+    replay = run_system(_chunked, replay_cfg, sharegpt_workload(n, rate=4.0, seed=0))
+    for metric in ("useful_throughput", "ttft_p50", "tbt_p50", "e2e_p50"):
+        roofline = getattr(capture.summary, metric)
+        replayed = getattr(replay.summary, metric)
+        print(f"  {metric:<18} roofline {roofline:10.4f}  replay {replayed:10.4f}  "
+              f"ratio {replayed / roofline:5.3f}")
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    session_anatomy()
+    rag_reuse(scale)
+    pause_contract(scale)
+    profile_replay(scale)
+
+
+if __name__ == "__main__":
+    main()

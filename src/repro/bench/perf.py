@@ -202,6 +202,19 @@ def _scenario_hetero(scale: float):
     return study.as_dict(), study.extras
 
 
+def _scenario_agentic_rag(scale: float):
+    """Agentic & RAG scenarios study (routing, tool-pauses, calibration).
+
+    Fingerprints the full study report: the RAG routing comparison, the
+    agentic tool-pause goodput gaps, the profile self-calibration ratios,
+    and the three verdicts.
+    """
+    from repro.bench.scenarios import run_scenarios_study
+
+    study = run_scenarios_study(scale=scale, seed=0)
+    return study.as_dict(), study.extras
+
+
 SCENARIOS: dict[str, Callable] = {
     "single_goodput": _scenario_single,
     "fleet_4_replicas": _scenario_fleet,
@@ -210,6 +223,7 @@ SCENARIOS: dict[str, Callable] = {
     "kv_tiers": _scenario_kv_tiers,
     "spec_decoding": _scenario_spec,
     "hetero_fleet": _scenario_hetero,
+    "agentic_rag": _scenario_agentic_rag,
 }
 
 #: The two fastest scenarios — what the scale tiers (and the CI

@@ -9,6 +9,8 @@ Subcommands::
     python -m repro chaos      --replicas 4 --seed 0   # fault-injection run
     python -m repro perf       --output BENCH_perf.json   # simulator benchmark
     python -m repro tenancy    --scale 0.5   # multi-tenant QoS isolation study
+    python -m repro scenarios  --json        # agentic/RAG routing + profile replay study
+    python -m repro profile capture --output prof.json   # fit a latency profile
     python -m repro table1     # Table-1 statistics of the generated traces
     python -m repro specs      # supported models and GPUs
 
@@ -52,10 +54,12 @@ from repro.gpu.specs import SPECS_BY_NAME
 from repro.models.config import MODELS_BY_NAME
 from repro.serving.config import ServingConfig
 from repro.workloads import (
+    agentic_workload,
     conversation_workload,
     loogle_workload,
     mixed_workload,
     openthoughts_workload,
+    rag_workload,
     realworld_trace,
     sharegpt_workload,
     toolagent_workload,
@@ -123,6 +127,10 @@ def build_workload(args: argparse.Namespace, rate: float | None = None) -> Workl
         return toolagent_workload(n, request_rate=rate, seed=seed)
     if kind == "mixed":
         return mixed_workload(n, rate=rate, seed=seed)
+    if kind == "agentic":
+        return agentic_workload(n, rate, seed=seed)
+    if kind == "rag":
+        return rag_workload(n, rate=rate, seed=seed)
     if kind in ("conversation-trace", "toolagent-trace"):
         name = "Conversation" if kind.startswith("conversation") else "Tool&Agent"
         return realworld_trace(name, duration=float(n), base_request_rate=rate, seed=seed)
@@ -528,6 +536,99 @@ def cmd_spec(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """Agentic & RAG scenarios study: routing, tool-pauses, profile replay.
+
+    Prints the RAG routing comparison (round-robin vs prefix-affinity on
+    fleet cache hits), the agentic tool-pause mux-vs-disagg goodput gaps,
+    and the profile self-calibration ratios, then the three verdicts.
+    ``--json`` emits the full deterministic report — the CI
+    scenarios-smoke job runs it twice, diffs the bytes, and asserts every
+    verdict.
+    """
+    from repro.bench.scenarios import run_scenarios_study
+
+    study = run_scenarios_study(scale=args.scale, seed=args.seed)
+    if args.json:
+        print(json.dumps(study.as_dict(), indent=2, sort_keys=True))
+        return 0
+    print("RAG routing (fleet of 4):")
+    for point in study.routing:
+        print(
+            f"  {point.policy:<16} cache hit {point.cache_hit_rate * 100:5.1f} %  "
+            f"useful {point.useful_throughput:8.1f} tok/s  "
+            f"TTFT p50 {point.ttft_p50 * 1e3:7.1f} ms"
+        )
+    print("Agentic tool-pauses (mux vs disagg):")
+    for point in study.pauses:
+        print(
+            f"  {point.mode:<8} (delay {point.tool_delay_mean:.1f}s)  "
+            f"mux {point.mux_useful_throughput:8.1f}  "
+            f"disagg {point.disagg_useful_throughput:8.1f}  gap {point.gap:+8.1f} tok/s"
+        )
+    print("Profile self-calibration (replay / roofline):")
+    for point in study.calibration:
+        print(
+            f"  {point.metric:<18} roofline {point.roofline:10.4f}  "
+            f"replay {point.replay:10.4f}  ratio {point.ratio:6.3f}"
+        )
+    verdicts = study.as_dict()["verdicts"]
+    for name, value in sorted(verdicts.items()):
+        print(f"{name}: {'yes' if value else 'no'}")
+    return 0 if all(verdicts.values()) else 1
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Latency profiles: capture from a run, replay one, or inspect one.
+
+    ``capture`` runs the chosen system/workload under recording cost
+    models (byte-identical to the plain run) and writes the fitted JSON
+    profile.  ``replay`` loads a profile into ``ServingConfig.cost_profile``
+    and re-runs the workload on sampled empirical latencies instead of the
+    analytic roofline.  ``show`` prints a profile's per-phase bucket table.
+    """
+    from repro.profiles import capture_profile, load_profile, save_profile
+
+    if args.action == "show":
+        profile = load_profile(args.profile)
+        print(f"profile {profile.name!r}  model {profile.model!r}  gpu {profile.gpu!r}")
+        for key, value in sorted(profile.meta.items()):
+            print(f"  meta {key}: {value}")
+        for phase_name in sorted(profile.phases):
+            phase = profile.phases[phase_name]
+            print(f"phase {phase_name}:")
+            print(f"  {'bucket':>8} {'mean tok':>9} {'n':>6} {'p0 (ms)':>9} {'p50 (ms)':>9} {'p100 (ms)':>9}")
+            for bucket in phase.buckets:
+                mid = bucket.quantiles[len(bucket.quantiles) // 2]
+                print(
+                    f"  {bucket.max_tokens:>8} {bucket.mean_tokens:>9.1f} {bucket.count:>6} "
+                    f"{bucket.quantiles[0] * 1e3:>9.3f} {mid * 1e3:>9.3f} "
+                    f"{bucket.quantiles[-1] * 1e3:>9.3f}"
+                )
+        return 0
+
+    cfg = build_config(args)
+    workload = build_workload(args)
+    factory = make_factory(args.system, args.token_budget)
+    if args.action == "capture":
+        capture = capture_profile(factory, cfg, workload, name=args.name)
+        save_profile(capture.profile, args.output)
+        counts = ", ".join(f"{k}: {v}" for k, v in sorted(capture.sample_counts.items()))
+        print(f"captured {counts} samples from {workload.name!r}")
+        print(tail_latency_table({"capture (roofline)": capture.summary}))
+        print(f"profile written to {args.output}")
+        return 0
+    # replay
+    profile = load_profile(args.profile)
+    cfg.cost_profile = profile
+    result = run_system(factory, cfg, workload)
+    print(f"replaying profile {profile.name!r} ({profile.model or 'unknown model'})")
+    print(tail_latency_table({args.system: result.summary}))
+    print()
+    print(throughput_table({args.system: result}))
+    return 0
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     seed = args.seed
     workloads = [
@@ -742,6 +843,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the full study as JSON (machine-readable)"
     )
     spec_p.set_defaults(func=cmd_spec)
+
+    scen_p = sub.add_parser(
+        "scenarios", help="agentic & RAG study: routing, tool-pauses, profile replay"
+    )
+    scen_p.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
+    scen_p.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    scen_p.add_argument(
+        "--json", action="store_true", help="emit the full study as JSON (machine-readable)"
+    )
+    scen_p.set_defaults(func=cmd_scenarios)
+
+    prof_p = sub.add_parser(
+        "profile", help="capture, replay or inspect an empirical latency profile"
+    )
+    prof_p.add_argument(
+        "action", choices=["capture", "replay", "show"], help="what to do with the profile"
+    )
+    _add_common(prof_p)
+    prof_p.add_argument("--system", default="chunked", help="system to capture/replay with")
+    prof_p.add_argument("--workload", default="sharegpt")
+    prof_p.add_argument("--rate", type=float, default=4.0)
+    prof_p.add_argument("--name", default="captured", help="profile name (capture)")
+    prof_p.add_argument(
+        "--output", default="profile.json", metavar="PATH", help="profile destination (capture)"
+    )
+    prof_p.add_argument(
+        "--profile", default="profile.json", metavar="PATH", help="profile source (replay, show)"
+    )
+    prof_p.set_defaults(func=cmd_profile)
 
     t1_p = sub.add_parser("table1", help="print Table-1 stats of the traces")
     t1_p.add_argument("--seed", type=int, default=0)

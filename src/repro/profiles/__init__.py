@@ -1,0 +1,36 @@
+"""Profile-calibrated cost replay (LLM-Emu-style, ROADMAP item 5c).
+
+A :class:`~repro.profiles.schema.LatencyProfile` stores empirical per-phase
+latency distributions (prefill / decode step / verify) keyed by token-count
+buckets.  :class:`~repro.profiles.model.ProfiledCostModel` replays a
+profile wherever the analytic roofline is consulted — enabled per run via
+``ServingConfig(cost_profile=...)`` — and
+:func:`~repro.profiles.capture.capture_profile` fits a profile from any
+simulated run, closing the self-calibration loop.
+"""
+
+from repro.profiles.capture import CaptureResult, RecordingCostModel, capture_profile, fit_profile
+from repro.profiles.model import ProfiledCostModel, unit_draw
+from repro.profiles.schema import (
+    PROFILE_SCHEMA_VERSION,
+    LatencyProfile,
+    PhaseProfile,
+    TokenBucket,
+    load_profile,
+    save_profile,
+)
+
+__all__ = [
+    "PROFILE_SCHEMA_VERSION",
+    "CaptureResult",
+    "LatencyProfile",
+    "PhaseProfile",
+    "ProfiledCostModel",
+    "RecordingCostModel",
+    "TokenBucket",
+    "capture_profile",
+    "fit_profile",
+    "load_profile",
+    "save_profile",
+    "unit_draw",
+]

@@ -1,0 +1,219 @@
+"""JSON schema for empirical per-phase latency profiles.
+
+A profile holds, per execution phase (``"prefill"``, ``"decode"``,
+``"verify"``), a sequence of token-count buckets; each bucket stores an
+11-point latency quantile grid fitted from observations whose token key
+fell inside the bucket.  Buckets use power-of-two upper edges, so a
+profile captured at one scale generalises to nearby token counts, and
+queries beyond the top bucket extrapolate linearly in tokens — latency of
+both prefill and decode grows asymptotically linearly with context.
+
+Token keys per phase (shared with capture and replay):
+
+* ``prefill``: total context of the batch — ``sum(reused + new)``.
+* ``decode``: total attended tokens of the iteration —
+  ``total_ctx + batch_size``.
+* ``verify``: ``sum(context_lens) + batch_size * spec_tokens``.
+
+The on-disk form is deterministic JSON (sorted keys), so identical
+captures produce identical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: On-disk schema version.
+PROFILE_SCHEMA_VERSION = 1
+
+#: Quantile grid stored per bucket: 0%, 10%, ..., 100%.
+QUANTILE_POINTS = 11
+
+
+@dataclass(frozen=True)
+class TokenBucket:
+    """Latency distribution of one phase over one token-count range.
+
+    Attributes:
+        max_tokens: Inclusive upper edge of the bucket (a power of two in
+            fitted profiles; any positive int is accepted).
+        mean_tokens: Mean token key of the fitted observations — the
+            anchor for linear extrapolation past the top bucket.
+        quantiles: ``QUANTILE_POINTS`` latencies (seconds), non-decreasing.
+        count: Number of observations the bucket was fitted from.
+    """
+
+    max_tokens: int
+    mean_tokens: float
+    quantiles: tuple[float, ...]
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_tokens < 1:
+            raise ValueError("max_tokens must be >= 1")
+        if self.mean_tokens <= 0:
+            raise ValueError("mean_tokens must be positive")
+        if len(self.quantiles) != QUANTILE_POINTS:
+            raise ValueError(
+                f"bucket needs {QUANTILE_POINTS} quantiles, got {len(self.quantiles)}"
+            )
+        if any(q < 0 for q in self.quantiles):
+            raise ValueError("quantile latencies must be non-negative")
+        if any(b < a for a, b in zip(self.quantiles, self.quantiles[1:])):
+            raise ValueError("quantiles must be non-decreasing")
+
+    def latency_at(self, u: float) -> float:
+        """Latency at quantile position ``u`` in [0, 1] (linear interp)."""
+        if not 0.0 <= u <= 1.0:
+            raise ValueError("u must be in [0, 1]")
+        position = u * (QUANTILE_POINTS - 1)
+        low = int(position)
+        if low >= QUANTILE_POINTS - 1:
+            return self.quantiles[-1]
+        frac = position - low
+        return self.quantiles[low] * (1.0 - frac) + self.quantiles[low + 1] * frac
+
+
+@dataclass(frozen=True)
+class PhaseProfile:
+    """All buckets of one phase, ascending by ``max_tokens``."""
+
+    phase: str
+    buckets: tuple[TokenBucket, ...]
+
+    def __post_init__(self) -> None:
+        if not self.buckets:
+            raise ValueError(f"phase {self.phase!r} has no buckets")
+        edges = [b.max_tokens for b in self.buckets]
+        if edges != sorted(set(edges)):
+            raise ValueError(f"phase {self.phase!r} bucket edges must be strictly ascending")
+
+    def bucket_for(self, tokens: int) -> TokenBucket:
+        """The bucket covering ``tokens`` (the top bucket past the edge)."""
+        for bucket in self.buckets:
+            if tokens <= bucket.max_tokens:
+                return bucket
+        return self.buckets[-1]
+
+    def sample(self, tokens: int, u: float) -> float:
+        """Latency for a ``tokens``-sized phase at quantile position ``u``.
+
+        In-range queries interpolate within their bucket; queries past the
+        top bucket scale the top bucket's quantile linearly by
+        ``tokens / mean_tokens`` — never below 1x, so extrapolation only
+        extends, it cannot shrink an observed latency.
+        """
+        bucket = self.bucket_for(tokens)
+        latency = bucket.latency_at(u)
+        if tokens > self.buckets[-1].max_tokens:
+            latency *= max(1.0, tokens / bucket.mean_tokens)
+        return latency
+
+
+@dataclass(frozen=True)
+class LatencyProfile:
+    """A named set of per-phase latency distributions.
+
+    ``model`` / ``gpu`` record the deployment the profile was measured on
+    (informational — replay does not check them).  ``meta`` carries
+    free-form capture provenance (source workload, scale, ...).
+    """
+
+    name: str
+    model: str
+    gpu: str
+    phases: dict[str, PhaseProfile]
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("profile has no phases")
+        for key, phase in self.phases.items():
+            if key != phase.phase:
+                raise ValueError(f"phase key {key!r} != phase name {phase.phase!r}")
+
+    def has_phase(self, phase: str) -> bool:
+        return phase in self.phases
+
+    def sample(self, phase: str, tokens: int, u: float) -> float:
+        """Latency of one full ``phase`` execution over ``tokens`` tokens."""
+        try:
+            phase_profile = self.phases[phase]
+        except KeyError:
+            raise KeyError(
+                f"profile {self.name!r} has no {phase!r} phase "
+                f"(has: {sorted(self.phases)})"
+            ) from None
+        return phase_profile.sample(tokens, u)
+
+    # ------------------------------------------------------------------ #
+    # Deterministic JSON round trip
+    # ------------------------------------------------------------------ #
+
+    def to_payload(self) -> dict:
+        return {
+            "schema": PROFILE_SCHEMA_VERSION,
+            "name": self.name,
+            "model": self.model,
+            "gpu": self.gpu,
+            "meta": self.meta,
+            "phases": {
+                key: [
+                    {
+                        "max_tokens": b.max_tokens,
+                        "mean_tokens": b.mean_tokens,
+                        "quantiles": list(b.quantiles),
+                        "count": b.count,
+                    }
+                    for b in phase.buckets
+                ]
+                for key, phase in self.phases.items()
+            },
+        }
+
+    def to_json(self) -> str:
+        """Byte-deterministic JSON (sorted keys)."""
+        return json.dumps(self.to_payload(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "LatencyProfile":
+        schema = payload.get("schema")
+        if schema != PROFILE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported profile schema {schema!r} "
+                f"(this reader handles {PROFILE_SCHEMA_VERSION})"
+            )
+        phases = {
+            key: PhaseProfile(
+                phase=key,
+                buckets=tuple(
+                    TokenBucket(
+                        max_tokens=row["max_tokens"],
+                        mean_tokens=row["mean_tokens"],
+                        quantiles=tuple(row["quantiles"]),
+                        count=row.get("count", 0),
+                    )
+                    for row in rows
+                ),
+            )
+            for key, rows in payload["phases"].items()
+        }
+        return cls(
+            name=payload["name"],
+            model=payload.get("model", ""),
+            gpu=payload.get("gpu", ""),
+            phases=phases,
+            meta=payload.get("meta", {}),
+        )
+
+
+def save_profile(profile: LatencyProfile, path: str | Path) -> None:
+    """Write a profile as deterministic JSON."""
+    Path(path).write_text(profile.to_json())
+
+
+def load_profile(path: str | Path) -> LatencyProfile:
+    """Read a profile written by :func:`save_profile`."""
+    return LatencyProfile.from_payload(json.loads(Path(path).read_text()))

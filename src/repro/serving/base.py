@@ -67,7 +67,22 @@ def build_instance(
     cache = RadixCache(
         pool, enable_prefix_sharing=cross_request_reuse, tracer=sim.tracer, name=name
     )
-    cost_model = CostModel(cfg.model, n_gpus=n_gpus, nvlink_bandwidth=cfg.spec.nvlink_bandwidth)
+    if cfg.cost_profile is not None:
+        # Lazy import: the profiles package sits above the serving layer
+        # (it pulls in the bench runner for capture), and the default
+        # roofline path must not pay for it.
+        from repro.profiles.model import ProfiledCostModel
+
+        cost_model: CostModel = ProfiledCostModel(
+            cfg.cost_profile,
+            cfg.model,
+            n_gpus=n_gpus,
+            nvlink_bandwidth=cfg.spec.nvlink_bandwidth,
+        )
+    else:
+        cost_model = CostModel(
+            cfg.model, n_gpus=n_gpus, nvlink_bandwidth=cfg.spec.nvlink_bandwidth
+        )
     host = HostThread(sim, name=f"{name}-host")
     return Instance(
         name=name,

@@ -16,6 +16,7 @@ if TYPE_CHECKING:
     # which imports serving.base -> serving.config.  The annotation is
     # enough here; consumers construct the TenancyConfig themselves.
     from repro.kvcache.tiers import KVTierConfig
+    from repro.profiles.schema import LatencyProfile
     from repro.spec.config import SpecConfig
     from repro.tenancy.model import TenancyConfig
 
@@ -62,6 +63,12 @@ class ServingConfig:
             acceptance-rate model — see :mod:`repro.spec`).  ``None`` (the
             default) keeps every speculation-aware branch disabled — the
             plain-decode path is byte-identical to the pre-spec stack.
+        cost_profile: Empirical latency profile to replay in place of the
+            analytic roofline (see :mod:`repro.profiles`).  Instances are
+            built with a :class:`repro.profiles.model.ProfiledCostModel`
+            when set; ``None`` (the default) builds the roofline
+            :class:`repro.models.costs.CostModel` — byte-identical to the
+            pre-profile stack.
     """
 
     model: ModelConfig
@@ -79,6 +86,7 @@ class ServingConfig:
     kv_tiers: "KVTierConfig | None" = None
     kv_pool_limit_bytes: float | None = None
     spec_decode: "SpecConfig | None" = None
+    cost_profile: "LatencyProfile | None" = None
 
     def __post_init__(self) -> None:
         if self.n_gpus < 1:

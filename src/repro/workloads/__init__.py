@@ -1,5 +1,6 @@
 """Workload substrate: requests, length distributions, traces, arrivals."""
 
+from repro.workloads.agentic import agentic_workload
 from repro.workloads.arrival import (
     arrivals_from_profile,
     bursty_rate_profile,
@@ -7,6 +8,7 @@ from repro.workloads.arrival import (
     profile_peak_to_mean,
 )
 from repro.workloads.distributions import BoundedLengths, sample_turns
+from repro.workloads.rag import agentic_rag_mix, rag_workload
 from repro.workloads.request import Request, Workload, request_id_allocator
 from repro.workloads.serialization import load_workload, save_records, save_workload
 from repro.workloads.stats import LengthStats, WorkloadStats, table1, workload_stats
@@ -28,6 +30,8 @@ __all__ = [
     "BoundedLengths",
     "Request",
     "Workload",
+    "agentic_rag_mix",
+    "agentic_workload",
     "arrivals_from_profile",
     "LengthStats",
     "WorkloadStats",
@@ -41,6 +45,7 @@ __all__ = [
     "poisson_arrivals",
     "poissonized",
     "profile_peak_to_mean",
+    "rag_workload",
     "realworld_trace",
     "request_id_allocator",
     "sharegpt_workload",

@@ -1,0 +1,165 @@
+"""Agentic tool-call loop generator (ROADMAP item 5a).
+
+Sessions model an agent scaffold driving an LLM in a loop: every session
+shares one scaffold segment (system prompt + tool schemas), the first turn
+carries the user task, and each subsequent turn is a *resume* — the agent
+emitted a tool call, waited on a seeded externally-delayed tool result, and
+continues with the result appended as a fresh segment.  The session's KV
+idles across each pause (``Request.tool_pause``), stressing radix retention
+and tier spill in ways Poisson chat never does.
+
+Session DAGs support parallel tool fan-out: with probability
+``fanout_prob`` a step dispatches several tools at once, each modelled as a
+sub-agent request that shares the parent chain's prefix (a radix branch)
+and whose output length is the tool result fed back to the parent.  The
+parent resumes only after the *slowest* tool returns, so fan-out both
+spikes concurrent load and lengthens the pause.
+
+Determinism contract: a single ``random.Random(seed)`` drives every draw
+in a fixed order, and tool delays are scaled unit exponentials
+(``rng.expovariate(1.0) * tool_delay_mean``) so two workloads differing
+only in ``tool_delay_mean`` — e.g. the paused/instant pair in the
+scenarios study — consume identical RNG streams and therefore carry
+identical token shapes; only the arrival pacing differs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.kvcache.radix import Segment, new_segment
+from repro.workloads.arrival import poisson_arrivals
+from repro.workloads.distributions import BoundedLengths, sample_turns
+from repro.workloads.request import Request, Workload, request_id_allocator
+from repro.workloads.traces import TURN_DECODE_ESTIMATE
+
+#: Tokens of the agent scaffold (system prompt + tool schemas) shared by
+#: every session — a corpus-wide prefix like OpenThoughts' system prompt,
+#: but an order of magnitude larger, as real agent frameworks ship.
+AGENT_SCAFFOLD_TOKENS = 1350
+
+#: Length envelopes for the agentic loop (no Table-1 row exists; these
+#: follow the same truncated-lognormal idiom as the paper traces).
+AGENTIC_QUERY = BoundedLengths(minimum=32, mean=260, maximum=2048, sigma=0.9)
+AGENTIC_STEP_OUTPUT = BoundedLengths(minimum=16, mean=220, maximum=1500, sigma=1.0)
+AGENTIC_FINAL_OUTPUT = BoundedLengths(minimum=32, mean=420, maximum=3000, sigma=1.0)
+AGENTIC_TOOL_RESULT = BoundedLengths(minimum=64, mean=900, maximum=8000, sigma=1.0)
+AGENTIC_SUBAGENT_TASK = BoundedLengths(minimum=16, mean=120, maximum=512, sigma=0.9)
+AGENTIC_SUBAGENT_OUTPUT = BoundedLengths(minimum=16, mean=180, maximum=800, sigma=0.9)
+
+#: Mean agent steps (LLM turns) per session and the cap per session.
+AGENTIC_MEAN_STEPS = 3.2
+AGENTIC_MAX_STEPS = 8
+
+#: Mean external tool latency in seconds; each delay is an exponential.
+TOOL_DELAY_MEAN = 2.5
+
+#: Probability that a step dispatches several tools in parallel, and the
+#: largest fan-out.
+FANOUT_PROB = 0.25
+FANOUT_MAX = 3
+
+
+def agentic_workload(
+    num_sessions: int,
+    request_rate: float,
+    seed: int = 0,
+    tool_delay_mean: float = TOOL_DELAY_MEAN,
+    mean_steps: float = AGENTIC_MEAN_STEPS,
+    fanout_prob: float = FANOUT_PROB,
+    fanout_max: int = FANOUT_MAX,
+    turn_decode_estimate: float = TURN_DECODE_ESTIMATE,
+) -> Workload:
+    """Generate an agentic tool-call loop trace.
+
+    Args:
+        num_sessions: Number of agent sessions (main chains; parallel
+            sub-agent branches add further single-turn sessions).
+        request_rate: Target aggregate request rate; session starts are
+            placed at ``request_rate / mean_steps`` sessions per second.
+        seed: RNG seed; the workload is a pure function of the arguments.
+        tool_delay_mean: Mean seconds a tool call takes.  ``0.0`` yields
+            instant tools with the *same token shapes* as any other mean
+            (delays are scaled unit exponentials).
+        mean_steps: Mean LLM turns per session (geometric, capped at
+            ``AGENTIC_MAX_STEPS``).
+        fanout_prob: Per-step probability of parallel tool fan-out.
+        fanout_max: Maximum tools dispatched by one fan-out step.
+        turn_decode_estimate: Seconds per generated token used to pace a
+            turn's streaming before its tools fire (shared mechanism with
+            the multi-turn traces in ``traces.py``).
+    """
+    if tool_delay_mean < 0:
+        raise ValueError("tool_delay_mean must be >= 0")
+    if fanout_max < 2:
+        raise ValueError("fanout_max must be >= 2")
+    rng = random.Random(seed)
+    ids = request_id_allocator()
+    session_rate = request_rate / mean_steps
+    starts = poisson_arrivals(rng, session_rate, num_sessions)
+    scaffold = new_segment(AGENT_SCAFFOLD_TOKENS)
+    requests: list[Request] = []
+    branch_session = num_sessions  # sub-agent branches get fresh session ids
+    for session_id, start in enumerate(starts):
+        steps = sample_turns(rng, mean_steps, max_turns=AGENTIC_MAX_STEPS)
+        history: list[Segment] = [scaffold]
+        arrival = start
+        pause: float | None = None
+        result_tokens = 0
+        for step in range(steps):
+            final = step == steps - 1
+            if step == 0:
+                new_input = new_segment(AGENTIC_QUERY.sample(rng))
+            else:
+                # Tool results re-enter the context as fresh tokens (the
+                # scaffold serialises them into the prompt), so the resume
+                # segment is new — only the chain prefix is reusable.
+                new_input = new_segment(result_tokens)
+            output = (AGENTIC_FINAL_OUTPUT if final else AGENTIC_STEP_OUTPUT).sample(rng)
+            request = Request(
+                session_id=session_id,
+                turn_index=step,
+                arrival_time=arrival,
+                history=list(history),
+                new_input=new_input,
+                output_tokens=output,
+                request_id=next(ids),
+                tool_pause=pause,
+            )
+            requests.append(request)
+            history.extend([request.new_input, request.output_segment])
+            if final:
+                break
+            # The step's tool calls fire once its output streamed out.
+            dispatch = arrival + output * turn_decode_estimate
+            fan = 1
+            if rng.random() < fanout_prob:
+                fan = rng.randint(2, fanout_max)
+            delays = [rng.expovariate(1.0) * tool_delay_mean for _ in range(fan)]
+            # A lone tool returns a document-sized payload; parallel tools
+            # are sub-agents whose (shorter) answers are the results.
+            result_dist = AGENTIC_TOOL_RESULT if fan == 1 else AGENTIC_SUBAGENT_OUTPUT
+            results = [result_dist.sample(rng) for _ in range(fan)]
+            if fan > 1:
+                # Parallel tools are sub-agents: single-turn requests that
+                # branch off the parent chain (radix fan-out) and whose
+                # output is the result fed back to the parent; the branch's
+                # own streaming extends its tool's effective delay.
+                for j in range(fan):
+                    branch = Request(
+                        session_id=branch_session,
+                        turn_index=0,
+                        arrival_time=dispatch,
+                        history=list(history),
+                        new_input=new_segment(AGENTIC_SUBAGENT_TASK.sample(rng)),
+                        output_tokens=results[j],
+                        request_id=next(ids),
+                    )
+                    requests.append(branch)
+                    branch_session += 1
+                    delays[j] += results[j] * turn_decode_estimate
+            # The parent resumes only after the slowest tool returns.
+            pause = max(delays)
+            result_tokens = sum(results)
+            arrival = dispatch + pause
+    return Workload(name="Agentic", requests=requests).validate_sessions()

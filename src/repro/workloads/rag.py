@@ -1,0 +1,138 @@
+"""RAG (retrieval-augmented generation) workload generator (ROADMAP 5b).
+
+Requests draw k documents from a Zipf-distributed corpus of large shared
+document segments and concatenate them — in retrieval order, highest-scored
+first — ahead of a short query.  Because the corpus segments are built once
+per workload and shared by identity, any two requests retrieving the same
+document present the *same* ``Segment`` to the KV cache: hot head documents
+produce massive cross-request prefix reuse that prefix-affinity routing and
+tiered KV can exploit but Poisson chat never exercises.
+
+Zipf skew means document ``i`` is retrieved with weight ``1/(i+1)^alpha``;
+with the default ``alpha`` a handful of head documents dominate, and since
+the highest-scored (most popular) document tends to be drawn first, many
+requests share not just a document but a *prefix ordering* — exactly the
+radix-tree shape that rewards affinity routing.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+from repro.kvcache.radix import new_segment
+from repro.workloads.arrival import poisson_arrivals
+from repro.workloads.distributions import BoundedLengths
+from repro.workloads.request import Request, Workload, request_id_allocator
+
+#: Corpus shape: number of shared documents and their length envelope.
+RAG_CORPUS_DOCS = 64
+RAG_DOC_TOKENS = BoundedLengths(minimum=600, mean=2200, maximum=8000, sigma=0.7)
+
+#: Per-query lengths.
+RAG_QUERY = BoundedLengths(minimum=8, mean=120, maximum=512, sigma=0.9)
+RAG_OUTPUT = BoundedLengths(minimum=16, mean=300, maximum=1500, sigma=1.0)
+
+#: Zipf exponent for document popularity and docs retrieved per query.
+RAG_ZIPF_ALPHA = 1.1
+RAG_RETRIEVAL_K = 4
+
+
+def _zipf_cumulative(n: int, alpha: float) -> list[float]:
+    weights = [1.0 / (i + 1) ** alpha for i in range(n)]
+    total = sum(weights)
+    cumulative: list[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+    cumulative[-1] = 1.0
+    return cumulative
+
+
+def rag_workload(
+    num_requests: int,
+    rate: float,
+    seed: int = 0,
+    corpus_docs: int = RAG_CORPUS_DOCS,
+    retrieval_k: int = RAG_RETRIEVAL_K,
+    zipf_alpha: float = RAG_ZIPF_ALPHA,
+) -> Workload:
+    """Generate a RAG trace over a shared Zipf-popular document corpus.
+
+    Args:
+        num_requests: Number of (single-turn) queries.
+        rate: Poisson arrival rate.
+        seed: RNG seed; corpus contents and retrievals are pure functions
+            of the arguments.
+        corpus_docs: Documents in the shared corpus.
+        retrieval_k: Documents retrieved (without replacement) per query;
+            clamped to the corpus size.
+        zipf_alpha: Popularity skew; larger concentrates retrievals on the
+            head of the corpus.
+
+    Each request records the retrieved document ids in ``Request.docs``
+    (retrieval order), and its ``history`` holds the corresponding shared
+    corpus segments in the same order.
+    """
+    if corpus_docs < 1:
+        raise ValueError("corpus_docs must be >= 1")
+    if retrieval_k < 1:
+        raise ValueError("retrieval_k must be >= 1")
+    k = min(retrieval_k, corpus_docs)
+    rng = random.Random(seed)
+    ids = request_id_allocator()
+    corpus = [new_segment(RAG_DOC_TOKENS.sample(rng)) for _ in range(corpus_docs)]
+    cumulative = _zipf_cumulative(corpus_docs, zipf_alpha)
+    arrivals = poisson_arrivals(rng, rate, num_requests)
+    requests: list[Request] = []
+    for i, t in enumerate(arrivals):
+        retrieved: list[int] = []
+        while len(retrieved) < k:
+            doc = bisect.bisect_left(cumulative, rng.random())
+            if doc not in retrieved:
+                retrieved.append(doc)
+        requests.append(
+            Request(
+                session_id=i,
+                turn_index=0,
+                arrival_time=t,
+                history=[corpus[doc] for doc in retrieved],
+                new_input=new_segment(RAG_QUERY.sample(rng)),
+                output_tokens=RAG_OUTPUT.sample(rng),
+                request_id=next(ids),
+                docs=tuple(retrieved),
+            )
+        )
+    return Workload(name="RAG", requests=requests).validate_sessions()
+
+
+def agentic_rag_mix(
+    num_sessions: int,
+    num_rag_requests: int,
+    rate: float,
+    seed: int = 0,
+    tool_delay_mean: float | None = None,
+) -> Workload:
+    """Tenancy-tagged blend of agentic sessions and RAG queries.
+
+    Agent traffic is tagged ``("agents", "interactive")`` and RAG traffic
+    ``("search", "standard")`` so the mix drops straight into the tenancy,
+    cluster and chaos harnesses.  The rate is split evenly between the two
+    sources; sessions are renumbered by ``combine_workloads``.
+    """
+    from repro.workloads.agentic import TOOL_DELAY_MEAN, agentic_workload
+    from repro.workloads.traces import combine_workloads, tag_workload
+
+    delay = TOOL_DELAY_MEAN if tool_delay_mean is None else tool_delay_mean
+    agentic = agentic_workload(
+        num_sessions, rate / 2.0, seed=seed, tool_delay_mean=delay
+    )
+    rag = rag_workload(num_rag_requests, rate / 2.0, seed=seed + 1)
+    return combine_workloads(
+        [
+            tag_workload(agentic, "agents", "interactive"),
+            tag_workload(rag, "search", "standard"),
+        ],
+        name="Agentic+RAG",
+    )

@@ -54,6 +54,14 @@ class Request:
         tier: SLO tier name (e.g. ``"interactive"``/``"standard"``/
             ``"batch"``); None falls back to the tenant's tier, or the
             default tier for untagged traffic.
+        tool_pause: For agentic resume turns: seconds the session waited on
+            an external tool before this turn arrived.  The KV of the
+            session idles across the pause.  Generators guarantee
+            ``arrival_time >= previous turn's arrival + tool_pause``; None
+            means this turn is not a tool resume.
+        docs: For RAG requests: ids (corpus indices) of the retrieved
+            documents whose shared segments form the history prefix.  None
+            for non-RAG requests.
     """
 
     session_id: int
@@ -66,6 +74,8 @@ class Request:
     output_segment: Segment = field(default=None)  # type: ignore[assignment]
     tenant: str | None = None
     tier: str | None = None
+    tool_pause: float | None = None
+    docs: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.output_tokens < 1:
@@ -142,3 +152,48 @@ class Workload:
             "output": self.total_output_tokens / n,
             "reused": sum(r.history_tokens for r in self.requests) / n,
         }
+
+    def validate_sessions(self) -> "Workload":
+        """Check per-session turn structure; raise ``ValueError`` on damage.
+
+        The serving layer defers a turn until its predecessor completes,
+        keyed by ``(session_id, turn_index)`` — a duplicate key silently
+        overwrites the deferred slot and loses a request.  Any operation
+        that interleaves request streams (``combine_workloads``,
+        ``mixed_workload``, hand-concatenated lists) must uphold:
+
+        * no two requests share a ``(session_id, turn_index)`` pair;
+        * each session's turn indices are dense: ``0..n_turns-1``;
+        * arrivals are monotone along turn index — turn ``t+1`` never
+          arrives strictly before turn ``t``.
+
+        Returns ``self`` so generators can validate-and-return in one
+        expression.
+        """
+        by_session: dict[int, list[Request]] = {}
+        for request in self.requests:
+            by_session.setdefault(request.session_id, []).append(request)
+        for session_id, turns in by_session.items():
+            turns.sort(key=lambda r: r.turn_index)
+            indices = [r.turn_index for r in turns]
+            if len(set(indices)) != len(indices):
+                dupes = sorted({i for i in indices if indices.count(i) > 1})
+                raise ValueError(
+                    f"workload {self.name!r}: session {session_id} has duplicate "
+                    f"turn indices {dupes} — renumber sessions before combining "
+                    "(see combine_workloads)"
+                )
+            if indices != list(range(len(indices))):
+                raise ValueError(
+                    f"workload {self.name!r}: session {session_id} turn indices "
+                    f"{indices} are not dense 0..{len(indices) - 1}"
+                )
+            for earlier, later in zip(turns, turns[1:]):
+                if later.arrival_time < earlier.arrival_time:
+                    raise ValueError(
+                        f"workload {self.name!r}: session {session_id} turn "
+                        f"{later.turn_index} arrives at {later.arrival_time:.6f}, "
+                        f"before turn {earlier.turn_index} at "
+                        f"{earlier.arrival_time:.6f}"
+                    )
+        return self

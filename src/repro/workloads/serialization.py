@@ -18,17 +18,21 @@ from repro.kvcache.radix import Segment
 from repro.workloads.request import Request, Workload
 
 #: Current on-disk schema.  v1 (implicit — headers without a ``schema``
-#: key) predates tenant tags; v2 adds optional ``tenant``/``tier`` fields.
-#: Loading stays backward compatible: missing fields mean the default
-#: (untagged) tenant.
-SCHEMA_VERSION = 2
+#: key) predates tenant tags; v2 adds optional ``tenant``/``tier`` fields;
+#: v3 adds the optional agentic/RAG fields ``tool_pause`` (seconds the
+#: session idled on an external tool before this resume turn) and ``docs``
+#: (retrieved corpus document ids).  Loading stays backward compatible:
+#: missing fields mean the default (untagged, non-agentic, non-RAG)
+#: request.
+SCHEMA_VERSION = 3
 
 
 def request_to_dict(request: Request) -> dict:
     """JSON-serialisable view of one request.
 
-    Tenant tags are emitted only when set, so untagged workloads serialise
-    to exactly the bytes the pre-tenancy writer produced.
+    Optional fields (tenant tags, tool pauses, doc ids) are emitted only
+    when set, so workloads without them serialise to exactly the bytes the
+    earlier writers produced.
     """
     data = {
         "request_id": request.request_id,
@@ -44,14 +48,18 @@ def request_to_dict(request: Request) -> dict:
         data["tenant"] = request.tenant
     if request.tier is not None:
         data["tier"] = request.tier
+    if request.tool_pause is not None:
+        data["tool_pause"] = request.tool_pause
+    if request.docs is not None:
+        data["docs"] = list(request.docs)
     return data
 
 
 def request_from_dict(data: dict) -> Request:
     """Rebuild a request; segment uids are preserved verbatim.
 
-    Pre-v2 rows carry no tenant fields; they load as untagged (default
-    tenant) requests.
+    Pre-v2 rows carry no tenant fields and pre-v3 rows no agentic/RAG
+    fields; both load with the corresponding defaults.
     """
     return Request(
         session_id=data["session_id"],
@@ -66,6 +74,8 @@ def request_from_dict(data: dict) -> Request:
         ),
         tenant=data.get("tenant"),
         tier=data.get("tier"),
+        tool_pause=data.get("tool_pause"),
+        docs=tuple(data["docs"]) if "docs" in data else None,
     )
 
 

@@ -104,6 +104,8 @@ def _multi_turn_sessions(
     output: dist.BoundedLengths,
     mean_turns: float,
     rng: random.Random,
+    turn_decode_estimate: float = TURN_DECODE_ESTIMATE,
+    think_time_mean: float = THINK_TIME_MEAN,
 ) -> Workload:
     requests: list[Request] = []
     ids = request_id_allocator()
@@ -123,8 +125,8 @@ def _multi_turn_sessions(
             )
             requests.append(request)
             history.extend([request.new_input, request.output_segment])
-            decode_estimate = request.output_tokens * TURN_DECODE_ESTIMATE
-            think = rng.expovariate(1.0 / THINK_TIME_MEAN)
+            decode_estimate = request.output_tokens * turn_decode_estimate
+            think = rng.expovariate(1.0 / think_time_mean)
             arrival += decode_estimate + think
     return Workload(name=name, requests=requests)
 
@@ -135,8 +137,19 @@ CONVERSATION_MEAN_TURNS = 2.4
 TOOLAGENT_MEAN_TURNS = 2.3
 
 
-def conversation_workload(num_sessions: int, request_rate: float, seed: int = 0) -> Workload:
-    """Multi-turn chatbot trace (Mooncake 'Conversation')."""
+def conversation_workload(
+    num_sessions: int,
+    request_rate: float,
+    seed: int = 0,
+    turn_decode_estimate: float = TURN_DECODE_ESTIMATE,
+    think_time_mean: float = THINK_TIME_MEAN,
+) -> Workload:
+    """Multi-turn chatbot trace (Mooncake 'Conversation').
+
+    ``turn_decode_estimate`` and ``think_time_mean`` control turn pacing
+    within a session (seconds per streamed token, mean think time); the
+    defaults reproduce the historical trace byte-for-byte.
+    """
     rng = random.Random(seed)
     session_rate = request_rate / CONVERSATION_MEAN_TURNS
     starts = poisson_arrivals(rng, session_rate, num_sessions)
@@ -147,11 +160,23 @@ def conversation_workload(num_sessions: int, request_rate: float, seed: int = 0)
         dist.CONVERSATION_OUTPUT,
         CONVERSATION_MEAN_TURNS,
         rng,
+        turn_decode_estimate=turn_decode_estimate,
+        think_time_mean=think_time_mean,
     )
 
 
-def toolagent_workload(num_sessions: int, request_rate: float, seed: int = 0) -> Workload:
-    """Multi-turn tool/agent trace (Mooncake 'Tool&Agent')."""
+def toolagent_workload(
+    num_sessions: int,
+    request_rate: float,
+    seed: int = 0,
+    turn_decode_estimate: float = TURN_DECODE_ESTIMATE,
+    think_time_mean: float = THINK_TIME_MEAN,
+) -> Workload:
+    """Multi-turn tool/agent trace (Mooncake 'Tool&Agent').
+
+    Pacing parameters as in :func:`conversation_workload`; defaults are
+    byte-identical to the historical trace.
+    """
     rng = random.Random(seed)
     session_rate = request_rate / TOOLAGENT_MEAN_TURNS
     starts = poisson_arrivals(rng, session_rate, num_sessions)
@@ -162,6 +187,8 @@ def toolagent_workload(num_sessions: int, request_rate: float, seed: int = 0) ->
         dist.TOOLAGENT_OUTPUT,
         TOOLAGENT_MEAN_TURNS,
         rng,
+        turn_decode_estimate=turn_decode_estimate,
+        think_time_mean=think_time_mean,
     )
 
 
@@ -170,6 +197,8 @@ def realworld_trace(
     duration: float,
     base_request_rate: float,
     seed: int = 0,
+    turn_decode_estimate: float = TURN_DECODE_ESTIMATE,
+    think_time_mean: float = THINK_TIME_MEAN,
 ) -> Workload:
     """Bursty production-style replay of a multi-turn trace (Fig. 13/14).
 
@@ -185,11 +214,25 @@ def realworld_trace(
     starts = arrivals_from_profile(rng, profile)
     if kind == "Conversation":
         workload = _multi_turn_sessions(
-            kind, starts, dist.CONVERSATION_NEW_INPUT, dist.CONVERSATION_OUTPUT, mean_turns, rng
+            kind,
+            starts,
+            dist.CONVERSATION_NEW_INPUT,
+            dist.CONVERSATION_OUTPUT,
+            mean_turns,
+            rng,
+            turn_decode_estimate=turn_decode_estimate,
+            think_time_mean=think_time_mean,
         )
     else:
         workload = _multi_turn_sessions(
-            kind, starts, dist.TOOLAGENT_NEW_INPUT, dist.TOOLAGENT_OUTPUT, mean_turns, rng
+            kind,
+            starts,
+            dist.TOOLAGENT_NEW_INPUT,
+            dist.TOOLAGENT_OUTPUT,
+            mean_turns,
+            rng,
+            turn_decode_estimate=turn_decode_estimate,
+            think_time_mean=think_time_mean,
         )
     return workload
 
@@ -254,7 +297,7 @@ def mixed_workload(
                 tier=tier,
             )
         )
-    return Workload(name="ShareGPT+LooGLE", requests=requests)
+    return Workload(name="ShareGPT+LooGLE", requests=requests).validate_sessions()
 
 
 def poissonized(workload: Workload, rate: float, seed: int = 0) -> Workload:
@@ -297,6 +340,12 @@ def combine_workloads(workloads: list[Workload], name: str = "combined") -> Work
     merge renumbers sessions per source workload and assigns fresh request
     ids in deterministic ``(arrival_time, source, original id)`` order;
     segments are shared with the sources, preserving prefix structure.
+
+    The merged stream is re-validated (``Workload.validate_sessions``):
+    renumbering makes cross-source collisions impossible for well-formed
+    sources, so a failure here means a *source* workload had broken session
+    structure (duplicate or non-monotone turns) that interleaving would
+    otherwise silently turn into dropped requests in the serving layer.
     """
     tagged: list[tuple[float, int, int, Request]] = []
     session_base = 0
@@ -319,4 +368,4 @@ def combine_workloads(workloads: list[Workload], name: str = "combined") -> Work
     requests = [
         replace(request, request_id=new_id) for new_id, (_, _, _, request) in enumerate(tagged)
     ]
-    return Workload(name=name, requests=requests)
+    return Workload(name=name, requests=requests).validate_sessions()

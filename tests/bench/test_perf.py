@@ -28,6 +28,11 @@ GOLDEN_SCALE = 0.05
 #: with ``python -m repro perf --scale 0.05 --fingerprint`` after any
 #: intentional behaviour change.
 GOLDEN_RESULTS = {
+    "agentic_rag": {
+        "events": 91466,
+        "fingerprint": "ba50ddb0431139bc7d2d68da7e5683d34b34a7f3101a5a062199b698601e5e3b",
+        "peak_event_queue": 41,
+    },
     # chaos_4_replicas moved when the round-robin liveness bug was fixed:
     # the policy now routes around a stalled/killed replica during the
     # kill->detection window instead of feeding it, so the chaos trace

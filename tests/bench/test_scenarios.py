@@ -1,0 +1,103 @@
+"""Agentic & RAG scenarios study: verdicts and byte-determinism."""
+
+import json
+
+import pytest
+
+from repro.bench.scenarios import (
+    CALIBRATION_METRICS,
+    CalibrationMetric,
+    PausePoint,
+    RoutingPoint,
+    ScenariosStudy,
+    run_scenarios_study,
+)
+
+#: Small but representative; the perf golden runs the same study at 0.05.
+STUDY_SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_scenarios_study(scale=STUDY_SCALE, seed=0)
+
+
+class TestStudyRun:
+    def test_all_verdicts_hold(self, study):
+        assert study.affinity_wins_cache
+        assert study.pause_shifts_gap
+        assert study.calibration_ok
+
+    def test_payload_is_byte_deterministic(self, study):
+        again = run_scenarios_study(scale=STUDY_SCALE, seed=0)
+        canon = lambda s: json.dumps(s.as_dict(), sort_keys=True)
+        assert canon(again) == canon(study)
+
+    def test_payload_layout(self, study):
+        payload = study.as_dict()
+        assert {p["policy"] for p in payload["routing"]} == {
+            "round-robin", "prefix-affinity",
+        }
+        assert {p["mode"] for p in payload["pauses"]} == {"instant", "paused"}
+        assert {p["metric"] for p in payload["calibration"]} == set(CALIBRATION_METRICS)
+        assert payload["replay_finished"] is True
+        assert set(payload["verdicts"]) == {
+            "affinity_wins_cache", "pause_shifts_gap", "calibration_ok",
+        }
+        assert payload["extras"]["events_processed"] > 0
+
+    def test_workload_pair_really_differs_only_in_pacing(self, study):
+        instant = next(p for p in study.pauses if p.mode == "instant")
+        paused = next(p for p in study.pauses if p.mode == "paused")
+        assert instant.tool_delay_mean == 0.0
+        assert paused.tool_delay_mean > 0.0
+        assert instant.gap != paused.gap
+
+
+class TestVerdictLogic:
+    def _study(self, routing=None, pauses=None, calibration=None, finished=True):
+        return ScenariosStudy(
+            routing=routing
+            or [
+                RoutingPoint("round-robin", 0.05, 100.0, 1.0, 10),
+                RoutingPoint("prefix-affinity", 0.20, 110.0, 0.9, 10),
+            ],
+            pauses=pauses
+            or [
+                PausePoint("instant", 0.0, 100.0, 90.0, 1.0, 1.0),
+                PausePoint("paused", 4.0, 80.0, 75.0, 1.0, 1.0),
+            ],
+            calibration=calibration
+            or [CalibrationMetric("useful_throughput", 100.0, 101.0)],
+            replay_finished=finished,
+        )
+
+    def test_affinity_verdict_requires_strict_win(self):
+        tied = self._study(
+            routing=[
+                RoutingPoint("round-robin", 0.10, 100.0, 1.0, 10),
+                RoutingPoint("prefix-affinity", 0.10, 100.0, 1.0, 10),
+            ]
+        )
+        assert not tied.affinity_wins_cache
+
+    def test_pause_verdict_requires_material_shift(self):
+        unchanged = self._study(
+            pauses=[
+                PausePoint("instant", 0.0, 100.0, 90.0, 1.0, 1.0),
+                PausePoint("paused", 4.0, 100.1, 90.0, 1.0, 1.0),
+            ]
+        )
+        assert not unchanged.pause_shifts_gap
+
+    def test_calibration_fails_on_bad_ratio(self):
+        off = self._study(
+            calibration=[CalibrationMetric("useful_throughput", 100.0, 10.0)]
+        )
+        assert not off.calibration_ok
+
+    def test_calibration_fails_on_nan_and_unfinished_replay(self):
+        nan = self._study(calibration=[CalibrationMetric("ttft_p50", 0.0, 1.0)])
+        assert not nan.calibration_ok
+        unfinished = self._study(finished=False)
+        assert not unfinished.calibration_ok

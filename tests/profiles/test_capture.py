@@ -1,0 +1,82 @@
+"""Profile capture: observation-only recording + self-calibration round trip."""
+
+import pytest
+
+from repro.baselines import ChunkedPrefillServer
+from repro.bench.runner import run_system
+from repro.gpu.specs import A100
+from repro.models.config import LLAMA_8B
+from repro.profiles import capture_profile, fit_profile
+from repro.profiles.capture import _bucket_edge, _quantiles
+from repro.serving.config import ServingConfig
+from repro.workloads import sharegpt_workload
+
+
+def _factory(sim, cfg):
+    return ChunkedPrefillServer(sim, cfg, token_budget=256)
+
+
+def _cfg(**kwargs):
+    return ServingConfig(model=LLAMA_8B, spec=A100, n_gpus=1, **kwargs)
+
+
+class TestFitMechanics:
+    def test_bucket_edges_are_powers_of_two(self):
+        assert [_bucket_edge(t) for t in (1, 2, 3, 4, 5, 1000, 1024, 1025)] == [
+            1, 2, 4, 4, 8, 1024, 1024, 2048,
+        ]
+
+    def test_quantiles_interpolate_sorted_samples(self):
+        grid = _quantiles([3.0, 1.0, 2.0])
+        assert len(grid) == 11
+        assert grid[0] == 1.0 and grid[-1] == 3.0
+        assert grid[5] == pytest.approx(2.0)
+        assert list(grid) == sorted(grid)
+
+    def test_single_sample_fits_flat_bucket(self):
+        profile = fit_profile({"prefill": [(100, 0.02)], "decode": [(64, 0.01)]}, "p")
+        bucket = profile.phases["prefill"].buckets[0]
+        assert bucket.max_tokens == 128
+        assert set(bucket.quantiles) == {0.02}
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError, match="no samples"):
+            fit_profile({}, "empty")
+
+
+class TestCaptureRun:
+    def test_capture_is_observation_only(self):
+        """The recorded run must be byte-identical to the plain run."""
+        workload = lambda: sharegpt_workload(16, rate=4.0, seed=0)
+        plain = run_system(_factory, _cfg(), workload())
+        capture = capture_profile(_factory, _cfg(), workload())
+        assert capture.summary.as_dict() == plain.summary.as_dict()
+
+    def test_capture_covers_both_phases_with_provenance(self):
+        capture = capture_profile(
+            _factory, _cfg(), sharegpt_workload(16, rate=4.0, seed=0), name="unit"
+        )
+        assert capture.profile.has_phase("prefill")
+        assert capture.profile.has_phase("decode")
+        assert capture.profile.name == "unit"
+        assert capture.profile.model == LLAMA_8B.name
+        assert capture.profile.gpu == A100.name
+        assert capture.profile.meta["workload"] == "ShareGPT"
+        assert capture.sample_counts["prefill"] > 0
+        assert capture.sample_counts["decode"] > 0
+
+    def test_round_trip_reproduces_summary_within_tolerance(self):
+        """The self-calibration contract the scenarios study quantifies."""
+        from repro.bench.scenarios import CALIBRATION_METRICS, CALIBRATION_TOLERANCE
+
+        workload = lambda: sharegpt_workload(24, rate=4.0, seed=0)
+        capture = capture_profile(_factory, _cfg(), workload())
+        replay = run_system(
+            _factory, _cfg(cost_profile=capture.profile), workload()
+        )
+        assert replay.summary.requests_finished == replay.summary.requests_total
+        for metric in CALIBRATION_METRICS:
+            roofline = getattr(capture.summary, metric)
+            replayed = getattr(replay.summary, metric)
+            assert roofline > 0.0
+            assert abs(replayed / roofline - 1.0) <= CALIBRATION_TOLERANCE, metric

@@ -1,0 +1,112 @@
+"""Latency-profile schema: validation, sampling, JSON round-trip."""
+
+import pytest
+
+from repro.profiles import (
+    PROFILE_SCHEMA_VERSION,
+    LatencyProfile,
+    PhaseProfile,
+    TokenBucket,
+    load_profile,
+    save_profile,
+)
+
+
+def _bucket(edge, mean, low, high, count=10):
+    step = (high - low) / 10.0
+    return TokenBucket(
+        max_tokens=edge,
+        mean_tokens=mean,
+        quantiles=tuple(low + j * step for j in range(11)),
+        count=count,
+    )
+
+
+def _profile():
+    prefill = PhaseProfile(
+        phase="prefill",
+        buckets=(_bucket(256, 180.0, 0.010, 0.020), _bucket(1024, 700.0, 0.030, 0.050)),
+    )
+    decode = PhaseProfile(phase="decode", buckets=(_bucket(2048, 1500.0, 0.012, 0.013),))
+    return LatencyProfile(
+        name="test",
+        model="Llama-8B",
+        gpu="A100-80GB",
+        phases={"prefill": prefill, "decode": decode},
+        meta={"workload": "unit"},
+    )
+
+
+class TestTokenBucket:
+    def test_quantile_interpolation(self):
+        bucket = _bucket(256, 180.0, 0.010, 0.020)
+        assert bucket.latency_at(0.0) == pytest.approx(0.010)
+        assert bucket.latency_at(0.5) == pytest.approx(0.015)
+        assert bucket.latency_at(0.999999) == pytest.approx(0.020, rel=1e-4)
+
+    def test_wrong_grid_size_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(max_tokens=8, mean_tokens=4.0, quantiles=(0.1, 0.2))
+
+    def test_decreasing_quantiles_rejected(self):
+        grid = tuple(0.020 - 0.001 * j for j in range(11))
+        with pytest.raises(ValueError):
+            TokenBucket(max_tokens=8, mean_tokens=4.0, quantiles=grid)
+
+    def test_negative_latency_rejected(self):
+        grid = tuple(-0.001 + 0.001 * j for j in range(11))
+        with pytest.raises(ValueError):
+            TokenBucket(max_tokens=8, mean_tokens=4.0, quantiles=grid)
+
+
+class TestPhaseProfile:
+    def test_bucket_selection(self):
+        phase = _profile().phases["prefill"]
+        assert phase.bucket_for(100).max_tokens == 256
+        assert phase.bucket_for(256).max_tokens == 256
+        assert phase.bucket_for(257).max_tokens == 1024
+
+    def test_extrapolation_scales_past_top_bucket(self):
+        phase = _profile().phases["prefill"]
+        inside = phase.sample(1024, 0.5)
+        beyond = phase.sample(4096, 0.5)
+        assert beyond == pytest.approx(inside * (4096 / 700.0))
+
+    def test_no_shrink_below_measured_latency(self):
+        """Extrapolation never scales *down* for tokens <= the top edge."""
+        phase = _profile().phases["prefill"]
+        assert phase.sample(300, 0.5) == phase.sample(1024, 0.5)
+
+    def test_unordered_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseProfile(
+                phase="p",
+                buckets=(_bucket(1024, 700.0, 0.03, 0.05), _bucket(256, 180.0, 0.01, 0.02)),
+            )
+
+
+class TestJsonRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        profile = _profile()
+        path = tmp_path / "profile.json"
+        save_profile(profile, path)
+        loaded = load_profile(path)
+        assert loaded.name == profile.name
+        assert loaded.model == profile.model
+        assert sorted(loaded.phases) == sorted(profile.phases)
+        for phase_name, phase in profile.phases.items():
+            assert loaded.phases[phase_name].buckets == phase.buckets
+        assert loaded.meta == profile.meta
+
+    def test_payload_is_versioned_and_byte_stable(self):
+        profile = _profile()
+        payload = profile.to_payload()
+        assert payload["schema"] == PROFILE_SCHEMA_VERSION
+        assert profile.to_json() == profile.to_json()
+        assert profile.to_json().endswith("\n")
+
+    def test_future_schema_rejected(self):
+        payload = _profile().to_payload()
+        payload["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            LatencyProfile.from_payload(payload)

@@ -1,0 +1,130 @@
+"""Property-based tests (hypothesis) over every workload generator.
+
+Invariants every generator must uphold regardless of parameters:
+
+* arrivals are sorted (the Workload constructor's contract);
+* each session's turn indices are dense ``0..n-1`` and arrivals are
+  monotone along them (``validate_sessions`` semantics);
+* agentic resumes never arrive before their tool delay has elapsed;
+* RAG requests retrieving the same document share the *identical*
+  corpus segment (prefix reuse is identity-based).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    agentic_workload,
+    conversation_workload,
+    loogle_workload,
+    mixed_workload,
+    openthoughts_workload,
+    rag_workload,
+    sharegpt_workload,
+    toolagent_workload,
+)
+
+seeds = st.integers(min_value=0, max_value=2**16)
+sizes = st.integers(min_value=1, max_value=40)
+rates = st.floats(min_value=0.2, max_value=16.0, allow_nan=False)
+
+#: (builder, kwargs-style) for the single-turn and multi-turn generators.
+GENERATORS = [
+    lambda n, rate, seed: sharegpt_workload(n, rate=rate, seed=seed),
+    lambda n, rate, seed: loogle_workload(n, rate=rate, seed=seed),
+    lambda n, rate, seed: openthoughts_workload(n, rate=rate, seed=seed),
+    lambda n, rate, seed: mixed_workload(n, rate=rate, seed=seed),
+    lambda n, rate, seed: conversation_workload(n, request_rate=rate, seed=seed),
+    lambda n, rate, seed: toolagent_workload(n, request_rate=rate, seed=seed),
+    lambda n, rate, seed: agentic_workload(n, rate, seed=seed),
+    lambda n, rate, seed: rag_workload(n, rate=rate, seed=seed),
+]
+
+
+def _sessions(workload):
+    by_session = {}
+    for request in workload:
+        by_session.setdefault(request.session_id, []).append(request)
+    for turns in by_session.values():
+        turns.sort(key=lambda r: r.turn_index)
+    return by_session
+
+
+class TestUniversalInvariants:
+    @given(
+        index=st.integers(min_value=0, max_value=len(GENERATORS) - 1),
+        n=sizes,
+        rate=rates,
+        seed=seeds,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arrivals_sorted_and_ids_unique(self, index, n, rate, seed):
+        workload = GENERATORS[index](n, rate, seed)
+        arrivals = [r.arrival_time for r in workload]
+        assert arrivals == sorted(arrivals)
+        assert all(t >= 0.0 for t in arrivals)
+        ids = [r.request_id for r in workload]
+        assert len(set(ids)) == len(ids)
+
+    @given(
+        index=st.integers(min_value=0, max_value=len(GENERATORS) - 1),
+        n=sizes,
+        rate=rates,
+        seed=seeds,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sessions_dense_and_monotone(self, index, n, rate, seed):
+        workload = GENERATORS[index](n, rate, seed)
+        for turns in _sessions(workload).values():
+            assert [r.turn_index for r in turns] == list(range(len(turns)))
+            arrivals = [r.arrival_time for r in turns]
+            assert arrivals == sorted(arrivals)
+
+
+class TestAgenticProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=25),
+        seed=seeds,
+        delay=st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_resumes_wait_for_their_tools(self, n, seed, delay):
+        workload = agentic_workload(n, 2.0, seed=seed, tool_delay_mean=delay)
+        for turns in _sessions(workload).values():
+            assert turns[0].tool_pause is None
+            for earlier, later in zip(turns, turns[1:]):
+                assert later.tool_pause is not None
+                gap = later.arrival_time - earlier.arrival_time
+                assert gap >= later.tool_pause - 1e-9
+
+    @given(n=st.integers(min_value=1, max_value=20), seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_delay_never_changes_token_shapes(self, n, seed):
+        instant = agentic_workload(n, 2.0, seed=seed, tool_delay_mean=0.0)
+        paused = agentic_workload(n, 2.0, seed=seed, tool_delay_mean=7.5)
+        shape = lambda w: sorted(
+            (r.request_id, r.session_id, r.turn_index, r.input_tokens, r.output_tokens)
+            for r in w
+        )
+        assert shape(instant) == shape(paused)
+
+
+class TestRagProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        seed=seeds,
+        corpus=st.integers(min_value=1, max_value=32),
+        k=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_shared_docs_are_identical_segments(self, n, seed, corpus, k):
+        workload = rag_workload(
+            n, rate=4.0, seed=seed, corpus_docs=corpus, retrieval_k=k
+        )
+        canonical = {}
+        for request in workload:
+            assert len(request.docs) == min(k, corpus)
+            assert len(set(request.docs)) == len(request.docs)
+            assert all(0 <= doc < corpus for doc in request.docs)
+            for doc, segment in zip(request.docs, request.history):
+                assert canonical.setdefault(doc, segment) is segment

@@ -132,3 +132,64 @@ class TestParser:
             "Llama-8B", "Llama-70B", "Qwen3-235B-A22B", "CodeLlama-34B",
         }
         assert "muxwise" in SYSTEMS and "hybrid-pd" in SYSTEMS
+
+
+class TestAgenticRagCli:
+    def test_run_agentic_workload(self, capsys):
+        code = main([
+            "run", "--system", "muxwise", "--workload", "agentic",
+            "--model", "8b", "--gpus", "1", "--rate", "2.0", "--requests", "8",
+        ])
+        assert code == 0
+        assert "Useful Tok/s" in capsys.readouterr().out
+
+    def test_run_rag_workload(self, capsys):
+        code = main([
+            "run", "--system", "chunked", "--workload", "rag",
+            "--model", "8b", "--gpus", "1", "--rate", "2.0", "--requests", "10",
+        ])
+        assert code == 0
+        assert "Useful Tok/s" in capsys.readouterr().out
+
+    def test_scenarios_json(self, capsys):
+        import json as _json
+
+        code = main(["scenarios", "--scale", "0.05", "--json"])
+        assert code == 0
+        study = _json.loads(capsys.readouterr().out)
+        assert set(study["verdicts"]) == {
+            "affinity_wins_cache", "pause_shifts_gap", "calibration_ok",
+        }
+        assert all(study["verdicts"].values())
+
+    def test_scenarios_human_output(self, capsys):
+        code = main(["scenarios", "--scale", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RAG routing" in out
+        assert "prefix-affinity" in out
+        assert "calibration_ok: yes" in out
+
+
+class TestProfileCli:
+    def test_capture_show_replay_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "prof.json"
+        code = main([
+            "profile", "capture", "--model", "8b", "--gpus", "1",
+            "--requests", "12", "--rate", "4.0", "--output", str(path),
+        ])
+        assert code == 0
+        assert path.exists()
+        assert "profile written" in capsys.readouterr().out
+
+        code = main(["profile", "show", "--profile", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase prefill" in out and "phase decode" in out
+
+        code = main([
+            "profile", "replay", "--model", "8b", "--gpus", "1",
+            "--requests", "12", "--rate", "4.0", "--profile", str(path),
+        ])
+        assert code == 0
+        assert "replaying profile" in capsys.readouterr().out

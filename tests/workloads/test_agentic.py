@@ -1,0 +1,154 @@
+"""Agentic tool-call loop generator: structure, pauses, fan-out, pacing."""
+
+import pytest
+
+from repro.workloads import agentic_workload
+from repro.workloads.agentic import (
+    AGENT_SCAFFOLD_TOKENS,
+    AGENTIC_MAX_STEPS,
+    TOOL_DELAY_MEAN,
+)
+
+
+def _by_session(workload):
+    sessions = {}
+    for request in workload:
+        sessions.setdefault(request.session_id, []).append(request)
+    for turns in sessions.values():
+        turns.sort(key=lambda r: r.turn_index)
+    return sessions
+
+
+class TestSessionStructure:
+    def test_deterministic(self):
+        first = agentic_workload(20, 2.0, seed=3)
+        second = agentic_workload(20, 2.0, seed=3)
+        assert [
+            (r.session_id, r.turn_index, r.arrival_time, r.input_tokens, r.output_tokens)
+            for r in first
+        ] == [
+            (r.session_id, r.turn_index, r.arrival_time, r.input_tokens, r.output_tokens)
+            for r in second
+        ]
+
+    def test_arrivals_sorted_and_turns_dense(self):
+        workload = agentic_workload(30, 2.0, seed=0)
+        arrivals = [r.arrival_time for r in workload]
+        assert arrivals == sorted(arrivals)
+        for turns in _by_session(workload).values():
+            assert [r.turn_index for r in turns] == list(range(len(turns)))
+            assert len(turns) <= AGENTIC_MAX_STEPS
+
+    def test_every_session_shares_the_scaffold(self):
+        workload = agentic_workload(25, 2.0, seed=1)
+        scaffolds = {r.history[0] for r in workload}
+        assert len(scaffolds) == 1
+        assert next(iter(scaffolds)).tokens == AGENT_SCAFFOLD_TOKENS
+
+    def test_resume_extends_parent_prefix(self):
+        """Turn t+1's history starts with turn t's history + input + output."""
+        workload = agentic_workload(25, 2.0, seed=2)
+        for turns in _by_session(workload).values():
+            for earlier, later in zip(turns, turns[1:]):
+                prefix = (
+                    list(earlier.history)
+                    + [earlier.new_input, earlier.output_segment]
+                )
+                assert later.history[: len(prefix)] == prefix
+
+
+class TestToolPauses:
+    def test_first_turns_have_no_pause(self):
+        workload = agentic_workload(25, 2.0, seed=0)
+        for request in workload:
+            if request.turn_index == 0:
+                assert request.tool_pause is None
+            else:
+                assert request.tool_pause is not None and request.tool_pause >= 0.0
+
+    def test_resume_never_arrives_before_tool_returns(self):
+        workload = agentic_workload(40, 2.0, seed=5)
+        for turns in _by_session(workload).values():
+            for earlier, later in zip(turns, turns[1:]):
+                gap = later.arrival_time - earlier.arrival_time
+                assert gap >= later.tool_pause - 1e-9
+
+    def test_instant_tools_have_zero_pause(self):
+        # fanout off: with fan-out, a "pause" also covers the sub-agents'
+        # own streaming time, which instant tools do not remove.
+        workload = agentic_workload(20, 2.0, seed=0, tool_delay_mean=0.0, fanout_prob=0.0)
+        for request in workload:
+            if request.turn_index > 0:
+                assert request.tool_pause == 0.0
+
+    def test_delay_mean_does_not_change_token_shapes(self):
+        """The scenarios-study contract: paused and instant workloads are
+        the same trace, re-paced."""
+        instant = agentic_workload(30, 2.0, seed=7, tool_delay_mean=0.0)
+        paused = agentic_workload(30, 2.0, seed=7, tool_delay_mean=TOOL_DELAY_MEAN)
+        key = lambda w: sorted(
+            (r.request_id, r.session_id, r.turn_index, r.input_tokens, r.output_tokens)
+            for r in w
+        )
+        assert key(instant) == key(paused)
+        assert [r.arrival_time for r in instant] != [r.arrival_time for r in paused]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="tool_delay_mean"):
+            agentic_workload(5, 1.0, tool_delay_mean=-1.0)
+
+
+class TestFanOut:
+    def test_branches_share_parent_prefix(self):
+        workload = agentic_workload(60, 2.0, seed=0, fanout_prob=1.0)
+        sessions = _by_session(workload)
+        branches = {
+            sid: turns for sid, turns in sessions.items() if sid >= 60
+        }
+        assert branches, "fanout_prob=1.0 must spawn sub-agent branches"
+        for turns in branches.values():
+            (branch,) = turns
+            assert branch.turn_index == 0
+            assert branch.tool_pause is None
+            # A branch forks from some parent chain: its history is exactly
+            # a prefix another request in the workload extends or equals.
+            assert len(branch.history) > 1
+
+    def test_no_fanout_when_disabled(self):
+        workload = agentic_workload(30, 2.0, seed=0, fanout_prob=0.0)
+        assert max(r.session_id for r in workload) == max(
+            sid for sid in _by_session(workload)
+        )
+        assert all(r.session_id < 30 for r in workload)
+
+    def test_fanout_max_validated(self):
+        with pytest.raises(ValueError, match="fanout_max"):
+            agentic_workload(5, 1.0, fanout_max=1)
+
+
+class TestPacingParameters:
+    def test_explicit_default_is_byte_identical(self):
+        from repro.workloads.traces import TURN_DECODE_ESTIMATE
+
+        default = agentic_workload(20, 2.0, seed=4)
+        explicit = agentic_workload(
+            20, 2.0, seed=4, turn_decode_estimate=TURN_DECODE_ESTIMATE
+        )
+        assert [
+            (r.request_id, r.arrival_time, r.input_tokens, r.output_tokens)
+            for r in default
+        ] == [
+            (r.request_id, r.arrival_time, r.input_tokens, r.output_tokens)
+            for r in explicit
+        ]
+
+    def test_custom_pacing_keeps_tokens_changes_arrivals(self):
+        default = agentic_workload(20, 2.0, seed=4)
+        slow = agentic_workload(20, 2.0, seed=4, turn_decode_estimate=0.2)
+        key = lambda w: sorted(
+            (r.request_id, r.input_tokens, r.output_tokens) for r in w
+        )
+        assert key(default) == key(slow)
+        default_arrivals = {r.request_id: r.arrival_time for r in default}
+        slow_arrivals = {r.request_id: r.arrival_time for r in slow}
+        assert default_arrivals != slow_arrivals

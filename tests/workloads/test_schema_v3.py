@@ -1,0 +1,77 @@
+"""Schema-v3 serialisation: tool pauses, RAG doc ids, v2 back-compat."""
+
+import json
+
+from repro.workloads import (
+    agentic_workload,
+    load_workload,
+    rag_workload,
+    save_workload,
+    sharegpt_workload,
+)
+from repro.workloads.serialization import (
+    SCHEMA_VERSION,
+    request_from_dict,
+    request_to_dict,
+)
+
+
+class TestV3RoundTrip:
+    def test_tool_pause_survives_round_trip(self, tmp_path):
+        workload = agentic_workload(15, 2.0, seed=0)
+        path = tmp_path / "agentic.jsonl"
+        save_workload(workload, path)
+        loaded = load_workload(path)
+        assert [r.tool_pause for r in loaded] == [r.tool_pause for r in workload]
+        assert any(r.tool_pause is not None for r in loaded)
+
+    def test_docs_survive_round_trip(self, tmp_path):
+        workload = rag_workload(15, rate=2.0, seed=0)
+        path = tmp_path / "rag.jsonl"
+        save_workload(workload, path)
+        loaded = load_workload(path)
+        assert [r.docs for r in loaded] == [r.docs for r in workload]
+        assert all(isinstance(r.docs, tuple) for r in loaded)
+
+    def test_header_carries_v3(self, tmp_path):
+        path = tmp_path / "wl.jsonl"
+        save_workload(sharegpt_workload(1, rate=1.0, seed=0), path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["schema"] == SCHEMA_VERSION == 3
+
+    def test_plain_requests_emit_no_v3_keys(self):
+        """Byte-compat: pre-agentic workloads serialise exactly as before."""
+        request = sharegpt_workload(1, rate=1.0, seed=0).requests[0]
+        data = request_to_dict(request)
+        assert "tool_pause" not in data
+        assert "docs" not in data
+
+
+class TestBackwardCompat:
+    def v2_fixture(self, tmp_path):
+        """A pre-agentic (schema-2) file: no tool_pause/docs keys."""
+        workload = sharegpt_workload(3, rate=1.0, seed=5)
+        lines = [json.dumps({"workload": "legacy-v2", "schema": 2})]
+        for request in workload:
+            row = request_to_dict(request)
+            row.pop("tool_pause", None)
+            row.pop("docs", None)
+            lines.append(json.dumps(row))
+        path = tmp_path / "v2.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return path, workload
+
+    def test_v2_file_loads_with_defaults(self, tmp_path):
+        path, original = self.v2_fixture(tmp_path)
+        loaded = load_workload(path)
+        assert loaded.name == "legacy-v2"
+        assert len(loaded) == len(original)
+        assert all(r.tool_pause is None and r.docs is None for r in loaded)
+        assert [r.request_id for r in loaded] == [r.request_id for r in original]
+
+    def test_missing_v3_fields_default_to_none(self):
+        request = sharegpt_workload(1, rate=1.0, seed=0).requests[0]
+        data = request_to_dict(request)
+        rebuilt = request_from_dict(data)
+        assert rebuilt.tool_pause is None
+        assert rebuilt.docs is None

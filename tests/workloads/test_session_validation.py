@@ -1,0 +1,91 @@
+"""Session-turn structure validation (Workload.validate_sessions).
+
+Regression context: the serving layer defers turn t+1 in a dict keyed by
+``(session_id, turn_index)``; feeding it two requests with the same key
+silently overwrites one — the request is never served and the run
+"finishes" short.  Interleaving streams without renumbering sessions is
+exactly how that used to happen.
+"""
+
+import pytest
+
+from repro.workloads import combine_workloads, mixed_workload, sharegpt_workload
+from repro.workloads.request import Request, Workload
+from repro.kvcache.radix import new_segment
+
+
+def _request(session, turn, arrival, request_id):
+    return Request(
+        session_id=session,
+        turn_index=turn,
+        arrival_time=arrival,
+        history=[],
+        new_input=new_segment(16),
+        output_tokens=8,
+        request_id=request_id,
+    )
+
+
+class TestValidateSessions:
+    def test_well_formed_workload_passes(self):
+        workload = Workload(
+            name="ok",
+            requests=[
+                _request(0, 0, 0.0, 0),
+                _request(0, 1, 1.0, 1),
+                _request(1, 0, 0.5, 2),
+            ],
+        )
+        assert workload.validate_sessions() is workload
+
+    def test_duplicate_turn_key_rejected(self):
+        """The pre-failing case: two sources both use session 0, turn 0."""
+        workload = Workload(
+            name="clash",
+            requests=[_request(0, 0, 0.0, 0), _request(0, 0, 0.2, 1)],
+        )
+        with pytest.raises(ValueError, match="duplicate.*turn"):
+            workload.validate_sessions()
+
+    def test_non_dense_turns_rejected(self):
+        workload = Workload(
+            name="gap",
+            requests=[_request(0, 0, 0.0, 0), _request(0, 2, 1.0, 1)],
+        )
+        with pytest.raises(ValueError, match="not dense"):
+            workload.validate_sessions()
+
+    def test_arrival_regression_rejected(self):
+        workload = Workload(
+            name="backwards",
+            requests=[_request(0, 0, 5.0, 0), _request(0, 1, 1.0, 1)],
+        )
+        with pytest.raises(ValueError, match="before turn"):
+            workload.validate_sessions()
+
+
+class TestCombineValidates:
+    def test_overlapping_session_ids_survive_combining(self):
+        """Both sources use session ids 0..n; renumbering keeps them apart
+        and the merged stream validates clean."""
+        a = sharegpt_workload(10, rate=2.0, seed=1)
+        b = sharegpt_workload(10, rate=2.0, seed=2)
+        combined = combine_workloads([a, b])
+        pairs = [(r.session_id, r.turn_index) for r in combined]
+        assert len(set(pairs)) == len(pairs)
+
+    def test_broken_source_workload_rejected(self):
+        """A source with a duplicate (session, turn) pair is caught at
+        combine time instead of silently losing a request in serving."""
+        good = sharegpt_workload(5, rate=2.0, seed=0)
+        broken = Workload(
+            name="broken",
+            requests=[_request(0, 0, 0.0, 0), _request(0, 0, 0.1, 1)],
+        )
+        with pytest.raises(ValueError, match="duplicate.*turn"):
+            combine_workloads([good, broken])
+
+    def test_mixed_workload_validates(self):
+        workload = mixed_workload(30, rate=2.0, seed=0)
+        pairs = [(r.session_id, r.turn_index) for r in workload]
+        assert len(set(pairs)) == len(pairs)

@@ -1,0 +1,87 @@
+"""Turn-pacing parameters on the multi-turn trace generators.
+
+``turn_decode_estimate`` and ``think_time_mean`` used to be module
+constants; they are now per-generator parameters whose defaults must be
+byte-identical to the constant-driven behaviour.
+"""
+
+from repro.workloads import conversation_workload, realworld_trace, toolagent_workload
+from repro.workloads.traces import THINK_TIME_MEAN, TURN_DECODE_ESTIMATE
+
+
+def _shape(workload):
+    return [
+        (r.request_id, r.session_id, r.turn_index, r.arrival_time,
+         r.input_tokens, r.output_tokens)
+        for r in workload
+    ]
+
+
+def _tokens_by_id(workload):
+    return sorted((r.request_id, r.input_tokens, r.output_tokens) for r in workload)
+
+
+class TestDefaultsByteIdentical:
+    def test_conversation(self):
+        default = conversation_workload(20, request_rate=2.0, seed=3)
+        explicit = conversation_workload(
+            20,
+            request_rate=2.0,
+            seed=3,
+            turn_decode_estimate=TURN_DECODE_ESTIMATE,
+            think_time_mean=THINK_TIME_MEAN,
+        )
+        assert _shape(default) == _shape(explicit)
+
+    def test_toolagent(self):
+        default = toolagent_workload(20, request_rate=2.0, seed=3)
+        explicit = toolagent_workload(
+            20,
+            request_rate=2.0,
+            seed=3,
+            turn_decode_estimate=TURN_DECODE_ESTIMATE,
+            think_time_mean=THINK_TIME_MEAN,
+        )
+        assert _shape(default) == _shape(explicit)
+
+    def test_realworld_trace(self):
+        default = realworld_trace("Conversation", duration=30.0, base_request_rate=2.0, seed=3)
+        explicit = realworld_trace(
+            "Conversation",
+            duration=30.0,
+            base_request_rate=2.0,
+            seed=3,
+            turn_decode_estimate=TURN_DECODE_ESTIMATE,
+            think_time_mean=THINK_TIME_MEAN,
+        )
+        assert _shape(default) == _shape(explicit)
+
+
+class TestCustomPacing:
+    def test_custom_pacing_keeps_token_draws(self):
+        """Pacing only re-times the trace; the sampled lengths are the
+        same draws (compare by request id — arrival order shifts)."""
+        default = conversation_workload(20, request_rate=2.0, seed=5)
+        paced = conversation_workload(
+            20, request_rate=2.0, seed=5, turn_decode_estimate=0.25, think_time_mean=30.0
+        )
+        assert _tokens_by_id(default) == _tokens_by_id(paced)
+        assert _shape(default) != _shape(paced)
+
+    def test_longer_think_time_spreads_turns(self):
+        fast = toolagent_workload(15, request_rate=2.0, seed=1, think_time_mean=0.25)
+        slow = toolagent_workload(15, request_rate=2.0, seed=1, think_time_mean=16.0)
+
+        def mean_gap(workload):
+            sessions = {}
+            for r in workload:
+                sessions.setdefault(r.session_id, []).append(r)
+            gaps = []
+            for turns in sessions.values():
+                turns.sort(key=lambda r: r.turn_index)
+                gaps += [
+                    b.arrival_time - a.arrival_time for a, b in zip(turns, turns[1:])
+                ]
+            return sum(gaps) / len(gaps) if gaps else 0.0
+
+        assert mean_gap(slow) > mean_gap(fast)
